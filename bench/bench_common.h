@@ -1,0 +1,59 @@
+// Shared plumbing for the figure/table benches: experiment durations
+// (overridable through HELIOS_BENCH_SCALE for quick runs), the standard
+// protocol lineup, and table formatting helpers.
+//
+// Every bench prints the rows/series of one table or figure of the paper;
+// EXPERIMENTS.md records the paper-reported values next to ours.
+
+#ifndef HELIOS_BENCH_BENCH_COMMON_H_
+#define HELIOS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace helios::bench {
+
+/// Scale factor for measurement windows. HELIOS_BENCH_SCALE=0.2 runs ~5x
+/// faster (noisier); default 1.0.
+inline double BenchScale() {
+  const char* env = std::getenv("HELIOS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline Duration Scaled(Duration d) {
+  return static_cast<Duration>(static_cast<double>(d) * BenchScale());
+}
+
+/// The paper's Figure 3/4 lineup.
+inline std::vector<harness::Protocol> AllProtocols() {
+  return {harness::Protocol::kHelios0,      harness::Protocol::kHelios1,
+          harness::Protocol::kHelios2,      harness::Protocol::kHeliosB,
+          harness::Protocol::kMessageFutures,
+          harness::Protocol::kReplicatedCommit,
+          harness::Protocol::kTwoPcPaxos};
+}
+
+/// Standard Figure 3 configuration: Table 2 topology, 60 clients.
+inline harness::ExperimentConfig Fig3Config(harness::Protocol p) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.total_clients = 60;
+  cfg.warmup = Scaled(Seconds(4));
+  cfg.measure = Scaled(Seconds(20));
+  return cfg;
+}
+
+inline void PrintHeading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace helios::bench
+
+#endif  // HELIOS_BENCH_BENCH_COMMON_H_

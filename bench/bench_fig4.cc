@@ -1,0 +1,99 @@
+// Reproduces Figure 4: cumulative throughput (a), average commit latency
+// (b), and abort rate (c) as the number of clients grows from 15 to 285.
+//
+// The paper's observations to reproduce:
+//   - Helios variants converge to a peak of 6000-7000 ops/s (an I/O
+//     bottleneck), Helios-0/1 converging earliest;
+//   - 2PC/Paxos saturates far lower (<= ~1700-2200 ops/s in our model) and
+//     its latency grows steadily from the start (coordinator thrashing);
+//   - Replicated Commit's latency stays flat but its throughput trails;
+//   - abort rates grow with the client count.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+int main() {
+  using helios::TablePrinter;
+  namespace harness = helios::harness;
+  namespace bench = helios::bench;
+
+  std::vector<int> client_counts = {15, 75, 135, 195, 255};
+  if (bench::BenchScale() >= 1.0) {
+    client_counts = {15, 60, 105, 150, 195, 240, 285};
+  }
+
+  struct Series {
+    std::string protocol;
+    std::vector<harness::ExperimentResult> points;
+  };
+  std::vector<Series> series;
+
+  for (harness::Protocol p : bench::AllProtocols()) {
+    Series s;
+    s.protocol = harness::ProtocolName(p);
+    for (int clients : client_counts) {
+      std::fprintf(stderr, "running %s with %d clients...\n",
+                   s.protocol.c_str(), clients);
+      harness::ExperimentConfig cfg;
+      cfg.protocol = p;
+      cfg.total_clients = clients;
+      cfg.warmup = bench::Scaled(helios::Seconds(3));
+      cfg.measure = bench::Scaled(helios::Seconds(10));
+      s.points.push_back(harness::RunExperiment(cfg));
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::vector<std::string> header = {"Protocol"};
+  for (int c : client_counts) header.push_back(std::to_string(c));
+
+  bench::PrintHeading("Figure 4(a): cumulative throughput (ops/s) vs clients");
+  {
+    TablePrinter table(header);
+    for (const auto& s : series) {
+      std::vector<std::string> row = {s.protocol};
+      for (const auto& r : s.points) {
+        row.push_back(TablePrinter::Num(r.total_throughput_ops_s, 0));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  bench::PrintHeading("Figure 4(b): average commit latency (ms) vs clients");
+  {
+    TablePrinter table(header);
+    for (const auto& s : series) {
+      std::vector<std::string> row = {s.protocol};
+      for (const auto& r : s.points) {
+        row.push_back(TablePrinter::Num(r.avg_latency_ms, 0));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  bench::PrintHeading("Figure 4(c): abort rate (%) vs clients");
+  {
+    TablePrinter table(header);
+    for (const auto& s : series) {
+      std::vector<std::string> row = {s.protocol};
+      for (const auto& r : s.points) {
+        row.push_back(TablePrinter::Num(100.0 * r.avg_abort_rate, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+
+  std::printf(
+      "\nPaper reference points: Helios peaks between 6000 and 7000 ops/s\n"
+      "(Helios-0/1 converge by ~195 clients, Helios-2/B by ~255); 2PC/Paxos\n"
+      "cannot exceed ~1700 ops/s and thrashes past 195 clients; abort rates\n"
+      "grow ~0.7%% per 30 clients for the log-based protocols.\n");
+  return 0;
+}

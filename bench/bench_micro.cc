@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// replicated-log append/partial-log/ingest, timetable merge, MVCC store
+// reads/writes, conflict checks against the preparing pools, lock table
+// operations, and the MAO simplex solve.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "lp/mao.h"
+#include "rdict/replicated_log.h"
+#include "store/lock_table.h"
+#include "store/mv_store.h"
+#include "txn/pool.h"
+#include "txn/transaction.h"
+
+namespace helios {
+namespace {
+
+TxnBodyPtr MakeBody(DcId dc, uint64_t seq, int keys, Rng& rng,
+                    uint64_t key_space) {
+  std::vector<ReadEntry> reads;
+  std::vector<WriteEntry> writes;
+  for (int i = 0; i < keys; ++i) {
+    const Key k = "user" + std::to_string(rng.Uniform(key_space));
+    if (i % 2 == 0 && !std::any_of(writes.begin(), writes.end(),
+                                   [&](const WriteEntry& w) {
+                                     return w.key == k;
+                                   })) {
+      writes.push_back({k, "value"});
+    } else {
+      reads.push_back({k, 0, TxnId{}});
+    }
+  }
+  if (writes.empty()) writes.push_back({"user0", "v"});
+  return MakeTxnBody(TxnId{dc, seq}, std::move(reads), std::move(writes));
+}
+
+void BM_RdictAppend(benchmark::State& state) {
+  Rng rng(1);
+  rdict::ReplicatedLog log(0, 5);
+  Timestamp ts = 1;
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    rdict::LogRecord rec;
+    rec.type = rdict::RecordType::kPreparing;
+    rec.ts = ts++;
+    rec.origin = 0;
+    rec.body = MakeBody(0, seq++, 5, rng, 50000);
+    benchmark::DoNotOptimize(log.AppendLocal(rec));
+    if (log.live_records() > 10000) {
+      state.PauseTiming();
+      log = rdict::ReplicatedLog(0, 5);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_RdictAppend);
+
+void BM_RdictExchangeRoundTrip(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rdict::ReplicatedLog a(0, 3);
+    rdict::ReplicatedLog b(1, 3);
+    for (int i = 0; i < records; ++i) {
+      rdict::LogRecord rec;
+      rec.type = rdict::RecordType::kPreparing;
+      rec.ts = i + 1;
+      rec.origin = 0;
+      rec.body = MakeBody(0, static_cast<uint64_t>(i), 5, rng, 50000);
+      (void)a.AppendLocal(rec);
+    }
+    state.ResumeTiming();
+    auto msg = a.BuildMessageFor(1);
+    benchmark::DoNotOptimize(b.Ingest(msg));
+    auto back = b.BuildMessageFor(0);
+    benchmark::DoNotOptimize(a.Ingest(back));
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_RdictExchangeRoundTrip)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_TimetableMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rdict::Timetable a(n);
+  rdict::Timetable b(n);
+  Rng rng(3);
+  for (DcId i = 0; i < n; ++i) {
+    for (DcId j = 0; j < n; ++j) {
+      a.Set(i, j, static_cast<Timestamp>(rng.Uniform(1000)));
+      b.Set(i, j, static_cast<Timestamp>(rng.Uniform(1000)));
+    }
+  }
+  for (auto _ : state) {
+    a.MergeFrom(b, 0, 1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_TimetableMerge)->Arg(5)->Arg(16)->Arg(64);
+
+void BM_MvStoreWrite(benchmark::State& state) {
+  MvStore store;
+  Rng rng(4);
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    const Key k = "user" + std::to_string(rng.Uniform(50000));
+    store.ApplyWrite(k, "value", ts++, TxnId{0, static_cast<uint64_t>(ts)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvStoreWrite);
+
+void BM_MvStoreRead(benchmark::State& state) {
+  MvStore store;
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    store.ApplyWrite("user" + std::to_string(i), "value", i + 1,
+                     TxnId{0, static_cast<uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    const Key k = "user" + std::to_string(rng.Uniform(50000));
+    benchmark::DoNotOptimize(store.Read(k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvStoreRead);
+
+void BM_PoolConflictCheck(benchmark::State& state) {
+  const int pool_size = static_cast<int>(state.range(0));
+  Rng rng(6);
+  TxnPool pool;
+  for (int i = 0; i < pool_size; ++i) {
+    pool.Add(MakeBody(0, static_cast<uint64_t>(i), 5, rng, 50000));
+  }
+  uint64_t seq = 1000000;
+  for (auto _ : state) {
+    auto probe = MakeBody(1, seq++, 5, rng, 50000);
+    benchmark::DoNotOptimize(pool.ConflictingWriters(*probe));
+    benchmark::DoNotOptimize(pool.Victims(*probe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolConflictCheck)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LockTableAcquireRelease(benchmark::State& state) {
+  LockTable table(LockPolicy::kNoWait);
+  Rng rng(7);
+  uint64_t seq = 1;
+  for (auto _ : state) {
+    const TxnId txn{0, seq++};
+    for (int i = 0; i < 5; ++i) {
+      const Key k = "user" + std::to_string(rng.Uniform(50000));
+      table.Acquire(k, i % 2 ? LockMode::kShared : LockMode::kExclusive, txn,
+                    static_cast<Timestamp>(seq), [](Status) {});
+    }
+    table.ReleaseAll(txn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockTableAcquireRelease);
+
+void BM_MaoSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  lp::RttMatrix rtt(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      rtt.Set(a, b, 20.0 + static_cast<double>(rng.Uniform(250)));
+    }
+  }
+  for (auto _ : state) {
+    auto sol = lp::SolveMao(rtt);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_MaoSolve)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+}  // namespace helios
+
+BENCHMARK_MAIN();

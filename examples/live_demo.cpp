@@ -1,0 +1,111 @@
+// live_demo: three REAL Helios datacenters in one process — separate
+// event-loop threads, talking over actual localhost TCP sockets with the
+// CRC-framed wire format, with a 40ms-RTT WAN emulated by a 20ms inbound
+// delay at every node.
+//
+// This is the deployment shape of a real install (one process per region);
+// everything the simulator benchmarks runs unchanged here.
+//
+//   $ ./build/examples/live_demo
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/topology.h"
+#include "transport/live_datacenter.h"
+
+using namespace helios;
+using namespace std::chrono_literals;
+
+int main() {
+  const int n = 3;
+  core::HeliosConfig cfg;
+  cfg.num_datacenters = n;
+  cfg.log_interval = Millis(5);
+  // Plan MAO offsets for a 40ms-RTT triangle (inbound delay 20ms each way).
+  cfg.commit_offsets =
+      harness::PlanCommitOffsets(harness::UniformTopology(n, 40.0),
+                                 std::nullopt);
+
+  std::printf("starting %d live datacenters on localhost...\n", n);
+  std::vector<std::unique_ptr<transport::LiveDatacenter>> dcs;
+  for (DcId dc = 0; dc < n; ++dc) {
+    dcs.push_back(std::make_unique<transport::LiveDatacenter>(
+        dc, cfg, /*inbound_delay=*/Millis(20)));
+    const Status s = dcs.back()->Listen(0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  DC%d listening on 127.0.0.1:%u\n", dc, dcs.back()->port());
+  }
+  std::vector<uint16_t> ports;
+  for (auto& dc : dcs) ports.push_back(dc->port());
+  for (auto& dc : dcs) {
+    const Status s = dc->ConnectPeers(ports);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  for (auto& dc : dcs) dc->LoadInitial("balance", "100");
+  for (auto& dc : dcs) dc->Start();
+  std::printf("cluster up; emulated one-way latency 20ms\n\n");
+
+  // A few real transactions, timed with the wall clock.
+  for (int i = 0; i < 5; ++i) {
+    const DcId home = i % n;
+    auto read = dcs[home]->ReadSync("balance");
+    if (!read.ok()) {
+      std::fprintf(stderr, "read failed\n");
+      return 1;
+    }
+    const int balance = std::atoi(read.value().value.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    const CommitOutcome o = dcs[home]->CommitSync(
+        {{"balance", read.value().ts, read.value().writer}},
+        {{"balance", std::to_string(balance + 10)}});
+    const double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      1000.0;
+    std::printf("txn %d at DC%d: %s in %6.1fms (balance %d -> %d)\n", i,
+                home, o.committed ? "COMMITTED" : "aborted ", ms, balance,
+                balance + 10);
+    std::this_thread::sleep_for(150ms);  // Let the write replicate.
+  }
+
+  // Show convergence.
+  std::this_thread::sleep_for(300ms);
+  std::printf("\nfinal balance at every datacenter:");
+  for (auto& dc : dcs) {
+    auto r = dc->ReadSync("balance");
+    std::printf(" %s", r.ok() ? r.value().value.c_str() : "?");
+  }
+  std::printf("\n");
+
+  // Conflicting concurrent writes from two regions: at most one commits.
+  std::printf("\nfiring conflicting concurrent commits from DC0 and DC1...\n");
+  std::promise<CommitOutcome> pa;
+  std::promise<CommitOutcome> pb;
+  dcs[0]->Commit({}, {{"conflict", "from-0"}},
+                 [&](const CommitOutcome& o) { pa.set_value(o); });
+  dcs[1]->Commit({}, {{"conflict", "from-1"}},
+                 [&](const CommitOutcome& o) { pb.set_value(o); });
+  const CommitOutcome oa = pa.get_future().get();
+  const CommitOutcome ob = pb.get_future().get();
+  std::printf("  DC0: %s, DC1: %s -> %s\n",
+              oa.committed ? "committed" : "aborted",
+              ob.committed ? "committed" : "aborted",
+              (oa.committed + ob.committed <= 1) ? "serializable [OK]"
+                                                 : "DOUBLE COMMIT [BUG]");
+
+  for (auto& dc : dcs) dc->Stop();
+  std::printf("\nshut down cleanly.\n");
+  return (oa.committed + ob.committed <= 1) ? 0 : 1;
+}

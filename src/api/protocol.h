@@ -1,0 +1,118 @@
+// The client-facing API every replication protocol in this repository
+// implements (Helios and all three baselines of Section 5.2), so the
+// T-YCSB workload driver and the experiment harness are protocol-agnostic.
+//
+// Per the paper's system model: clients perform reads first (through
+// `ClientRead`, whose answer carries the version timestamp), buffer writes,
+// then issue one commit request carrying the read set with version
+// timestamps plus the write set. The commit latency the harness reports is
+// the client-observed time from `ClientCommit` to its callback.
+
+#ifndef HELIOS_API_PROTOCOL_H_
+#define HELIOS_API_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/mv_store.h"
+#include "txn/transaction.h"
+
+namespace helios {
+
+/// Decision returned to a client for a commit request.
+struct CommitOutcome {
+  TxnId id;
+  bool committed = false;
+  /// Short machine-parsable reason for aborts, e.g. "conflict:pool".
+  std::string abort_reason;
+};
+
+using ReadCallback = std::function<void(Result<VersionedValue>)>;
+using CommitCallback = std::function<void(const CommitOutcome&)>;
+using ReadOnlyCallback =
+    std::function<void(std::vector<Result<VersionedValue>>)>;
+
+/// A running deployment of one protocol across the simulated datacenters.
+class ProtocolCluster {
+ public:
+  virtual ~ProtocolCluster() = default;
+
+  /// Begins background activity (log propagation, leases, ...). Call once
+  /// before submitting client work.
+  virtual void Start() = 0;
+
+  /// Installs the same initial value at every replica, outside the
+  /// protocol (experiment setup). Call before Start, loading keys in the
+  /// same order across replicas.
+  virtual void LoadInitialAll(const Key& key, const Value& value) = 0;
+
+  /// A client homed at `client_dc` reads `key`. The callback runs at the
+  /// client, after client-to-datacenter link latency, with the value and
+  /// version information needed to build the transaction's read set.
+  virtual void ClientRead(DcId client_dc, const Key& key,
+                          ReadCallback done) = 0;
+
+  /// A client homed at `client_dc` requests to commit. `done` runs at the
+  /// client when the decision arrives.
+  virtual void ClientCommit(DcId client_dc, std::vector<ReadEntry> reads,
+                            std::vector<WriteEntry> writes,
+                            CommitCallback done) = 0;
+
+  /// Read-only snapshot transaction (Appendix B). Protocols without the
+  /// optimization may implement it as individual reads.
+  virtual void ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                              ReadOnlyCallback done) = 0;
+
+  // --- Transaction-scoped operations -------------------------------------
+  //
+  // Optimistic protocols (Helios, Message Futures) need no transaction
+  // context before the commit request, so the defaults below forward to
+  // the plain calls. Lock-based protocols (Replicated Commit, 2PC/Paxos)
+  // override them: their reads acquire locks under the transaction's
+  // identity and hold them until the decision.
+
+  /// Allocates a client-side transaction identity.
+  virtual TxnId BeginTxn(DcId client_dc);
+
+  /// Reads `key` within transaction `txn`.
+  virtual void TxnRead(DcId client_dc, const TxnId& txn, const Key& key,
+                       ReadCallback done) {
+    (void)txn;
+    ClientRead(client_dc, key, done);
+  }
+
+  /// Requests commit of transaction `txn`.
+  virtual void TxnCommit(DcId client_dc, const TxnId& txn,
+                         std::vector<ReadEntry> reads,
+                         std::vector<WriteEntry> writes, CommitCallback done) {
+    (void)txn;
+    ClientCommit(client_dc, std::move(reads), std::move(writes),
+                 std::move(done));
+  }
+
+  /// Abandons a transaction after a failed read (releases any locks).
+  virtual void TxnAbandon(DcId client_dc, const TxnId& txn) {
+    (void)client_dc;
+    (void)txn;
+  }
+
+  virtual std::string name() const = 0;
+  virtual int num_datacenters() const = 0;
+
+ private:
+  std::vector<uint64_t> client_txn_seq_;  // Lazily sized in BeginTxn.
+};
+
+inline TxnId ProtocolCluster::BeginTxn(DcId client_dc) {
+  if (static_cast<size_t>(client_dc) >= client_txn_seq_.size()) {
+    client_txn_seq_.resize(static_cast<size_t>(client_dc) + 1, 0);
+  }
+  return TxnId{client_dc, ++client_txn_seq_[static_cast<size_t>(client_dc)]};
+}
+
+}  // namespace helios
+
+#endif  // HELIOS_API_PROTOCOL_H_

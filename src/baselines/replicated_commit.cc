@@ -1,0 +1,340 @@
+#include "baselines/replicated_commit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace helios::baselines {
+
+ReplicatedCommitCluster::ReplicatedCommitCluster(sim::Scheduler* scheduler,
+                                                 sim::Network* network,
+                                                 ReplicatedCommitConfig config)
+    : scheduler_(scheduler), network_(network), config_(std::move(config)) {
+  assert(network_->size() == config_.num_datacenters);
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    dcs_.push_back(std::make_unique<Datacenter>(scheduler_));
+    const Duration offset =
+        config_.clock_offsets.empty()
+            ? 0
+            : config_.clock_offsets[static_cast<size_t>(dc)];
+    clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
+  }
+}
+
+void ReplicatedCommitCluster::Route(DcId home, DcId target,
+                                    std::function<void()> fn) {
+  if (home == target) {
+    scheduler_->After(config_.client_link_one_way, std::move(fn));
+  } else {
+    scheduler_->After(config_.client_link_one_way,
+                      [this, home, target, fn = std::move(fn)]() {
+                        network_->Send(home, target, fn);
+                      });
+  }
+}
+
+void ReplicatedCommitCluster::RouteBack(DcId target, DcId home,
+                                        std::function<void()> fn) {
+  if (home == target) {
+    scheduler_->After(config_.client_link_one_way, std::move(fn));
+  } else {
+    network_->Send(target, home, [this, fn = std::move(fn)]() {
+      scheduler_->After(config_.client_link_one_way, fn);
+    });
+  }
+}
+
+TxnId ReplicatedCommitCluster::BeginTxn(DcId client_dc) {
+  const TxnId id = ProtocolCluster::BeginTxn(client_dc);
+  txn_start_ts_[id] = clocks_[static_cast<size_t>(client_dc)]->NowUnique();
+  return id;
+}
+
+// --- Server-side handlers -----------------------------------------------------
+
+void ReplicatedCommitCluster::HandleLockRead(
+    DcId dc, const TxnId& txn, Timestamp start_ts, const Key& key,
+    std::function<void(Result<VersionedValue>)> reply) {
+  Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+  d.service.Submit(config_.service.read + config_.service.lock_op,
+                   [this, dc, txn, start_ts, key,
+                    reply = std::move(reply)]() {
+    Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+    d.locks.Acquire(key, LockMode::kShared, txn, start_ts,
+                    [&d, &key, &reply](Status s) {
+                      // No-wait: the grant callback runs synchronously.
+                      if (!s.ok()) {
+                        reply(Status::Aborted("read lock refused"));
+                        return;
+                      }
+                      reply(d.store.Read(key));
+                    });
+  });
+}
+
+void ReplicatedCommitCluster::HandleVote(
+    DcId dc, const TxnId& txn, Timestamp start_ts,
+    const std::vector<ReadEntry>& reads, const std::vector<WriteEntry>& writes,
+    std::function<void(VoteReply)> reply) {
+  Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+  const Duration vote_cost =
+      config_.service.commit_request +
+      config_.service.lock_op *
+          static_cast<Duration>(reads.size() + writes.size());
+  d.service.Submit(
+      vote_cost,
+      [this, dc, txn, start_ts, reads, writes, reply = std::move(reply)]() {
+        Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+        VoteReply vote;
+        vote.yes = true;
+        // Acquire write locks (no-wait: grants are synchronous).
+        for (const WriteEntry& w : writes) {
+          bool got = false;
+          d.locks.Acquire(w.key, LockMode::kExclusive, txn, start_ts,
+                          [&got](Status s) { got = s.ok(); });
+          if (!got) {
+            vote.yes = false;
+            break;
+          }
+          vote.max_write_version_ts =
+              std::max(vote.max_write_version_ts, d.store.LatestVersionTs(w.key));
+        }
+        // Validate reads: either the shared lock is still held (the normal
+        // path) or the version the client read is still current.
+        if (vote.yes) {
+          for (const ReadEntry& r : reads) {
+            if (d.locks.Holds(r.key, txn, LockMode::kShared)) continue;
+            bool got = false;
+            d.locks.Acquire(r.key, LockMode::kShared, txn, start_ts,
+                            [&got](Status s) { got = s.ok(); });
+            auto current = d.store.Read(r.key);
+            const bool matches =
+                current.ok() ? current.value().writer == r.version_writer
+                             : !r.version_writer.valid();
+            if (!got || !matches) {
+              vote.yes = false;
+              break;
+            }
+          }
+        }
+        // Locks (granted or partial) stay held until the decision.
+        reply(vote);
+      });
+}
+
+void ReplicatedCommitCluster::HandleDecision(DcId dc, const TxnId& txn,
+                                             bool commit, TxnBodyPtr body,
+                                             Timestamp version_ts) {
+  Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+  const Duration cost =
+      commit ? config_.service.write_apply *
+                   static_cast<Duration>(body ? body->write_set.size() : 0)
+             : Micros(10);
+  d.service.Submit(cost, [this, dc, txn, commit, body = std::move(body),
+                          version_ts]() {
+    Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+    if (commit && body != nullptr) {
+      d.store.ApplyTxn(*body, version_ts);
+    }
+    d.locks.ReleaseAll(txn);
+  });
+}
+
+void ReplicatedCommitCluster::BroadcastDecision(DcId home, const TxnId& txn,
+                                                bool commit, TxnBodyPtr body,
+                                                Timestamp version_ts) {
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    Route(home, dc, [this, dc, txn, commit, body, version_ts]() {
+      HandleDecision(dc, txn, commit, body, version_ts);
+    });
+  }
+  txn_start_ts_.erase(txn);
+}
+
+// --- Client-side protocol ------------------------------------------------------
+
+void ReplicatedCommitCluster::TxnRead(DcId client_dc, const TxnId& txn,
+                                      const Key& key, ReadCallback done) {
+  const int n = config_.num_datacenters;
+  const int majority = n / 2 + 1;
+  auto start_it = txn_start_ts_.find(txn);
+  const Timestamp start_ts =
+      start_it != txn_start_ts_.end()
+          ? start_it->second
+          : clocks_[static_cast<size_t>(client_dc)]->Now();
+
+  struct ReadState {
+    int replies = 0;
+    int granted = 0;
+    bool answered = false;
+    bool have_value = false;
+    VersionedValue best;
+  };
+  auto state = std::make_shared<ReadState>();
+  auto on_reply = [this, state, n, majority, done](
+                      Result<VersionedValue> r) {
+    ++state->replies;
+    if (r.ok()) {
+      ++state->granted;
+      const VersionedValue& v = r.value();
+      if (!state->have_value || state->best.ts < v.ts ||
+          (state->best.ts == v.ts && state->best.writer < v.writer)) {
+        state->have_value = true;
+        state->best = v;
+      }
+    } else if (r.status().code() == StatusCode::kNotFound) {
+      // Key absent but lock granted: counts toward the majority.
+      ++state->granted;
+    }
+    if (state->answered) return;
+    if (state->granted >= majority) {
+      state->answered = true;
+      if (state->have_value) {
+        done(state->best);
+      } else {
+        done(Status::NotFound("no replica has the key"));
+      }
+      return;
+    }
+    const int refused = state->replies - state->granted;
+    if (refused > n - majority) {
+      state->answered = true;
+      done(Status::Aborted("read lock refused at a majority"));
+    }
+  };
+
+  for (DcId dc = 0; dc < n; ++dc) {
+    Route(client_dc, dc, [this, dc, txn, start_ts, key, client_dc,
+                          on_reply]() {
+      HandleLockRead(dc, txn, start_ts, key,
+                     [this, dc, client_dc, on_reply](Result<VersionedValue> r) {
+                       RouteBack(dc, client_dc,
+                                 [on_reply, r = std::move(r)]() { on_reply(r); });
+                     });
+    });
+  }
+}
+
+void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
+                                        std::vector<ReadEntry> reads,
+                                        std::vector<WriteEntry> writes,
+                                        CommitCallback done) {
+  const int n = config_.num_datacenters;
+  const int majority = n / 2 + 1;
+  auto start_it = txn_start_ts_.find(txn);
+  const Timestamp start_ts =
+      start_it != txn_start_ts_.end()
+          ? start_it->second
+          : clocks_[static_cast<size_t>(client_dc)]->Now();
+  TxnBodyPtr body = MakeTxnBody(txn, std::move(reads), std::move(writes));
+
+  struct CommitState {
+    int yes = 0;
+    int no = 0;
+    bool decided = false;
+    Timestamp max_write_version_ts = kMinTimestamp;
+  };
+  auto state = std::make_shared<CommitState>();
+
+  auto decide = [this, state, client_dc, txn, body, done](bool commit) {
+    if (state->decided) return;
+    state->decided = true;
+    Timestamp version_ts = kMinTimestamp;
+    if (commit) {
+      // Dependency-bump the version timestamp above everything read or
+      // overwritten so the per-key version order matches the lock order.
+      version_ts = clocks_[static_cast<size_t>(client_dc)]->NowUnique();
+      for (const ReadEntry& r : body->read_set) {
+        version_ts = std::max(version_ts, r.version_ts + 1);
+      }
+      version_ts = std::max(version_ts, state->max_write_version_ts + 1);
+      ++commits_;
+      history_.RecordCommit(
+          core::CommittedTxn{txn, client_dc, version_ts, body});
+    } else {
+      ++aborts_;
+    }
+    BroadcastDecision(client_dc, txn, commit, body, version_ts);
+    done(CommitOutcome{txn, commit, commit ? "" : "vote:no-majority"});
+  };
+
+  auto on_vote = [state, majority, n, decide](const VoteReply& vote) {
+    if (state->decided) return;
+    if (vote.yes) {
+      ++state->yes;
+      state->max_write_version_ts =
+          std::max(state->max_write_version_ts, vote.max_write_version_ts);
+    } else {
+      ++state->no;
+    }
+    if (state->yes >= majority) {
+      decide(true);
+    } else if (state->no > n - majority) {
+      decide(false);
+    }
+  };
+
+  for (DcId dc = 0; dc < n; ++dc) {
+    Route(client_dc, dc, [this, dc, txn, start_ts, body, client_dc,
+                          on_vote]() {
+      HandleVote(dc, txn, start_ts, body->read_set, body->write_set,
+                 [this, dc, client_dc, on_vote](VoteReply vote) {
+                   RouteBack(dc, client_dc, [on_vote, vote]() { on_vote(vote); });
+                 });
+    });
+  }
+
+  // Outage guard: if votes can never resolve (crashed datacenters), abort.
+  scheduler_->After(config_.decision_timeout, [decide]() { decide(false); });
+}
+
+void ReplicatedCommitCluster::LoadInitialAll(const Key& key,
+                                             const Value& value) {
+  const TxnId loader{-2, next_load_seq_++};
+  for (auto& dc : dcs_) dc->store.ApplyWrite(key, value, 0, loader);
+}
+
+void ReplicatedCommitCluster::TxnAbandon(DcId client_dc, const TxnId& txn) {
+  BroadcastDecision(client_dc, txn, false, nullptr, kMinTimestamp);
+}
+
+void ReplicatedCommitCluster::ClientRead(DcId client_dc, const Key& key,
+                                         ReadCallback done) {
+  // Plain read outside a transaction: lock-free local read.
+  Route(client_dc, client_dc, [this, client_dc, key, done = std::move(done)]() {
+    Datacenter& d = *dcs_[static_cast<size_t>(client_dc)];
+    d.service.Submit(config_.service.read, [this, &d, key, client_dc,
+                                            done = std::move(done)]() {
+      auto r = d.store.Read(key);
+      RouteBack(client_dc, client_dc,
+                [done, r = std::move(r)]() { done(r); });
+    });
+  });
+}
+
+void ReplicatedCommitCluster::ClientCommit(DcId client_dc,
+                                           std::vector<ReadEntry> reads,
+                                           std::vector<WriteEntry> writes,
+                                           CommitCallback done) {
+  TxnCommit(client_dc, BeginTxn(client_dc), std::move(reads),
+            std::move(writes), std::move(done));
+}
+
+void ReplicatedCommitCluster::ClientReadOnly(DcId client_dc,
+                                             std::vector<Key> keys,
+                                             ReadOnlyCallback done) {
+  Route(client_dc, client_dc, [this, client_dc, keys = std::move(keys),
+                               done = std::move(done)]() {
+    Datacenter& d = *dcs_[static_cast<size_t>(client_dc)];
+    d.service.Submit(
+        config_.service.read * static_cast<Duration>(keys.size()),
+        [this, &d, keys, client_dc, done = std::move(done)]() {
+          std::vector<Result<VersionedValue>> out;
+          out.reserve(keys.size());
+          for (const Key& k : keys) out.push_back(d.store.Read(k));
+          RouteBack(client_dc, client_dc,
+                    [done, out = std::move(out)]() { done(out); });
+        });
+  });
+}
+
+}  // namespace helios::baselines

@@ -1,0 +1,128 @@
+// Replicated Commit (Mahmoud et al., VLDB'13), the paper's strongest
+// baseline (Section 5.2).
+//
+// The client drives the protocol directly:
+//   - Each read tries to shared-lock the key at ALL datacenters and
+//     completes once a MAJORITY granted; the answer is the highest-version
+//     value among the granting majority. (This majority-read strategy is
+//     what costs Replicated Commit its throughput in Figure 3/4.)
+//   - Commit sends a vote request to all datacenters — the paper describes
+//     this as a Paxos accept round over the transaction. Each datacenter
+//     acquires the write locks (no-wait), validates the reads, and votes.
+//     A majority of yes-votes commits; the decision is then broadcast,
+//     applying write sets and releasing locks.
+//
+// Commit latency is therefore one round trip to the closest majority,
+// matching Helios-2's fault tolerance (2 of 5 datacenter outages).
+
+#ifndef HELIOS_BASELINES_REPLICATED_COMMIT_H_
+#define HELIOS_BASELINES_REPLICATED_COMMIT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "api/protocol.h"
+#include "core/helios_config.h"
+#include "core/history.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/service_queue.h"
+#include "store/lock_table.h"
+#include "store/mv_store.h"
+
+namespace helios::baselines {
+
+struct ReplicatedCommitConfig {
+  int num_datacenters = 0;
+  Duration client_link_one_way = Micros(500);
+  /// A transaction whose votes cannot complete (e.g. datacenter outages)
+  /// aborts after this long.
+  Duration decision_timeout = Seconds(5);
+  core::ServiceModel service;
+  std::vector<Duration> clock_offsets;
+};
+
+class ReplicatedCommitCluster : public ProtocolCluster {
+ public:
+  ReplicatedCommitCluster(sim::Scheduler* scheduler, sim::Network* network,
+                          ReplicatedCommitConfig config);
+
+  void Start() override {}
+  void LoadInitialAll(const Key& key, const Value& value) override;
+  void ClientRead(DcId client_dc, const Key& key, ReadCallback done) override;
+  void ClientCommit(DcId client_dc, std::vector<ReadEntry> reads,
+                    std::vector<WriteEntry> writes,
+                    CommitCallback done) override;
+  void ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                      ReadOnlyCallback done) override;
+
+  TxnId BeginTxn(DcId client_dc) override;
+  void TxnRead(DcId client_dc, const TxnId& txn, const Key& key,
+               ReadCallback done) override;
+  void TxnCommit(DcId client_dc, const TxnId& txn,
+                 std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+                 CommitCallback done) override;
+  void TxnAbandon(DcId client_dc, const TxnId& txn) override;
+
+  std::string name() const override { return "ReplicatedCommit"; }
+  int num_datacenters() const override { return config_.num_datacenters; }
+
+  const MvStore& store(DcId dc) const { return dcs_[dc]->store; }
+  const LockTable& locks(DcId dc) const { return dcs_[dc]->locks; }
+  core::HistoryRecorder& history() { return history_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  struct Datacenter {
+    explicit Datacenter(sim::Scheduler* scheduler)
+        : locks(LockPolicy::kNoWait), service(scheduler) {}
+    LockTable locks;
+    MvStore store;
+    sim::ServiceQueue service;
+  };
+
+  struct VoteReply {
+    bool yes = false;
+    Timestamp max_write_version_ts = kMinTimestamp;
+  };
+
+  /// Runs `fn` at datacenter `target` after the client's network latency
+  /// from `home` (client link only when target is the home datacenter).
+  void Route(DcId home, DcId target, std::function<void()> fn);
+  /// Runs `fn` back at the client after the reverse latency.
+  void RouteBack(DcId target, DcId home, std::function<void()> fn);
+
+  // Server-side handlers; `reply` is routed back to the client by the
+  // caller.
+  void HandleLockRead(DcId dc, const TxnId& txn, Timestamp start_ts,
+                      const Key& key,
+                      std::function<void(Result<VersionedValue>)> reply);
+  void HandleVote(DcId dc, const TxnId& txn, Timestamp start_ts,
+                  const std::vector<ReadEntry>& reads,
+                  const std::vector<WriteEntry>& writes,
+                  std::function<void(VoteReply)> reply);
+  void HandleDecision(DcId dc, const TxnId& txn, bool commit,
+                      TxnBodyPtr body, Timestamp version_ts);
+
+  void BroadcastDecision(DcId home, const TxnId& txn, bool commit,
+                         TxnBodyPtr body, Timestamp version_ts);
+
+  sim::Scheduler* scheduler_;
+  sim::Network* network_;
+  ReplicatedCommitConfig config_;
+  std::vector<std::unique_ptr<Datacenter>> dcs_;
+  std::vector<std::unique_ptr<sim::Clock>> clocks_;
+  std::unordered_map<TxnId, Timestamp, TxnIdHash> txn_start_ts_;
+  core::HistoryRecorder history_;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t next_ro_seq_ = 1;
+  uint64_t next_load_seq_ = 1;
+};
+
+}  // namespace helios::baselines
+
+#endif  // HELIOS_BASELINES_REPLICATED_COMMIT_H_

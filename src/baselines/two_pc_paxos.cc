@@ -1,0 +1,327 @@
+#include "baselines/two_pc_paxos.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace helios::baselines {
+
+TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
+                                     sim::Network* network,
+                                     TwoPcPaxosConfig config)
+    : scheduler_(scheduler),
+      network_(network),
+      config_(std::move(config)),
+      stores_(static_cast<size_t>(config_.num_datacenters)) {
+  assert(network_->size() == config_.num_datacenters);
+  assert(config_.coordinator >= 0 &&
+         config_.coordinator < config_.num_datacenters);
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    const Duration offset =
+        config_.clock_offsets.empty()
+            ? 0
+            : config_.clock_offsets[static_cast<size_t>(dc)];
+    clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
+    services_.push_back(std::make_unique<sim::ServiceQueue>(scheduler_));
+  }
+  acceptors_.resize(static_cast<size_t>(config_.num_datacenters));
+  lock_table_ = std::make_unique<LockTable>(LockPolicy::kWoundWait);
+  lock_table_->set_wound_handler([this](TxnId victim) {
+    // Wound-wait killed the transaction; its pending lock callbacks were
+    // cancelled with kAborted by the table. Remember it so later requests
+    // from the same client abort fast.
+    doomed_.insert(victim);
+  });
+
+  const DcId coord = config_.coordinator;
+  replicator_ = std::make_unique<paxos::Replicator>(
+      coord, config_.num_datacenters, /*lease=*/true, &acceptors_[coord],
+      /*send_prepare=*/
+      [this, coord](DcId peer, const paxos::PrepareRequest& req) {
+        network_->Send(coord, peer, [this, coord, peer, req]() {
+          services_[static_cast<size_t>(peer)]->Submit(
+              config_.service.log_message, [this, coord, peer, req]() {
+                const paxos::PrepareReply reply =
+                    acceptors_[static_cast<size_t>(peer)].OnPrepare(req);
+                network_->Send(peer, coord, [this, peer, reply]() {
+                  replicator_->OnPrepareReply(peer, reply);
+                });
+              });
+        });
+      },
+      /*send_accept=*/
+      [this, coord](DcId peer, const paxos::AcceptRequest& req) {
+        network_->Send(coord, peer, [this, coord, peer, req]() {
+          services_[static_cast<size_t>(peer)]->Submit(
+              config_.service.log_message, [this, coord, peer, req]() {
+                const paxos::AcceptReply reply =
+                    acceptors_[static_cast<size_t>(peer)].OnAccept(req);
+                network_->Send(peer, coord, [this, coord, peer, reply]() {
+                  // Processing the vote occupies the coordinator.
+                  services_[static_cast<size_t>(coord)]->Charge(
+                      config_.service.log_message);
+                  replicator_->OnAcceptReply(peer, reply);
+                });
+              });
+        });
+      });
+}
+
+void TwoPcPaxosCluster::ToCoordinator(DcId home, std::function<void()> fn) {
+  if (home == config_.coordinator) {
+    scheduler_->After(config_.client_link_one_way, std::move(fn));
+  } else {
+    scheduler_->After(config_.client_link_one_way,
+                      [this, home, fn = std::move(fn)]() {
+                        network_->Send(home, config_.coordinator, fn);
+                      });
+  }
+}
+
+void TwoPcPaxosCluster::FromCoordinator(DcId home, std::function<void()> fn) {
+  if (home == config_.coordinator) {
+    scheduler_->After(config_.client_link_one_way, std::move(fn));
+  } else {
+    network_->Send(config_.coordinator, home, [this, fn = std::move(fn)]() {
+      scheduler_->After(config_.client_link_one_way, fn);
+    });
+  }
+}
+
+TxnId TwoPcPaxosCluster::BeginTxn(DcId client_dc) {
+  const TxnId id = ProtocolCluster::BeginTxn(client_dc);
+  txn_start_ts_[id] = clocks_[static_cast<size_t>(client_dc)]->NowUnique();
+  return id;
+}
+
+Timestamp TwoPcPaxosCluster::StartTs(DcId home, const TxnId& txn) {
+  auto it = txn_start_ts_.find(txn);
+  if (it != txn_start_ts_.end()) return it->second;
+  return clocks_[static_cast<size_t>(home)]->Now();
+}
+
+void TwoPcPaxosCluster::TxnRead(DcId client_dc, const TxnId& txn,
+                                const Key& key, ReadCallback done) {
+  const Timestamp start_ts = StartTs(client_dc, txn);
+  ToCoordinator(client_dc, [this, client_dc, txn, start_ts, key,
+                            done = std::move(done)]() {
+    sim::ServiceQueue& svc =
+        *services_[static_cast<size_t>(config_.coordinator)];
+    svc.Submit(config_.service.read + config_.service.lock_op,
+               [this, client_dc, txn, start_ts, key, done]() {
+      if (Doomed(txn)) {
+        FromCoordinator(client_dc, [done]() {
+          done(Status::Aborted("transaction wounded"));
+        });
+        return;
+      }
+      // Wound-wait: this may grant now, later, or cancel with kAborted.
+      lock_table_->Acquire(
+          key, LockMode::kShared, txn, start_ts,
+          [this, client_dc, key, done](Status s) {
+            if (!s.ok()) {
+              FromCoordinator(client_dc, [done, s]() { done(s); });
+              return;
+            }
+            auto r = stores_[static_cast<size_t>(config_.coordinator)].Read(key);
+            FromCoordinator(client_dc,
+                            [done, r = std::move(r)]() { done(r); });
+          });
+    });
+  });
+}
+
+void TwoPcPaxosCluster::AcquireWriteLocks(const TxnId& txn, Timestamp start_ts,
+                                          TxnBodyPtr body, size_t index,
+                                          std::function<void(bool)> then) {
+  if (index >= body->write_set.size()) {
+    then(true);
+    return;
+  }
+  lock_table_->Acquire(
+      body->write_set[index].key, LockMode::kExclusive, txn, start_ts,
+      [this, txn, start_ts, body, index, then = std::move(then)](Status s) {
+        if (!s.ok()) {
+          then(false);
+          return;
+        }
+        AcquireWriteLocks(txn, start_ts, body, index + 1, then);
+      });
+}
+
+bool TwoPcPaxosCluster::ValidateReads(const TxnId& txn, Timestamp start_ts,
+                                      const TxnBody& body) {
+  const MvStore& store = stores_[static_cast<size_t>(config_.coordinator)];
+  for (const ReadEntry& r : body.read_set) {
+    if (lock_table_->Holds(r.key, txn, LockMode::kShared)) continue;
+    // The read was not performed through TxnRead (or its lock was lost):
+    // fall back to version validation under a non-blocking shared lock.
+    const bool got =
+        lock_table_->TryAcquire(r.key, LockMode::kShared, txn, start_ts);
+    auto current = store.Read(r.key);
+    const bool matches = current.ok()
+                             ? current.value().writer == r.version_writer
+                             : !r.version_writer.valid();
+    if (!got || !matches) return false;
+  }
+  return true;
+}
+
+void TwoPcPaxosCluster::FinishAtCoordinator(DcId home, const TxnId& txn,
+                                            TxnBodyPtr body, bool commit,
+                                            CommitCallback done) {
+  if (commit) {
+    const DcId coord = config_.coordinator;
+    const Timestamp version_ts =
+        clocks_[static_cast<size_t>(coord)]->NowUnique();
+    services_[static_cast<size_t>(coord)]->Charge(
+        config_.service.write_apply *
+        static_cast<Duration>(body->write_set.size()));
+    stores_[static_cast<size_t>(coord)].ApplyTxn(*body, version_ts);
+    ++commits_;
+    history_.RecordCommit(core::CommittedTxn{txn, home, version_ts, body});
+    // Learners: ship the decided transaction to every replica. Building
+    // and sending each message occupies the coordinator.
+    for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+      if (dc == coord) continue;
+      services_[static_cast<size_t>(coord)]->Charge(
+          config_.service.log_message);
+      network_->Send(coord, dc, [this, dc, body, version_ts]() {
+        services_[static_cast<size_t>(dc)]->Submit(
+            config_.service.write_apply *
+                static_cast<Duration>(body->write_set.size()),
+            [this, dc, body, version_ts]() {
+              stores_[static_cast<size_t>(dc)].ApplyTxn(*body, version_ts);
+            });
+      });
+    }
+  } else {
+    ++aborts_;
+  }
+  lock_table_->ReleaseAll(txn);
+  doomed_.erase(txn);
+  txn_start_ts_.erase(txn);
+  FromCoordinator(home, [done, txn, commit]() {
+    done(CommitOutcome{txn, commit, commit ? "" : "2pc:abort"});
+  });
+}
+
+void TwoPcPaxosCluster::CoordinatorCommit(DcId home, const TxnId& txn,
+                                          TxnBodyPtr body,
+                                          CommitCallback done) {
+  if (Doomed(txn)) {
+    lock_table_->ReleaseAll(txn);
+    doomed_.erase(txn);
+    FinishAtCoordinator(home, txn, body, false, done);
+    return;
+  }
+  const Timestamp start_ts = StartTs(home, txn);
+  AcquireWriteLocks(
+      txn, start_ts, body, 0,
+      [this, home, txn, start_ts, body, done](bool locked) {
+        if (!locked || Doomed(txn) || !ValidateReads(txn, start_ts, *body)) {
+          FinishAtCoordinator(home, txn, body, false, done);
+          return;
+        }
+        // Locks held and reads valid: replicate through Paxos to a
+        // majority before acknowledging the commit (Spanner-style
+        // durability of the commit record).
+        auto decided = std::make_shared<bool>(false);
+        replicator_->Replicate(
+            txn.ToString(),
+            [this, home, txn, body, done, decided](paxos::SlotId,
+                                                   const paxos::PaxosValue&) {
+              if (*decided) return;
+              *decided = true;
+              services_[static_cast<size_t>(config_.coordinator)]->Submit(
+                  config_.service.commit_request,
+                  [this, home, txn, body, done]() {
+                    // The transaction may have been wounded (and its locks
+                    // released) while the Paxos round was in flight; it
+                    // must abort in that case or a conflicting transaction
+                    // could slip through its released locks.
+                    FinishAtCoordinator(home, txn, body, !Doomed(txn), done);
+                  });
+            });
+        scheduler_->After(config_.decision_timeout,
+                          [this, home, txn, body, done, decided]() {
+                            if (*decided) return;
+                            *decided = true;
+                            FinishAtCoordinator(home, txn, body, false, done);
+                          });
+      });
+}
+
+void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
+                                  std::vector<ReadEntry> reads,
+                                  std::vector<WriteEntry> writes,
+                                  CommitCallback done) {
+  TxnBodyPtr body = MakeTxnBody(txn, std::move(reads), std::move(writes));
+  ToCoordinator(client_dc, [this, client_dc, txn, body,
+                            done = std::move(done)]() {
+    // Commit processing at the coordinator: the 2PC bookkeeping plus one
+    // lock-table operation per write lock and read validation.
+    const Duration cost =
+        config_.service.commit_request +
+        config_.service.lock_op *
+            static_cast<Duration>(body->read_set.size() +
+                                  body->write_set.size());
+    services_[static_cast<size_t>(config_.coordinator)]->Submit(
+        cost, [this, client_dc, txn, body, done]() {
+          CoordinatorCommit(client_dc, txn, body, done);
+        });
+  });
+}
+
+void TwoPcPaxosCluster::LoadInitialAll(const Key& key, const Value& value) {
+  const TxnId loader{-2, next_load_seq_++};
+  for (auto& store : stores_) store.ApplyWrite(key, value, 0, loader);
+}
+
+void TwoPcPaxosCluster::TxnAbandon(DcId client_dc, const TxnId& txn) {
+  ToCoordinator(client_dc, [this, txn]() {
+    lock_table_->ReleaseAll(txn);
+    doomed_.erase(txn);
+    txn_start_ts_.erase(txn);
+  });
+}
+
+void TwoPcPaxosCluster::ClientRead(DcId client_dc, const Key& key,
+                                   ReadCallback done) {
+  // Plain (non-transactional) read: served by the coordinator without
+  // locking.
+  ToCoordinator(client_dc, [this, client_dc, key, done = std::move(done)]() {
+    services_[static_cast<size_t>(config_.coordinator)]->Submit(
+        config_.service.read, [this, client_dc, key, done]() {
+          auto r = stores_[static_cast<size_t>(config_.coordinator)].Read(key);
+          FromCoordinator(client_dc, [done, r = std::move(r)]() { done(r); });
+        });
+  });
+}
+
+void TwoPcPaxosCluster::ClientCommit(DcId client_dc,
+                                     std::vector<ReadEntry> reads,
+                                     std::vector<WriteEntry> writes,
+                                     CommitCallback done) {
+  TxnCommit(client_dc, BeginTxn(client_dc), std::move(reads),
+            std::move(writes), std::move(done));
+}
+
+void TwoPcPaxosCluster::ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                                       ReadOnlyCallback done) {
+  ToCoordinator(client_dc, [this, client_dc, keys = std::move(keys),
+                            done = std::move(done)]() {
+    services_[static_cast<size_t>(config_.coordinator)]->Submit(
+        config_.service.read * static_cast<Duration>(keys.size()),
+        [this, client_dc, keys, done]() {
+          const MvStore& store =
+              stores_[static_cast<size_t>(config_.coordinator)];
+          std::vector<Result<VersionedValue>> out;
+          out.reserve(keys.size());
+          for (const Key& k : keys) out.push_back(store.Read(k));
+          FromCoordinator(client_dc,
+                          [done, out = std::move(out)]() { done(out); });
+        });
+  });
+}
+
+}  // namespace helios::baselines

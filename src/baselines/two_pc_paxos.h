@@ -1,0 +1,119 @@
+// 2PC/Paxos: the Spanner-inspired baseline of Section 5.2.
+//
+// One datacenter (Virginia in the paper's setup) is the 2PC coordinator:
+//   - Every read is routed to the coordinator, which takes a shared lock in
+//     its lock table and returns the value. Locks are held from the first
+//     read until after commit — the long lock spans are what drive this
+//     protocol's high abort rate in Figure 3(c).
+//   - Commit is routed to the coordinator, which acquires write locks,
+//     validates the read locks, then replicates the transaction through
+//     leader-lease Paxos to a majority of datacenters before answering.
+//   - Deadlocks are prevented with wound-wait (the paper aborts deadlocked
+//     transactions immediately).
+//
+// A client's commit latency is RTT(client, coordinator) plus the Paxos
+// round trip from the coordinator to its closest majority — which is why
+// clients at or near the coordinator fare so much better than the rest
+// (Figure 3(a)). All load concentrates on the coordinator's single server,
+// which is what thrashes past ~195 clients in Figure 4.
+
+#ifndef HELIOS_BASELINES_TWO_PC_PAXOS_H_
+#define HELIOS_BASELINES_TWO_PC_PAXOS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "api/protocol.h"
+#include "core/helios_config.h"
+#include "core/history.h"
+#include "paxos/paxos.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "sim/service_queue.h"
+#include "store/lock_table.h"
+#include "store/mv_store.h"
+
+namespace helios::baselines {
+
+struct TwoPcPaxosConfig {
+  int num_datacenters = 0;
+  DcId coordinator = 0;
+  Duration client_link_one_way = Micros(500);
+  Duration decision_timeout = Seconds(10);
+  core::ServiceModel service;
+  std::vector<Duration> clock_offsets;
+};
+
+class TwoPcPaxosCluster : public ProtocolCluster {
+ public:
+  TwoPcPaxosCluster(sim::Scheduler* scheduler, sim::Network* network,
+                    TwoPcPaxosConfig config);
+
+  void Start() override {}
+  void LoadInitialAll(const Key& key, const Value& value) override;
+  void ClientRead(DcId client_dc, const Key& key, ReadCallback done) override;
+  void ClientCommit(DcId client_dc, std::vector<ReadEntry> reads,
+                    std::vector<WriteEntry> writes,
+                    CommitCallback done) override;
+  void ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                      ReadOnlyCallback done) override;
+
+  TxnId BeginTxn(DcId client_dc) override;
+  void TxnRead(DcId client_dc, const TxnId& txn, const Key& key,
+               ReadCallback done) override;
+  void TxnCommit(DcId client_dc, const TxnId& txn,
+                 std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+                 CommitCallback done) override;
+  void TxnAbandon(DcId client_dc, const TxnId& txn) override;
+
+  std::string name() const override { return "2PC/Paxos"; }
+  int num_datacenters() const override { return config_.num_datacenters; }
+
+  const MvStore& store(DcId dc) const { return stores_[dc]; }
+  core::HistoryRecorder& history() { return history_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+  uint64_t wounds() const { return lock_table_->wounds(); }
+  DcId coordinator() const { return config_.coordinator; }
+
+ private:
+  /// Client-to-coordinator routing (client link when co-located).
+  void ToCoordinator(DcId home, std::function<void()> fn);
+  void FromCoordinator(DcId home, std::function<void()> fn);
+
+  /// Async sequential write-lock acquisition, then validation, then Paxos.
+  void CoordinatorCommit(DcId home, const TxnId& txn, TxnBodyPtr body,
+                         CommitCallback done);
+  void AcquireWriteLocks(const TxnId& txn, Timestamp start_ts, TxnBodyPtr body,
+                         size_t index, std::function<void(bool)> then);
+  bool ValidateReads(const TxnId& txn, Timestamp start_ts,
+                     const TxnBody& body);
+  void FinishAtCoordinator(DcId home, const TxnId& txn, TxnBodyPtr body,
+                           bool commit, CommitCallback done);
+
+  Timestamp StartTs(DcId home, const TxnId& txn);
+  bool Doomed(const TxnId& txn) const { return doomed_.count(txn) > 0; }
+
+  sim::Scheduler* scheduler_;
+  sim::Network* network_;
+  TwoPcPaxosConfig config_;
+  std::vector<std::unique_ptr<sim::Clock>> clocks_;
+  std::vector<MvStore> stores_;
+  std::vector<std::unique_ptr<sim::ServiceQueue>> services_;
+  std::unique_ptr<LockTable> lock_table_;        ///< At the coordinator.
+  std::vector<paxos::Acceptor> acceptors_;       ///< One per datacenter.
+  std::unique_ptr<paxos::Replicator> replicator_;  ///< At the coordinator.
+  std::unordered_map<TxnId, Timestamp, TxnIdHash> txn_start_ts_;
+  std::unordered_set<TxnId, TxnIdHash> doomed_;  ///< Wounded transactions.
+  core::HistoryRecorder history_;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t next_load_seq_ = 1;
+};
+
+}  // namespace helios::baselines
+
+#endif  // HELIOS_BASELINES_TWO_PC_PAXOS_H_

@@ -1,0 +1,133 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace helios {
+
+void FlagSet::DefineString(const std::string& name, std::string default_value,
+                           std::string help) {
+  flags_[name] = Flag{Type::kString, default_value, std::move(default_value),
+                      std::move(help)};
+}
+
+void FlagSet::DefineInt(const std::string& name, int64_t default_value,
+                        std::string help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Type::kInt, v, v, std::move(help)};
+}
+
+void FlagSet::DefineDouble(const std::string& name, double default_value,
+                           std::string help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Type::kDouble, v, v, std::move(help)};
+}
+
+void FlagSet::DefineBool(const std::string& name, bool default_value,
+                         std::string help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, v, v, std::move(help)};
+}
+
+Status FlagSet::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects an integer");
+      }
+      break;
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("--" + name + " expects a number");
+      }
+      break;
+    }
+    case Type::kBool:
+      if (value != "true" && value != "false" && value != "1" &&
+          value != "0") {
+        return Status::InvalidArgument("--" + name + " expects true/false");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  flag.value = value;
+  flag.set = true;
+  return Status::Ok();
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      Status s = SetValue(arg.substr(0, eq), arg.substr(eq + 1));
+      if (!s.ok()) return s;
+      continue;
+    }
+    // "--flag value" or bare boolean "--flag".
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    if (it->second.type == Type::kBool) {
+      Status s = SetValue(arg, "true");
+      if (!s.ok()) return s;
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("--" + arg + " needs a value");
+      }
+      Status s = SetValue(arg, argv[++i]);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return std::strtoll(GetString(name).c_str(), nullptr, 10);
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1";
+}
+
+bool FlagSet::IsSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagSet::Help() const {
+  std::string out;
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.default_value + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace helios

@@ -1,0 +1,62 @@
+// A minimal command-line flag parser (--key=value / --key value / --bool)
+// for the CLI tools. No global registry: callers construct a FlagSet,
+// declare flags, and parse argv.
+
+#ifndef HELIOS_COMMON_FLAGS_H_
+#define HELIOS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios {
+
+class FlagSet {
+ public:
+  /// Declares a flag with a default and a help string.
+  void DefineString(const std::string& name, std::string default_value,
+                    std::string help);
+  void DefineInt(const std::string& name, int64_t default_value,
+                 std::string help);
+  void DefineDouble(const std::string& name, double default_value,
+                    std::string help);
+  void DefineBool(const std::string& name, bool default_value,
+                  std::string help);
+
+  /// Parses argv (skipping argv[0]). Unknown flags or malformed values are
+  /// errors. Non-flag arguments are collected into positional().
+  Status Parse(int argc, const char* const* argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  bool IsSet(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every declared flag with its default and help.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace helios
+
+#endif  // HELIOS_COMMON_FLAGS_H_

@@ -1,0 +1,67 @@
+// Descriptive statistics used by the experiment harness to report commit
+// latency, throughput, and abort rates in the same form as the paper
+// (mean, standard deviation, confidence intervals, percentiles).
+
+#ifndef HELIOS_COMMON_STATS_H_
+#define HELIOS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace helios {
+
+/// Streaming accumulator: count / mean / variance (Welford) / min / max.
+class StatAccumulator {
+ public:
+  void Add(double x);
+  void Merge(const StatAccumulator& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  double variance() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the ~95% confidence interval for the mean
+  /// (normal approximation, 1.96 * stderr). 0 for fewer than 2 samples.
+  double ci95_half_width() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining distribution for percentile queries. Keeps every sample;
+/// experiments here are small enough that this is fine, and it keeps
+/// percentiles exact.
+class Distribution {
+ public:
+  void Add(double x);
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// `p` in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace helios
+
+#endif  // HELIOS_COMMON_STATS_H_

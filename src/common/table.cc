@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace helios {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const size_t pad = widths[c] > cell.size() ? widths[c] - cell.size() : 0;
+      if (c == 0) {
+        line += cell + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + cell;
+      }
+      if (c + 1 < widths.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  rule += '\n';
+
+  std::string out = render_line(header_);
+  out += rule;
+  for (const Row& row : rows_) {
+    out += row.separator ? rule : render_line(row.cells);
+  }
+  return out;
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::MeanStd(double mean, double stddev, int digits) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f (%.1f)", digits, mean, stddev);
+  return buf;
+}
+
+}  // namespace helios

@@ -1,0 +1,46 @@
+// Plain-text table rendering for the benchmark harness, so every bench
+// binary can print rows in the same layout the paper's tables and figure
+// series use.
+
+#ifndef HELIOS_COMMON_TABLE_H_
+#define HELIOS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace helios {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"Protocol", "V", "O", "C", "I", "S", "Avg"});
+///   t.AddRow({"Helios-0", "76", "14", ...});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void AddSeparator();
+
+  /// Renders the table. First column is left-aligned, the rest right-aligned.
+  std::string ToString() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double v, int digits = 1);
+  /// Formats "mean (stddev)" like the paper's Table 2 cells.
+  static std::string MeanStd(double mean, double stddev, int digits = 0);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace helios
+
+#endif  // HELIOS_COMMON_TABLE_H_

@@ -1,0 +1,14 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace helios {
+
+std::string TxnId::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%d:%llu", origin,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+}  // namespace helios

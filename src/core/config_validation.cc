@@ -1,0 +1,78 @@
+#include "core/config_validation.h"
+
+#include <string>
+
+namespace helios::core {
+
+namespace {
+
+std::string Pair(int a, int b) {
+  return "(" + std::to_string(a) + ", " + std::to_string(b) + ")";
+}
+
+}  // namespace
+
+Status ValidateHeliosConfig(const HeliosConfig& config) {
+  const int n = config.num_datacenters;
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "num_datacenters must be at least 2 (got " + std::to_string(n) + ")");
+  }
+  if (config.log_interval <= 0) {
+    return Status::InvalidArgument("log_interval must be positive");
+  }
+  if (config.client_link_one_way < 0) {
+    return Status::InvalidArgument("client_link_one_way must be >= 0");
+  }
+  if (config.fault_tolerance < 0 || config.fault_tolerance >= n) {
+    return Status::InvalidArgument(
+        "fault_tolerance must be in [0, n-1]; tolerating " +
+        std::to_string(config.fault_tolerance) + " of " + std::to_string(n) +
+        " datacenters is impossible");
+  }
+  if (config.fault_tolerance > 0 && config.grace_time <= 0) {
+    return Status::InvalidArgument(
+        "fault_tolerance > 0 requires a positive grace_time (the "
+        "acknowledgment bound of Section 4.4)");
+  }
+  if (!config.clock_offsets.empty() &&
+      static_cast<int>(config.clock_offsets.size()) != n) {
+    return Status::InvalidArgument(
+        "clock_offsets must have one entry per datacenter");
+  }
+
+  if (!config.commit_offsets.empty()) {
+    if (static_cast<int>(config.commit_offsets.size()) != n) {
+      return Status::InvalidArgument("commit_offsets must be n x n");
+    }
+    for (int a = 0; a < n; ++a) {
+      if (static_cast<int>(config.commit_offsets[a].size()) != n) {
+        return Status::InvalidArgument("commit_offsets must be n x n (row " +
+                                       std::to_string(a) + ")");
+      }
+      if (config.commit_offsets[a][a] != 0) {
+        return Status::InvalidArgument(
+            "commit_offsets diagonal must be zero (row " + std::to_string(a) +
+            ")");
+      }
+    }
+    // Rule 1: the safety condition. Violating it permits undetected
+    // conflicts between concurrent transactions.
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (config.commit_offsets[a][b] + config.commit_offsets[b][a] < 0) {
+          return Status::FailedPrecondition(
+              "Rule 1 violated for pair " + Pair(a, b) +
+              ": co[a][b] + co[b][a] = " +
+              std::to_string(config.commit_offsets[a][b] +
+                             config.commit_offsets[b][a]) +
+              "us < 0 — this configuration is UNSAFE (undetected conflicts "
+              "become possible)");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace helios::core

@@ -1,0 +1,58 @@
+// The message Helios datacenters exchange: a Replicated Dictionary partial
+// log plus the liveness metadata of Section 4.4.
+
+#ifndef HELIOS_CORE_ENVELOPE_H_
+#define HELIOS_CORE_ENVELOPE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "rdict/replicated_log.h"
+
+namespace helios::core {
+
+/// A datacenter's declaration that it will NOT acknowledge transaction
+/// `txn`: its preparing record arrived later than q(t) + GT (grace-time
+/// invalidation). Refusals gossip between datacenters so the transaction's
+/// home learns that this peer cannot count toward the f-acknowledgment
+/// quorum.
+struct Refusal {
+  DcId refuser = kInvalidDc;
+  TxnId txn;
+  /// The transaction's request timestamp q(t); lets receivers garbage-
+  /// collect refusals whose transactions are long since decided.
+  Timestamp txn_ts = kMinTimestamp;
+
+  friend bool operator==(const Refusal& a, const Refusal& b) {
+    return a.refuser == b.refuser && a.txn == b.txn;
+  }
+};
+
+/// One Helios-to-Helios message.
+struct Envelope {
+  rdict::LogMessage log;
+  /// All live refusals the sender knows about (rare; garbage-collected
+  /// when the transaction finishes).
+  std::vector<Refusal> refusals;
+
+  // --- Online RTT estimation (Section 4.5 needs RTT estimates; these
+  // fields piggyback a ping/pong on the periodic log exchange) -----------
+  /// Identifier of this envelope as a ping (0 = not a ping).
+  uint32_t ping_id = 0;
+  /// Echo of the latest ping received from the destination (0 = none).
+  uint32_t pong_for = 0;
+  /// How long the sender held that ping before this reply, in
+  /// microseconds — subtracted by the receiver so the sample measures
+  /// pure network round trip rather than tick alignment.
+  Duration pong_hold_us = 0;
+  /// The sender's current smoothed RTT estimates to every datacenter
+  /// (microseconds; 0 = unknown). Gossiped so every node can assemble the
+  /// full matrix the MAO replanner needs.
+  std::vector<Duration> rtt_row_us;
+
+  explicit Envelope(int n) : log(n) {}
+};
+
+}  // namespace helios::core
+
+#endif  // HELIOS_CORE_ENVELOPE_H_

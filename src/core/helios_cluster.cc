@@ -1,0 +1,150 @@
+#include "core/helios_cluster.h"
+
+#include <cassert>
+#include <utility>
+
+namespace helios::core {
+
+HeliosCluster::HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
+                             HeliosConfig config, LogProtocolKind kind,
+                             std::string name)
+    : scheduler_(scheduler),
+      network_(network),
+      config_(std::move(config)),
+      name_(std::move(name)) {
+  assert(network_->size() == config_.num_datacenters);
+  const int n = config_.num_datacenters;
+  clocks_.reserve(static_cast<size_t>(n));
+  nodes_.reserve(static_cast<size_t>(n));
+  for (DcId dc = 0; dc < n; ++dc) {
+    const Duration offset = config_.clock_offsets.empty()
+                                ? 0
+                                : config_.clock_offsets[static_cast<size_t>(dc)];
+    clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
+    nodes_.push_back(std::make_unique<HeliosNode>(
+        dc, config_, kind, scheduler_, clocks_.back().get(),
+        [this, dc](DcId to, const Envelope& env) {
+          const size_t size = envelope_sizer_ ? envelope_sizer_(env) : 0;
+          network_->SendSized(dc, to, size, [this, to, env]() {
+            nodes_[static_cast<size_t>(to)]->HandleEnvelope(env);
+          });
+        }));
+    nodes_.back()->set_history_recorder(&history_);
+  }
+}
+
+void HeliosCluster::Start() {
+  for (auto& node : nodes_) node->Start();
+}
+
+void HeliosCluster::ClientRead(DcId client_dc, const Key& key,
+                               ReadCallback done) {
+  const Duration link = config_.client_link_one_way;
+  scheduler_->After(link, [this, client_dc, key, done = std::move(done),
+                           link]() {
+    node(client_dc).HandleRead(
+        key, [this, done, link](Result<VersionedValue> result) {
+          scheduler_->After(link, [done, result = std::move(result)]() {
+            done(result);
+          });
+        });
+  });
+}
+
+void HeliosCluster::ClientCommit(DcId client_dc, std::vector<ReadEntry> reads,
+                                 std::vector<WriteEntry> writes,
+                                 CommitCallback done) {
+  const Duration link = config_.client_link_one_way;
+  scheduler_->After(link, [this, client_dc, reads = std::move(reads),
+                           writes = std::move(writes), done = std::move(done),
+                           link]() mutable {
+    node(client_dc).HandleCommitRequest(
+        std::move(reads), std::move(writes),
+        [this, done, link](const CommitOutcome& outcome) {
+          scheduler_->After(link, [done, outcome]() { done(outcome); });
+        });
+  });
+}
+
+void HeliosCluster::ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                                   ReadOnlyCallback done) {
+  const Duration link = config_.client_link_one_way;
+  scheduler_->After(link, [this, client_dc, keys = std::move(keys),
+                           done = std::move(done), link]() mutable {
+    node(client_dc).HandleReadOnly(
+        std::move(keys),
+        [this, done, link](std::vector<Result<VersionedValue>> results) {
+          scheduler_->After(link, [done, results = std::move(results)]() {
+            done(results);
+          });
+        });
+  });
+}
+
+void HeliosCluster::LoadInitialAll(const Key& key, const Value& value) {
+  for (auto& node : nodes_) node->LoadInitial(key, value);
+}
+
+void HeliosCluster::CrashDatacenter(DcId dc) {
+  network_->CrashNode(dc);
+  node(dc).SetDown(true);
+}
+
+void HeliosCluster::RecoverDatacenter(DcId dc) {
+  network_->RecoverNode(dc);
+  node(dc).SetDown(false);
+}
+
+NodeCounters HeliosCluster::AggregateCounters() const {
+  NodeCounters total;
+  for (const auto& node : nodes_) {
+    const NodeCounters& c = node->counters();
+    total.read_requests += c.read_requests;
+    total.commit_requests += c.commit_requests;
+    total.commits += c.commits;
+    total.aborts_on_request += c.aborts_on_request;
+    total.aborts_by_remote += c.aborts_by_remote;
+    total.aborts_liveness += c.aborts_liveness;
+    total.records_ingested += c.records_ingested;
+    total.envelopes_sent += c.envelopes_sent;
+    total.refusals_issued += c.refusals_issued;
+    total.read_only_txns += c.read_only_txns;
+  }
+  return total;
+}
+
+Result<double> HeliosCluster::ReplanOffsetsFromEstimates(DcId reference) {
+  const RttEstimator* estimator = node(reference).rtt_estimator();
+  if (estimator == nullptr) {
+    return Status::FailedPrecondition("estimate_rtts is not enabled");
+  }
+  if (!estimator->MatrixComplete()) {
+    return Status::Unavailable("RTT matrix not yet complete");
+  }
+  const lp::RttMatrix matrix = estimator->MatrixMs();
+  auto mao = lp::SolveMao(matrix);
+  if (!mao.ok()) return mao.status();
+  const auto offsets_ms = lp::CommitOffsetsFromLatencies(matrix, mao.value());
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    std::vector<Duration> row(static_cast<size_t>(config_.num_datacenters), 0);
+    for (DcId x = 0; x < config_.num_datacenters; ++x) {
+      if (x != dc) {
+        row[static_cast<size_t>(x)] =
+            static_cast<Duration>(offsets_ms[dc][x] * 1000.0);
+      }
+    }
+    node(dc).SetCommitOffsetRow(std::move(row));
+  }
+  return lp::AverageLatency(mao.value());
+}
+
+std::unique_ptr<HeliosCluster> MakeMessageFuturesCluster(
+    sim::Scheduler* scheduler, sim::Network* network, HeliosConfig config) {
+  config.commit_offsets.clear();
+  config.fault_tolerance = 0;
+  return std::make_unique<HeliosCluster>(scheduler, network, std::move(config),
+                                         LogProtocolKind::kMessageFutures,
+                                         "MessageFutures");
+}
+
+}  // namespace helios::core

@@ -1,0 +1,96 @@
+// Wires N HeliosNodes over the simulated WAN and exposes the
+// protocol-agnostic client API. Also used (with the Message Futures commit
+// rule) as the Message Futures deployment.
+
+#ifndef HELIOS_CORE_HELIOS_CLUSTER_H_
+#define HELIOS_CORE_HELIOS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/protocol.h"
+#include "core/helios_config.h"
+#include "core/helios_node.h"
+#include "core/history.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace helios::core {
+
+class HeliosCluster : public ProtocolCluster {
+ public:
+  /// `scheduler` and `network` must outlive the cluster; `network` must
+  /// have `config.num_datacenters` nodes.
+  HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
+                HeliosConfig config,
+                LogProtocolKind kind = LogProtocolKind::kHelios,
+                std::string name = "Helios");
+
+  void Start() override;
+  void ClientRead(DcId client_dc, const Key& key, ReadCallback done) override;
+  void ClientCommit(DcId client_dc, std::vector<ReadEntry> reads,
+                    std::vector<WriteEntry> writes,
+                    CommitCallback done) override;
+  void ClientReadOnly(DcId client_dc, std::vector<Key> keys,
+                      ReadOnlyCallback done) override;
+  std::string name() const override { return name_; }
+  int num_datacenters() const override { return config_.num_datacenters; }
+
+  /// Loads the same initial value on every datacenter (call before Start,
+  /// and load keys in the same order across runs for deterministic ids).
+  void LoadInitialAll(const Key& key, const Value& value) override;
+
+  /// Full datacenter outage: the network drops its traffic and the node
+  /// stops processing.
+  void CrashDatacenter(DcId dc);
+  void RecoverDatacenter(DcId dc);
+
+  HeliosNode& node(DcId dc) { return *nodes_[static_cast<size_t>(dc)]; }
+  const HeliosNode& node(DcId dc) const {
+    return *nodes_[static_cast<size_t>(dc)];
+  }
+  sim::Clock& clock(DcId dc) { return *clocks_[static_cast<size_t>(dc)]; }
+  HistoryRecorder& history() { return history_; }
+  const HeliosConfig& config() const { return config_; }
+
+  /// Sum of a counter across datacenters.
+  NodeCounters AggregateCounters() const;
+
+  /// Replans commit offsets from the live RTT estimates (requires
+  /// config.estimate_rtts and a complete estimated matrix at datacenter
+  /// `reference`): solves MAO over the estimate and installs each row on
+  /// its node. In the simulator this is atomic across nodes, so Rule 1
+  /// holds throughout; a live deployment would stage the change
+  /// (raise-offsets first, then lower). Returns the estimated matrix's
+  /// MAO average latency (ms).
+  Result<double> ReplanOffsetsFromEstimates(DcId reference = 0);
+
+  /// Installs a function that computes an envelope's on-wire size (see
+  /// wire::EncodedEnvelopeSize). When set, peer messages go through
+  /// Network::SendSized so link bandwidth and byte counters apply.
+  using EnvelopeSizer = std::function<size_t(const Envelope&)>;
+  void set_envelope_sizer(EnvelopeSizer sizer) {
+    envelope_sizer_ = std::move(sizer);
+  }
+
+ private:
+  sim::Scheduler* scheduler_;
+  sim::Network* network_;
+  HeliosConfig config_;
+  std::string name_;
+  HistoryRecorder history_;
+  std::vector<std::unique_ptr<sim::Clock>> clocks_;
+  std::vector<std::unique_ptr<HeliosNode>> nodes_;
+  EnvelopeSizer envelope_sizer_;
+};
+
+/// Convenience: a Message Futures deployment is a Helios cluster running
+/// the Message Futures commit rule with no commit offsets and f = 0.
+std::unique_ptr<HeliosCluster> MakeMessageFuturesCluster(
+    sim::Scheduler* scheduler, sim::Network* network, HeliosConfig config);
+
+}  // namespace helios::core
+
+#endif  // HELIOS_CORE_HELIOS_CLUSTER_H_

@@ -1,0 +1,532 @@
+#include "core/helios_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace helios::core {
+
+namespace {
+
+/// Origin id used for initial data loaded outside the protocol. Distinct
+/// from kInvalidDc so loaded versions validate correctly, and never equal
+/// to a real datacenter id.
+constexpr DcId kLoaderOrigin = -2;
+
+}  // namespace
+
+HeliosNode::HeliosNode(DcId id, const HeliosConfig& config,
+                       LogProtocolKind kind, sim::Scheduler* scheduler,
+                       sim::Clock* clock, SendFn send)
+    : id_(id),
+      config_(config),
+      kind_(kind),
+      scheduler_(scheduler),
+      clock_(clock),
+      send_(std::move(send)),
+      service_queue_(scheduler),
+      log_(id, config.num_datacenters) {
+  assert(id >= 0 && id < config.num_datacenters);
+  assert(kind_ != LogProtocolKind::kMessageFutures ||
+         config_.fault_tolerance == 0);
+  if (config_.estimate_rtts) {
+    rtt_estimator_ =
+        std::make_unique<RttEstimator>(id_, config_.num_datacenters);
+  }
+}
+
+void HeliosNode::SetCommitOffsetRow(std::vector<Duration> row) {
+  assert(static_cast<int>(row.size()) == config_.num_datacenters);
+  offset_row_override_ = std::move(row);
+}
+
+Duration HeliosNode::OffsetTo(DcId x) const {
+  if (!offset_row_override_.empty()) {
+    return offset_row_override_[static_cast<size_t>(x)];
+  }
+  return config_.commit_offset(id_, x);
+}
+
+void HeliosNode::Start() {
+  // Stagger the first transmission so datacenters do not tick in lockstep.
+  const Duration stagger =
+      config_.log_interval * id_ / std::max(1, config_.num_datacenters);
+  scheduler_->After(config_.log_interval + stagger,
+                    [this]() { SendToAllPeers(); });
+  if (config_.gc_interval > 0) {
+    scheduler_->After(config_.gc_interval, [this]() { RunGc(); });
+  }
+}
+
+// --- Client-facing handlers -------------------------------------------------
+
+void HeliosNode::HandleRead(const Key& key, ReadCallback reply) {
+  service_queue_.Submit(config_.service.read,
+                        [this, key, reply = std::move(reply)]() {
+                          if (down_) return;
+                          ++counters_.read_requests;
+                          reply(store_.Read(key));
+                        });
+}
+
+void HeliosNode::HandleReadOnly(std::vector<Key> keys, ReadOnlyCallback reply) {
+  const Duration cost =
+      config_.service.read * static_cast<Duration>(keys.size());
+  service_queue_.Submit(
+      cost, [this, keys = std::move(keys), reply = std::move(reply)]() {
+        if (down_) return;
+        ++counters_.read_only_txns;
+        // The node is single-threaded, so reading every key's latest
+        // applied version within one event *is* a consistent snapshot of
+        // this datacenter's applied state — the "snapshot point" of
+        // Appendix B. Read-only transactions never contend with
+        // read-write transactions and never enter the commit protocol.
+        std::vector<Result<VersionedValue>> out;
+        out.reserve(keys.size());
+        for (const Key& k : keys) out.push_back(store_.Read(k));
+        reply(std::move(out));
+      });
+}
+
+void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
+                                     std::vector<WriteEntry> writes,
+                                     CommitCallback reply) {
+  service_queue_.Submit(config_.service.commit_request,
+                        [this, reads = std::move(reads),
+                         writes = std::move(writes),
+                         reply = std::move(reply)]() mutable {
+                          ProcessCommitRequest(std::move(reads),
+                                               std::move(writes),
+                                               std::move(reply));
+                        });
+}
+
+void HeliosNode::HandleEnvelope(Envelope env) {
+  if (down_) return;  // A crashed datacenter drops everything.
+  if (rtt_estimator_ != nullptr) {
+    // Sample at arrival time (scheduler basis, immune to clock offsets).
+    rtt_estimator_->OnIncoming(env.log.from, scheduler_->Now(), env);
+  }
+  // Only the fixed per-message cost is known up front; per-record work is
+  // charged inside ProcessEnvelope for *fresh* records only (recognizing a
+  // retransmitted record is a constant-time timetable lookup).
+  service_queue_.Submit(config_.service.log_message,
+                        [this, env = std::move(env)]() mutable {
+                          ProcessEnvelope(std::move(env));
+                        });
+}
+
+void HeliosNode::LoadInitial(const Key& key, const Value& value) {
+  store_.ApplyWrite(key, value, /*commit_ts=*/0,
+                    TxnId{kLoaderOrigin, next_load_seq_++});
+}
+
+// --- Algorithm 1: commit requests -------------------------------------------
+
+bool HeliosNode::ReadStillValid(const ReadEntry& read) const {
+  auto latest = store_.Read(read.key);
+  if (!latest.ok()) {
+    // Key has never been written: valid only if the client saw that too.
+    return !read.version_writer.valid();
+  }
+  return latest.value().writer == read.version_writer;
+}
+
+void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
+                                      std::vector<WriteEntry> writes,
+                                      CommitCallback reply) {
+  if (down_) return;
+  ++counters_.commit_requests;
+  const TxnId id{id_, next_txn_seq_++};
+  TxnBodyPtr body = MakeTxnBody(id, std::move(reads), std::move(writes));
+
+  // Lines 2-3: conflict with any preparing transaction, local or remote.
+  if (!pt_pool_.ConflictingWriters(*body).empty() ||
+      !ept_pool_.ConflictingWriters(*body).empty()) {
+    ++counters_.aborts_on_request;
+    reply(CommitOutcome{id, false, "conflict:preparing"});
+    return;
+  }
+  // Lines 4-6: has anything in the read set been overwritten?
+  for (const ReadEntry& r : body->read_set) {
+    if (!ReadStillValid(r)) {
+      ++counters_.aborts_on_request;
+      reply(CommitOutcome{id, false, "overwritten:" + r.key});
+      return;
+    }
+  }
+
+  // Lines 7-9: timestamp and knowledge timestamps (Eq. 1).
+  const Timestamp q = clock_->NowUnique();
+  PendingTxn pending;
+  pending.body = body;
+  pending.request_ts = q;
+  pending.kts.assign(static_cast<size_t>(config_.num_datacenters),
+                     kMinTimestamp);
+  for (DcId x = 0; x < config_.num_datacenters; ++x) {
+    if (x == id_) continue;
+    pending.kts[static_cast<size_t>(x)] = q + OffsetTo(x);
+  }
+  pending.reply = std::move(reply);
+
+  // Line 10: append the preparing record and pool the transaction.
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kPreparing;
+  rec.ts = q;
+  rec.origin = id_;
+  rec.body = body;
+  const Status append = log_.AppendLocal(rec);
+  assert(append.ok());
+  (void)append;
+  if (record_sink_) record_sink_(rec);
+
+  pt_pool_.Add(body);
+  pending_by_ts_.emplace(std::make_pair(q, id), id);
+  pending_.emplace(id, std::move(pending));
+
+  // With sufficiently negative commit offsets the wait may already be
+  // satisfied (the paper's Figure 2 scenario for co < 0).
+  TryCommitAll();
+}
+
+// --- Algorithm 2: log processing ---------------------------------------------
+
+void HeliosNode::ProcessEnvelope(Envelope env) {
+  if (down_) return;
+  MergeRefusals(env.refusals);
+
+  std::vector<rdict::LogRecord> fresh = log_.Ingest(env.log);
+  counters_.records_ingested += fresh.size();
+  service_queue_.Charge(config_.service.log_record *
+                        static_cast<Duration>(fresh.size()));
+  if (record_sink_) {
+    for (const rdict::LogRecord& rec : fresh) record_sink_(rec);
+  }
+
+  for (const rdict::LogRecord& rec : fresh) {
+    if (rec.origin == id_) continue;  // Lines 2-3: skip local records.
+
+    // Lines 4-6: the incoming write set aborts conflicting local
+    // preparing transactions.
+    for (const TxnBodyPtr& victim : pt_pool_.Victims(*rec.body)) {
+      AbortPending(victim->id, "conflict:remote",
+                   &NodeCounters::aborts_by_remote);
+    }
+
+    if (rec.type == rdict::RecordType::kPreparing) {
+      // Lines 7-8.
+      ept_pool_.Add(rec.body);
+      if (config_.fault_tolerance > 0) {
+        // Grace-time acknowledgment (Section 4.4): refuse to acknowledge a
+        // record that arrived later than q(t) + GT on our clock.
+        if (clock_->Now() > rec.ts + config_.grace_time) {
+          RefusalState& state = refusals_[rec.body->id];
+          state.txn_ts = rec.ts;
+          if (state.refusers.insert(id_).second) {
+            ++counters_.refusals_issued;
+          }
+        }
+      }
+    } else {
+      // Lines 9-13.
+      if (rec.committed) {
+        service_queue_.Charge(config_.service.write_apply *
+                              static_cast<Duration>(rec.body->write_set.size()));
+        store_.ApplyTxn(*rec.body, rec.version_ts);
+      }
+      ept_pool_.Remove(rec.body->id);
+      refusals_.erase(rec.body->id);
+    }
+  }
+
+  // Algorithm 3 runs whenever new knowledge arrives.
+  TryCommitAll();
+}
+
+// --- Algorithm 3: committing preparing transactions ---------------------------
+
+Timestamp HeliosNode::EtaBound(DcId target) const {
+  // Eq. 3: eta = min over kappa of T[C][C] - GT, with kappa the n-f
+  // best-informed datacenters *excluding the target* (the quorum-
+  // intersection argument needs kappa to never contain the datacenter
+  // whose knowledge is being inferred).
+  const int n = config_.num_datacenters;
+  const int f = config_.fault_tolerance;
+  if (f <= 0 || n - f > n - 1) return kMinTimestamp;
+  std::vector<Timestamp> clocks;
+  clocks.reserve(static_cast<size_t>(n) - 1);
+  for (DcId c = 0; c < n; ++c) {
+    if (c != target) clocks.push_back(log_.table().Get(c, c));
+  }
+  std::nth_element(clocks.begin(), clocks.begin() + (n - f - 1), clocks.end(),
+                   std::greater<Timestamp>());
+  const Timestamp kth = clocks[static_cast<size_t>(n - f - 1)];
+  if (kth == kMinTimestamp) return kMinTimestamp;
+  return kth - config_.grace_time;
+}
+
+Timestamp HeliosNode::EffectiveKnowledge(DcId peer) const {
+  const Timestamp direct = log_.table().Get(id_, peer);
+  if (config_.fault_tolerance <= 0) return direct;
+  return std::max(direct, EtaBound(peer));  // Eq. 2.
+}
+
+bool HeliosNode::CommitWaitSatisfied(const PendingTxn& t) const {
+  const int n = config_.num_datacenters;
+  if (kind_ == LogProtocolKind::kMessageFutures) {
+    // Message Futures: every peer has acknowledged our log up to q(t),
+    // i.e. the log carrying t made a full round trip to everyone.
+    for (DcId b = 0; b < n; ++b) {
+      if (b == id_) continue;
+      if (log_.table().Get(b, id_) < t.request_ts) return false;
+    }
+    return true;
+  }
+  // Helios Rule 2 / Rule 3 condition (1).
+  for (DcId b = 0; b < n; ++b) {
+    if (b == id_) continue;
+    if (EffectiveKnowledge(b) < t.kts[static_cast<size_t>(b)]) return false;
+  }
+  return true;
+}
+
+bool HeliosNode::AckQuorumSatisfied(const PendingTxn& t, bool* doomed) const {
+  *doomed = false;
+  const int n = config_.num_datacenters;
+  const int f = config_.fault_tolerance;
+  if (f <= 0) return true;
+
+  const auto refusal_it = refusals_.find(t.body->id);
+  const std::set<DcId>* refusers =
+      refusal_it == refusals_.end() ? nullptr : &refusal_it->second.refusers;
+  if (refusers != nullptr &&
+      static_cast<int>(refusers->size()) > (n - 1) - f) {
+    // Too many peers refused within the grace time: the f-acknowledgment
+    // quorum can never form; the transaction is invalidated.
+    *doomed = true;
+    return false;
+  }
+  int acks = 0;
+  for (DcId c = 0; c < n; ++c) {
+    if (c == id_) continue;
+    if (refusers != nullptr && refusers->count(c) > 0) continue;
+    // Rule 3 condition (2): C has received our log up to q(t). Condition
+    // (3) — receipt within the grace time — is enforced by C itself, which
+    // gossips a refusal instead of counting as an acknowledger.
+    if (log_.table().Get(c, id_) >= t.request_ts) ++acks;
+  }
+  return acks >= f;
+}
+
+void HeliosNode::TryCommitAll() {
+  // Oldest-first; collect decisions before acting because commit/abort
+  // mutate the pending maps.
+  std::vector<TxnId> to_commit;
+  std::vector<TxnId> to_doom;
+  for (const auto& [key, id] : pending_by_ts_) {
+    const PendingTxn& t = pending_.at(id);
+    bool doomed = false;
+    const bool acks = AckQuorumSatisfied(t, &doomed);
+    if (doomed) {
+      to_doom.push_back(id);
+      continue;
+    }
+    if (!CommitWaitSatisfied(t)) continue;
+    if (!acks) continue;
+    to_commit.push_back(id);
+  }
+  for (const TxnId& id : to_doom) {
+    AbortPending(id, "liveness:refused", &NodeCounters::aborts_liveness);
+  }
+  for (const TxnId& id : to_commit) {
+    CommitPending(id);
+  }
+}
+
+void HeliosNode::FinishTxn(const TxnId& id) {
+  auto it = pending_.find(id);
+  assert(it != pending_.end());
+  pending_by_ts_.erase(std::make_pair(it->second.request_ts, id));
+  pt_pool_.Remove(id);
+  refusals_.erase(id);
+  pending_.erase(it);
+}
+
+Timestamp HeliosNode::DependencyBumpedVersionTs(const TxnBody& body) {
+  return std::max(clock_->Now(), store_.MaxVersionTsOf(body) + 1);
+}
+
+void HeliosNode::CommitPending(const TxnId& id) {
+  auto it = pending_.find(id);
+  assert(it != pending_.end());
+  TxnBodyPtr body = it->second.body;
+  CommitCallback reply = std::move(it->second.reply);
+  FinishTxn(id);
+
+  // The whole state transition — apply, finished record, bookkeeping — is
+  // atomic at decision time so no request can observe a committed-but-
+  // invisible transaction. The storage I/O cost only delays the reply (and
+  // keeps the server busy).
+  const Timestamp version_ts = DependencyBumpedVersionTs(*body);
+  store_.ApplyTxn(*body, version_ts);
+
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = true;
+  rec.ts = clock_->NowUnique();
+  rec.version_ts = version_ts;
+  rec.origin = id_;
+  rec.body = body;
+  const Status append = log_.AppendLocal(rec);
+  assert(append.ok());
+  (void)append;
+  if (record_sink_) record_sink_(rec);
+
+  ++counters_.commits;
+  if (history_ != nullptr) {
+    history_->RecordCommit(CommittedTxn{body->id, id_, version_ts, body});
+  }
+  const Duration cost = config_.service.write_apply *
+                        static_cast<Duration>(body->write_set.size());
+  service_queue_.Submit(cost, [body = std::move(body),
+                               reply = std::move(reply)]() {
+    reply(CommitOutcome{body->id, true, ""});
+  });
+}
+
+void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
+                              uint64_t NodeCounters::* counter) {
+  auto it = pending_.find(id);
+  assert(it != pending_.end());
+  TxnBodyPtr body = it->second.body;
+  CommitCallback reply = std::move(it->second.reply);
+  FinishTxn(id);
+
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = false;
+  rec.ts = clock_->NowUnique();
+  rec.origin = id_;
+  rec.body = body;
+  const Status append = log_.AppendLocal(rec);
+  assert(append.ok());
+  (void)append;
+  if (record_sink_) record_sink_(rec);
+
+  counters_.*counter += 1;
+  reply(CommitOutcome{id, false, reason});
+}
+
+Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
+                           const rdict::Timetable* timetable) {
+  if (counters_.commit_requests != 0 || log_.total_appended() != 0) {
+    return Status::FailedPrecondition("Restore must run on a fresh node");
+  }
+  // Pass 1: rebuild the log and track which transactions finished.
+  std::map<TxnId, rdict::LogRecord> preparing;
+  for (const rdict::LogRecord& rec : records) {
+    log_.RestoreRecord(rec);
+    if (rec.type == rdict::RecordType::kPreparing) {
+      preparing.emplace(rec.body->id, rec);
+    } else {
+      preparing.erase(rec.body->id);
+      if (rec.committed) {
+        store_.ApplyTxn(*rec.body, rec.version_ts);
+      }
+    }
+    if (rec.origin == id_ && rec.body->id.seq >= next_txn_seq_) {
+      next_txn_seq_ = rec.body->id.seq + 1;
+    }
+  }
+  if (timetable != nullptr) {
+    log_.RestoreTimetable(*timetable);
+  }
+  // Never reuse a persisted timestamp.
+  clock_->AdvanceTo(log_.table().Get(id_, id_));
+
+  // Pass 2: transactions still preparing. Remote ones re-enter the
+  // EPTPool (their decisions will arrive through the log exchange). Our
+  // own are presumed aborted: with a WAL, the finished record is durable
+  // before the client sees "committed", so an unfinished own transaction
+  // was never acknowledged and may abort safely.
+  for (const auto& [id, rec] : preparing) {
+    if (rec.origin == id_) {
+      rdict::LogRecord abort_rec;
+      abort_rec.type = rdict::RecordType::kFinished;
+      abort_rec.committed = false;
+      abort_rec.ts = clock_->NowUnique();
+      abort_rec.origin = id_;
+      abort_rec.body = rec.body;
+      const Status append = log_.AppendLocal(abort_rec);
+      if (!append.ok()) return append;
+      if (record_sink_) record_sink_(abort_rec);
+      ++counters_.aborts_liveness;
+    } else {
+      ept_pool_.Add(rec.body);
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Background tasks ---------------------------------------------------------
+
+void HeliosNode::SendToAllPeers() {
+  if (!down_) {
+    // Every record this node creates from here on will carry a timestamp
+    // greater than this clock reading, so peers may treat our history as
+    // complete up to it (essential when we are idle).
+    log_.AdvanceOwnClock(clock_->NowUnique());
+    const std::vector<Refusal> refusals = RefusalsSnapshot();
+    for (DcId peer = 0; peer < config_.num_datacenters; ++peer) {
+      if (peer == id_) continue;
+      Envelope env(config_.num_datacenters);
+      env.log = log_.BuildMessageFor(peer);
+      env.refusals = refusals;
+      if (rtt_estimator_ != nullptr) {
+        rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), &env);
+      }
+      service_queue_.Charge(config_.service.log_message);
+      ++counters_.envelopes_sent;
+      send_(peer, env);
+    }
+  }
+  scheduler_->After(config_.log_interval, [this]() { SendToAllPeers(); });
+}
+
+void HeliosNode::RunGc() {
+  log_.GarbageCollect();
+  store_.TruncateVersionsBefore(clock_->Now() - Seconds(10));
+  // Drop refusal state for transactions that are long decided.
+  const Timestamp horizon = clock_->Now() - 10 * config_.grace_time;
+  for (auto it = refusals_.begin(); it != refusals_.end();) {
+    if (it->second.txn_ts != kMinTimestamp && it->second.txn_ts < horizon &&
+        pending_.find(it->first) == pending_.end()) {
+      it = refusals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  scheduler_->After(config_.gc_interval, [this]() { RunGc(); });
+}
+
+void HeliosNode::MergeRefusals(const std::vector<Refusal>& refusals) {
+  for (const Refusal& r : refusals) {
+    // Only track refusals that can still matter: our own pending
+    // transactions or remote transactions we have not seen finish.
+    RefusalState& state = refusals_[r.txn];
+    state.txn_ts = std::max(state.txn_ts, r.txn_ts);
+    state.refusers.insert(r.refuser);
+  }
+}
+
+std::vector<Refusal> HeliosNode::RefusalsSnapshot() const {
+  std::vector<Refusal> out;
+  for (const auto& [txn, state] : refusals_) {
+    for (DcId refuser : state.refusers) {
+      out.push_back(Refusal{refuser, txn, state.txn_ts});
+    }
+  }
+  return out;
+}
+
+}  // namespace helios::core

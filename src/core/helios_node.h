@@ -1,0 +1,246 @@
+// One datacenter's Helios instance: the optimistic concurrency-control
+// manager of Section 4.
+//
+// The node is a transport-agnostic state machine: client requests and peer
+// envelopes come in through Handle* methods, outgoing envelopes leave
+// through an injected send function, and all computation is paced by a
+// single-server ServiceQueue (one Helios machine per datacenter, as in the
+// paper's deployment).
+//
+// The same engine also implements Message Futures (CIDR'13), the paper's
+// closest log-based comparator: both protocols share the replicated log,
+// pools, and conflict detection, and differ only in the commit-wait rule —
+//   Helios (Rule 2):      T[self][B] >= q(t) + co[self][B]  for every B
+//   Message Futures:      T[B][self] >= q(t)                for every B
+// which isolates the paper's contribution (choosing the earliest usable
+// point in the peers' logs) as the only moving part.
+
+#ifndef HELIOS_CORE_HELIOS_NODE_H_
+#define HELIOS_CORE_HELIOS_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/protocol.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/envelope.h"
+#include "core/helios_config.h"
+#include "core/history.h"
+#include "core/rtt_estimator.h"
+#include "rdict/replicated_log.h"
+#include "sim/clock.h"
+#include "sim/scheduler.h"
+#include "sim/service_queue.h"
+#include "store/mv_store.h"
+#include "txn/pool.h"
+
+namespace helios::core {
+
+/// Which commit-wait rule the node runs.
+enum class LogProtocolKind {
+  kHelios,
+  kMessageFutures,
+};
+
+/// Per-node event counters for reporting and tests.
+struct NodeCounters {
+  uint64_t read_requests = 0;
+  uint64_t commit_requests = 0;
+  uint64_t commits = 0;
+  uint64_t aborts_on_request = 0;   ///< Algorithm 1 conflicts / overwrites.
+  uint64_t aborts_by_remote = 0;    ///< Algorithm 2 victims.
+  uint64_t aborts_liveness = 0;     ///< Grace-time invalidation (Rule 3).
+  uint64_t records_ingested = 0;
+  uint64_t envelopes_sent = 0;
+  uint64_t refusals_issued = 0;
+  uint64_t read_only_txns = 0;
+
+  uint64_t total_aborts() const {
+    return aborts_on_request + aborts_by_remote + aborts_liveness;
+  }
+};
+
+class HeliosNode {
+ public:
+  using SendFn = std::function<void(DcId to, const Envelope& env)>;
+
+  /// All pointers must outlive the node. `send` delivers an envelope to a
+  /// peer datacenter (the cluster routes it through the simulated WAN).
+  HeliosNode(DcId id, const HeliosConfig& config, LogProtocolKind kind,
+             sim::Scheduler* scheduler, sim::Clock* clock, SendFn send);
+
+  HeliosNode(const HeliosNode&) = delete;
+  HeliosNode& operator=(const HeliosNode&) = delete;
+
+  /// Schedules periodic log propagation and garbage collection.
+  void Start();
+
+  // --- Server-side request handlers (post client-link latency) ----------
+
+  /// Serves a read: latest locally applied version of `key`.
+  void HandleRead(const Key& key, ReadCallback reply);
+
+  /// Read-only snapshot transaction (Appendix B): reads every key at one
+  /// consistent local snapshot without entering the commit protocol.
+  void HandleReadOnly(std::vector<Key> keys, ReadOnlyCallback reply);
+
+  /// Algorithm 1: processes a commit request.
+  void HandleCommitRequest(std::vector<ReadEntry> reads,
+                           std::vector<WriteEntry> writes,
+                           CommitCallback reply);
+
+  /// Algorithm 2 (+ Algorithm 3 afterwards): processes a peer's envelope.
+  void HandleEnvelope(Envelope env);
+
+  // --- Experiment setup / introspection ----------------------------------
+
+  /// Installs initial data directly (outside the protocol), as the
+  /// experiment loader does before the measured run.
+  void LoadInitial(const Key& key, const Value& value);
+
+  /// Marks the node crashed: it stops sending, and drops client requests
+  /// and incoming envelopes. (Network-level drops are handled separately by
+  /// sim::Network; use both for a full datacenter outage.)
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  DcId id() const { return id_; }
+  const rdict::ReplicatedLog& log() const { return log_; }
+  const MvStore& store() const { return store_; }
+  const NodeCounters& counters() const { return counters_; }
+  size_t pt_pool_size() const { return pt_pool_.size(); }
+  size_t ept_pool_size() const { return ept_pool_.size(); }
+  sim::ServiceQueue& service_queue() { return service_queue_; }
+
+  /// Optional shared recorder for serializability checking.
+  void set_history_recorder(HistoryRecorder* recorder) {
+    history_ = recorder;
+  }
+
+  /// Optional durability hook: invoked with every record this node appends
+  /// locally or ingests fresh from a peer, in processing order. A
+  /// write-ahead log (src/wal) plugged in here makes the node recoverable
+  /// with Restore().
+  using RecordSink = std::function<void(const rdict::LogRecord&)>;
+  void set_record_sink(RecordSink sink) { record_sink_ = std::move(sink); }
+
+  /// Recovery: rebuilds the node's state from the records (and optional
+  /// timetable snapshot) replayed from its write-ahead log. Must run
+  /// before Start() and before any traffic. Re-applies committed write
+  /// sets, repopulates the EPTPool with still-preparing remote
+  /// transactions, aborts this node's own in-flight transactions
+  /// (presumed abort: their clients never received a commit), and raises
+  /// the timestamp floor so no persisted timestamp is ever reused.
+  Status Restore(const std::vector<rdict::LogRecord>& records,
+                 const rdict::Timetable* timetable);
+
+  /// The effective knowledge bound \hat{T}[self][peer] of Eq. 2 (direct
+  /// knowledge, raised by the inferred eta bound when f > 0). Exposed for
+  /// tests.
+  Timestamp EffectiveKnowledge(DcId peer) const;
+
+  /// Online RTT estimator (non-null only with config.estimate_rtts).
+  const RttEstimator* rtt_estimator() const { return rtt_estimator_.get(); }
+
+  /// Replaces this node's commit-offset row co[self][*] (microseconds).
+  /// Applies to transactions requested from now on; in-flight waits keep
+  /// their original knowledge timestamps. The caller is responsible for
+  /// Rule 1 across the deployment (HeliosCluster applies rows derived
+  /// from one MAO solve to every node atomically).
+  void SetCommitOffsetRow(std::vector<Duration> row);
+
+  /// The currently effective offset co[self][x].
+  Duration OffsetTo(DcId x) const;
+
+ private:
+  struct PendingTxn {
+    TxnBodyPtr body;
+    Timestamp request_ts = kMinTimestamp;      ///< q(t).
+    std::vector<Timestamp> kts;                ///< Per peer (Eq. 1).
+    CommitCallback reply;
+  };
+
+  // Algorithm bodies (run inside the service queue).
+  void ProcessCommitRequest(std::vector<ReadEntry> reads,
+                            std::vector<WriteEntry> writes,
+                            CommitCallback reply);
+  void ProcessEnvelope(Envelope env);
+
+  /// Algorithm 3: commits every pending transaction whose wait conditions
+  /// are now satisfied; aborts the provably unreplicable ones.
+  void TryCommitAll();
+
+  /// Rule 2 condition (1) — or the Message Futures wait.
+  bool CommitWaitSatisfied(const PendingTxn& t) const;
+
+  /// Rule 3 conditions (2) and (3): f peers acknowledged t's record within
+  /// the grace time. Sets `*doomed` when too many peers refused for the
+  /// quorum to ever form.
+  bool AckQuorumSatisfied(const PendingTxn& t, bool* doomed) const;
+
+  /// eta of Eq. 3 for `target`: the knowledge of `target` inferable from
+  /// the n-f best-informed other datacenters, minus the grace time.
+  Timestamp EtaBound(DcId target) const;
+
+  /// True if `read` still matches the latest locally applied version.
+  bool ReadStillValid(const ReadEntry& read) const;
+
+  void AbortPending(const TxnId& id, const std::string& reason,
+                    uint64_t NodeCounters::* counter);
+  void CommitPending(const TxnId& id);
+  void FinishTxn(const TxnId& id);  // Shared pending-bookkeeping removal.
+
+  /// Version timestamp for a commit: local clock, dependency-bumped above
+  /// every version the transaction read or overwrites (see MvStore docs).
+  Timestamp DependencyBumpedVersionTs(const TxnBody& body);
+
+  void SendToAllPeers();
+  void RunGc();
+  void MergeRefusals(const std::vector<Refusal>& refusals);
+  std::vector<Refusal> RefusalsSnapshot() const;
+
+  const DcId id_;
+  const HeliosConfig& config_;
+  const LogProtocolKind kind_;
+  sim::Scheduler* scheduler_;
+  sim::Clock* clock_;
+  SendFn send_;
+  sim::ServiceQueue service_queue_;
+
+  rdict::ReplicatedLog log_;
+  MvStore store_;
+  TxnPool pt_pool_;   ///< Local preparing transactions.
+  TxnPool ept_pool_;  ///< External (remote) preparing transactions.
+
+  /// Local preparing transactions by id, plus an index by q(t) so
+  /// Algorithm 3 visits them oldest-first.
+  std::map<TxnId, PendingTxn> pending_;
+  std::map<std::pair<Timestamp, TxnId>, TxnId> pending_by_ts_;
+
+  /// Datacenters known to have refused to acknowledge a transaction.
+  struct RefusalState {
+    Timestamp txn_ts = kMinTimestamp;
+    std::set<DcId> refusers;
+  };
+  std::map<TxnId, RefusalState> refusals_;
+
+  uint64_t next_txn_seq_ = 1;
+  uint64_t next_load_seq_ = 1;
+  bool down_ = false;
+  NodeCounters counters_;
+  HistoryRecorder* history_ = nullptr;
+  RecordSink record_sink_;
+  std::unique_ptr<RttEstimator> rtt_estimator_;
+  /// Runtime override of co[self][*]; empty = use the config's offsets.
+  std::vector<Duration> offset_row_override_;
+};
+
+}  // namespace helios::core
+
+#endif  // HELIOS_CORE_HELIOS_NODE_H_

@@ -1,0 +1,122 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace helios::core {
+
+namespace {
+
+struct VersionRef {
+  Timestamp version_ts;
+  TxnId writer;
+  size_t txn_index;  // Index into `commits`.
+
+  bool operator<(const VersionRef& o) const {
+    if (version_ts != o.version_ts) return version_ts < o.version_ts;
+    return writer < o.writer;
+  }
+};
+
+}  // namespace
+
+Status CheckSerializable(const std::vector<CommittedTxn>& commits) {
+  const size_t n = commits.size();
+  std::unordered_map<TxnId, size_t, TxnIdHash> index;
+  index.reserve(n);
+  for (size_t i = 0; i < n; ++i) index.emplace(commits[i].id, i);
+
+  // Per-key committed version chains, ordered by (version_ts, writer) —
+  // the same order MvStore uses, so this matches what replicas installed.
+  std::map<Key, std::vector<VersionRef>> chains;
+  for (size_t i = 0; i < n; ++i) {
+    for (const WriteEntry& w : commits[i].body->write_set) {
+      chains[w.key].push_back(
+          VersionRef{commits[i].version_ts, commits[i].id, i});
+    }
+  }
+  for (auto& [key, chain] : chains) {
+    std::sort(chain.begin(), chain.end());
+  }
+
+  std::vector<std::vector<size_t>> adj(n);
+  auto add_edge = [&](size_t from, size_t to) {
+    if (from != to) adj[from].push_back(to);
+  };
+
+  // Write-write edges: consecutive versions of a key.
+  for (const auto& [key, chain] : chains) {
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      add_edge(chain[i].txn_index, chain[i + 1].txn_index);
+    }
+  }
+
+  // Reads-from (wr) and anti-dependency (rw) edges.
+  for (size_t r = 0; r < n; ++r) {
+    for (const ReadEntry& read : commits[r].body->read_set) {
+      auto chain_it = chains.find(read.key);
+      const std::vector<VersionRef>* chain =
+          chain_it == chains.end() ? nullptr : &chain_it->second;
+
+      if (read.version_writer.valid()) {
+        auto writer_it = index.find(read.version_writer);
+        if (writer_it != index.end()) {
+          add_edge(writer_it->second, r);  // wr: writer before reader.
+          if (chain != nullptr) {
+            // rw: reader before the writer of the *next* version.
+            const VersionRef probe{read.version_ts, read.version_writer, 0};
+            auto next = std::upper_bound(chain->begin(), chain->end(), probe);
+            if (next != chain->end()) add_edge(r, next->txn_index);
+          }
+          continue;
+        }
+      }
+      // Read of the initial state (or of a writer outside the recorded
+      // history): the reader precedes every recorded writer of the key.
+      if (chain != nullptr && !chain->empty()) {
+        add_edge(r, chain->front().txn_index);
+      }
+    }
+  }
+
+  // Cycle detection: iterative three-color DFS.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(n, kWhite);
+  std::vector<size_t> parent(n, SIZE_MAX);
+  for (size_t start = 0; start < n; ++start) {
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (node, next-child idx)
+    stack.emplace_back(start, 0);
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < adj[node].size()) {
+        const size_t next = adj[node][child++];
+        if (color[next] == kGray) {
+          // Reconstruct the cycle for the error message.
+          std::string cycle = commits[next].id.ToString();
+          size_t walk = node;
+          cycle += " <- " + commits[walk].id.ToString();
+          while (walk != next && parent[walk] != SIZE_MAX) {
+            walk = parent[walk];
+            cycle += " <- " + commits[walk].id.ToString();
+          }
+          return Status::FailedPrecondition(
+              "serialization graph has a cycle: " + cycle);
+        }
+        if (color[next] == kWhite) {
+          color[next] = kGray;
+          parent[next] = node;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace helios::core

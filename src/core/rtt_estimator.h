@@ -1,0 +1,78 @@
+// Online RTT estimation over the log exchange.
+//
+// Section 4.5 plans commit offsets from "an estimation of the RTT", and
+// Figure 5 shows what estimation errors cost. This component produces that
+// estimate from live traffic instead of an operator-supplied table: every
+// periodic envelope doubles as a ping, the peer's next envelope carries the
+// echo together with how long it held the ping (so tick alignment does not
+// inflate the sample), and smoothed per-peer RTTs are maintained with an
+// EWMA. Each node gossips its own row, so every node eventually holds the
+// full matrix the MAO replanner needs.
+//
+// Clock skew cancels out by construction: both endpoints only ever
+// subtract timestamps taken on their own clock.
+
+#ifndef HELIOS_CORE_RTT_ESTIMATOR_H_
+#define HELIOS_CORE_RTT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/envelope.h"
+#include "lp/mao.h"
+
+namespace helios::core {
+
+class RttEstimator {
+ public:
+  /// `alpha` is the EWMA weight of a new sample.
+  RttEstimator(DcId self, int n, double alpha = 0.2);
+
+  /// Sender side: stamps `env` (about to go to `peer`) with a fresh ping,
+  /// the echo of the peer's latest ping, and this node's gossip row.
+  /// `now` must be a monotonic local time (the scheduler's, not the
+  /// skewed datacenter clock).
+  void StampOutgoing(DcId peer, Timestamp now, Envelope* env);
+
+  /// Receiver side: consumes the estimation fields of an envelope that
+  /// arrived from `peer` at local time `now`.
+  void OnIncoming(DcId peer, Timestamp now, const Envelope& env);
+
+  /// Smoothed RTT to `peer` in microseconds; 0 if no sample yet.
+  Duration EstimatedRttTo(DcId peer) const;
+
+  /// True once this node has an estimate for every pair (own samples plus
+  /// gossiped rows from every peer).
+  bool MatrixComplete() const;
+
+  /// The full estimated matrix in milliseconds. Pairs are symmetrized by
+  /// averaging the two directions' estimates. Requires MatrixComplete().
+  lp::RttMatrix MatrixMs() const;
+
+  uint64_t samples() const { return samples_; }
+
+ private:
+  struct PeerState {
+    uint32_t next_ping_id = 1;
+    /// Outstanding pings: id -> local send time (bounded FIFO).
+    std::map<uint32_t, Timestamp> outstanding;
+    uint32_t latest_ping_from_peer = 0;
+    Timestamp latest_ping_recv_time = 0;
+    double ewma_rtt_us = 0.0;
+  };
+
+  DcId self_;
+  int n_;
+  double alpha_;
+  std::vector<PeerState> peers_;
+  /// rows_[dc][x] = dc's advertised RTT estimate to x (us; 0 unknown).
+  /// Row self_ is maintained from our own EWMAs.
+  std::vector<std::vector<Duration>> rows_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace helios::core
+
+#endif  // HELIOS_CORE_RTT_ESTIMATOR_H_

@@ -1,0 +1,204 @@
+#include "harness/experiment.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "baselines/replicated_commit.h"
+#include "baselines/two_pc_paxos.h"
+#include "core/helios_cluster.h"
+#include "core/history.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "workload/client.h"
+
+namespace helios::harness {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kHelios0:
+      return "Helios-0";
+    case Protocol::kHelios1:
+      return "Helios-1";
+    case Protocol::kHelios2:
+      return "Helios-2";
+    case Protocol::kHeliosB:
+      return "Helios-B";
+    case Protocol::kMessageFutures:
+      return "MessageFutures";
+    case Protocol::kReplicatedCommit:
+      return "ReplicatedCommit";
+    case Protocol::kTwoPcPaxos:
+      return "2PC/Paxos";
+  }
+  return "?";
+}
+
+std::vector<std::vector<Duration>> PlanCommitOffsets(
+    const Topology& topology, const std::optional<lp::RttMatrix>& estimate) {
+  const lp::RttMatrix& rtt = estimate.has_value() ? *estimate : topology.rtt_ms;
+  auto mao = lp::SolveMao(rtt);
+  assert(mao.ok());
+  const auto offsets_ms = lp::CommitOffsetsFromLatencies(rtt, mao.value());
+  const int n = topology.size();
+  std::vector<std::vector<Duration>> out(
+      static_cast<size_t>(n), std::vector<Duration>(static_cast<size_t>(n), 0));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      out[a][b] = static_cast<Duration>(offsets_ms[a][b] * 1000.0);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int FaultTolerance(Protocol p) {
+  switch (p) {
+    case Protocol::kHelios1:
+      return 1;
+    case Protocol::kHelios2:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+bool IsHeliosFamily(Protocol p) {
+  return p == Protocol::kHelios0 || p == Protocol::kHelios1 ||
+         p == Protocol::kHelios2 || p == Protocol::kHeliosB ||
+         p == Protocol::kMessageFutures;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  const int n = config.topology.size();
+  sim::Scheduler scheduler;
+  sim::Network network(&scheduler, n, config.seed);
+  ConfigureNetwork(config.topology, &network);
+
+  std::unique_ptr<ProtocolCluster> cluster;
+  core::HistoryRecorder* history = nullptr;
+
+  if (IsHeliosFamily(config.protocol)) {
+    core::HeliosConfig hc;
+    hc.num_datacenters = n;
+    hc.fault_tolerance = FaultTolerance(config.protocol);
+    hc.grace_time = config.grace_time;
+    hc.log_interval = config.log_interval;
+    hc.client_link_one_way = config.client_link_one_way;
+    hc.service = config.service;
+    hc.clock_offsets = config.clock_offsets;
+    if (config.protocol != Protocol::kHeliosB &&
+        config.protocol != Protocol::kMessageFutures) {
+      hc.commit_offsets = PlanCommitOffsets(config.topology,
+                                            config.rtt_estimate_ms);
+    }
+    if (config.protocol == Protocol::kMessageFutures) {
+      cluster = core::MakeMessageFuturesCluster(&scheduler, &network,
+                                                std::move(hc));
+    } else {
+      cluster = std::make_unique<core::HeliosCluster>(
+          &scheduler, &network, std::move(hc), core::LogProtocolKind::kHelios,
+          ProtocolName(config.protocol));
+    }
+    history = &static_cast<core::HeliosCluster*>(cluster.get())->history();
+  } else if (config.protocol == Protocol::kReplicatedCommit) {
+    baselines::ReplicatedCommitConfig rc;
+    rc.num_datacenters = n;
+    rc.client_link_one_way = config.client_link_one_way;
+    rc.service = config.service;
+    rc.clock_offsets = config.clock_offsets;
+    cluster = std::make_unique<baselines::ReplicatedCommitCluster>(
+        &scheduler, &network, std::move(rc));
+    history =
+        &static_cast<baselines::ReplicatedCommitCluster*>(cluster.get())
+             ->history();
+  } else {
+    baselines::TwoPcPaxosConfig tp;
+    tp.num_datacenters = n;
+    tp.coordinator = config.two_pc_coordinator;
+    tp.client_link_one_way = config.client_link_one_way;
+    tp.service = config.service;
+    tp.clock_offsets = config.clock_offsets;
+    cluster = std::make_unique<baselines::TwoPcPaxosCluster>(
+        &scheduler, &network, std::move(tp));
+    history =
+        &static_cast<baselines::TwoPcPaxosCluster*>(cluster.get())->history();
+  }
+
+  if (config.preload) {
+    for (uint64_t i = 0; i < config.workload.num_keys; ++i) {
+      cluster->LoadInitialAll(workload::TYcsbGenerator::KeyName(i), "init");
+    }
+  }
+  cluster->Start();
+
+  const sim::SimTime measure_from = config.warmup;
+  const sim::SimTime measure_until = config.warmup + config.measure;
+  std::vector<std::unique_ptr<workload::ClosedLoopClient>> clients;
+  clients.reserve(static_cast<size_t>(config.total_clients));
+  for (int c = 0; c < config.total_clients; ++c) {
+    const DcId home = c % n;
+    clients.push_back(std::make_unique<workload::ClosedLoopClient>(
+        static_cast<uint64_t>(c), home, cluster.get(), &scheduler,
+        config.workload, config.seed + 1000003, measure_from, measure_until,
+        /*stop_at=*/measure_until));
+    // Stagger client start a little to avoid a synchronized burst.
+    scheduler.At(Micros(37) * c,
+                 [client = clients.back().get()]() { client->Start(); });
+  }
+
+  scheduler.RunUntil(measure_until + config.drain);
+
+  // Aggregate per datacenter.
+  ExperimentResult result;
+  result.protocol = ProtocolName(config.protocol);
+  result.per_dc.resize(static_cast<size_t>(n));
+  std::vector<workload::ClientMetrics> per_dc(static_cast<size_t>(n));
+  for (const auto& client : clients) {
+    per_dc[static_cast<size_t>(client->home())].Merge(client->metrics());
+  }
+  const double measure_s =
+      static_cast<double>(config.measure) / 1'000'000.0;
+  double latency_sum = 0.0;
+  double abort_sum = 0.0;
+  for (int dc = 0; dc < n; ++dc) {
+    const workload::ClientMetrics& m = per_dc[static_cast<size_t>(dc)];
+    DcResult& r = result.per_dc[static_cast<size_t>(dc)];
+    r.name = config.topology.names[static_cast<size_t>(dc)];
+    r.latency_mean_ms = m.commit_latency_ms.mean();
+    r.latency_stddev_ms = m.commit_latency_ms.stddev();
+    if (m.commit_latency_ms.count() > 1) {
+      r.latency_ci95_ms = 1.96 * r.latency_stddev_ms /
+                          std::sqrt(static_cast<double>(
+                              m.commit_latency_ms.count()));
+    }
+    r.latency_p50_ms = m.commit_latency_ms.Median();
+    r.latency_p99_ms = m.commit_latency_ms.Percentile(99);
+    r.throughput_ops_s = static_cast<double>(m.ops_committed) / measure_s;
+    r.abort_rate = m.abort_rate();
+    r.committed = m.committed;
+    r.aborted = m.aborted;
+    latency_sum += r.latency_mean_ms;
+    abort_sum += r.abort_rate;
+    result.total_throughput_ops_s += r.throughput_ops_s;
+  }
+  result.avg_latency_ms = latency_sum / n;
+  result.avg_abort_rate = abort_sum / n;
+
+  auto mao = lp::SolveMao(config.topology.rtt_ms);
+  if (mao.ok()) {
+    result.optimal_latency_ms = mao.value();
+    result.optimal_avg_latency_ms = lp::AverageLatency(mao.value());
+  }
+
+  if (config.check_serializability && history != nullptr) {
+    result.serializability = core::CheckSerializable(history->commits());
+  }
+  result.events_processed = scheduler.events_processed();
+  return result;
+}
+
+}  // namespace helios::harness

@@ -1,0 +1,126 @@
+// The experiment runner: builds a protocol deployment on a simulated
+// topology, drives T-YCSB closed-loop clients through warm-up and a
+// measurement window, and aggregates the paper's metrics (per-datacenter
+// commit latency with stddev/CI, throughput in operations/sec of committed
+// transactions, abort rate).
+//
+// Every figure and table bench in bench/ is a thin wrapper around
+// RunExperiment with the appropriate parameters.
+
+#ifndef HELIOS_HARNESS_EXPERIMENT_H_
+#define HELIOS_HARNESS_EXPERIMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/helios_config.h"
+#include "harness/topology.h"
+#include "lp/mao.h"
+#include "workload/tycsb.h"
+
+namespace helios::harness {
+
+/// Which protocol deployment to run. Helios-0/1/2 tolerate 0/1/2
+/// datacenter outages; Helios-B runs with all commit offsets zero (no RTT
+/// estimation), exactly the paper's baseline configuration.
+enum class Protocol {
+  kHelios0,
+  kHelios1,
+  kHelios2,
+  kHeliosB,
+  kMessageFutures,
+  kReplicatedCommit,
+  kTwoPcPaxos,
+};
+
+const char* ProtocolName(Protocol p);
+
+struct ExperimentConfig {
+  Topology topology = Table2Topology();
+  Protocol protocol = Protocol::kHelios0;
+
+  /// Clients are assigned to datacenters round-robin ("60 clients
+  /// scattered across all datacenters").
+  int total_clients = 60;
+
+  Duration warmup = Seconds(5);
+  Duration measure = Seconds(30);
+  /// Extra simulated time after the window so in-flight transactions that
+  /// requested commit inside the window still reach a decision.
+  Duration drain = Seconds(5);
+
+  uint64_t seed = 42;
+  workload::WorkloadConfig workload;
+  core::ServiceModel service;
+
+  Duration log_interval = Millis(10);
+  Duration grace_time = Millis(500);
+  Duration client_link_one_way = Micros(500);
+
+  /// Per-datacenter clock offsets in microseconds (Figure 5 skew
+  /// scenarios); empty = synchronized.
+  std::vector<Duration> clock_offsets;
+
+  /// RTT matrix used to *plan* commit offsets (Section 4.5). Defaults to
+  /// the topology's true RTTs; Figure 5's estimation-error experiments
+  /// pass a perturbed matrix here while the network keeps the truth.
+  std::optional<lp::RttMatrix> rtt_estimate_ms;
+
+  /// 2PC/Paxos coordinator (the paper uses Virginia = index 0).
+  DcId two_pc_coordinator = 0;
+
+  /// Pre-populate all workload keys before the run.
+  bool preload = true;
+
+  /// Verify conflict-serializability of the committed history after the
+  /// run (cheap for test-scale runs; quadratic-ish for huge ones).
+  bool check_serializability = false;
+};
+
+struct DcResult {
+  std::string name;
+  double latency_mean_ms = 0.0;
+  double latency_stddev_ms = 0.0;
+  double latency_ci95_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double throughput_ops_s = 0.0;
+  double abort_rate = 0.0;  ///< Fraction in [0, 1].
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
+
+struct ExperimentResult {
+  std::string protocol;
+  std::vector<DcResult> per_dc;
+
+  double avg_latency_ms = 0.0;           ///< Mean of per-DC means.
+  double total_throughput_ops_s = 0.0;
+  double avg_abort_rate = 0.0;
+
+  /// The MAO optimum for the topology (the "Optimal" line in Figure 3).
+  std::vector<double> optimal_latency_ms;
+  double optimal_avg_latency_ms = 0.0;
+
+  /// Only set when check_serializability was requested and the protocol
+  /// records history.
+  std::optional<Status> serializability;
+
+  uint64_t events_processed = 0;
+};
+
+/// Runs one experiment to completion. Deterministic given the config.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Commit offsets (microseconds) Helios would use for this config: MAO on
+/// the RTT estimate, converted through Eq. 5. Exposed for benches that
+/// report the planning stage itself.
+std::vector<std::vector<Duration>> PlanCommitOffsets(
+    const Topology& topology, const std::optional<lp::RttMatrix>& estimate);
+
+}  // namespace helios::harness
+
+#endif  // HELIOS_HARNESS_EXPERIMENT_H_

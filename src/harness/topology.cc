@@ -1,0 +1,56 @@
+#include "harness/topology.h"
+
+#include <cassert>
+
+namespace helios::harness {
+
+Topology Table2Topology() {
+  Topology t(5);
+  t.names = {"V", "O", "C", "I", "S"};
+  // Table 2 is read from the upper triangle; where the paper's two
+  // directions report slightly different standard deviations, the average
+  // is used.
+  t.Set(0, 1, 66, 10.5);   // V-O
+  t.Set(0, 2, 78, 9.5);    // V-C
+  t.Set(0, 3, 84, 8.5);    // V-I
+  t.Set(0, 4, 268, 6.5);   // V-S
+  t.Set(1, 2, 19, 1.0);    // O-C
+  t.Set(1, 3, 175, 7.0);   // O-I
+  t.Set(1, 4, 210, 4.2);   // O-S
+  t.Set(2, 3, 175, 6.5);   // C-I
+  t.Set(2, 4, 182, 6.0);   // C-S
+  t.Set(3, 4, 194, 4.0);   // I-S
+  return t;
+}
+
+Topology PaperExampleTopology() {
+  Topology t(3);
+  t.names = {"A", "B", "C"};
+  t.Set(0, 1, 30, 0);
+  t.Set(0, 2, 20, 0);
+  t.Set(1, 2, 40, 0);
+  return t;
+}
+
+Topology UniformTopology(int n, double rtt_ms, double stddev_ms) {
+  Topology t(n);
+  for (int i = 0; i < n; ++i) t.names[static_cast<size_t>(i)] = "DC" + std::to_string(i);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) t.Set(a, b, rtt_ms, stddev_ms);
+  }
+  return t;
+}
+
+void ConfigureNetwork(const Topology& topology, sim::Network* network) {
+  assert(network->size() == topology.size());
+  for (int a = 0; a < topology.size(); ++a) {
+    for (int b = a + 1; b < topology.size(); ++b) {
+      network->SetRtt(a, b,
+                      static_cast<Duration>(topology.rtt_ms.Get(a, b) * 1000.0),
+                      static_cast<Duration>(
+                          topology.rtt_stddev_ms.Get(a, b) * 1000.0));
+    }
+  }
+}
+
+}  // namespace helios::harness

@@ -1,0 +1,49 @@
+// Deployment topologies: named datacenters plus the RTT mean/stddev
+// matrices that configure the simulated WAN. Includes the paper's two
+// canonical instances — the five-datacenter AWS deployment of Table 2 and
+// the three-datacenter example of Section 3.2 / Table 1.
+
+#ifndef HELIOS_HARNESS_TOPOLOGY_H_
+#define HELIOS_HARNESS_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/mao.h"
+#include "sim/network.h"
+
+namespace helios::harness {
+
+struct Topology {
+  std::vector<std::string> names;
+  lp::RttMatrix rtt_ms;
+  lp::RttMatrix rtt_stddev_ms;
+
+  explicit Topology(int n)
+      : names(static_cast<size_t>(n)), rtt_ms(n), rtt_stddev_ms(n) {}
+
+  int size() const { return rtt_ms.size(); }
+  void Set(int a, int b, double rtt, double stddev) {
+    rtt_ms.Set(a, b, rtt);
+    rtt_stddev_ms.Set(a, b, stddev);
+  }
+};
+
+/// Table 2: Virginia, Oregon, California, Ireland, Singapore with the
+/// measured RTT means and standard deviations in milliseconds.
+Topology Table2Topology();
+
+/// The Section 3.2 / Table 1 example: three datacenters A, B, C with
+/// RTT(A,B)=30, RTT(A,C)=20, RTT(B,C)=40.
+Topology PaperExampleTopology();
+
+/// Synthetic all-pairs-equal topology.
+Topology UniformTopology(int n, double rtt_ms, double stddev_ms = 0.0);
+
+/// Applies the topology's link parameters to a simulated network of the
+/// same size.
+void ConfigureNetwork(const Topology& topology, sim::Network* network);
+
+}  // namespace helios::harness
+
+#endif  // HELIOS_HARNESS_TOPOLOGY_H_

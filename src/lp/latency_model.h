@@ -1,0 +1,58 @@
+// Appendix A.1: the analytic model of Helios's *observable* commit latency
+// under clock skew and RTT-estimation error.
+//
+// With commit offsets planned from estimated RTTs for target latencies L,
+// the wait on peer B contributes
+//
+//     L_A + theta(A, B) + rho(A, B) / 2                     (Eq. 7)
+//
+// where theta(A, B) is A's clock offset minus B's (positive when A's clock
+// runs ahead — A must wait longer for B's timestamps to catch up) and
+// rho(A, B) is the amount by which the true RTT exceeds the estimate (the
+// log physically takes rho/2 longer per direction than planned). The
+// observable latency is the maximum over peers, floored at zero (a message
+// can already have arrived before the commit request), plus the compute
+// overheads C_local / C_remote of Eq. 8, which the caller supplies as a
+// measured constant.
+
+#ifndef HELIOS_LP_LATENCY_MODEL_H_
+#define HELIOS_LP_LATENCY_MODEL_H_
+
+#include <vector>
+
+#include "lp/mao.h"
+
+namespace helios::lp {
+
+struct LatencyPrediction {
+  /// Predicted per-datacenter observable commit latency, ms (before adding
+  /// compute overhead).
+  std::vector<double> latency_ms;
+  /// For each datacenter, the peer whose log the commit ends up waiting on
+  /// (the argmax of Eq. 7).
+  std::vector<int> binding_peer;
+};
+
+/// Evaluates Eq. 7 for every datacenter.
+///
+/// `true_rtt`      — the RTTs the network actually delivers;
+/// `estimated_rtt` — the RTTs used to plan commit offsets (Section 4.5);
+/// `planned_latency_ms` — the target latencies L fed into Eq. 5
+///                   (typically SolveMao(estimated_rtt));
+/// `clock_offset_ms`  — per-datacenter clock offsets (empty = synchronized);
+/// `overhead_ms`      — constant compute/link overhead added to every
+///                   prediction (C_local + typical C_remote of Eq. 8).
+LatencyPrediction PredictLatencies(const RttMatrix& true_rtt,
+                                   const RttMatrix& estimated_rtt,
+                                   const std::vector<double>& planned_latency_ms,
+                                   const std::vector<double>& clock_offset_ms,
+                                   double overhead_ms = 0.0);
+
+/// Convenience: plans latencies with MAO on `estimated_rtt` first.
+LatencyPrediction PredictLatenciesFromEstimate(
+    const RttMatrix& true_rtt, const RttMatrix& estimated_rtt,
+    const std::vector<double>& clock_offset_ms, double overhead_ms = 0.0);
+
+}  // namespace helios::lp
+
+#endif  // HELIOS_LP_LATENCY_MODEL_H_

@@ -1,0 +1,107 @@
+// Commit-latency planning: the Minimum Average Optimal (MAO) linear program
+// of Section 3.3, the commit-offset assignment of Section 4.5, the analytic
+// latency models behind Table 1, and the throughput-objective variant of
+// Appendix A.2.
+//
+// All latencies in this module are in milliseconds (matching the paper's
+// presentation); the Helios engine converts to microsecond Durations when
+// it consumes the offsets.
+
+#ifndef HELIOS_LP_MAO_H_
+#define HELIOS_LP_MAO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios::lp {
+
+/// Symmetric matrix of mean round-trip times between datacenters.
+class RttMatrix {
+ public:
+  explicit RttMatrix(int n);
+
+  int size() const { return n_; }
+  double Get(int a, int b) const;
+  /// Sets both (a, b) and (b, a). a != b; rtt_ms >= 0.
+  void Set(int a, int b, double rtt_ms);
+
+  /// Returns a copy with every entry transformed by `f(a, b, rtt)` — used to
+  /// inject the RTT-estimation errors of Figure 5.
+  template <typename F>
+  RttMatrix Map(F f) const {
+    RttMatrix out(n_);
+    for (int a = 0; a < n_; ++a) {
+      for (int b = a + 1; b < n_; ++b) {
+        out.Set(a, b, f(a, b, Get(a, b)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  int n_;
+  std::vector<double> rtt_;
+};
+
+/// Solves Problem 1: minimize (1/n) * sum L_i subject to
+/// L_a + L_b >= RTT(a, b) for all pairs, L >= 0. Returns per-datacenter
+/// commit latencies in milliseconds.
+Result<std::vector<double>> SolveMao(const RttMatrix& rtt);
+
+/// Average of a latency vector.
+double AverageLatency(const std::vector<double>& latencies);
+
+/// True if L_a + L_b >= RTT(a, b) - eps for every pair (Lemma 1).
+bool SatisfiesLowerBound(const RttMatrix& rtt,
+                         const std::vector<double>& latencies,
+                         double eps = 1e-6);
+
+/// Commit offsets from target latencies (Eq. 5):
+///   co[a][b] = L_a - RTT(a, b) / 2        (diagonal entries are 0)
+std::vector<std::vector<double>> CommitOffsetsFromLatencies(
+    const RttMatrix& rtt, const std::vector<double>& latencies);
+
+/// Estimated commit latency from offsets (Eq. 4):
+///   L_a = max_b (co[a][b] + RTT(a, b) / 2)
+std::vector<double> EstimateLatencies(
+    const RttMatrix& rtt, const std::vector<std::vector<double>>& offsets);
+
+/// Verifies Rule 1: co[a][b] + co[b][a] >= -eps for every pair.
+Status ValidateOffsets(const std::vector<std::vector<double>>& offsets,
+                       double eps = 1e-6);
+
+// --- Analytic models for Table 1 -----------------------------------------
+
+/// Master/slave replication: the master commits immediately; every other
+/// datacenter's commit latency is its RTT to the master.
+std::vector<double> MasterSlaveLatencies(const RttMatrix& rtt, int master);
+
+/// Majority replication: each datacenter waits for acknowledgments from a
+/// majority (itself plus the closest floor(n/2) peers), so its latency is
+/// the RTT to its floor(n/2)-th closest peer.
+std::vector<double> MajorityLatencies(const RttMatrix& rtt);
+
+// --- Appendix A.2: throughput-optimal assignment --------------------------
+
+/// Maximizes sum_i 1 / (L_i + overhead_ms) over the feasibility polytope.
+/// The objective is convex, so the maximum sits at a vertex; this heuristic
+/// tries, for each datacenter k, pinning L_k = 0 and greedily minimizing
+/// the rest, plus the MAO point, and returns the best. `overhead_ms` is the
+/// constant c of Appendix A.2 (transaction execution overhead) and must be
+/// positive.
+struct ThroughputPlan {
+  std::vector<double> latencies;
+  double rate_per_client = 0.0;  ///< sum_i 1000 / (L_i + c), txns/sec.
+};
+Result<ThroughputPlan> OptimizeThroughput(const RttMatrix& rtt,
+                                          double overhead_ms);
+
+/// The rate objective for a given assignment (txns/sec per client).
+double ThroughputRate(const std::vector<double>& latencies,
+                      double overhead_ms);
+
+}  // namespace helios::lp
+
+#endif  // HELIOS_LP_MAO_H_

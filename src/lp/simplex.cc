@@ -1,0 +1,210 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace helios::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau. Columns: structural vars, then surplus vars, then
+// artificial vars, then the RHS. Rows: one per constraint, plus the
+// objective row last.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p)
+      : m_(static_cast<int>(p.constraints.size())),
+        n_(p.num_vars),
+        cols_(p.num_vars + 2 * static_cast<int>(p.constraints.size()) + 1),
+        cells_(static_cast<size_t>(m_ + 1) * cols_, 0.0),
+        basis_(m_) {
+    // a.x >= b  ->  a.x - s = b; negate rows with negative rhs so that
+    // b >= 0, then add artificial variables as the starting basis.
+    for (int i = 0; i < m_; ++i) {
+      const auto& con = p.constraints[i];
+      double sign = con.rhs < 0.0 ? -1.0 : 1.0;
+      for (int j = 0; j < n_; ++j) At(i, j) = sign * con.coeffs[j];
+      At(i, SurplusCol(i)) = sign * -1.0;
+      At(i, ArtificialCol(i)) = 1.0;
+      Rhs(i) = sign * con.rhs;
+      basis_[i] = ArtificialCol(i);
+    }
+  }
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  int num_cols() const { return cols_ - 1; }
+  int SurplusCol(int i) const { return n_ + i; }
+  int ArtificialCol(int i) const { return n_ + m_ + i; }
+  bool IsArtificial(int col) const { return col >= n_ + m_; }
+
+  double& At(int row, int col) {
+    return cells_[static_cast<size_t>(row) * cols_ + col];
+  }
+  double& Rhs(int row) { return At(row, cols_ - 1); }
+  double& Obj(int col) { return At(m_, col); }
+  double& ObjValue() { return At(m_, cols_ - 1); }
+  int basis(int row) const { return basis_[row]; }
+
+  // Loads the phase-1 objective (sum of artificials) into the objective
+  // row, expressed in terms of the current basis.
+  void LoadPhase1Objective() {
+    for (int j = 0; j <= num_cols(); ++j) Obj(j) = 0.0;
+    for (int i = 0; i < m_; ++i) Obj(ArtificialCol(i)) = 1.0;
+    PriceOut();
+  }
+
+  // Loads the phase-2 objective (the problem's own), pricing out basics.
+  void LoadPhase2Objective(const std::vector<double>& c) {
+    for (int j = 0; j <= num_cols(); ++j) Obj(j) = 0.0;
+    for (int j = 0; j < n_; ++j) Obj(j) = c[j];
+    PriceOut();
+  }
+
+  // Subtracts multiples of constraint rows so basic columns have zero
+  // reduced cost.
+  void PriceOut() {
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[i];
+      const double coef = Obj(b);
+      if (std::fabs(coef) < kEps) continue;
+      for (int j = 0; j <= num_cols(); ++j) At(m_, j) -= coef * At(i, j);
+    }
+  }
+
+  // One simplex phase with Bland's rule over columns [0, max_col).
+  // Returns kOk at optimality, kAborted if unbounded.
+  Status Optimize(int max_col) {
+    for (;;) {
+      // Entering column: smallest index with negative reduced cost.
+      int enter = -1;
+      for (int j = 0; j < max_col; ++j) {
+        if (Obj(j) < -kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return Status::Ok();
+
+      // Leaving row: minimum ratio, ties by smallest basis index (Bland).
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        const double a = At(i, enter);
+        if (a > kEps) {
+          const double ratio = Rhs(i) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return Status::Aborted("LP is unbounded");
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(int row, int col) {
+    const double pivot = At(row, col);
+    assert(std::fabs(pivot) > kEps);
+    for (int j = 0; j <= num_cols(); ++j) At(row, j) /= pivot;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      const double factor = At(i, col);
+      if (std::fabs(factor) < kEps) continue;
+      for (int j = 0; j <= num_cols(); ++j) At(i, j) -= factor * At(row, j);
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1, pivots any artificial still in the basis out on a
+  // non-artificial column (possible because its row value is ~0), or
+  // detects a redundant row (all-zero) and leaves it: it is harmless.
+  void EvictArtificials() {
+    for (int i = 0; i < m_; ++i) {
+      if (!IsArtificial(basis_[i])) continue;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (std::fabs(At(i, j)) > kEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> Extract() const {
+    std::vector<double> x(static_cast<size_t>(n_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) {
+        x[basis_[i]] =
+            cells_[static_cast<size_t>(i) * cols_ + (cols_ - 1)];
+      }
+    }
+    return x;
+  }
+
+ private:
+  int m_;
+  int n_;
+  int cols_;
+  std::vector<double> cells_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+void LpProblem::AddGe(std::vector<double> coeffs, double rhs) {
+  constraints.push_back(Constraint{std::move(coeffs), rhs});
+}
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  if (problem.num_vars <= 0 ||
+      static_cast<int>(problem.objective.size()) != problem.num_vars) {
+    return Status::InvalidArgument("objective size mismatch");
+  }
+  for (const auto& con : problem.constraints) {
+    if (static_cast<int>(con.coeffs.size()) != problem.num_vars) {
+      return Status::InvalidArgument("constraint size mismatch");
+    }
+  }
+  if (problem.constraints.empty()) {
+    // x = 0 is optimal for non-negative objectives; unbounded otherwise.
+    for (double c : problem.objective) {
+      if (c < -kEps) return Status::Aborted("LP is unbounded");
+    }
+    LpSolution sol;
+    sol.x.assign(static_cast<size_t>(problem.num_vars), 0.0);
+    return sol;
+  }
+
+  Tableau t(problem);
+
+  // Phase 1: feasibility.
+  t.LoadPhase1Objective();
+  Status s = t.Optimize(t.num_cols());
+  if (!s.ok()) return s;
+  if (-t.ObjValue() > 1e-6) {
+    return Status::FailedPrecondition("LP is infeasible");
+  }
+  t.EvictArtificials();
+
+  // Phase 2: optimality over non-artificial columns only.
+  t.LoadPhase2Objective(problem.objective);
+  s = t.Optimize(t.n() + t.m());
+  if (!s.ok()) return s;
+
+  LpSolution sol;
+  sol.x = t.Extract();
+  sol.objective_value = 0.0;
+  for (int j = 0; j < problem.num_vars; ++j) {
+    sol.objective_value += problem.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace helios::lp

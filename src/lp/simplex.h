@@ -1,0 +1,49 @@
+// A small, dependency-free two-phase simplex solver.
+//
+// The paper derives the Minimum Average Optimal (MAO) commit latencies with
+// a linear program (Problem 1, Section 3.3): minimize the average commit
+// latency subject to L_A + L_B >= RTT(A, B) for every pair and L >= 0. This
+// solver is general enough for that family of problems: minimize c^T x
+// subject to A x >= b, x >= 0. Bland's rule guarantees termination.
+
+#ifndef HELIOS_LP_SIMPLEX_H_
+#define HELIOS_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios::lp {
+
+/// minimize objective . x   subject to
+///   constraints[i].coeffs . x >= constraints[i].rhs   for all i
+///   x >= 0
+struct LpProblem {
+  struct Constraint {
+    std::vector<double> coeffs;  ///< One coefficient per variable.
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  std::vector<double> objective;  ///< One coefficient per variable.
+  std::vector<Constraint> constraints;
+
+  /// Appends a constraint; pads/truncates nothing — sizes must match.
+  void AddGe(std::vector<double> coeffs, double rhs);
+};
+
+struct LpSolution {
+  double objective_value = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. Returns:
+///  - kInvalidArgument if shapes are inconsistent,
+///  - kFailedPrecondition if infeasible,
+///  - kAborted if unbounded,
+///  - the optimal solution otherwise.
+Result<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace helios::lp
+
+#endif  // HELIOS_LP_SIMPLEX_H_

@@ -1,0 +1,154 @@
+#include "paxos/paxos.h"
+
+#include <cassert>
+#include <utility>
+
+namespace helios::paxos {
+
+// --- Acceptor ---------------------------------------------------------------
+
+PrepareReply Acceptor::OnPrepare(const PrepareRequest& req) {
+  SlotState& s = slots_[req.slot];
+  PrepareReply reply;
+  reply.slot = req.slot;
+  reply.id = req.id;
+  if (s.promised < req.id) {
+    s.promised = req.id;
+    reply.promised = true;
+    reply.has_accepted = s.has_accepted;
+    reply.accepted_id = s.accepted_id;
+    reply.accepted_value = s.accepted_value;
+  } else {
+    reply.promised = false;
+  }
+  return reply;
+}
+
+AcceptReply Acceptor::OnAccept(const AcceptRequest& req) {
+  SlotState& s = slots_[req.slot];
+  AcceptReply reply;
+  reply.slot = req.slot;
+  reply.id = req.id;
+  // Accept unless a strictly higher proposal has been promised.
+  if (s.promised <= req.id) {
+    s.promised = req.id;
+    s.has_accepted = true;
+    s.accepted_id = req.id;
+    s.accepted_value = req.value;
+    reply.accepted = true;
+  } else {
+    reply.accepted = false;
+  }
+  return reply;
+}
+
+bool Acceptor::HasAccepted(SlotId slot) const {
+  auto it = slots_.find(slot);
+  return it != slots_.end() && it->second.has_accepted;
+}
+
+std::optional<PaxosValue> Acceptor::AcceptedValue(SlotId slot) const {
+  auto it = slots_.find(slot);
+  if (it == slots_.end() || !it->second.has_accepted) return std::nullopt;
+  return it->second.accepted_value;
+}
+
+// --- Replicator --------------------------------------------------------------
+
+Replicator::Replicator(DcId self, int n, bool lease, Acceptor* self_acceptor,
+                       SendPrepare send_prepare, SendAccept send_accept)
+    : self_(self),
+      n_(n),
+      lease_(lease),
+      self_acceptor_(self_acceptor),
+      send_prepare_(std::move(send_prepare)),
+      send_accept_(std::move(send_accept)) {
+  assert(n_ > 0 && self_ >= 0 && self_ < n_);
+}
+
+SlotId Replicator::Replicate(PaxosValue value, ChosenCallback chosen) {
+  const SlotId slot = next_slot_++;
+  InFlight& f = in_flight_[slot];
+  // Under the lease, round 1 with our proposer id is reserved for us:
+  // no other proposer contends, so phase 1 is unnecessary.
+  f.id = ProposalId{lease_ ? 1 : next_round_++, self_};
+  f.value = std::move(value);
+  f.chosen = std::move(chosen);
+  if (lease_) {
+    StartPhase2(slot);
+  } else {
+    StartPhase1(slot);
+  }
+  return slot;
+}
+
+void Replicator::StartPhase1(SlotId slot) {
+  InFlight& f = in_flight_.at(slot);
+  f.phase2 = false;
+  f.promises = 0;
+  PrepareRequest req{slot, f.id};
+  // Our own acceptor votes synchronously.
+  OnPrepareReply(self_, self_acceptor_->OnPrepare(req));
+  for (DcId peer = 0; peer < n_; ++peer) {
+    if (peer != self_) send_prepare_(peer, req);
+  }
+}
+
+void Replicator::StartPhase2(SlotId slot) {
+  InFlight& f = in_flight_.at(slot);
+  f.phase2 = true;
+  f.accepts = 0;
+  // Paxos invariant: adopt the highest value already accepted by anyone.
+  const PaxosValue& v = f.saw_accepted ? f.best_accepted_value : f.value;
+  AcceptRequest req{slot, f.id, v};
+  OnAcceptReply(self_, self_acceptor_->OnAccept(req));
+  for (DcId peer = 0; peer < n_; ++peer) {
+    if (peer != self_) send_accept_(peer, req);
+  }
+}
+
+void Replicator::OnPrepareReply(DcId from, const PrepareReply& reply) {
+  (void)from;
+  auto it = in_flight_.find(reply.slot);
+  if (it == in_flight_.end()) return;
+  InFlight& f = it->second;
+  if (f.done || f.phase2 || !(reply.id == f.id)) return;
+  if (!reply.promised) {
+    // Outrun by a higher proposal: retry phase 1 with a bigger round.
+    f.id = ProposalId{++next_round_, self_};
+    StartPhase1(reply.slot);
+    return;
+  }
+  if (reply.has_accepted &&
+      (!f.saw_accepted || f.best_accepted_id < reply.accepted_id)) {
+    f.saw_accepted = true;
+    f.best_accepted_id = reply.accepted_id;
+    f.best_accepted_value = reply.accepted_value;
+  }
+  if (++f.promises >= majority()) StartPhase2(reply.slot);
+}
+
+void Replicator::OnAcceptReply(DcId from, const AcceptReply& reply) {
+  (void)from;
+  auto it = in_flight_.find(reply.slot);
+  if (it == in_flight_.end()) return;
+  InFlight& f = it->second;
+  if (f.done || !f.phase2 || !(reply.id == f.id)) return;
+  if (!reply.accepted) {
+    // Rejected: a higher proposal intervened. Fall back to a full round.
+    f.id = ProposalId{++next_round_, self_};
+    f.saw_accepted = false;
+    StartPhase1(reply.slot);
+    return;
+  }
+  if (++f.accepts >= majority()) {
+    f.done = true;
+    const PaxosValue chosen_value =
+        f.saw_accepted ? f.best_accepted_value : f.value;
+    ChosenCallback cb = std::move(f.chosen);
+    // Keep the entry (done) so stray replies are ignored cheaply.
+    if (cb) cb(reply.slot, chosen_value);
+  }
+}
+
+}  // namespace helios::paxos

@@ -1,0 +1,62 @@
+// Log records exchanged between datacenters.
+//
+// Each transaction produces two records in the shared log (Section 4.1):
+// one *preparing* record when it requests to commit and one *finished*
+// record carrying the commit/abort decision. Records are timestamped with
+// the issuing datacenter's local clock; a datacenter's records have strictly
+// increasing timestamps, which is what makes the N x N timetable a sound
+// summary of "who knows what".
+
+#ifndef HELIOS_RDICT_RECORD_H_
+#define HELIOS_RDICT_RECORD_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace helios::rdict {
+
+enum class RecordType {
+  kPreparing,  ///< The transaction is trying to commit.
+  kFinished,   ///< The transaction committed or aborted.
+};
+
+/// One entry of the replicated log.
+struct LogRecord {
+  RecordType type = RecordType::kPreparing;
+  /// For kFinished: true if the transaction committed. For kFinished
+  /// committed records, `ts` is the commit timestamp used to version the
+  /// write set at every replica.
+  bool committed = false;
+  /// Record timestamp on the origin's clock; unique and increasing per
+  /// origin.
+  Timestamp ts = kMinTimestamp;
+  /// For committed kFinished records only: the version timestamp used to
+  /// install the write set at every replica. It is the origin's clock
+  /// "dependency-bumped" above the timestamp of every version the
+  /// transaction read or overwrote, so the per-key version order matches
+  /// the serialization order even under arbitrary clock skew. (Record `ts`
+  /// orders the *log*; `version_ts` orders *data versions*.)
+  Timestamp version_ts = kMinTimestamp;
+  /// Datacenter that created the record (== body->id.origin).
+  DcId origin = kInvalidDc;
+  /// Shared transaction payload (read/write sets).
+  TxnBodyPtr body;
+
+  std::string ToString() const;
+};
+
+/// Total order of records used when materializing a log: by timestamp,
+/// breaking ties by origin. Within one origin this is exactly the origin's
+/// append order.
+struct RecordOrder {
+  bool operator()(const LogRecord& a, const LogRecord& b) const {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.origin < b.origin;
+  }
+};
+
+}  // namespace helios::rdict
+
+#endif  // HELIOS_RDICT_RECORD_H_

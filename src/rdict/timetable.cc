@@ -1,0 +1,57 @@
+#include "rdict/timetable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace helios::rdict {
+
+Timetable::Timetable(int n)
+    : n_(n), cells_(static_cast<size_t>(n) * n, kMinTimestamp) {
+  assert(n > 0);
+}
+
+void Timetable::Advance(DcId row, DcId col, Timestamp ts) {
+  Timestamp& cell = at(row, col);
+  cell = std::max(cell, ts);
+}
+
+void Timetable::MergeFrom(const Timetable& other, DcId self, DcId sender) {
+  assert(other.n_ == n_);
+  for (DcId i = 0; i < n_; ++i) {
+    for (DcId j = 0; j < n_; ++j) {
+      Advance(i, j, other.Get(i, j));
+    }
+  }
+  // Everything the sender knew directly, the message delivered to us.
+  for (DcId j = 0; j < n_; ++j) {
+    Advance(self, j, other.Get(sender, j));
+  }
+}
+
+Timestamp Timetable::MinColumn(DcId origin) const {
+  Timestamp min_ts = at(0, origin);
+  for (DcId i = 1; i < n_; ++i) min_ts = std::min(min_ts, at(i, origin));
+  return min_ts;
+}
+
+std::string Timetable::ToString() const {
+  std::string out;
+  char buf[64];
+  for (DcId i = 0; i < n_; ++i) {
+    for (DcId j = 0; j < n_; ++j) {
+      const Timestamp v = at(i, j);
+      if (v == kMinTimestamp) {
+        std::snprintf(buf, sizeof(buf), "%12s", "-inf");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%12lld",
+                      static_cast<long long>(v));
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace helios::rdict

@@ -1,0 +1,74 @@
+// The N x N timetable of Wuu & Bernstein's Replicated Dictionary.
+//
+// Entry T_A[B, C] = tau means: datacenter A knows that datacenter B has
+// received every record that C created with timestamp <= tau. Row A of A's
+// own table is A's direct knowledge; other rows are (possibly stale)
+// knowledge about peers, learned from the timetables piggybacked on log
+// messages. The timetable drives three things in this codebase:
+//
+//   1. Partial-log computation: A sends B only records B may not know.
+//   2. Helios's commit Rule 2: T_A[A, B] >= kts is exactly "A has processed
+//      B's history far enough".
+//   3. Garbage collection: a record known to every row can be discarded.
+
+#ifndef HELIOS_RDICT_TIMETABLE_H_
+#define HELIOS_RDICT_TIMETABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace helios::rdict {
+
+class Timetable {
+ public:
+  /// Creates an `n` x `n` table initialized to kMinTimestamp.
+  explicit Timetable(int n);
+
+  int size() const { return n_; }
+
+  Timestamp Get(DcId row, DcId col) const { return at(row, col); }
+  void Set(DcId row, DcId col, Timestamp ts) { at(row, col) = ts; }
+
+  /// Raises entry (row, col) to at least `ts`.
+  void Advance(DcId row, DcId col, Timestamp ts);
+
+  /// Wuu-Bernstein merge on receipt of `sender`'s table at `self`:
+  ///   - element-wise maximum over all rows (transitive knowledge), and
+  ///   - row `self` absorbs row `sender` (everything the sender knew
+  ///     directly, we now know too, because its message carried the
+  ///     corresponding records).
+  void MergeFrom(const Timetable& other, DcId self, DcId sender);
+
+  /// True if, according to this table, `peer` has the record (origin, ts).
+  bool HasRecord(DcId peer, DcId origin, Timestamp ts) const {
+    return Get(peer, origin) >= ts;
+  }
+
+  /// min over rows of column `origin`: every datacenter has the records of
+  /// `origin` up to this timestamp (GC horizon).
+  Timestamp MinColumn(DcId origin) const;
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Timetable& a, const Timetable& b) {
+    return a.n_ == b.n_ && a.cells_ == b.cells_;
+  }
+
+ private:
+  Timestamp& at(DcId row, DcId col) {
+    return cells_[static_cast<size_t>(row) * n_ + col];
+  }
+  const Timestamp& at(DcId row, DcId col) const {
+    return cells_[static_cast<size_t>(row) * n_ + col];
+  }
+
+  int n_;
+  std::vector<Timestamp> cells_;
+};
+
+}  // namespace helios::rdict
+
+#endif  // HELIOS_RDICT_TIMETABLE_H_

@@ -1,0 +1,112 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace helios::sim {
+
+Network::Network(Scheduler* scheduler, int n, uint64_t seed)
+    : scheduler_(scheduler),
+      n_(n),
+      rng_(seed),
+      links_(static_cast<size_t>(n) * n),
+      last_delivery_(static_cast<size_t>(n) * n, 0),
+      partitioned_(static_cast<size_t>(n) * n, false),
+      up_(static_cast<size_t>(n), true) {
+  assert(n > 0);
+}
+
+void Network::SetLink(int a, int b, LinkSpec spec) {
+  assert(a != b && a >= 0 && b >= 0 && a < n_ && b < n_);
+  links_[ChannelIndex(a, b)] = spec;
+  links_[ChannelIndex(b, a)] = spec;
+}
+
+void Network::SetRtt(int a, int b, Duration rtt_mean, Duration rtt_stddev) {
+  // A round trip is the sum of two independent one-way samples, whose
+  // standard deviations add in quadrature: one-way sigma = RTT sigma / sqrt(2).
+  const Duration one_way_stddev =
+      static_cast<Duration>(static_cast<double>(rtt_stddev) / std::sqrt(2.0));
+  SetLink(a, b, LinkSpec{rtt_mean / 2, one_way_stddev});
+}
+
+Duration Network::MeanRtt(int a, int b) const {
+  assert(a != b);
+  return links_[ChannelIndex(a, b)].one_way_mean +
+         links_[ChannelIndex(b, a)].one_way_mean;
+}
+
+Duration Network::SampleOneWay(int from, int to) {
+  const LinkSpec& spec = links_[ChannelIndex(from, to)];
+  if (spec.one_way_stddev == 0) return spec.one_way_mean;
+  const double sample =
+      rng_.Normal(static_cast<double>(spec.one_way_mean),
+                  static_cast<double>(spec.one_way_stddev));
+  // Latency can never go below a small propagation floor.
+  const double floor = static_cast<double>(spec.one_way_mean) * 0.5;
+  return static_cast<Duration>(std::max(sample, floor));
+}
+
+Duration Network::SampleRtt(int a, int b) {
+  return SampleOneWay(a, b) + SampleOneWay(b, a);
+}
+
+void Network::Send(int from, int to, std::function<void()> deliver) {
+  SendSized(from, to, 0, std::move(deliver));
+}
+
+void Network::SendSized(int from, int to, size_t size_bytes,
+                        std::function<void()> deliver) {
+  assert(from != to);
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  if (!up_[from] || partitioned_[ChannelIndex(from, to)]) {
+    ++messages_dropped_;
+    return;
+  }
+  const int ch = ChannelIndex(from, to);
+  Duration transmission = 0;
+  if (bandwidth_bps_ > 0 && size_bytes > 0) {
+    transmission = static_cast<Duration>(
+        static_cast<double>(size_bytes) * 1e6 /
+        static_cast<double>(bandwidth_bps_));
+  }
+  SimTime arrive =
+      scheduler_->Now() + transmission + SampleOneWay(from, to);
+  // FIFO: never overtake the previous message on this channel; with
+  // bandwidth modeling the channel is also occupied for the transmission
+  // time.
+  arrive = std::max(arrive, last_delivery_[ch] + transmission);
+  last_delivery_[ch] = arrive;
+  scheduler_->At(arrive, [this, to, deliver = std::move(deliver)]() {
+    if (!up_[to]) {
+      ++messages_dropped_;
+      return;  // Receiver is down: the message is lost.
+    }
+    deliver();
+  });
+}
+
+void Network::CrashNode(int node) {
+  assert(node >= 0 && node < n_);
+  up_[node] = false;
+}
+
+void Network::RecoverNode(int node) {
+  assert(node >= 0 && node < n_);
+  up_[node] = true;
+}
+
+void Network::SetPartitioned(int a, int b, bool partitioned) {
+  assert(a != b);
+  partitioned_[ChannelIndex(a, b)] = partitioned;
+  partitioned_[ChannelIndex(b, a)] = partitioned;
+}
+
+bool Network::IsPartitioned(int a, int b) const {
+  return partitioned_[ChannelIndex(a, b)];
+}
+
+}  // namespace helios::sim

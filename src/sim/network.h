@@ -1,0 +1,106 @@
+// Wide-area network model connecting simulated datacenters.
+//
+// Each directed channel delivers messages FIFO with a per-message one-way
+// latency sampled from Normal(mean, stddev) — the mean and standard
+// deviation come straight from the paper's Table 2 RTT measurements
+// (one-way = RTT / 2). Links are symmetric in the mean, per the theoretical
+// model's assumptions, but each direction samples its own jitter.
+//
+// The model also supports the failure scenarios of Section 4.4: crashing and
+// recovering datacenters and cutting individual links (network partitions).
+// Messages to or from a crashed datacenter, or across a cut link, are
+// silently dropped — exactly what a protocol observes in practice.
+
+#ifndef HELIOS_SIM_NETWORK_H_
+#define HELIOS_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/scheduler.h"
+
+namespace helios::sim {
+
+/// One-way latency parameters of a link direction.
+struct LinkSpec {
+  Duration one_way_mean = Millis(50);
+  Duration one_way_stddev = 0;
+};
+
+/// The simulated WAN.
+class Network {
+ public:
+  /// `scheduler` must outlive the network. `n` is the datacenter count.
+  Network(Scheduler* scheduler, int n, uint64_t seed);
+
+  int size() const { return n_; }
+
+  /// Sets both directions of the link between `a` and `b`.
+  void SetLink(int a, int b, LinkSpec spec);
+
+  /// Convenience: configures the link from an RTT mean/stddev in
+  /// *microseconds* (one-way = RTT/2, one-way stddev = RTT stddev/2).
+  void SetRtt(int a, int b, Duration rtt_mean, Duration rtt_stddev);
+
+  /// Configured mean RTT between `a` and `b` (a != b).
+  Duration MeanRtt(int a, int b) const;
+
+  /// Sends a message from `a` to `b`. `deliver` runs at the receive time
+  /// unless the message is dropped (crash/partition). Delivery on each
+  /// directed channel is FIFO: a message never overtakes an earlier one.
+  void Send(int from, int to, std::function<void()> deliver);
+
+  /// Like Send, but also models transmission time for a message of
+  /// `size_bytes` when a link bandwidth is configured (latency +=
+  /// size/bandwidth, and the channel is occupied for that long).
+  void SendSized(int from, int to, size_t size_bytes,
+                 std::function<void()> deliver);
+
+  /// Sets the per-direction link bandwidth used by SendSized; 0 (default)
+  /// disables transmission-time modeling.
+  void set_bandwidth_bytes_per_sec(int64_t bps) { bandwidth_bps_ = bps; }
+  int64_t bandwidth_bytes_per_sec() const { return bandwidth_bps_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Samples a full round trip (two independent one-way samples); used by
+  /// the RTT-measurement bench that regenerates Table 2.
+  Duration SampleRtt(int a, int b);
+
+  // --- Failure injection ------------------------------------------------
+
+  /// Crashes `node`: all in-flight messages to it are dropped on arrival and
+  /// no messages originating from it are delivered until recovery.
+  void CrashNode(int node);
+  void RecoverNode(int node);
+  bool IsUp(int node) const { return up_[node]; }
+
+  /// Cuts or restores the (bidirectional) link between `a` and `b`.
+  void SetPartitioned(int a, int b, bool partitioned);
+  bool IsPartitioned(int a, int b) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  int ChannelIndex(int from, int to) const { return from * n_ + to; }
+  Duration SampleOneWay(int from, int to);
+
+  Scheduler* scheduler_;
+  int n_;
+  Rng rng_;
+  std::vector<LinkSpec> links_;          // indexed by ChannelIndex
+  std::vector<SimTime> last_delivery_;   // FIFO watermark per channel
+  std::vector<bool> partitioned_;        // per channel
+  std::vector<bool> up_;                 // per node
+  int64_t bandwidth_bps_ = 0;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace helios::sim
+
+#endif  // HELIOS_SIM_NETWORK_H_

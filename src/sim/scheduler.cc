@@ -1,0 +1,52 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace helios::sim {
+
+void Scheduler::At(SimTime t, Callback cb) {
+  assert(cb);
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Scheduler::After(Duration delay, Callback cb) {
+  At(now_ + (delay > 0 ? delay : 0), std::move(cb));
+}
+
+void Scheduler::Dispatch(Event e) {
+  now_ = e.time;
+  ++events_processed_;
+  e.cb();
+}
+
+void Scheduler::Run() {
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    Dispatch(std::move(e));
+  }
+}
+
+size_t Scheduler::RunUntil(SimTime t) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    Dispatch(std::move(e));
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  Dispatch(std::move(e));
+  return true;
+}
+
+}  // namespace helios::sim

@@ -1,0 +1,62 @@
+// Single-server processing queue modeling compute and I/O overhead.
+//
+// The paper's Appendix A.1 calls the cumulative effect of request
+// processing, log handling, and storage I/O the "compute overhead"
+// (C_local, C_remote in Eq. 8); it is what caps peak throughput in
+// Figure 4 and what makes the 2PC/Paxos coordinator thrash. Each simulated
+// server owns one of these queues: every piece of work occupies the server
+// for its service time, and work arriving while the server is busy waits.
+
+#ifndef HELIOS_SIM_SERVICE_QUEUE_H_
+#define HELIOS_SIM_SERVICE_QUEUE_H_
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "sim/scheduler.h"
+
+namespace helios::sim {
+
+/// FIFO single-server queue. Not a container: it simply tracks when the
+/// server frees up and schedules completions on the shared scheduler.
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(Scheduler* scheduler) : scheduler_(scheduler) {}
+
+  /// Submits work with the given service time; `done` runs when the server
+  /// has finished it (after any queueing delay).
+  void Submit(Duration service_time, Scheduler::Callback done) {
+    const SimTime start = std::max(scheduler_->Now(), busy_until_);
+    busy_until_ = start + std::max<Duration>(service_time, 0);
+    total_busy_ += busy_until_ - start;
+    scheduler_->At(busy_until_, std::move(done));
+  }
+
+  /// Occupies the server without a completion callback (e.g. background
+  /// bookkeeping cost that delays subsequent work).
+  void Charge(Duration service_time) {
+    const SimTime start = std::max(scheduler_->Now(), busy_until_);
+    busy_until_ = start + std::max<Duration>(service_time, 0);
+    total_busy_ += busy_until_ - start;
+  }
+
+  /// Time at which currently queued work completes.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Instantaneous queueing delay a new arrival would see.
+  Duration backlog() const {
+    return std::max<Duration>(0, busy_until_ - scheduler_->Now());
+  }
+
+  /// Cumulative busy time, for utilization reporting.
+  Duration total_busy() const { return total_busy_; }
+
+ private:
+  Scheduler* scheduler_;
+  SimTime busy_until_ = 0;
+  Duration total_busy_ = 0;
+};
+
+}  // namespace helios::sim
+
+#endif  // HELIOS_SIM_SERVICE_QUEUE_H_

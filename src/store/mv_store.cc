@@ -1,0 +1,80 @@
+#include "store/mv_store.h"
+
+#include <algorithm>
+
+namespace helios {
+
+Result<VersionedValue> MvStore::Read(const Key& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) {
+    return Status::NotFound("key has no versions: " + key);
+  }
+  const auto& [vkey, value] = *it->second.rbegin();
+  return VersionedValue{value, vkey.first, vkey.second};
+}
+
+Result<VersionedValue> MvStore::ReadAt(const Key& key,
+                                       Timestamp snapshot_ts) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) {
+    return Status::NotFound("key has no versions: " + key);
+  }
+  const Chain& chain = it->second;
+  // First version with ts > snapshot_ts; the predecessor is the answer.
+  auto upper = chain.upper_bound({snapshot_ts, TxnId{INT32_MAX, UINT64_MAX}});
+  if (upper == chain.begin()) {
+    return Status::NotFound("no version at or before snapshot for: " + key);
+  }
+  --upper;
+  return VersionedValue{upper->second, upper->first.first, upper->first.second};
+}
+
+Timestamp MvStore::LatestVersionTs(const Key& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) return kMinTimestamp;
+  return it->second.rbegin()->first.first;
+}
+
+Timestamp MvStore::MaxVersionTsOf(const TxnBody& txn) const {
+  Timestamp max_ts = kMinTimestamp;
+  for (const ReadEntry& r : txn.read_set) {
+    max_ts = std::max(max_ts, LatestVersionTs(r.key));
+  }
+  for (const WriteEntry& w : txn.write_set) {
+    max_ts = std::max(max_ts, LatestVersionTs(w.key));
+  }
+  return max_ts;
+}
+
+void MvStore::ApplyWrite(const Key& key, const Value& value,
+                         Timestamp commit_ts, TxnId writer) {
+  auto [it, inserted] =
+      data_[key].emplace(std::make_pair(commit_ts, writer), value);
+  (void)it;
+  if (inserted) ++version_count_;
+  ++writes_applied_;
+}
+
+void MvStore::ApplyTxn(const TxnBody& txn, Timestamp commit_ts) {
+  for (const WriteEntry& w : txn.write_set) {
+    ApplyWrite(w.key, w.value, commit_ts, txn.id);
+  }
+}
+
+size_t MvStore::TruncateVersionsBefore(Timestamp horizon) {
+  size_t dropped = 0;
+  for (auto& [key, chain] : data_) {
+    if (chain.size() <= 1) continue;
+    // Keep the newest version below the horizon (it is still the visible
+    // version for snapshots at the horizon) and everything above.
+    auto cut = chain.lower_bound({horizon, TxnId{kInvalidDc, 0}});
+    if (cut == chain.begin()) continue;
+    --cut;  // newest version strictly below horizon: keep it.
+    dropped += static_cast<size_t>(std::distance(chain.begin(), cut));
+    chain.erase(chain.begin(), cut);
+  }
+  version_count_ -= dropped;
+  return dropped;
+}
+
+}  // namespace helios

@@ -1,0 +1,94 @@
+// Multi-version key-value store: the repository's stand-in for the HBase
+// layer under each Helios instance.
+//
+// Every committed write installs a version stamped with the transaction's
+// commit timestamp. Versions of a key are ordered by (timestamp, writer) —
+// a total order that every replica agrees on regardless of the order in
+// which finished records arrive, so replicas converge deterministically.
+//
+// Correctness note (see core/helios_node.cc for the companion logic):
+// commit timestamps are "dependency-bumped" above the version timestamps of
+// everything the transaction read or overwrote, which guarantees that the
+// (timestamp, writer) order of versions of a key matches the serialization
+// order even when datacenter clocks are badly skewed. Clock synchronization
+// therefore affects performance only, as the paper requires.
+
+#ifndef HELIOS_STORE_MV_STORE_H_
+#define HELIOS_STORE_MV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace helios {
+
+/// One installed version of a key.
+struct VersionedValue {
+  Value value;
+  Timestamp ts = kMinTimestamp;  ///< Commit timestamp of the writer.
+  TxnId writer;                  ///< Transaction that installed the version.
+};
+
+/// In-memory multi-version store.
+class MvStore {
+ public:
+  MvStore() = default;
+  MvStore(const MvStore&) = delete;
+  MvStore& operator=(const MvStore&) = delete;
+
+  /// Latest version of `key`; NotFound if the key was never written.
+  Result<VersionedValue> Read(const Key& key) const;
+
+  /// Latest version with ts <= `snapshot_ts` (Appendix B read-only
+  /// transactions); NotFound if no such version exists.
+  Result<VersionedValue> ReadAt(const Key& key, Timestamp snapshot_ts) const;
+
+  /// Version timestamp of the latest version, or kMinTimestamp if absent.
+  /// This is the value Algorithm 1 compares against the read set to detect
+  /// overwritten reads.
+  Timestamp LatestVersionTs(const Key& key) const;
+
+  /// Largest latest-version timestamp across the keys `txn` reads or
+  /// writes; used to dependency-bump commit timestamps.
+  Timestamp MaxVersionTsOf(const TxnBody& txn) const;
+
+  /// Installs one write.
+  void ApplyWrite(const Key& key, const Value& value, Timestamp commit_ts,
+                  TxnId writer);
+
+  /// Installs the whole write set of a committed transaction.
+  void ApplyTxn(const TxnBody& txn, Timestamp commit_ts);
+
+  /// Drops all but the newest version with ts < `horizon` for each key
+  /// (older versions can no longer be read by any live snapshot).
+  /// Returns the number of versions discarded.
+  size_t TruncateVersionsBefore(Timestamp horizon);
+
+  size_t key_count() const { return data_.size(); }
+  uint64_t version_count() const { return version_count_; }
+  uint64_t writes_applied() const { return writes_applied_; }
+
+ private:
+  // Version chain per key, ordered ascending by (ts, writer).
+  struct VersionKeyLess {
+    bool operator()(const std::pair<Timestamp, TxnId>& a,
+                    const std::pair<Timestamp, TxnId>& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    }
+  };
+  using Chain = std::map<std::pair<Timestamp, TxnId>, Value, VersionKeyLess>;
+
+  std::unordered_map<Key, Chain> data_;
+  uint64_t version_count_ = 0;
+  uint64_t writes_applied_ = 0;
+};
+
+}  // namespace helios
+
+#endif  // HELIOS_STORE_MV_STORE_H_

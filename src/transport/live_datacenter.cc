@@ -1,0 +1,156 @@
+#include "transport/live_datacenter.h"
+
+#include <cassert>
+#include <future>
+
+#include "wire/serialization.h"
+
+namespace helios::transport {
+
+LiveDatacenter::LiveDatacenter(DcId id, core::HeliosConfig config,
+                               Duration inbound_delay,
+                               core::LogProtocolKind kind)
+    : id_(id), config_(std::move(config)), inbound_delay_(inbound_delay) {
+  const Duration offset =
+      config_.clock_offsets.empty()
+          ? 0
+          : config_.clock_offsets[static_cast<size_t>(id)];
+  clock_ = std::make_unique<sim::Clock>(&loop_.scheduler(), offset);
+  transport_ = std::make_unique<TcpTransport>(
+      [this](std::vector<uint8_t> payload) {
+        OnWirePayload(std::move(payload));
+      });
+  node_ = std::make_unique<core::HeliosNode>(
+      id_, config_, kind, &loop_.scheduler(), clock_.get(),
+      [this](DcId to, const core::Envelope& env) {
+        // Serialize on the loop thread; the socket write is brief
+        // (localhost / kernel buffers) so it runs inline.
+        const std::vector<uint8_t> frame = wire::FrameEnvelope(env);
+        (void)transport_->Send(to, frame);
+      });
+}
+
+LiveDatacenter::~LiveDatacenter() { Stop(); }
+
+Status LiveDatacenter::EnableWal(const std::string& path,
+                                 bool fsync_each_record) {
+  assert(!started_);
+  auto contents = wal::ReplayWal(path);
+  if (!contents.ok()) return contents.status();
+  if (!contents.value().records.empty()) {
+    const Status restored = node_->Restore(
+        contents.value().records,
+        contents.value().has_timetable ? &contents.value().timetable
+                                       : nullptr);
+    if (!restored.ok()) return restored;
+  }
+  wal_ = std::make_unique<wal::WalWriter>();
+  Status opened = wal_->Open(path);
+  if (!opened.ok()) return opened;
+  node_->set_record_sink(
+      [this, fsync_each_record](const rdict::LogRecord& rec) {
+        (void)wal_->AppendRecord(rec);
+        (void)wal_->Sync(fsync_each_record);
+      });
+  return Status::Ok();
+}
+
+Status LiveDatacenter::Listen(uint16_t port) {
+  return transport_->Listen(port);
+}
+
+Status LiveDatacenter::ConnectPeers(const std::vector<uint16_t>& ports) {
+  assert(static_cast<int>(ports.size()) == config_.num_datacenters);
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    if (dc == id_) continue;
+    Status s = transport_->Connect(dc, ports[static_cast<size_t>(dc)]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void LiveDatacenter::Start() {
+  assert(!started_);
+  started_ = true;
+  loop_.Start();
+  loop_.Post([this]() { node_->Start(); });
+}
+
+void LiveDatacenter::Stop() {
+  if (!started_) {
+    transport_->Shutdown();
+    return;
+  }
+  started_ = false;
+  // Stop the transport first so no reader thread posts into a dead loop.
+  transport_->Shutdown();
+  loop_.Stop();
+}
+
+void LiveDatacenter::OnWirePayload(std::vector<uint8_t> payload) {
+  auto env = wire::UnframeEnvelope(payload);
+  if (!env.ok()) return;  // Corrupted frame: drop (CRC did its job).
+  loop_.Post([this, env = std::move(env).value()]() mutable {
+    if (inbound_delay_ > 0) {
+      loop_.scheduler().After(inbound_delay_,
+                              [this, env = std::move(env)]() mutable {
+                                node_->HandleEnvelope(std::move(env));
+                              });
+    } else {
+      node_->HandleEnvelope(std::move(env));
+    }
+  });
+}
+
+void LiveDatacenter::Read(const Key& key, ReadCallback done) {
+  loop_.Post([this, key, done = std::move(done)]() {
+    node_->HandleRead(key, done);
+  });
+}
+
+void LiveDatacenter::Commit(std::vector<ReadEntry> reads,
+                            std::vector<WriteEntry> writes,
+                            CommitCallback done) {
+  loop_.Post([this, reads = std::move(reads), writes = std::move(writes),
+              done = std::move(done)]() mutable {
+    node_->HandleCommitRequest(std::move(reads), std::move(writes),
+                               std::move(done));
+  });
+}
+
+Result<VersionedValue> LiveDatacenter::ReadSync(const Key& key) {
+  std::promise<Result<VersionedValue>> promise;
+  auto future = promise.get_future();
+  Read(key, [&promise](Result<VersionedValue> r) {
+    promise.set_value(std::move(r));
+  });
+  return future.get();
+}
+
+CommitOutcome LiveDatacenter::CommitSync(std::vector<ReadEntry> reads,
+                                         std::vector<WriteEntry> writes) {
+  std::promise<CommitOutcome> promise;
+  auto future = promise.get_future();
+  Commit(std::move(reads), std::move(writes),
+         [&promise](const CommitOutcome& o) { promise.set_value(o); });
+  return future.get();
+}
+
+void LiveDatacenter::LoadInitial(const Key& key, const Value& value) {
+  if (started_) {
+    loop_.PostAndWait([this, &key, &value]() {
+      node_->LoadInitial(key, value);
+    });
+  } else {
+    node_->LoadInitial(key, value);
+  }
+}
+
+core::NodeCounters LiveDatacenter::CountersSnapshot() {
+  core::NodeCounters out;
+  if (!started_) return node_->counters();
+  loop_.PostAndWait([this, &out]() { out = node_->counters(); });
+  return out;
+}
+
+}  // namespace helios::transport

@@ -1,0 +1,91 @@
+// A live (non-simulated) Helios datacenter: the HeliosNode engine on a
+// real-time event loop, exchanging wire-serialized envelopes with peers
+// over TCP. This is the deployment shape a real multi-datacenter install
+// would use — one process per datacenter — demonstrated over localhost by
+// examples/live_demo.cpp and tests/transport_test.cc.
+//
+// An optional inbound delay emulates WAN latency when every "datacenter"
+// actually lives on one machine.
+
+#ifndef HELIOS_TRANSPORT_LIVE_DATACENTER_H_
+#define HELIOS_TRANSPORT_LIVE_DATACENTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "api/protocol.h"
+#include "core/helios_config.h"
+#include "core/helios_node.h"
+#include "sim/clock.h"
+#include "transport/realtime_loop.h"
+#include "transport/tcp_transport.h"
+#include "wal/wal.h"
+
+namespace helios::transport {
+
+class LiveDatacenter {
+ public:
+  /// `config.num_datacenters` covers the whole deployment; `id` is this
+  /// process's index. `inbound_delay` is added to every received envelope
+  /// (half of the emulated RTT when running all peers on localhost).
+  LiveDatacenter(DcId id, core::HeliosConfig config,
+                 Duration inbound_delay = 0,
+                 core::LogProtocolKind kind = core::LogProtocolKind::kHelios);
+  ~LiveDatacenter();
+  LiveDatacenter(const LiveDatacenter&) = delete;
+  LiveDatacenter& operator=(const LiveDatacenter&) = delete;
+
+  /// Enables write-ahead logging at `path` and, if the file already has
+  /// contents, recovers the node's state from it. Call before Start.
+  /// `fsync_each_record` trades throughput for strict durability.
+  Status EnableWal(const std::string& path, bool fsync_each_record = false);
+
+  /// Binds the listening socket (0 = ephemeral). Call before Start.
+  Status Listen(uint16_t port = 0);
+  uint16_t port() const { return transport_->port(); }
+
+  /// Dials every peer; `ports[dc]` is peer dc's port (own entry ignored).
+  Status ConnectPeers(const std::vector<uint16_t>& ports);
+
+  /// Starts the event loop and the node's periodic work.
+  void Start();
+  void Stop();
+
+  // --- Client API (callbacks run on the loop thread) ----------------------
+
+  void Read(const Key& key, ReadCallback done);
+  void Commit(std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+              CommitCallback done);
+
+  /// Blocking conveniences for demos and tests (never call from the loop
+  /// thread or a transport callback).
+  Result<VersionedValue> ReadSync(const Key& key);
+  CommitOutcome CommitSync(std::vector<ReadEntry> reads,
+                           std::vector<WriteEntry> writes);
+
+  /// Installs initial data; call before Start (same order on every peer).
+  void LoadInitial(const Key& key, const Value& value);
+
+  /// Snapshot of the node's counters (synchronized through the loop).
+  core::NodeCounters CountersSnapshot();
+
+  DcId id() const { return id_; }
+  RealtimeLoop& loop() { return loop_; }
+
+ private:
+  void OnWirePayload(std::vector<uint8_t> payload);
+
+  const DcId id_;
+  core::HeliosConfig config_;
+  Duration inbound_delay_;
+  RealtimeLoop loop_;
+  std::unique_ptr<sim::Clock> clock_;
+  std::unique_ptr<TcpTransport> transport_;
+  std::unique_ptr<core::HeliosNode> node_;
+  std::unique_ptr<wal::WalWriter> wal_;
+  bool started_ = false;
+};
+
+}  // namespace helios::transport
+
+#endif  // HELIOS_TRANSPORT_LIVE_DATACENTER_H_

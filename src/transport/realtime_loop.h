@@ -1,0 +1,72 @@
+// A real-time driver for the event-scheduler world: the same
+// sim::Scheduler that powers the deterministic simulation is pumped
+// against the wall clock on a dedicated thread, so the protocol engines
+// (HeliosNode and friends) run unmodified in live deployments — their
+// timers fire at real times and external inputs (client calls, network
+// receive threads) are injected thread-safely with Post().
+//
+// Scheduler time is microseconds since Start(); sim::Clock instances bound
+// to the loop's scheduler therefore read real elapsed time (plus any
+// configured offset), exactly as in simulation.
+
+#ifndef HELIOS_TRANSPORT_REALTIME_LOOP_H_
+#define HELIOS_TRANSPORT_REALTIME_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "sim/scheduler.h"
+
+namespace helios::transport {
+
+class RealtimeLoop {
+ public:
+  RealtimeLoop() = default;
+  ~RealtimeLoop() { Stop(); }
+  RealtimeLoop(const RealtimeLoop&) = delete;
+  RealtimeLoop& operator=(const RealtimeLoop&) = delete;
+
+  /// The scheduler protocol components should be constructed against.
+  /// Only touch it from Post() callbacks (or before Start()).
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+  /// Starts the loop thread. Events already scheduled run when the wall
+  /// clock reaches their timestamps.
+  void Start();
+
+  /// Requests shutdown and joins the thread. Pending events are dropped.
+  void Stop();
+
+  /// Enqueues `fn` to run on the loop thread as soon as possible.
+  /// Thread-safe; callable before Start() and from any thread after.
+  void Post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread and waits for it to finish (convenience
+  /// for tests and synchronous setup). Must not be called from the loop
+  /// thread itself.
+  void PostAndWait(std::function<void()> fn);
+
+  bool running() const { return running_; }
+
+ private:
+  void Run();
+  /// Wall-clock microseconds since Start().
+  Duration Elapsed() const;
+
+  sim::Scheduler scheduler_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> posted_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace helios::transport
+
+#endif  // HELIOS_TRANSPORT_REALTIME_LOOP_H_

@@ -1,0 +1,190 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace helios::transport {
+
+namespace {
+
+bool ReadFully(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const uint8_t* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(MessageHandler handler)
+    : handler_(std::move(handler)) {}
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::Listen(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind() failed: ") +
+                            std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::Internal("listen() failed");
+  }
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpTransport::AcceptLoop() {
+  while (!shutdown_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (shutdown_.load()) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SpawnReader(fd);
+  }
+}
+
+void TcpTransport::SpawnReader(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inbound_fds_.push_back(fd);
+  readers_.emplace_back([this, fd]() { ReadLoop(fd); });
+}
+
+void TcpTransport::ReadLoop(int fd) {
+  for (;;) {
+    uint8_t header[4];
+    if (!ReadFully(fd, header, 4)) break;
+    const uint32_t len = static_cast<uint32_t>(header[0]) |
+                         static_cast<uint32_t>(header[1]) << 8 |
+                         static_cast<uint32_t>(header[2]) << 16 |
+                         static_cast<uint32_t>(header[3]) << 24;
+    if (len > (64u << 20)) break;  // 64 MiB sanity cap.
+    std::vector<uint8_t> payload(len);
+    if (len > 0 && !ReadFully(fd, payload.data(), len)) break;
+    ++messages_received_;
+    if (handler_) handler_(std::move(payload));
+  }
+  ::close(fd);
+}
+
+Status TcpTransport::Connect(DcId to, uint16_t port) {
+  // Retry briefly: peers may still be binding.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lock(mu_);
+      peer_fds_.emplace_back(to, fd);
+      return Status::Ok();
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Status::Unavailable("could not connect to peer " +
+                             std::to_string(to));
+}
+
+Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [peer, peer_fd] : peer_fds_) {
+      if (peer == to) {
+        fd = peer_fd;
+        break;
+      }
+    }
+  }
+  if (fd < 0) return Status::FailedPrecondition("no connection to peer");
+  uint8_t header[4] = {
+      static_cast<uint8_t>(payload.size() & 0xFF),
+      static_cast<uint8_t>((payload.size() >> 8) & 0xFF),
+      static_cast<uint8_t>((payload.size() >> 16) & 0xFF),
+      static_cast<uint8_t>((payload.size() >> 24) & 0xFF),
+  };
+  std::lock_guard<std::mutex> lock(mu_);  // One writer at a time per fd.
+  if (!WriteFully(fd, header, 4) ||
+      !WriteFully(fd, payload.data(), payload.size())) {
+    return Status::Unavailable("send failed");
+  }
+  ++messages_sent_;
+  return Status::Ok();
+}
+
+void TcpTransport::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [peer, fd] : peer_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    peer_fds_.clear();
+    // Unblock reader threads parked in recv() on accepted connections.
+    for (int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
+    inbound_fds_.clear();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readers.swap(readers_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace helios::transport

@@ -1,0 +1,80 @@
+// Length-framed TCP message transport between datacenters: the real-world
+// counterpart of sim::Network, used by live deployments
+// (transport/live_datacenter.h) to ship wire-serialized envelopes over
+// actual sockets.
+//
+// Each node binds a listening socket (port 0 picks an ephemeral port, see
+// port()), accepts inbound peer connections on a background thread, and
+// dials peers on demand. Every message is `u32 little-endian length`
+// followed by that many payload bytes (the payload is itself a CRC-framed
+// wire message, so corruption is detected one layer up). Received payloads
+// are handed to the registered handler on the reader thread — callers
+// typically Post() them onto their RealtimeLoop.
+
+#ifndef HELIOS_TRANSPORT_TCP_TRANSPORT_H_
+#define HELIOS_TRANSPORT_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace helios::transport {
+
+class TcpTransport {
+ public:
+  /// Called with each received payload (the length prefix stripped), on an
+  /// internal reader thread.
+  using MessageHandler = std::function<void(std::vector<uint8_t> payload)>;
+
+  explicit TcpTransport(MessageHandler handler);
+  ~TcpTransport();
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral) and starts the
+  /// accept thread.
+  Status Listen(uint16_t port);
+
+  /// The actual bound port (valid after Listen).
+  uint16_t port() const { return port_; }
+
+  /// Dials 127.0.0.1:`port` for peer `to`; retries briefly while the peer
+  /// is still coming up.
+  Status Connect(DcId to, uint16_t port);
+
+  /// Sends one framed message to `to`. Requires a prior Connect(to, ...).
+  Status Send(DcId to, const std::vector<uint8_t>& payload);
+
+  /// Closes everything and joins the background threads.
+  void Shutdown();
+
+  uint64_t messages_received() const { return messages_received_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void AcceptLoop();
+  void ReadLoop(int fd);
+  void SpawnReader(int fd);
+
+  MessageHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::pair<DcId, int>> peer_fds_;  // Outbound connections.
+  std::vector<int> inbound_fds_;                // Accepted connections.
+  std::vector<std::thread> readers_;
+  std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+}  // namespace helios::transport
+
+#endif  // HELIOS_TRANSPORT_TCP_TRANSPORT_H_

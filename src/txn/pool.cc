@@ -1,0 +1,100 @@
+#include "txn/pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace helios {
+
+void TxnPool::IndexKey(std::unordered_map<Key, std::vector<TxnId>>& index,
+                       const Key& key, const TxnId& id) {
+  index[key].push_back(id);
+}
+
+void TxnPool::UnindexKey(std::unordered_map<Key, std::vector<TxnId>>& index,
+                         const Key& key, const TxnId& id) {
+  auto it = index.find(key);
+  if (it == index.end()) return;
+  auto& vec = it->second;
+  vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+  if (vec.empty()) index.erase(it);
+}
+
+void TxnPool::Add(TxnBodyPtr body) {
+  assert(body != nullptr);
+  const TxnId id = body->id;
+  auto [it, inserted] = txns_.emplace(id, std::move(body));
+  if (!inserted) return;
+  const TxnBody& t = *it->second;
+  for (const WriteEntry& w : t.write_set) IndexKey(writers_, w.key, id);
+  for (const ReadEntry& r : t.read_set) IndexKey(readers_, r.key, id);
+}
+
+bool TxnPool::Remove(const TxnId& id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return false;
+  const TxnBody& t = *it->second;
+  for (const WriteEntry& w : t.write_set) UnindexKey(writers_, w.key, id);
+  for (const ReadEntry& r : t.read_set) UnindexKey(readers_, r.key, id);
+  txns_.erase(it);
+  return true;
+}
+
+const TxnBodyPtr* TxnPool::Find(const TxnId& id) const {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::vector<TxnBodyPtr> TxnPool::ConflictingWriters(
+    const TxnBody& probe) const {
+  std::vector<TxnBodyPtr> out;
+  auto collect = [&](const Key& key) {
+    auto it = writers_.find(key);
+    if (it == writers_.end()) return;
+    for (const TxnId& id : it->second) {
+      const auto found = txns_.find(id);
+      assert(found != txns_.end());
+      if (found->second->id == probe.id) continue;  // Never self-conflict.
+      if (std::none_of(out.begin(), out.end(), [&](const TxnBodyPtr& p) {
+            return p->id == id;
+          })) {
+        out.push_back(found->second);
+      }
+    }
+  };
+  for (const ReadEntry& r : probe.read_set) collect(r.key);
+  for (const WriteEntry& w : probe.write_set) collect(w.key);
+  return out;
+}
+
+std::vector<TxnBodyPtr> TxnPool::Victims(const TxnBody& incoming) const {
+  std::vector<TxnBodyPtr> out;
+  auto collect = [&](const std::unordered_map<Key, std::vector<TxnId>>& index,
+                     const Key& key) {
+    auto it = index.find(key);
+    if (it == index.end()) return;
+    for (const TxnId& id : it->second) {
+      const auto found = txns_.find(id);
+      assert(found != txns_.end());
+      if (found->second->id == incoming.id) continue;
+      if (std::none_of(out.begin(), out.end(), [&](const TxnBodyPtr& p) {
+            return p->id == id;
+          })) {
+        out.push_back(found->second);
+      }
+    }
+  };
+  for (const WriteEntry& w : incoming.write_set) {
+    collect(writers_, w.key);
+    collect(readers_, w.key);
+  }
+  return out;
+}
+
+std::vector<TxnBodyPtr> TxnPool::All() const {
+  std::vector<TxnBodyPtr> out;
+  out.reserve(txns_.size());
+  for (const auto& [id, body] : txns_) out.push_back(body);
+  return out;
+}
+
+}  // namespace helios

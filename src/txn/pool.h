@@ -1,0 +1,60 @@
+// Preparing-transaction pools.
+//
+// Helios keeps local preparing transactions in PTPool and remote preparing
+// transactions in EPTPool (Section 4.3). Both are instances of `TxnPool`,
+// which indexes transactions by the keys they read and write so the
+// conflict checks of Algorithms 1 and 2 cost O(keys in the probe) instead
+// of O(pool size).
+
+#ifndef HELIOS_TXN_POOL_H_
+#define HELIOS_TXN_POOL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace helios {
+
+/// A set of preparing transactions with read/write key indexes.
+class TxnPool {
+ public:
+  /// Adds `body`; no-op if a transaction with the same id is present.
+  void Add(TxnBodyPtr body);
+
+  /// Removes by id; returns false if absent.
+  bool Remove(const TxnId& id);
+
+  bool Contains(const TxnId& id) const { return txns_.count(id) > 0; }
+  const TxnBodyPtr* Find(const TxnId& id) const;
+  size_t size() const { return txns_.size(); }
+  bool empty() const { return txns_.empty(); }
+
+  /// Transactions in the pool whose *write set* intersects the read or
+  /// write set of `probe` — Algorithm 1's check: a new commit request
+  /// aborts if any pooled transaction is writing something it touched.
+  std::vector<TxnBodyPtr> ConflictingWriters(const TxnBody& probe) const;
+
+  /// Transactions in the pool whose read *or* write set intersects the
+  /// *write set* of `incoming` — Algorithm 2's check: an incoming remote
+  /// transaction aborts every local preparing transaction it invalidates.
+  std::vector<TxnBodyPtr> Victims(const TxnBody& incoming) const;
+
+  /// Snapshot of all pooled transactions (unordered).
+  std::vector<TxnBodyPtr> All() const;
+
+ private:
+  void IndexKey(std::unordered_map<Key, std::vector<TxnId>>& index,
+                const Key& key, const TxnId& id);
+  void UnindexKey(std::unordered_map<Key, std::vector<TxnId>>& index,
+                  const Key& key, const TxnId& id);
+
+  std::unordered_map<TxnId, TxnBodyPtr, TxnIdHash> txns_;
+  std::unordered_map<Key, std::vector<TxnId>> writers_;
+  std::unordered_map<Key, std::vector<TxnId>> readers_;
+};
+
+}  // namespace helios
+
+#endif  // HELIOS_TXN_POOL_H_

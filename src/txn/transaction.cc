@@ -1,0 +1,49 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace helios {
+
+bool TxnBody::ReadsKey(const Key& k) const {
+  return std::any_of(read_set.begin(), read_set.end(),
+                     [&](const ReadEntry& r) { return r.key == k; });
+}
+
+bool TxnBody::WritesKey(const Key& k) const {
+  return std::any_of(write_set.begin(), write_set.end(),
+                     [&](const WriteEntry& w) { return w.key == k; });
+}
+
+TxnBodyPtr MakeTxnBody(TxnId id, std::vector<ReadEntry> reads,
+                       std::vector<WriteEntry> writes) {
+  auto body = std::make_shared<TxnBody>();
+  body->id = id;
+  body->read_set = std::move(reads);
+  body->write_set = std::move(writes);
+#ifndef NDEBUG
+  for (size_t i = 0; i < body->write_set.size(); ++i) {
+    for (size_t j = i + 1; j < body->write_set.size(); ++j) {
+      assert(body->write_set[i].key != body->write_set[j].key &&
+             "duplicate key in write set");
+    }
+  }
+#endif
+  return body;
+}
+
+bool ConflictsWithWritesOf(const TxnBody& t, const TxnBody& other) {
+  for (const WriteEntry& w : other.write_set) {
+    if (t.ReadsKey(w.key) || t.WritesKey(w.key)) return true;
+  }
+  return false;
+}
+
+bool WriteSetsIntersect(const TxnBody& a, const TxnBody& b) {
+  for (const WriteEntry& w : a.write_set) {
+    if (b.WritesKey(w.key)) return true;
+  }
+  return false;
+}
+
+}  // namespace helios

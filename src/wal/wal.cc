@@ -1,0 +1,148 @@
+#include "wal/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "wire/codec.h"
+#include "wire/serialization.h"
+
+namespace helios::wal {
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AppendPayload(EntryType type,
+                                const std::vector<uint8_t>& payload) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  wire::Encoder frame;
+  frame.PutFixed32(kEntryMagic);
+  frame.PutU8(static_cast<uint8_t>(type));
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutRaw(payload.data(), payload.size());
+  frame.PutFixed32(wire::Crc32(payload));
+  const auto& bytes = frame.bytes();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Internal("WAL write failed");
+  }
+  ++entries_appended_;
+  bytes_written_ += bytes.size();
+  return Status::Ok();
+}
+
+Status WalWriter::AppendRecord(const rdict::LogRecord& record) {
+  wire::Encoder enc;
+  wire::EncodeLogRecord(record, &enc);
+  return AppendPayload(EntryType::kLogRecord, enc.bytes());
+}
+
+Status WalWriter::AppendTimetable(const rdict::Timetable& table) {
+  wire::Encoder enc;
+  wire::EncodeTimetable(table, &enc);
+  return AppendPayload(EntryType::kTimetable, enc.bytes());
+}
+
+Status WalWriter::Sync(bool fsync_to_disk) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  if (std::fflush(file_) != 0) return Status::Internal("WAL flush failed");
+  if (fsync_to_disk && ::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("WAL fsync failed");
+  }
+  return Status::Ok();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<WalContents> ReplayWal(const std::string& path) {
+  WalContents out;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return out;  // Fresh node: nothing to replay.
+
+  std::vector<uint8_t> bytes;
+  {
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    if (size > 0) {
+      bytes.resize(static_cast<size_t>(size));
+      if (std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+        std::fclose(file);
+        return Status::Internal("WAL read failed");
+      }
+    }
+    std::fclose(file);
+  }
+
+  // Walk frames with an absolute cursor; any parse/CRC failure is treated
+  // as a torn tail and replay stops at the last valid entry.
+  size_t off = 0;
+  const size_t kHeader = 4 + 1 + 4;  // magic + type + length.
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeader) {
+      out.truncated_tail = true;
+      break;
+    }
+    wire::Decoder head(bytes.data() + off, kHeader);
+    uint32_t magic = 0;
+    uint8_t type = 0;
+    uint32_t len = 0;
+    (void)head.GetFixed32(&magic);
+    (void)head.GetU8(&type);
+    (void)head.GetFixed32(&len);
+    if (magic != kEntryMagic ||
+        bytes.size() - off - kHeader < static_cast<size_t>(len) + 4) {
+      out.truncated_tail = true;
+      break;
+    }
+    const uint8_t* payload = bytes.data() + off + kHeader;
+    wire::Decoder crc_dec(payload + len, 4);
+    uint32_t stored = 0;
+    (void)crc_dec.GetFixed32(&stored);
+    if (stored != wire::Crc32(payload, len)) {
+      out.truncated_tail = true;
+      break;
+    }
+
+    wire::Decoder entry(payload, len);
+    if (type == static_cast<uint8_t>(EntryType::kLogRecord)) {
+      rdict::LogRecord rec;
+      if (!wire::DecodeLogRecord(&entry, &rec).ok()) {
+        out.truncated_tail = true;
+        break;
+      }
+      out.records.push_back(std::move(rec));
+    } else if (type == static_cast<uint8_t>(EntryType::kTimetable)) {
+      rdict::Timetable table(1);
+      if (!wire::DecodeTimetable(&entry, &table).ok()) {
+        out.truncated_tail = true;
+        break;
+      }
+      out.timetable = table;
+      out.has_timetable = true;
+    } else {
+      out.truncated_tail = true;
+      break;
+    }
+    ++out.entries;
+    off += kHeader + len + 4;
+  }
+  return out;
+}
+
+}  // namespace helios::wal

@@ -1,0 +1,91 @@
+// Write-ahead log: durable, append-only persistence for a datacenter's
+// share of the replicated log, enabling restart recovery ("until the
+// datacenter is back up again and Helios is recovered", Section 4.4).
+//
+// Every appended entry is framed as
+//     u32 magic | u32 payload_len | payload | u32 crc32(payload)
+// so a torn tail (crash mid-write) is detected and truncated on replay
+// instead of corrupting recovery. Payloads are wire-serialized LogRecords
+// plus periodic timetable snapshots.
+//
+// The recovery contract: replaying a WAL reproduces exactly the sequence
+// of records the node had locally appended or ingested, in order, plus the
+// latest persisted timetable — enough to rebuild the ReplicatedLog, replay
+// committed write sets into the store, and rejoin the gossip without ever
+// reusing a timestamp.
+
+#ifndef HELIOS_WAL_WAL_H_
+#define HELIOS_WAL_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdict/record.h"
+#include "rdict/timetable.h"
+
+namespace helios::wal {
+
+inline constexpr uint32_t kEntryMagic = 0x57414C31;  // "WAL1"
+
+enum class EntryType : uint8_t {
+  kLogRecord = 1,
+  kTimetable = 2,
+};
+
+/// Append-only writer. Not thread-safe; owned by the node's event loop.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating or appending to) the file at `path`.
+  Status Open(const std::string& path);
+
+  /// Appends one replicated-log record.
+  Status AppendRecord(const rdict::LogRecord& record);
+
+  /// Appends a timetable snapshot (checkpointing knowledge so recovery
+  /// does not have to re-learn it from peers).
+  Status AppendTimetable(const rdict::Timetable& table);
+
+  /// Flushes buffered writes to the OS (and optionally fsyncs).
+  Status Sync(bool fsync_to_disk = false);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  uint64_t entries_appended() const { return entries_appended_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status AppendPayload(EntryType type, const std::vector<uint8_t>& payload);
+
+  std::FILE* file_ = nullptr;
+  uint64_t entries_appended_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Everything a WAL replay recovers.
+struct WalContents {
+  std::vector<rdict::LogRecord> records;  ///< In append order.
+  /// Latest timetable snapshot, if any was persisted.
+  bool has_timetable = false;
+  rdict::Timetable timetable{1};
+  /// True if a torn/corrupted tail was detected and discarded.
+  bool truncated_tail = false;
+  uint64_t entries = 0;
+};
+
+/// Replays the WAL at `path`. A missing file yields empty contents (a
+/// fresh node). A corrupted or torn tail stops the replay at the last
+/// valid entry and reports it via `truncated_tail`.
+Result<WalContents> ReplayWal(const std::string& path);
+
+}  // namespace helios::wal
+
+#endif  // HELIOS_WAL_WAL_H_

@@ -1,0 +1,137 @@
+#include "wire/codec.h"
+
+#include <cstring>
+
+namespace helios::wire {
+
+void Encoder::PutFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutSignedVarint(int64_t v) {
+  // ZigZag: small magnitudes (positive or negative) stay small.
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutRaw(s.data(), s.size());
+}
+
+void Encoder::PutRaw(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + len);
+}
+
+Status Decoder::GetU8(uint8_t* out) {
+  if (pos_ >= len_) return Status::InvalidArgument("decode past end");
+  *out = data_[pos_++];
+  return Status::Ok();
+}
+
+Status Decoder::GetFixed32(uint32_t* out) {
+  if (len_ - pos_ < 4) return Status::InvalidArgument("decode past end");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetFixed64(uint64_t* out) {
+  if (len_ - pos_ < 8) return Status::InvalidArgument("decode past end");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= len_) return Status::InvalidArgument("varint past end");
+    if (shift >= 64) return Status::InvalidArgument("varint too long");
+    const uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status Decoder::GetSignedVarint(int64_t* out) {
+  uint64_t raw = 0;
+  Status s = GetVarint(&raw);
+  if (!s.ok()) return s;
+  *out = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return Status::Ok();
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t size = 0;
+  Status s = GetVarint(&size);
+  if (!s.ok()) return s;
+  if (size > len_ - pos_) {
+    return Status::InvalidArgument("string length exceeds buffer");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return Status::Ok();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v = 0;
+  Status s = GetU8(&v);
+  if (!s.ok()) return s;
+  if (v > 1) return Status::InvalidArgument("bool out of range");
+  *out = v == 1;
+  return Status::Ok();
+}
+
+namespace {
+
+// Table-driven CRC-32 (reflected, polynomial 0xEDB88320).
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace helios::wire

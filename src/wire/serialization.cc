@@ -1,0 +1,306 @@
+#include "wire/serialization.h"
+
+#include <memory>
+
+namespace helios::wire {
+
+namespace {
+
+// Caps that keep malformed input from triggering giant allocations.
+constexpr uint64_t kMaxSetSize = 1 << 20;
+constexpr uint64_t kMaxRecords = 1 << 22;
+constexpr uint64_t kMaxDatacenters = 1 << 10;
+
+}  // namespace
+
+void EncodeTxnId(const TxnId& id, Encoder* enc) {
+  enc->PutSignedVarint(id.origin);
+  enc->PutVarint(id.seq);
+}
+
+Status DecodeTxnId(Decoder* dec, TxnId* out) {
+  int64_t origin = 0;
+  uint64_t seq = 0;
+  Status s = dec->GetSignedVarint(&origin);
+  if (!s.ok()) return s;
+  s = dec->GetVarint(&seq);
+  if (!s.ok()) return s;
+  out->origin = static_cast<DcId>(origin);
+  out->seq = seq;
+  return Status::Ok();
+}
+
+void EncodeTxnBody(const TxnBody& body, Encoder* enc) {
+  EncodeTxnId(body.id, enc);
+  enc->PutVarint(body.read_set.size());
+  for (const ReadEntry& r : body.read_set) {
+    enc->PutString(r.key);
+    enc->PutSignedVarint(r.version_ts);
+    EncodeTxnId(r.version_writer, enc);
+  }
+  enc->PutVarint(body.write_set.size());
+  for (const WriteEntry& w : body.write_set) {
+    enc->PutString(w.key);
+    enc->PutString(w.value);
+  }
+}
+
+Status DecodeTxnBody(Decoder* dec, TxnBodyPtr* out) {
+  TxnId id;
+  Status s = DecodeTxnId(dec, &id);
+  if (!s.ok()) return s;
+
+  uint64_t reads = 0;
+  s = dec->GetVarint(&reads);
+  if (!s.ok()) return s;
+  if (reads > kMaxSetSize) return Status::InvalidArgument("read set too big");
+  std::vector<ReadEntry> read_set;
+  read_set.reserve(reads);
+  for (uint64_t i = 0; i < reads; ++i) {
+    ReadEntry r;
+    s = dec->GetString(&r.key);
+    if (!s.ok()) return s;
+    s = dec->GetSignedVarint(&r.version_ts);
+    if (!s.ok()) return s;
+    s = DecodeTxnId(dec, &r.version_writer);
+    if (!s.ok()) return s;
+    read_set.push_back(std::move(r));
+  }
+
+  uint64_t writes = 0;
+  s = dec->GetVarint(&writes);
+  if (!s.ok()) return s;
+  if (writes > kMaxSetSize) return Status::InvalidArgument("write set too big");
+  std::vector<WriteEntry> write_set;
+  write_set.reserve(writes);
+  for (uint64_t i = 0; i < writes; ++i) {
+    WriteEntry w;
+    s = dec->GetString(&w.key);
+    if (!s.ok()) return s;
+    s = dec->GetString(&w.value);
+    if (!s.ok()) return s;
+    write_set.push_back(std::move(w));
+  }
+  *out = std::make_shared<TxnBody>(
+      TxnBody{id, std::move(read_set), std::move(write_set)});
+  return Status::Ok();
+}
+
+void EncodeLogRecord(const rdict::LogRecord& rec, Encoder* enc) {
+  enc->PutU8(rec.type == rdict::RecordType::kPreparing ? 0 : 1);
+  enc->PutBool(rec.committed);
+  enc->PutSignedVarint(rec.ts);
+  enc->PutSignedVarint(rec.version_ts);
+  enc->PutSignedVarint(rec.origin);
+  EncodeTxnBody(*rec.body, enc);
+}
+
+Status DecodeLogRecord(Decoder* dec, rdict::LogRecord* out) {
+  uint8_t type = 0;
+  Status s = dec->GetU8(&type);
+  if (!s.ok()) return s;
+  if (type > 1) return Status::InvalidArgument("bad record type");
+  out->type = type == 0 ? rdict::RecordType::kPreparing
+                        : rdict::RecordType::kFinished;
+  s = dec->GetBool(&out->committed);
+  if (!s.ok()) return s;
+  s = dec->GetSignedVarint(&out->ts);
+  if (!s.ok()) return s;
+  s = dec->GetSignedVarint(&out->version_ts);
+  if (!s.ok()) return s;
+  int64_t origin = 0;
+  s = dec->GetSignedVarint(&origin);
+  if (!s.ok()) return s;
+  out->origin = static_cast<DcId>(origin);
+  TxnBodyPtr body;
+  s = DecodeTxnBody(dec, &body);
+  if (!s.ok()) return s;
+  out->body = std::move(body);
+  return Status::Ok();
+}
+
+void EncodeTimetable(const rdict::Timetable& table, Encoder* enc) {
+  const int n = table.size();
+  enc->PutVarint(static_cast<uint64_t>(n));
+  for (DcId i = 0; i < n; ++i) {
+    for (DcId j = 0; j < n; ++j) {
+      enc->PutSignedVarint(table.Get(i, j));
+    }
+  }
+}
+
+Status DecodeTimetable(Decoder* dec, rdict::Timetable* out) {
+  uint64_t n = 0;
+  Status s = dec->GetVarint(&n);
+  if (!s.ok()) return s;
+  if (n == 0 || n > kMaxDatacenters) {
+    return Status::InvalidArgument("bad timetable size");
+  }
+  rdict::Timetable table(static_cast<int>(n));
+  for (DcId i = 0; i < static_cast<int>(n); ++i) {
+    for (DcId j = 0; j < static_cast<int>(n); ++j) {
+      int64_t v = 0;
+      s = dec->GetSignedVarint(&v);
+      if (!s.ok()) return s;
+      table.Set(i, j, v);
+    }
+  }
+  *out = table;
+  return Status::Ok();
+}
+
+void EncodeLogMessage(const rdict::LogMessage& msg, Encoder* enc) {
+  enc->PutSignedVarint(msg.from);
+  EncodeTimetable(msg.table, enc);
+  enc->PutVarint(msg.records.size());
+  for (const rdict::LogRecord& rec : msg.records) {
+    EncodeLogRecord(rec, enc);
+  }
+}
+
+Status DecodeLogMessage(Decoder* dec, rdict::LogMessage* out) {
+  int64_t from = 0;
+  Status s = dec->GetSignedVarint(&from);
+  if (!s.ok()) return s;
+  rdict::Timetable table(1);
+  s = DecodeTimetable(dec, &table);
+  if (!s.ok()) return s;
+  uint64_t count = 0;
+  s = dec->GetVarint(&count);
+  if (!s.ok()) return s;
+  if (count > kMaxRecords) return Status::InvalidArgument("too many records");
+  rdict::LogMessage msg(table.size());
+  msg.from = static_cast<DcId>(from);
+  msg.table = table;
+  msg.records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    rdict::LogRecord rec;
+    s = DecodeLogRecord(dec, &rec);
+    if (!s.ok()) return s;
+    msg.records.push_back(std::move(rec));
+  }
+  *out = std::move(msg);
+  return Status::Ok();
+}
+
+void EncodeEnvelope(const core::Envelope& env, Encoder* enc) {
+  EncodeLogMessage(env.log, enc);
+  enc->PutVarint(env.refusals.size());
+  for (const core::Refusal& r : env.refusals) {
+    enc->PutSignedVarint(r.refuser);
+    EncodeTxnId(r.txn, enc);
+    enc->PutSignedVarint(r.txn_ts);
+  }
+  enc->PutVarint(env.ping_id);
+  enc->PutVarint(env.pong_for);
+  enc->PutSignedVarint(env.pong_hold_us);
+  enc->PutVarint(env.rtt_row_us.size());
+  for (Duration d : env.rtt_row_us) enc->PutSignedVarint(d);
+}
+
+Status DecodeEnvelope(Decoder* dec, core::Envelope* out) {
+  rdict::LogMessage msg(1);
+  Status s = DecodeLogMessage(dec, &msg);
+  if (!s.ok()) return s;
+  core::Envelope env(msg.table.size());
+  env.log = std::move(msg);
+  uint64_t refusals = 0;
+  s = dec->GetVarint(&refusals);
+  if (!s.ok()) return s;
+  if (refusals > kMaxSetSize) {
+    return Status::InvalidArgument("too many refusals");
+  }
+  env.refusals.reserve(refusals);
+  for (uint64_t i = 0; i < refusals; ++i) {
+    core::Refusal r;
+    int64_t refuser = 0;
+    s = dec->GetSignedVarint(&refuser);
+    if (!s.ok()) return s;
+    r.refuser = static_cast<DcId>(refuser);
+    s = DecodeTxnId(dec, &r.txn);
+    if (!s.ok()) return s;
+    s = dec->GetSignedVarint(&r.txn_ts);
+    if (!s.ok()) return s;
+    env.refusals.push_back(r);
+  }
+  uint64_t ping = 0;
+  s = dec->GetVarint(&ping);
+  if (!s.ok()) return s;
+  env.ping_id = static_cast<uint32_t>(ping);
+  uint64_t pong = 0;
+  s = dec->GetVarint(&pong);
+  if (!s.ok()) return s;
+  env.pong_for = static_cast<uint32_t>(pong);
+  s = dec->GetSignedVarint(&env.pong_hold_us);
+  if (!s.ok()) return s;
+  uint64_t row = 0;
+  s = dec->GetVarint(&row);
+  if (!s.ok()) return s;
+  if (row > kMaxDatacenters) return Status::InvalidArgument("rtt row too big");
+  env.rtt_row_us.resize(row);
+  for (uint64_t i = 0; i < row; ++i) {
+    s = dec->GetSignedVarint(&env.rtt_row_us[i]);
+    if (!s.ok()) return s;
+  }
+  *out = std::move(env);
+  return Status::Ok();
+}
+
+std::vector<uint8_t> FrameEnvelope(const core::Envelope& env) {
+  Encoder payload;
+  EncodeEnvelope(env, &payload);
+  Encoder frame;
+  frame.PutFixed32(kFrameMagic);
+  frame.PutU8(kWireVersion);
+  frame.PutVarint(payload.size());
+  frame.PutRaw(payload.bytes().data(), payload.size());
+  frame.PutFixed32(Crc32(payload.bytes()));
+  return frame.Release();
+}
+
+Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes) {
+  Decoder dec(bytes);
+  uint32_t magic = 0;
+  Status s = dec.GetFixed32(&magic);
+  if (!s.ok()) return s;
+  if (magic != kFrameMagic) return Status::InvalidArgument("bad frame magic");
+  uint8_t version = 0;
+  s = dec.GetU8(&version);
+  if (!s.ok()) return s;
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version");
+  }
+  uint64_t payload_len = 0;
+  s = dec.GetVarint(&payload_len);
+  if (!s.ok()) return s;
+  if (payload_len > dec.remaining() ||
+      dec.remaining() - payload_len != 4) {
+    return Status::InvalidArgument("frame length mismatch");
+  }
+  const uint8_t* payload = bytes.data() + dec.position();
+  const uint32_t computed =
+      Crc32(payload, static_cast<size_t>(payload_len));
+  Decoder tail(payload + payload_len, 4);
+  uint32_t stored = 0;
+  s = tail.GetFixed32(&stored);
+  if (!s.ok()) return s;
+  if (stored != computed) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  Decoder payload_dec(payload, static_cast<size_t>(payload_len));
+  core::Envelope env(1);
+  s = DecodeEnvelope(&payload_dec, &env);
+  if (!s.ok()) return s;
+  if (!payload_dec.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in payload");
+  }
+  return env;
+}
+
+size_t EncodedEnvelopeSize(const core::Envelope& env) {
+  Encoder enc;
+  EncodeEnvelope(env, &enc);
+  return enc.size();
+}
+
+}  // namespace helios::wire

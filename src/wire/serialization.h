@@ -1,0 +1,68 @@
+// Wire serialization of the messages Helios datacenters exchange: the
+// transaction payloads, log records, the timetable, and the full envelope
+// (partial log + refusals), with a CRC-framed container.
+//
+// The simulator moves messages as in-process objects, but a production
+// deployment ships them over WAN sockets; this module is that boundary. It
+// also powers the bandwidth accounting in the network model (message
+// transmission time = encoded size / link bandwidth) and the
+// message-size statistics in the ablation benches.
+//
+// Wire format: all integers are varints (timestamps zigzagged), strings
+// length-prefixed. A framed message is
+//   magic(4) | version(1) | payload_len(varint) | payload | crc32(4)
+// where the CRC covers the payload only.
+
+#ifndef HELIOS_WIRE_SERIALIZATION_H_
+#define HELIOS_WIRE_SERIALIZATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/envelope.h"
+#include "rdict/record.h"
+#include "rdict/replicated_log.h"
+#include "rdict/timetable.h"
+#include "txn/transaction.h"
+#include "wire/codec.h"
+
+namespace helios::wire {
+
+inline constexpr uint32_t kFrameMagic = 0x48454C4Fu;  // "HELO"
+inline constexpr uint8_t kWireVersion = 1;
+
+// --- Component encoders/decoders -------------------------------------------
+
+void EncodeTxnId(const TxnId& id, Encoder* enc);
+Status DecodeTxnId(Decoder* dec, TxnId* out);
+
+void EncodeTxnBody(const TxnBody& body, Encoder* enc);
+Status DecodeTxnBody(Decoder* dec, TxnBodyPtr* out);
+
+void EncodeLogRecord(const rdict::LogRecord& rec, Encoder* enc);
+Status DecodeLogRecord(Decoder* dec, rdict::LogRecord* out);
+
+void EncodeTimetable(const rdict::Timetable& table, Encoder* enc);
+Status DecodeTimetable(Decoder* dec, rdict::Timetable* out);
+
+void EncodeLogMessage(const rdict::LogMessage& msg, Encoder* enc);
+Status DecodeLogMessage(Decoder* dec, rdict::LogMessage* out);
+
+void EncodeEnvelope(const core::Envelope& env, Encoder* enc);
+Status DecodeEnvelope(Decoder* dec, core::Envelope* out);
+
+// --- Framing ----------------------------------------------------------------
+
+/// Serializes an envelope into a framed, checksummed byte string.
+std::vector<uint8_t> FrameEnvelope(const core::Envelope& env);
+
+/// Parses a framed envelope; verifies magic, version, and CRC.
+Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes);
+
+/// Encoded (unframed) size of an envelope in bytes — what a deployment
+/// would put on the wire; used for bandwidth accounting.
+size_t EncodedEnvelopeSize(const core::Envelope& env);
+
+}  // namespace helios::wire
+
+#endif  // HELIOS_WIRE_SERIALIZATION_H_

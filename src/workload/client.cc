@@ -1,0 +1,111 @@
+#include "workload/client.h"
+
+#include <utility>
+
+namespace helios::workload {
+
+void ClientMetrics::Merge(const ClientMetrics& other) {
+  for (double s : other.commit_latency_ms.samples()) {
+    commit_latency_ms.Add(s);
+  }
+  committed += other.committed;
+  aborted += other.aborted;
+  ops_committed += other.ops_committed;
+  read_only_done += other.read_only_done;
+}
+
+ClosedLoopClient::ClosedLoopClient(uint64_t id, DcId home,
+                                   ProtocolCluster* cluster,
+                                   sim::Scheduler* scheduler,
+                                   const WorkloadConfig& workload,
+                                   uint64_t seed, sim::SimTime measure_from,
+                                   sim::SimTime measure_until,
+                                   sim::SimTime stop_at)
+    : id_(id),
+      home_(home),
+      cluster_(cluster),
+      scheduler_(scheduler),
+      generator_(workload, seed ^ (id * 0x9E3779B97F4A7C15ULL)),
+      measure_from_(measure_from),
+      measure_until_(measure_until),
+      stop_at_(stop_at) {}
+
+void ClosedLoopClient::Start() {
+  scheduler_->After(0, [this]() { NextTxn(); });
+}
+
+void ClosedLoopClient::NextTxn() {
+  if (scheduler_->Now() >= stop_at_) return;
+  ++txns_issued_;
+  auto txn = std::make_shared<InFlight>();
+  txn->plan = generator_.NextTxn();
+  txn->id = cluster_->BeginTxn(home_);
+
+  if (txn->plan.read_only) {
+    const bool in_window = InWindow(scheduler_->Now());
+    cluster_->ClientReadOnly(
+        home_, txn->plan.reads,
+        [this, in_window](std::vector<Result<VersionedValue>>) {
+          if (in_window) ++metrics_.read_only_done;
+          NextTxn();
+        });
+    return;
+  }
+  ReadPhase(std::move(txn));
+}
+
+void ClosedLoopClient::ReadPhase(std::shared_ptr<InFlight> txn) {
+  if (txn->next_read >= txn->plan.reads.size()) {
+    CommitPhase(std::move(txn));
+    return;
+  }
+  const Key key = txn->plan.reads[txn->next_read++];
+  cluster_->TxnRead(
+      home_, txn->id, key,
+      [this, txn, key](Result<VersionedValue> r) {
+        if (r.ok()) {
+          txn->reads.push_back({key, r.value().ts, r.value().writer});
+        } else if (r.status().code() == StatusCode::kNotFound) {
+          txn->reads.push_back({key, kMinTimestamp, TxnId{}});
+        } else {
+          // Read failed (e.g. a lock refusal): the transaction aborts
+          // before ever requesting commit.
+          cluster_->TxnAbandon(home_, txn->id);
+          if (InWindow(scheduler_->Now())) ++metrics_.aborted;
+          NextTxn();
+          return;
+        }
+        ReadPhase(txn);
+      });
+}
+
+void ClosedLoopClient::CommitPhase(std::shared_ptr<InFlight> txn) {
+  std::vector<WriteEntry> writes;
+  writes.reserve(txn->plan.writes.size());
+  for (const Key& key : txn->plan.writes) {
+    writes.push_back({key, generator_.NextValue()});
+  }
+  txn->commit_requested_at = scheduler_->Now();
+  cluster_->TxnCommit(home_, txn->id, txn->reads, std::move(writes),
+                      [this, txn](const CommitOutcome& outcome) {
+                        OnOutcome(txn, outcome.committed);
+                      });
+}
+
+void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
+                                 bool committed) {
+  if (InWindow(txn->commit_requested_at)) {
+    if (committed) {
+      ++metrics_.committed;
+      metrics_.ops_committed +=
+          txn->plan.reads.size() + txn->plan.writes.size();
+      metrics_.commit_latency_ms.Add(
+          ToMillis(scheduler_->Now() - txn->commit_requested_at));
+    } else {
+      ++metrics_.aborted;
+    }
+  }
+  NextTxn();
+}
+
+}  // namespace helios::workload

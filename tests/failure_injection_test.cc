@@ -1,0 +1,145 @@
+// Randomized failure injection: datacenters crash and recover at random
+// times while contended traffic runs. Whatever the schedule, the committed
+// history must stay conflict-serializable, surviving replicas must agree,
+// and the cluster must make progress whenever at most f datacenters are
+// down.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/helios_cluster.h"
+#include "core/history.h"
+#include "harness/topology.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace helios::core {
+namespace {
+
+class FailureInjectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(FailureInjectionSweep, SerializableThroughRandomOutages) {
+  const auto [f, seed] = GetParam();
+  const int n = 5;
+  const int keys = 200;
+
+  sim::Scheduler scheduler;
+  sim::Network network(&scheduler, n, seed);
+  const auto topo = harness::Table2Topology();
+  harness::ConfigureNetwork(topo, &network);
+  HeliosConfig cfg;
+  cfg.num_datacenters = n;
+  cfg.fault_tolerance = f;
+  cfg.grace_time = Millis(400);
+  cfg.log_interval = Millis(5);
+  HeliosCluster cluster(&scheduler, &network, cfg);
+  for (int k = 0; k < keys; ++k) {
+    cluster.LoadInitialAll("key" + std::to_string(k), "init");
+  }
+  cluster.Start();
+
+  // Closed-loop clients at every datacenter. Clients at a crashed
+  // datacenter stall (their requests are dropped); a watchdog restarts
+  // their loop after recovery.
+  auto rng = std::make_shared<Rng>(seed ^ 0xF00D);
+  auto commits = std::make_shared<uint64_t>(0);
+  auto commits_during_outage = std::make_shared<uint64_t>(0);
+  auto down = std::make_shared<std::vector<bool>>(n, false);
+  auto loop = std::make_shared<std::function<void(DcId, int)>>();
+  *loop = [&, rng, commits, commits_during_outage, down, loop](DcId dc,
+                                                               int gen) {
+    if (scheduler.Now() > Seconds(25)) return;
+    if ((*down)[dc]) return;  // Watchdog restarts us after recovery.
+    const std::string k1 = "key" + std::to_string(rng->Uniform(keys));
+    const std::string k2 = "key" + std::to_string(rng->Uniform(keys));
+    std::vector<WriteEntry> writes{{k1, "v"}};
+    if (k2 != k1) writes.push_back({k2, "w"});
+    cluster.ClientCommit(dc, {}, std::move(writes),
+                         [&, commits, commits_during_outage, down, loop, dc,
+                          gen](const CommitOutcome& o) {
+                           if (o.committed) {
+                             ++*commits;
+                             for (bool d : *down) {
+                               if (d) {
+                                 ++*commits_during_outage;
+                                 break;
+                               }
+                             }
+                           }
+                           (*loop)(dc, gen);
+                         });
+  };
+  for (DcId dc = 0; dc < n; ++dc) {
+    scheduler.At(Millis(dc + 1), [loop, dc] { (*loop)(dc, 0); });
+  }
+
+  // Random outage schedule: up to f datacenters down at any time; each
+  // outage lasts 1.5-4 seconds.
+  auto down_count = std::make_shared<int>(0);
+  auto inject = std::make_shared<std::function<void()>>();
+  *inject = [&, rng, down, down_count, inject, loop]() {
+    if (scheduler.Now() > Seconds(18)) return;
+    if (*down_count < f) {
+      DcId victim = static_cast<DcId>(rng->Uniform(n));
+      if (!(*down)[victim]) {
+        (*down)[victim] = true;
+        ++*down_count;
+        cluster.CrashDatacenter(victim);
+        const Duration outage = Millis(1500) + Millis(rng->Uniform(2500));
+        scheduler.After(outage, [&, down, down_count, loop, victim]() {
+          cluster.RecoverDatacenter(victim);
+          (*down)[victim] = false;
+          --*down_count;
+          // Restart the victim's client loop.
+          scheduler.After(Millis(50), [loop, victim]() {
+            (*loop)(victim, 1);
+          });
+        });
+      }
+    }
+    scheduler.After(Millis(800) + Millis(rng->Uniform(1200)), *inject);
+  };
+  scheduler.At(Seconds(2), *inject);
+
+  // Run traffic, then let everything recover and quiesce.
+  scheduler.RunUntil(Seconds(45));
+
+  EXPECT_GT(*commits, 200u) << "cluster made too little progress";
+  if (f > 0) {
+    EXPECT_GT(*commits_during_outage, 0u)
+        << "no commits while a datacenter was down (liveness failed)";
+  }
+
+  // Safety: the full committed history is conflict-serializable.
+  const Status ser = CheckSerializable(cluster.history().commits());
+  EXPECT_TRUE(ser.ok()) << ser.ToString();
+
+  // Convergence: after quiescing, every replica agrees on every key.
+  for (int k = 0; k < keys; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    auto v0 = cluster.node(0).store().Read(key);
+    ASSERT_TRUE(v0.ok());
+    for (DcId dc = 1; dc < n; ++dc) {
+      auto v = cluster.node(dc).store().Read(key);
+      ASSERT_TRUE(v.ok()) << key << " dc " << dc;
+      EXPECT_EQ(v.value().writer, v0.value().writer) << key << " dc " << dc;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FailureInjectionSweep,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(41u, 42u, 43u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return "f" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace helios::core

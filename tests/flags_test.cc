@@ -1,0 +1,104 @@
+// Tests for the command-line flag parser used by the CLI tools.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace helios {
+namespace {
+
+FlagSet MakeSet() {
+  FlagSet flags;
+  flags.DefineString("name", "default", "a string");
+  flags.DefineInt("count", 7, "an int");
+  flags.DefineDouble("ratio", 0.5, "a double");
+  flags.DefineBool("verbose", false, "a bool");
+  return flags;
+}
+
+Status Parse(FlagSet& flags, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return flags.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {}).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.IsSet("name"));
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(
+      Parse(flags, {"--name=helios", "--count=42", "--ratio=1.25"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "helios");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 1.25);
+  EXPECT_TRUE(flags.IsSet("count"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--name", "x", "--count", "-3"}).ok());
+  EXPECT_EQ(flags.GetString("name"), "x");
+  EXPECT_EQ(flags.GetInt("count"), -3);
+}
+
+TEST(FlagsTest, BareBooleanSetsTrue) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--verbose"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--verbose=true"}).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  FlagSet flags2 = MakeSet();
+  ASSERT_TRUE(Parse(flags2, {"--verbose=0"}).ok());
+  EXPECT_FALSE(flags2.GetBool("verbose"));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags = MakeSet();
+  const Status s = Parse(flags, {"--nope=1"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nope"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedNumbersFail) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(Parse(flags, {"--count=abc"}).ok());
+  FlagSet flags2 = MakeSet();
+  EXPECT_FALSE(Parse(flags2, {"--ratio=1.2.3"}).ok());
+  FlagSet flags3 = MakeSet();
+  EXPECT_FALSE(Parse(flags3, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(Parse(flags, {"--count"}).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"input.txt", "--count=1", "more"}).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(FlagsTest, HelpListsFlags) {
+  FlagSet flags = MakeSet();
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("a bool"), std::string::npos);
+  EXPECT_NE(help.find("default: 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace helios

@@ -1,0 +1,560 @@
+// Integration tests for the Helios commit protocol: commit waits, conflict
+// detection (the Figure 2 scenarios), serializability under contention and
+// clock skew, liveness under datacenter outages (Rule 3), replica
+// convergence, and read-only transactions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/helios_cluster.h"
+#include "core/history.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace helios::core {
+namespace {
+
+struct TestRig {
+  sim::Scheduler scheduler;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<HeliosCluster> cluster;
+};
+
+HeliosConfig BaseConfig(int n) {
+  HeliosConfig cfg;
+  cfg.num_datacenters = n;
+  cfg.log_interval = Millis(5);
+  cfg.client_link_one_way = Micros(500);
+  cfg.grace_time = Millis(500);
+  return cfg;
+}
+
+/// Builds an n-datacenter rig with uniform RTT between every pair.
+std::unique_ptr<TestRig> MakeUniformRig(int n, Duration rtt,
+                                        HeliosConfig cfg,
+                                        LogProtocolKind kind =
+                                            LogProtocolKind::kHelios,
+                                        uint64_t seed = 1) {
+  auto rig = std::make_unique<TestRig>();
+  rig->network = std::make_unique<sim::Network>(&rig->scheduler, n, seed);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      rig->network->SetRtt(a, b, rtt, 0);
+    }
+  }
+  rig->cluster = std::make_unique<HeliosCluster>(
+      &rig->scheduler, rig->network.get(), std::move(cfg), kind);
+  return rig;
+}
+
+/// Commits one write transaction synchronously-in-sim; returns the outcome
+/// and the client-observed latency.
+struct CommitResult {
+  CommitOutcome outcome;
+  Duration latency = -1;
+  bool done = false;
+};
+
+void AsyncCommit(TestRig& rig, DcId dc, std::vector<ReadEntry> reads,
+                 std::vector<WriteEntry> writes, CommitResult* out) {
+  const sim::SimTime start = rig.scheduler.Now();
+  rig.cluster->ClientCommit(dc, std::move(reads), std::move(writes),
+                            [out, start, &rig](const CommitOutcome& o) {
+                              out->outcome = o;
+                              out->latency = rig.scheduler.Now() - start;
+                              out->done = true;
+                            });
+}
+
+TEST(HeliosBasicTest, SingleTransactionCommits) {
+  auto rig = MakeUniformRig(3, Millis(80), BaseConfig(3));
+  rig->cluster->Start();
+  CommitResult result;
+  rig->scheduler.At(Millis(100), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(result.done);
+  EXPECT_TRUE(result.outcome.committed);
+  // Helios-B on a symmetric topology: roughly one-way (40ms) plus the log
+  // interval, service time and client links.
+  EXPECT_GE(result.latency, Millis(40));
+  EXPECT_LE(result.latency, Millis(60));
+}
+
+TEST(HeliosBasicTest, CommitAppliesWritesEverywhere) {
+  auto rig = MakeUniformRig(3, Millis(40), BaseConfig(3));
+  rig->cluster->Start();
+  CommitResult result;
+  rig->scheduler.At(Millis(10), [&] {
+    AsyncCommit(*rig, 1, {}, {{"x", "42"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(result.done && result.outcome.committed);
+  for (DcId dc = 0; dc < 3; ++dc) {
+    auto v = rig->cluster->node(dc).store().Read("x");
+    ASSERT_TRUE(v.ok()) << "dc " << dc;
+    EXPECT_EQ(v.value().value, "42");
+    EXPECT_EQ(v.value().writer, result.outcome.id);
+  }
+}
+
+TEST(HeliosBasicTest, ReadReturnsVersionInfo) {
+  auto rig = MakeUniformRig(2, Millis(20), BaseConfig(2));
+  rig->cluster->LoadInitialAll("k", "v0");
+  rig->cluster->Start();
+  Result<VersionedValue> got = Status::Internal("unset");
+  rig->scheduler.At(Millis(5), [&] {
+    rig->cluster->ClientRead(0, "k", [&](Result<VersionedValue> r) {
+      got = std::move(r);
+    });
+  });
+  rig->scheduler.RunUntil(Millis(100));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().value, "v0");
+}
+
+TEST(HeliosBasicTest, ReadOfMissingKeyIsNotFound) {
+  auto rig = MakeUniformRig(2, Millis(20), BaseConfig(2));
+  rig->cluster->Start();
+  bool got_not_found = false;
+  rig->scheduler.At(Millis(5), [&] {
+    rig->cluster->ClientRead(0, "nope", [&](Result<VersionedValue> r) {
+      got_not_found = !r.ok() && r.status().code() == StatusCode::kNotFound;
+    });
+  });
+  rig->scheduler.RunUntil(Millis(100));
+  EXPECT_TRUE(got_not_found);
+}
+
+TEST(HeliosBasicTest, OverwrittenReadAborts) {
+  auto rig = MakeUniformRig(2, Millis(20), BaseConfig(2));
+  rig->cluster->LoadInitialAll("k", "v0");
+  rig->cluster->Start();
+
+  // First transaction overwrites k; the second then tries to commit with
+  // the stale read.
+  CommitResult first;
+  CommitResult second;
+  ReadEntry stale;
+  rig->scheduler.At(Millis(5), [&] {
+    rig->cluster->ClientRead(0, "k", [&](Result<VersionedValue> r) {
+      ASSERT_TRUE(r.ok());
+      stale = ReadEntry{"k", r.value().ts, r.value().writer};
+    });
+  });
+  rig->scheduler.At(Millis(20), [&] {
+    AsyncCommit(*rig, 0, {}, {{"k", "v1"}}, &first);
+  });
+  rig->scheduler.At(Millis(400), [&] {
+    ASSERT_TRUE(first.done && first.outcome.committed);
+    AsyncCommit(*rig, 0, {stale}, {{"other", "x"}}, &second);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(second.done);
+  EXPECT_FALSE(second.outcome.committed);
+  EXPECT_EQ(second.outcome.abort_reason.rfind("overwritten", 0), 0u);
+}
+
+TEST(HeliosConflictTest, ConcurrentWriteWriteConflictAtMostOneCommits) {
+  auto rig = MakeUniformRig(2, Millis(100), BaseConfig(2));
+  rig->cluster->Start();
+  CommitResult at_a;
+  CommitResult at_b;
+  // Both issued at the same instant at different datacenters; with 100ms
+  // RTT neither can know about the other at request time.
+  rig->scheduler.At(Millis(50), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "a"}}, &at_a);
+    AsyncCommit(*rig, 1, {}, {{"x", "b"}}, &at_b);
+  });
+  rig->scheduler.RunUntil(Seconds(3));
+  ASSERT_TRUE(at_a.done && at_b.done);
+  EXPECT_LE((at_a.outcome.committed ? 1 : 0) + (at_b.outcome.committed ? 1 : 0),
+            1)
+      << "two conflicting concurrent transactions both committed";
+  // With symmetric offsets (Helios-B) at least one must survive: the one
+  // whose knowledge wait completes after it has seen the other's abort...
+  // actually both may abort (mutual kill) only if each sees the other
+  // before committing; Helios aborts the local preparing txn when a
+  // conflicting remote record arrives, so both aborting is possible and
+  // correct. We only require: never two commits, and both get decisions.
+}
+
+TEST(HeliosConflictTest, SecondRequestAbortsImmediatelyOnLocalConflict) {
+  auto rig = MakeUniformRig(2, Millis(100), BaseConfig(2));
+  rig->cluster->Start();
+  CommitResult first;
+  CommitResult second;
+  rig->scheduler.At(Millis(10), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &first);
+  });
+  rig->scheduler.At(Millis(15), [&] {
+    // Conflicts with the still-preparing first transaction: Algorithm 1
+    // aborts it immediately, well before any network round trip.
+    AsyncCommit(*rig, 0, {}, {{"x", "2"}}, &second);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(second.done);
+  EXPECT_FALSE(second.outcome.committed);
+  EXPECT_EQ(second.outcome.abort_reason, "conflict:preparing");
+  EXPECT_LT(second.latency, Millis(10));
+  ASSERT_TRUE(first.done);
+  EXPECT_TRUE(first.outcome.committed);
+}
+
+// The Figure 2 example: commit offsets -1ms / +1ms between two
+// datacenters, conflicting transactions detect each other.
+TEST(HeliosConflictTest, RemoteConflictAbortsPreparingTransaction) {
+  HeliosConfig cfg = BaseConfig(2);
+  cfg.commit_offsets = {{0, -Millis(1)}, {Millis(1), 0}};
+  auto rig = MakeUniformRig(2, Millis(80), std::move(cfg));
+  rig->cluster->Start();
+
+  CommitResult at_a;
+  CommitResult at_b;
+  rig->scheduler.At(Millis(10), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "a"}}, &at_a);
+  });
+  // B starts a conflicting transaction while A's record is in flight; B
+  // has a larger commit offset so it waits longer and must see A's record
+  // and abort.
+  rig->scheduler.At(Millis(30), [&] {
+    AsyncCommit(*rig, 1, {ReadEntry{"x", kMinTimestamp, TxnId{}}},
+                {{"x", "b"}}, &at_b);
+  });
+  rig->scheduler.RunUntil(Seconds(3));
+  ASSERT_TRUE(at_a.done && at_b.done);
+  EXPECT_TRUE(at_a.outcome.committed);
+  EXPECT_FALSE(at_b.outcome.committed);
+  EXPECT_EQ(at_b.outcome.abort_reason, "conflict:remote");
+}
+
+TEST(HeliosOffsetsTest, NegativeOffsetsShortenTheWait) {
+  // Asymmetric offsets within Rule 1: A gets -30ms, B gets +30ms.
+  // A's commit wait needs B's history only up to q(t)-30ms, which is
+  // usually already known, so A commits almost immediately; B waits
+  // correspondingly longer.
+  HeliosConfig cfg = BaseConfig(2);
+  cfg.commit_offsets = {{0, -Millis(30)}, {Millis(30), 0}};
+  auto rig = MakeUniformRig(2, Millis(60), std::move(cfg));
+  rig->cluster->Start();
+
+  CommitResult at_a;
+  CommitResult at_b;
+  rig->scheduler.At(Millis(200), [&] {
+    AsyncCommit(*rig, 0, {}, {{"a_key", "1"}}, &at_a);
+    AsyncCommit(*rig, 1, {}, {{"b_key", "1"}}, &at_b);
+  });
+  rig->scheduler.RunUntil(Seconds(3));
+  ASSERT_TRUE(at_a.done && at_b.done);
+  ASSERT_TRUE(at_a.outcome.committed);
+  ASSERT_TRUE(at_b.outcome.committed);
+  // Estimated latencies (Eq. 4): L_A = -30 + 30 = ~0ms (plus log interval
+  // and overheads), L_B = 30 + 30 = 60ms.
+  EXPECT_LT(at_a.latency, Millis(15));
+  EXPECT_GT(at_b.latency, Millis(55));
+  EXPECT_LT(at_b.latency, Millis(80));
+  // Lemma 1: the sum of the two commit latencies >= RTT.
+  EXPECT_GE(at_a.latency + at_b.latency, Millis(60));
+}
+
+// Randomized closed-loop clients on a small key space; the committed
+// history must be conflict-serializable and replicas must converge.
+struct ContentionOptions {
+  int num_dcs = 3;
+  int clients_per_dc = 4;
+  int keys = 40;
+  Duration rtt = Millis(60);
+  Duration run_for = Seconds(20);
+  LogProtocolKind kind = LogProtocolKind::kHelios;
+  std::vector<Duration> clock_offsets;
+  std::vector<std::vector<Duration>> commit_offsets;
+  int fault_tolerance = 0;
+  uint64_t seed = 99;
+};
+
+struct ContentionOutcome {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+};
+
+ContentionOutcome RunContentionWorkload(TestRig& rig,
+                                        const ContentionOptions& opt) {
+  auto& cluster = *rig.cluster;
+  for (int k = 0; k < opt.keys; ++k) {
+    cluster.LoadInitialAll("key" + std::to_string(k), "init");
+  }
+  cluster.Start();
+
+  auto outcome = std::make_shared<ContentionOutcome>();
+  auto rng = std::make_shared<Rng>(opt.seed);
+
+  // A tiny closed-loop client: read two keys, write one of them plus
+  // another, commit, repeat.
+  struct Client {
+    DcId dc;
+  };
+  auto step = std::make_shared<std::function<void(DcId)>>();
+  *step = [&rig, &cluster, outcome, rng, opt, step](DcId dc) {
+    const std::string k1 = "key" + std::to_string(rng->Uniform(opt.keys));
+    const std::string k2 = "key" + std::to_string(rng->Uniform(opt.keys));
+    cluster.ClientRead(dc, k1, [&rig, &cluster, outcome, rng, opt, step, dc,
+                                k1, k2](Result<VersionedValue> r1) {
+      if (!r1.ok()) return;
+      ReadEntry read1{k1, r1.value().ts, r1.value().writer};
+      std::vector<WriteEntry> writes;
+      writes.push_back({k1, "v" + std::to_string(rng->Next() % 1000)});
+      if (k2 != k1) writes.push_back({k2, "w"});
+      cluster.ClientCommit(
+          dc, {read1}, std::move(writes),
+          [&rig, outcome, opt, step, dc](const CommitOutcome& o) {
+            if (o.committed) {
+              ++outcome->commits;
+            } else {
+              ++outcome->aborts;
+            }
+            if (rig.scheduler.Now() < opt.run_for) {
+              (*step)(dc);
+            }
+          });
+    });
+  };
+
+  for (DcId dc = 0; dc < opt.num_dcs; ++dc) {
+    for (int c = 0; c < opt.clients_per_dc; ++c) {
+      rig.scheduler.At(Millis(1) * (c + 1), [step, dc] { (*step)(dc); });
+    }
+  }
+  // Run the workload then let everything quiesce (in-flight transactions
+  // decide, logs fully propagate).
+  rig.scheduler.RunUntil(opt.run_for + Seconds(30));
+  return *outcome;
+}
+
+void ExpectSerializableAndConvergent(TestRig& rig, int num_dcs, int keys) {
+  const Status ser = CheckSerializable(rig.cluster->history().commits());
+  EXPECT_TRUE(ser.ok()) << ser.ToString();
+  // All replicas converge to identical visible state.
+  for (int k = 0; k < keys; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    auto v0 = rig.cluster->node(0).store().Read(key);
+    ASSERT_TRUE(v0.ok());
+    for (DcId dc = 1; dc < num_dcs; ++dc) {
+      auto v = rig.cluster->node(dc).store().Read(key);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(v.value().value, v0.value().value) << key << " dc " << dc;
+      EXPECT_EQ(v.value().writer, v0.value().writer) << key << " dc " << dc;
+    }
+  }
+}
+
+TEST(HeliosSerializabilityTest, ContendedWorkloadIsSerializable) {
+  ContentionOptions opt;
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  EXPECT_GT(out.commits, 100u);
+  EXPECT_GT(out.aborts, 0u);  // Contention must actually occur.
+  ExpectSerializableAndConvergent(*rig, opt.num_dcs, opt.keys);
+}
+
+TEST(HeliosSerializabilityTest, SerializableUnderSevereClockSkew) {
+  ContentionOptions opt;
+  opt.seed = 101;
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  // 150ms of skew: larger than the RTT; correctness must not depend on it.
+  cfg.clock_offsets = {Millis(150), -Millis(80), 0};
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  EXPECT_GT(out.commits, 100u);
+  ExpectSerializableAndConvergent(*rig, opt.num_dcs, opt.keys);
+}
+
+TEST(HeliosSerializabilityTest, SerializableWithMaoStyleOffsets) {
+  ContentionOptions opt;
+  opt.seed = 103;
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  // Asymmetric offsets satisfying Rule 1 (sum >= 0 per pair).
+  cfg.commit_offsets = {{0, -Millis(25), Millis(5)},
+                        {Millis(25), 0, -Millis(10)},
+                        {-Millis(5), Millis(10), 0}};
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  EXPECT_GT(out.commits, 100u);
+  ExpectSerializableAndConvergent(*rig, opt.num_dcs, opt.keys);
+}
+
+TEST(HeliosSerializabilityTest, MessageFuturesIsSerializable) {
+  ContentionOptions opt;
+  opt.seed = 107;
+  opt.kind = LogProtocolKind::kMessageFutures;
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  EXPECT_GT(out.commits, 100u);
+  ExpectSerializableAndConvergent(*rig, opt.num_dcs, opt.keys);
+}
+
+TEST(HeliosSerializabilityTest, SerializableWithFaultToleranceOn) {
+  ContentionOptions opt;
+  opt.seed = 109;
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  cfg.fault_tolerance = 1;
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  EXPECT_GT(out.commits, 100u);
+  ExpectSerializableAndConvergent(*rig, opt.num_dcs, opt.keys);
+}
+
+TEST(HeliosLatencyTest, MessageFuturesWaitsAFullRoundTrip) {
+  auto rig = MakeUniformRig(2, Millis(100), BaseConfig(2),
+                            LogProtocolKind::kMessageFutures);
+  rig->cluster->Start();
+  CommitResult result;
+  rig->scheduler.At(Millis(50), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(result.done && result.outcome.committed);
+  EXPECT_GE(result.latency, Millis(100));  // Full RTT at minimum.
+  EXPECT_LE(result.latency, Millis(125));
+}
+
+TEST(HeliosLivenessTest, FaultToleranceOneWaitsForAnAck) {
+  HeliosConfig cfg = BaseConfig(3);
+  cfg.fault_tolerance = 1;
+  // Zero offsets: the knowledge wait is ~RTT/2; the ack wait is a full
+  // RTT, which dominates.
+  auto rig = MakeUniformRig(3, Millis(80), std::move(cfg));
+  rig->cluster->Start();
+  CommitResult result;
+  rig->scheduler.At(Millis(50), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(result.done && result.outcome.committed);
+  EXPECT_GE(result.latency, Millis(80));
+  EXPECT_LE(result.latency, Millis(105));
+}
+
+TEST(HeliosLivenessTest, Helios0BlocksWhenADatacenterFails) {
+  HeliosConfig cfg = BaseConfig(3);
+  auto rig = MakeUniformRig(3, Millis(40), std::move(cfg));
+  rig->cluster->Start();
+  rig->scheduler.At(Millis(100), [&] { rig->cluster->CrashDatacenter(2); });
+  CommitResult result;
+  rig->scheduler.At(Millis(300), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(10));
+  // Helios-0 cannot commit without DC2's log: the transaction stays
+  // pending forever.
+  EXPECT_FALSE(result.done);
+  EXPECT_EQ(rig->cluster->node(0).pt_pool_size(), 1u);
+}
+
+TEST(HeliosLivenessTest, Helios1CommitsThroughAnOutage) {
+  HeliosConfig cfg = BaseConfig(3);
+  cfg.fault_tolerance = 1;
+  cfg.grace_time = Millis(300);
+  auto rig = MakeUniformRig(3, Millis(40), std::move(cfg));
+  rig->cluster->Start();
+  rig->scheduler.At(Millis(100), [&] { rig->cluster->CrashDatacenter(2); });
+  CommitResult result;
+  rig->scheduler.At(Millis(500), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "1"}}, &result);
+  });
+  rig->scheduler.RunUntil(Seconds(10));
+  ASSERT_TRUE(result.done) << "Helios-1 must keep committing with one DC down";
+  EXPECT_TRUE(result.outcome.committed);
+  // The commit had to wait out the grace time for the eta bound (the
+  // paper: "a datacenter has to wait for an additional duration of GT").
+  EXPECT_GE(result.latency, Millis(250));
+}
+
+TEST(HeliosLivenessTest, RecoveredDatacenterCatchesUp) {
+  HeliosConfig cfg = BaseConfig(3);
+  cfg.fault_tolerance = 1;
+  cfg.grace_time = Millis(300);
+  auto rig = MakeUniformRig(3, Millis(40), std::move(cfg));
+  rig->cluster->Start();
+  rig->scheduler.At(Millis(100), [&] { rig->cluster->CrashDatacenter(2); });
+  CommitResult during;
+  rig->scheduler.At(Millis(500), [&] {
+    AsyncCommit(*rig, 0, {}, {{"x", "during-outage"}}, &during);
+  });
+  rig->scheduler.At(Seconds(3), [&] { rig->cluster->RecoverDatacenter(2); });
+  rig->scheduler.RunUntil(Seconds(8));
+  ASSERT_TRUE(during.done && during.outcome.committed);
+  // After recovery the log exchange must deliver the missed write.
+  auto v = rig->cluster->node(2).store().Read("x");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "during-outage");
+  // And commits at the recovered cluster get fast again.
+  CommitResult after;
+  rig->scheduler.At(rig->scheduler.Now(), [&] {
+    AsyncCommit(*rig, 0, {}, {{"y", "post"}}, &after);
+  });
+  rig->scheduler.RunUntil(rig->scheduler.Now() + Seconds(2));
+  ASSERT_TRUE(after.done && after.outcome.committed);
+  EXPECT_LT(after.latency, Millis(120));
+}
+
+TEST(HeliosReadOnlyTest, SnapshotReadsSeeCommittedData) {
+  auto rig = MakeUniformRig(2, Millis(30), BaseConfig(2));
+  rig->cluster->LoadInitialAll("a", "0");
+  rig->cluster->LoadInitialAll("b", "0");
+  rig->cluster->Start();
+  CommitResult w;
+  rig->scheduler.At(Millis(10), [&] {
+    AsyncCommit(*rig, 0, {}, {{"a", "1"}, {"b", "1"}}, &w);
+  });
+  std::vector<Result<VersionedValue>> snapshot;
+  rig->scheduler.At(Millis(500), [&] {
+    rig->cluster->ClientReadOnly(1, {"a", "b"},
+                                 [&](std::vector<Result<VersionedValue>> r) {
+                                   snapshot = std::move(r);
+                                 });
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(w.done && w.outcome.committed);
+  ASSERT_EQ(snapshot.size(), 2u);
+  ASSERT_TRUE(snapshot[0].ok() && snapshot[1].ok());
+  // Atomic snapshot: both writes of the transaction visible together.
+  EXPECT_EQ(snapshot[0].value().value, "1");
+  EXPECT_EQ(snapshot[1].value().value, "1");
+  EXPECT_GT(rig->cluster->node(1).counters().read_only_txns, 0u);
+}
+
+TEST(HeliosGcTest, LogsAndRefusalsDoNotGrowUnboundedly) {
+  ContentionOptions opt;
+  opt.run_for = Seconds(10);
+  HeliosConfig cfg = BaseConfig(opt.num_dcs);
+  cfg.gc_interval = Millis(200);
+  auto rig = MakeUniformRig(opt.num_dcs, opt.rtt, std::move(cfg));
+  RunContentionWorkload(*rig, opt);
+  for (DcId dc = 0; dc < opt.num_dcs; ++dc) {
+    // After quiescing, everything is universally known and GC'd.
+    EXPECT_LT(rig->cluster->node(dc).log().live_records(), 10u) << dc;
+  }
+}
+
+TEST(HeliosCountersTest, CountersAreConsistent) {
+  ContentionOptions opt;
+  opt.run_for = Seconds(5);
+  auto rig =
+      MakeUniformRig(opt.num_dcs, opt.rtt, BaseConfig(opt.num_dcs), opt.kind);
+  const ContentionOutcome out = RunContentionWorkload(*rig, opt);
+  const NodeCounters total = rig->cluster->AggregateCounters();
+  EXPECT_EQ(total.commits, out.commits);
+  EXPECT_EQ(total.total_aborts(), out.aborts);
+  EXPECT_EQ(total.commits, rig->cluster->history().size());
+  EXPECT_EQ(total.commit_requests, total.commits + total.total_aborts());
+}
+
+}  // namespace
+}  // namespace helios::core

@@ -1,0 +1,213 @@
+// Network-partition scenarios for Helios's liveness layer (Section 4.4).
+//
+// The paper's key case: "a network partition makes information from B
+// unable to be delivered to other datacenters. Given that no information
+// is received at A from B, datacenter A consults C for information about
+// B's finished transactions. Datacenter A can commit transactions since it
+// knows that B cannot commit any transactions without getting an
+// acknowledgment of its receipt from either B or C."
+//
+// These tests check both halves: the connected majority keeps committing
+// through the eta bound, and the isolated datacenter CANNOT commit —
+// neither during the partition (no acknowledgments) nor after it heals
+// (its stale transactions arrive past the grace time and are refused).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/helios_cluster.h"
+#include "core/history.h"
+#include "harness/topology.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace helios::core {
+namespace {
+
+struct PartitionRig {
+  sim::Scheduler scheduler;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<HeliosCluster> cluster;
+
+  PartitionRig(int n, Duration rtt, int fault_tolerance, Duration grace) {
+    network = std::make_unique<sim::Network>(&scheduler, n, 3);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) network->SetRtt(a, b, rtt, 0);
+    }
+    HeliosConfig cfg;
+    cfg.num_datacenters = n;
+    cfg.fault_tolerance = fault_tolerance;
+    cfg.grace_time = grace;
+    cfg.log_interval = Millis(5);
+    cluster = std::make_unique<HeliosCluster>(&scheduler, network.get(),
+                                              std::move(cfg));
+    cluster->Start();
+  }
+
+  /// Cuts every link between `dc` and the rest (the node itself stays up).
+  void Isolate(DcId dc) {
+    for (DcId other = 0; other < network->size(); ++other) {
+      if (other != dc) network->SetPartitioned(dc, other, true);
+    }
+  }
+  void Heal(DcId dc) {
+    for (DcId other = 0; other < network->size(); ++other) {
+      if (other != dc) network->SetPartitioned(dc, other, false);
+    }
+  }
+};
+
+struct Outcome {
+  bool done = false;
+  bool committed = false;
+  Duration latency = 0;
+};
+
+void Commit(PartitionRig& rig, DcId dc, const Key& key, Outcome* out) {
+  const sim::SimTime start = rig.scheduler.Now();
+  rig.cluster->ClientCommit(dc, {}, {{key, "v"}},
+                            [out, start, &rig](const CommitOutcome& o) {
+                              out->done = true;
+                              out->committed = o.committed;
+                              out->latency = rig.scheduler.Now() - start;
+                            });
+}
+
+TEST(PartitionTest, MajorityProceedsWhileMinorityBlocks) {
+  PartitionRig rig(3, Millis(40), /*f=*/1, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200), [&] { rig.Isolate(2); });
+
+  Outcome at_majority;
+  Outcome at_isolated;
+  rig.scheduler.At(Millis(600), [&] {
+    Commit(rig, 0, "x", &at_majority);
+    Commit(rig, 2, "y", &at_isolated);
+  });
+  rig.scheduler.RunUntil(Seconds(15));
+
+  // The connected side commits (via the eta bound, paying about the grace
+  // time); the isolated side cannot get an acknowledgment and must not
+  // commit.
+  ASSERT_TRUE(at_majority.done);
+  EXPECT_TRUE(at_majority.committed);
+  EXPECT_GE(at_majority.latency, Millis(250));
+  EXPECT_FALSE(at_isolated.done && at_isolated.committed)
+      << "an isolated datacenter must never commit under f=1";
+}
+
+TEST(PartitionTest, StaleTransactionRefusedAfterHeal) {
+  PartitionRig rig(3, Millis(40), /*f=*/1, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200), [&] { rig.Isolate(2); });
+
+  // Issued while isolated; its preparing record reaches the peers only
+  // after the heal, far beyond q(t) + GT, so they refuse to acknowledge
+  // it and it is invalidated (grace-time invalidation).
+  Outcome stale;
+  rig.scheduler.At(Millis(600), [&] { Commit(rig, 2, "z", &stale); });
+  rig.scheduler.At(Seconds(5), [&] { rig.Heal(2); });
+  rig.scheduler.RunUntil(Seconds(20));
+
+  ASSERT_TRUE(stale.done) << "the healed partition must resolve the txn";
+  EXPECT_FALSE(stale.committed);
+  // It was killed by the liveness layer specifically.
+  EXPECT_GE(rig.cluster->node(2).counters().aborts_liveness +
+                rig.cluster->node(2).counters().aborts_by_remote,
+            1u);
+  uint64_t refusals = 0;
+  for (DcId dc = 0; dc < 3; ++dc) {
+    refusals += rig.cluster->node(dc).counters().refusals_issued;
+  }
+  EXPECT_GE(refusals, 1u);
+}
+
+TEST(PartitionTest, ConflictNeverDoubleCommitsAcrossPartition) {
+  // The safety crux: A (majority side) and B (isolated) submit CONFLICTING
+  // transactions concurrently during the partition. At most one may ever
+  // commit, and since B cannot gather acknowledgments, it must be A's.
+  PartitionRig rig(3, Millis(40), /*f=*/1, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200), [&] { rig.Isolate(2); });
+
+  Outcome at_a;
+  Outcome at_b;
+  rig.scheduler.At(Millis(600), [&] {
+    Commit(rig, 0, "contested", &at_a);
+    Commit(rig, 2, "contested", &at_b);
+  });
+  rig.scheduler.At(Seconds(5), [&] { rig.Heal(2); });
+  rig.scheduler.RunUntil(Seconds(25));
+
+  ASSERT_TRUE(at_a.done);
+  EXPECT_TRUE(at_a.committed);
+  ASSERT_TRUE(at_b.done);
+  EXPECT_FALSE(at_b.committed) << "double commit across a partition!";
+
+  // After healing, all replicas converge on A's write.
+  for (DcId dc = 0; dc < 3; ++dc) {
+    auto v = rig.cluster->node(dc).store().Read("contested");
+    ASSERT_TRUE(v.ok()) << dc;
+    EXPECT_EQ(v.value().writer.origin, 0) << dc;
+  }
+  // And the combined history is serializable.
+  const Status ser = CheckSerializable(rig.cluster->history().commits());
+  EXPECT_TRUE(ser.ok()) << ser.ToString();
+}
+
+TEST(PartitionTest, IsolatedMinorityCatchesUpAfterHeal) {
+  PartitionRig rig(3, Millis(40), /*f=*/1, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200), [&] { rig.Isolate(2); });
+
+  Outcome during;
+  rig.scheduler.At(Seconds(1), [&] { Commit(rig, 0, "k", &during); });
+  rig.scheduler.At(Seconds(4), [&] { rig.Heal(2); });
+  rig.scheduler.RunUntil(Seconds(10));
+
+  ASSERT_TRUE(during.done && during.committed);
+  auto v = rig.cluster->node(2).store().Read("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, "v");
+
+  // And the previously isolated node commits normally again.
+  Outcome after;
+  rig.scheduler.At(rig.scheduler.Now(), [&] { Commit(rig, 2, "post", &after); });
+  rig.scheduler.RunUntil(rig.scheduler.Now() + Seconds(5));
+  ASSERT_TRUE(after.done);
+  EXPECT_TRUE(after.committed);
+  EXPECT_LT(after.latency, Millis(200));
+}
+
+TEST(PartitionTest, Helios0BlocksOnBothSides) {
+  // Without fault tolerance there is no eta bound: a partition stalls
+  // everyone who needs the unreachable datacenter's log.
+  PartitionRig rig(3, Millis(40), /*f=*/0, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200), [&] { rig.Isolate(2); });
+  Outcome at_majority;
+  rig.scheduler.At(Millis(600), [&] { Commit(rig, 0, "x", &at_majority); });
+  rig.scheduler.RunUntil(Seconds(10));
+  EXPECT_FALSE(at_majority.done);
+  // Healing unblocks it.
+  rig.Heal(2);
+  rig.scheduler.RunUntil(Seconds(12));
+  EXPECT_TRUE(at_majority.done);
+  EXPECT_TRUE(at_majority.committed);
+}
+
+TEST(PartitionTest, LinkPartitionWithRelayStillCommits) {
+  // Only the A<->B link is cut; C relays both directions (transitive
+  // propagation), so even Helios-0 keeps committing — just slower, via
+  // the relay path.
+  PartitionRig rig(3, Millis(40), /*f=*/0, /*grace=*/Millis(300));
+  rig.scheduler.At(Millis(200),
+                   [&] { rig.network->SetPartitioned(0, 1, true); });
+  Outcome at_a;
+  rig.scheduler.At(Millis(600), [&] { Commit(rig, 0, "x", &at_a); });
+  rig.scheduler.RunUntil(Seconds(10));
+  ASSERT_TRUE(at_a.done);
+  EXPECT_TRUE(at_a.committed);
+  // Helios-B wait is ~one-way (20ms) direct; via the relay it is about
+  // two hops plus log-interval quantization.
+  EXPECT_GE(at_a.latency, Millis(35));
+}
+
+}  // namespace
+}  // namespace helios::core

@@ -1,0 +1,168 @@
+// Randomized property tests for the Replicated Dictionary: under arbitrary
+// gossip schedules (random pairs, random timing, random appends, with and
+// without interleaved garbage collection), all replicas converge to
+// identical knowledge, no record is ever lost or duplicated into the
+// engine, and garbage collection never discards a record before every
+// datacenter has it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "rdict/replicated_log.h"
+#include "txn/transaction.h"
+
+namespace helios::rdict {
+namespace {
+
+struct GossipSim {
+  int n;
+  Rng rng;
+  std::vector<ReplicatedLog> logs;
+  std::vector<Timestamp> clocks;
+  // Every record each node has *ingested as fresh*, by (origin, ts) —
+  // used to check exactly-once delivery into the engine.
+  std::vector<std::set<std::pair<DcId, Timestamp>>> delivered;
+  std::set<std::pair<DcId, Timestamp>> appended;
+  uint64_t next_seq = 1;
+
+  GossipSim(int n_, uint64_t seed) : n(n_), rng(seed) {
+    for (int i = 0; i < n; ++i) {
+      logs.emplace_back(i, n);
+      clocks.push_back(1000 * (i + 1));  // Skewed starting clocks.
+      delivered.emplace_back();
+    }
+  }
+
+  void Append(DcId dc) {
+    clocks[dc] += 1 + static_cast<Timestamp>(rng.Uniform(50));
+    LogRecord rec;
+    rec.type = RecordType::kPreparing;
+    rec.ts = clocks[dc];
+    rec.origin = dc;
+    rec.body = MakeTxnBody(TxnId{dc, next_seq++}, {},
+                           {{"k" + std::to_string(rng.Uniform(10)), "v"}});
+    ASSERT_TRUE(logs[dc].AppendLocal(rec).ok());
+    appended.insert({dc, rec.ts});
+    delivered[dc].insert({dc, rec.ts});
+  }
+
+  void Gossip(DcId from, DcId to) {
+    const LogMessage msg = logs[from].BuildMessageFor(to);
+    const auto fresh = logs[to].Ingest(msg);
+    for (const LogRecord& rec : fresh) {
+      const bool inserted =
+          delivered[to].insert({rec.origin, rec.ts}).second;
+      EXPECT_TRUE(inserted) << "record delivered twice as fresh";
+    }
+  }
+
+  void RandomStep(bool with_gc) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 4) {
+      Append(static_cast<DcId>(rng.Uniform(n)));
+    } else if (action < 9 || !with_gc) {
+      const DcId from = static_cast<DcId>(rng.Uniform(n));
+      DcId to = static_cast<DcId>(rng.Uniform(n));
+      if (to == from) to = (to + 1) % n;
+      Gossip(from, to);
+    } else {
+      logs[rng.Uniform(n)].GarbageCollect();
+    }
+  }
+
+  void FullyConverge() {
+    // Enough all-pairs rounds to flush every record and every timetable.
+    for (int round = 0; round < n + 2; ++round) {
+      for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+          if (a != b) Gossip(a, b);
+        }
+      }
+    }
+  }
+};
+
+class RdictGossipTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, bool>> {};
+
+TEST_P(RdictGossipTest, RandomGossipConvergesExactlyOnce) {
+  const auto [n, seed, with_gc] = GetParam();
+  GossipSim sim(n, seed);
+  for (int step = 0; step < 800; ++step) {
+    sim.RandomStep(with_gc);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  sim.FullyConverge();
+
+  // 1. Every node delivered every appended record exactly once.
+  for (int dc = 0; dc < n; ++dc) {
+    EXPECT_EQ(sim.delivered[dc], sim.appended) << "node " << dc;
+  }
+  // 2. Knowledge converged: every node knows every origin to the same
+  //    bound, equal to the origin's own clock.
+  for (int dc = 0; dc < n; ++dc) {
+    for (int origin = 0; origin < n; ++origin) {
+      EXPECT_EQ(sim.logs[dc].KnownUpTo(origin),
+                sim.logs[origin].KnownUpTo(origin))
+          << dc << " about " << origin;
+    }
+  }
+  // 3. After convergence everything is garbage-collectable everywhere.
+  for (int dc = 0; dc < n; ++dc) {
+    sim.logs[dc].GarbageCollect();
+    EXPECT_EQ(sim.logs[dc].live_records(), 0u) << dc;
+  }
+}
+
+TEST_P(RdictGossipTest, GcNeverDropsAnUnknownRecord) {
+  const auto [n, seed, with_gc] = GetParam();
+  (void)with_gc;
+  GossipSim sim(n, seed ^ 0xBEEF);
+  for (int step = 0; step < 400; ++step) {
+    sim.RandomStep(/*with_gc=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Invariant after every step: for every record any node appended but
+    // some node has not yet delivered, SOME live copy must still exist.
+    if (step % 37 != 0) continue;
+    for (const auto& id : sim.appended) {
+      bool everyone_has_it = true;
+      for (int dc = 0; dc < n; ++dc) {
+        if (sim.delivered[dc].count(id) == 0) {
+          everyone_has_it = false;
+          break;
+        }
+      }
+      if (everyone_has_it) continue;
+      bool live_somewhere = false;
+      for (int dc = 0; dc < n && !live_somewhere; ++dc) {
+        for (const LogRecord& rec : sim.logs[dc].Snapshot()) {
+          if (rec.origin == id.first && rec.ts == id.second) {
+            live_somewhere = true;
+            break;
+          }
+        }
+      }
+      EXPECT_TRUE(live_somewhere)
+          << "record (" << id.first << "," << id.second
+          << ") was GC'd before reaching every node";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RdictGossipTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(11u, 22u, 33u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t, bool>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_gc" : "_nogc");
+    });
+
+}  // namespace
+}  // namespace helios::rdict

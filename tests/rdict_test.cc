@@ -1,0 +1,226 @@
+// Unit tests for the Replicated Dictionary substrate: timetable semantics,
+// partial-log exchange, transitive propagation, and garbage collection.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rdict/replicated_log.h"
+#include "rdict/timetable.h"
+#include "txn/transaction.h"
+
+namespace helios::rdict {
+namespace {
+
+TxnBodyPtr Body(DcId origin, uint64_t seq) {
+  return MakeTxnBody(TxnId{origin, seq}, {}, {{"k" + std::to_string(seq), "v"}});
+}
+
+LogRecord Prep(DcId origin, uint64_t seq, Timestamp ts) {
+  LogRecord rec;
+  rec.type = RecordType::kPreparing;
+  rec.ts = ts;
+  rec.origin = origin;
+  rec.body = Body(origin, seq);
+  return rec;
+}
+
+TEST(TimetableTest, StartsAtMinimum) {
+  Timetable t(3);
+  for (DcId i = 0; i < 3; ++i) {
+    for (DcId j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.Get(i, j), kMinTimestamp);
+    }
+  }
+}
+
+TEST(TimetableTest, AdvanceIsMonotone) {
+  Timetable t(2);
+  t.Advance(0, 1, 100);
+  EXPECT_EQ(t.Get(0, 1), 100);
+  t.Advance(0, 1, 50);  // Lower value never regresses the entry.
+  EXPECT_EQ(t.Get(0, 1), 100);
+  t.Advance(0, 1, 200);
+  EXPECT_EQ(t.Get(0, 1), 200);
+}
+
+TEST(TimetableTest, MergeTakesElementwiseMaxAndAbsorbsSenderRow) {
+  Timetable mine(3);
+  mine.Set(0, 0, 10);
+  Timetable theirs(3);
+  theirs.Set(1, 1, 50);   // Sender's own knowledge.
+  theirs.Set(1, 2, 30);   // Sender knows DC2 up to 30.
+  theirs.Set(2, 2, 40);   // Sender's (stale) view of DC2's row.
+
+  mine.MergeFrom(theirs, /*self=*/0, /*sender=*/1);
+  EXPECT_EQ(mine.Get(0, 0), 10);   // Unchanged.
+  EXPECT_EQ(mine.Get(0, 1), 50);   // Self row absorbed sender row.
+  EXPECT_EQ(mine.Get(0, 2), 30);
+  EXPECT_EQ(mine.Get(1, 1), 50);   // Element-wise max.
+  EXPECT_EQ(mine.Get(2, 2), 40);
+}
+
+TEST(TimetableTest, MinColumnIsGcHorizon) {
+  Timetable t(3);
+  t.Set(0, 1, 100);
+  t.Set(1, 1, 70);
+  t.Set(2, 1, 90);
+  EXPECT_EQ(t.MinColumn(1), 70);
+}
+
+TEST(TimetableTest, HasRecordUsesBound) {
+  Timetable t(2);
+  t.Set(1, 0, 25);
+  EXPECT_TRUE(t.HasRecord(1, 0, 25));
+  EXPECT_TRUE(t.HasRecord(1, 0, 10));
+  EXPECT_FALSE(t.HasRecord(1, 0, 26));
+}
+
+TEST(ReplicatedLogTest, AppendRequiresIncreasingTimestamps) {
+  ReplicatedLog log(0, 2);
+  EXPECT_TRUE(log.AppendLocal(Prep(0, 1, 10)).ok());
+  EXPECT_FALSE(log.AppendLocal(Prep(0, 2, 10)).ok());  // Not increasing.
+  EXPECT_FALSE(log.AppendLocal(Prep(0, 2, 5)).ok());
+  EXPECT_TRUE(log.AppendLocal(Prep(0, 2, 11)).ok());
+  EXPECT_EQ(log.KnownUpTo(0), 11);
+}
+
+TEST(ReplicatedLogTest, RejectsForeignAppend) {
+  ReplicatedLog log(0, 2);
+  EXPECT_FALSE(log.AppendLocal(Prep(1, 1, 10)).ok());
+}
+
+TEST(ReplicatedLogTest, ExchangeDeliversRecordsOnce) {
+  ReplicatedLog a(0, 2);
+  ReplicatedLog b(1, 2);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 10)).ok());
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 2, 20)).ok());
+
+  LogMessage msg = a.BuildMessageFor(1);
+  EXPECT_EQ(msg.records.size(), 2u);
+  std::vector<LogRecord> fresh = b.Ingest(msg);
+  EXPECT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(b.KnownUpTo(0), 20);
+
+  // Re-delivery of the same message is idempotent.
+  fresh = b.Ingest(msg);
+  EXPECT_TRUE(fresh.empty());
+
+  // A does not know yet that B has the records, so it resends them...
+  EXPECT_EQ(a.BuildMessageFor(1).records.size(), 2u);
+  // ...until B's table (piggybacked on B's next message) reaches A.
+  a.Ingest(b.BuildMessageFor(0));
+  EXPECT_TRUE(a.BuildMessageFor(1).records.empty());
+}
+
+TEST(ReplicatedLogTest, IngestReturnsRecordsInOrder) {
+  ReplicatedLog a(0, 3);
+  ReplicatedLog c(2, 3);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 30)).ok());
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 2, 10)).ok() == false);  // Must increase.
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 2, 40)).ok());
+
+  LogMessage msg = a.BuildMessageFor(2);
+  std::vector<LogRecord> fresh = c.Ingest(msg);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_LT(fresh[0].ts, fresh[1].ts);
+}
+
+TEST(ReplicatedLogTest, TransitivePropagation) {
+  // A -> B -> C: C learns A's records without ever talking to A.
+  ReplicatedLog a(0, 3);
+  ReplicatedLog b(1, 3);
+  ReplicatedLog c(2, 3);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 10)).ok());
+
+  b.Ingest(a.BuildMessageFor(1));
+  EXPECT_EQ(b.KnownUpTo(0), 10);
+
+  std::vector<LogRecord> fresh = c.Ingest(b.BuildMessageFor(2));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].origin, 0);
+  EXPECT_EQ(c.KnownUpTo(0), 10);
+  // And C's table knows that B knows A's record.
+  EXPECT_TRUE(c.table().HasRecord(1, 0, 10));
+}
+
+TEST(ReplicatedLogTest, GarbageCollectionDropsUniversallyKnownRecords) {
+  ReplicatedLog a(0, 2);
+  ReplicatedLog b(1, 2);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 10)).ok());
+
+  // Round trip: B learns the record, then A learns that B knows it.
+  b.Ingest(a.BuildMessageFor(1));
+  a.Ingest(b.BuildMessageFor(0));
+
+  EXPECT_EQ(a.live_records(), 1u);
+  EXPECT_EQ(a.GarbageCollect(), 1u);
+  EXPECT_EQ(a.live_records(), 0u);
+
+  // B learned from A's own table (piggybacked on the first message) that A
+  // knows the record, so B can GC too.
+  EXPECT_EQ(b.GarbageCollect(), 1u);
+}
+
+TEST(ReplicatedLogTest, GcPreservesUnknownRecords) {
+  ReplicatedLog a(0, 3);
+  ReplicatedLog b(1, 3);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 10)).ok());
+  b.Ingest(a.BuildMessageFor(1));
+  a.Ingest(b.BuildMessageFor(0));
+  // Datacenter 2 has not seen the record: nobody may GC it.
+  EXPECT_EQ(a.GarbageCollect(), 0u);
+  EXPECT_EQ(a.live_records(), 1u);
+}
+
+TEST(ReplicatedLogTest, SnapshotIsOrdered) {
+  ReplicatedLog a(0, 2);
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 1, 5)).ok());
+  ASSERT_TRUE(a.AppendLocal(Prep(0, 2, 8)).ok());
+  auto snap = a.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].ts, 5);
+  EXPECT_EQ(snap[1].ts, 8);
+}
+
+// Property: after enough all-pairs exchange rounds, every log converges to
+// the same record set and full mutual knowledge, regardless of append
+// pattern.
+TEST(ReplicatedLogTest, AllPairsExchangeConverges) {
+  const int n = 4;
+  std::vector<ReplicatedLog> logs;
+  for (int i = 0; i < n; ++i) logs.emplace_back(i, n);
+
+  Timestamp ts = 1;
+  uint64_t seq = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(logs[i].AppendLocal(Prep(i, seq++, ts)).ok());
+      ++ts;
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) logs[j].Ingest(logs[i].BuildMessageFor(j));
+      }
+    }
+  }
+  // Two more gossip rounds to spread final tables.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) logs[j].Ingest(logs[i].BuildMessageFor(j));
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int origin = 0; origin < n; ++origin) {
+      EXPECT_EQ(logs[i].KnownUpTo(origin), logs[origin].KnownUpTo(origin));
+    }
+    // Everyone can GC everything.
+    logs[i].GarbageCollect();
+    EXPECT_EQ(logs[i].live_records(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace helios::rdict

@@ -1,0 +1,317 @@
+// Tests for the wire codec and message serialization: round trips for
+// every message type, malformed-input rejection, frame/CRC validation, and
+// randomized robustness (no decode path may crash or over-allocate on
+// corrupted bytes).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "wire/codec.h"
+#include "wire/serialization.h"
+
+namespace helios::wire {
+namespace {
+
+TEST(CodecTest, VarintRoundTrip) {
+  Encoder enc;
+  const std::vector<uint64_t> values = {0, 1, 127, 128, 300, 16383, 16384,
+                                        UINT64_MAX / 2, UINT64_MAX};
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.bytes());
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(dec.GetVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CodecTest, VarintIsCompactForSmallValues) {
+  Encoder enc;
+  enc.PutVarint(5);
+  EXPECT_EQ(enc.size(), 1u);
+  enc.PutVarint(300);
+  EXPECT_EQ(enc.size(), 3u);  // 1 + 2.
+}
+
+TEST(CodecTest, SignedVarintRoundTrip) {
+  Encoder enc;
+  const std::vector<int64_t> values = {0,         -1,       1,
+                                       -64,       64,       INT64_MIN,
+                                       INT64_MAX, -1234567, 7654321};
+  for (int64_t v : values) enc.PutSignedVarint(v);
+  Decoder dec(enc.bytes());
+  for (int64_t v : values) {
+    int64_t out = 0;
+    ASSERT_TRUE(dec.GetSignedVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodecTest, ZigZagKeepsSmallNegativesSmall) {
+  Encoder enc;
+  enc.PutSignedVarint(-3);
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutFixed32(0xDEADBEEFu);
+  enc.PutFixed64(0x0123456789ABCDEFull);
+  Decoder dec(enc.bytes());
+  uint32_t a = 0;
+  uint64_t b = 0;
+  ASSERT_TRUE(dec.GetFixed32(&a).ok());
+  ASSERT_TRUE(dec.GetFixed64(&b).ok());
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 0x0123456789ABCDEFull);
+}
+
+TEST(CodecTest, StringRoundTrip) {
+  Encoder enc;
+  enc.PutString("");
+  enc.PutString("hello");
+  enc.PutString(std::string(1000, 'x'));
+  Decoder dec(enc.bytes());
+  std::string out;
+  ASSERT_TRUE(dec.GetString(&out).ok());
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE(dec.GetString(&out).ok());
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(dec.GetString(&out).ok());
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(CodecTest, DecodePastEndFails) {
+  Encoder enc;
+  enc.PutU8(0x80);  // Unterminated varint.
+  Decoder dec(enc.bytes());
+  uint64_t out = 0;
+  EXPECT_FALSE(dec.GetVarint(&out).ok());
+
+  Decoder empty(nullptr, 0);
+  uint8_t b = 0;
+  EXPECT_FALSE(empty.GetU8(&b).ok());
+  uint32_t f = 0;
+  EXPECT_FALSE(empty.GetFixed32(&f).ok());
+}
+
+TEST(CodecTest, StringLengthBeyondBufferFails) {
+  Encoder enc;
+  enc.PutVarint(1000);  // Claims 1000 bytes, provides none.
+  Decoder dec(enc.bytes());
+  std::string out;
+  EXPECT_FALSE(dec.GetString(&out).ok());
+}
+
+TEST(CodecTest, BoolRejectsOutOfRange) {
+  Encoder enc;
+  enc.PutU8(2);
+  Decoder dec(enc.bytes());
+  bool out = false;
+  EXPECT_FALSE(dec.GetBool(&out).ok());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926, the classic check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(data), 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsBitFlips) {
+  std::vector<uint8_t> data(64, 0xAB);
+  const uint32_t original = Crc32(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(Crc32(data), original);
+}
+
+// --- Message round trips -----------------------------------------------------
+
+TxnBodyPtr SampleBody() {
+  return MakeTxnBody(
+      TxnId{3, 42},
+      {{"alpha", 123456, TxnId{1, 7}}, {"beta", kMinTimestamp, TxnId{}}},
+      {{"gamma", "value-1"}, {"delta", std::string(100, 'z')}});
+}
+
+TEST(SerializationTest, TxnBodyRoundTrip) {
+  Encoder enc;
+  EncodeTxnBody(*SampleBody(), &enc);
+  Decoder dec(enc.bytes());
+  TxnBodyPtr out;
+  ASSERT_TRUE(DecodeTxnBody(&dec, &out).ok());
+  EXPECT_EQ(out->id, (TxnId{3, 42}));
+  ASSERT_EQ(out->read_set.size(), 2u);
+  EXPECT_EQ(out->read_set[0].key, "alpha");
+  EXPECT_EQ(out->read_set[0].version_ts, 123456);
+  EXPECT_EQ(out->read_set[0].version_writer, (TxnId{1, 7}));
+  EXPECT_EQ(out->read_set[1].version_ts, kMinTimestamp);
+  ASSERT_EQ(out->write_set.size(), 2u);
+  EXPECT_EQ(out->write_set[1].value, std::string(100, 'z'));
+}
+
+TEST(SerializationTest, LogRecordRoundTrip) {
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = true;
+  rec.ts = 987654321;
+  rec.version_ts = 987654400;
+  rec.origin = 4;
+  rec.body = SampleBody();
+  Encoder enc;
+  EncodeLogRecord(rec, &enc);
+  Decoder dec(enc.bytes());
+  rdict::LogRecord out;
+  ASSERT_TRUE(DecodeLogRecord(&dec, &out).ok());
+  EXPECT_EQ(out.type, rdict::RecordType::kFinished);
+  EXPECT_TRUE(out.committed);
+  EXPECT_EQ(out.ts, 987654321);
+  EXPECT_EQ(out.version_ts, 987654400);
+  EXPECT_EQ(out.origin, 4);
+  EXPECT_EQ(out.body->id, rec.body->id);
+}
+
+TEST(SerializationTest, TimetableRoundTrip) {
+  rdict::Timetable table(4);
+  Rng rng(3);
+  for (DcId i = 0; i < 4; ++i) {
+    for (DcId j = 0; j < 4; ++j) {
+      table.Set(i, j, static_cast<Timestamp>(rng.Uniform(1u << 30)));
+    }
+  }
+  Encoder enc;
+  EncodeTimetable(table, &enc);
+  Decoder dec(enc.bytes());
+  rdict::Timetable out(1);
+  ASSERT_TRUE(DecodeTimetable(&dec, &out).ok());
+  EXPECT_EQ(out, table);
+}
+
+core::Envelope SampleEnvelope() {
+  core::Envelope env(3);
+  env.log.from = 2;
+  env.log.table.Set(0, 1, 100);
+  env.log.table.Set(2, 2, 777);
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kPreparing;
+  rec.ts = 555;
+  rec.origin = 2;
+  rec.body = SampleBody();
+  env.log.records.push_back(rec);
+  env.refusals.push_back(core::Refusal{1, TxnId{0, 9}, 444});
+  return env;
+}
+
+TEST(SerializationTest, EnvelopeEstimationFieldsRoundTrip) {
+  core::Envelope env = SampleEnvelope();
+  env.ping_id = 42;
+  env.pong_for = 17;
+  env.pong_hold_us = 12345;
+  env.rtt_row_us = {0, 66000, 78000};
+  Encoder enc;
+  EncodeEnvelope(env, &enc);
+  Decoder dec(enc.bytes());
+  core::Envelope out(1);
+  ASSERT_TRUE(DecodeEnvelope(&dec, &out).ok());
+  EXPECT_EQ(out.ping_id, 42u);
+  EXPECT_EQ(out.pong_for, 17u);
+  EXPECT_EQ(out.pong_hold_us, 12345);
+  EXPECT_EQ(out.rtt_row_us, env.rtt_row_us);
+}
+
+TEST(SerializationTest, EnvelopeRoundTrip) {
+  const core::Envelope env = SampleEnvelope();
+  Encoder enc;
+  EncodeEnvelope(env, &enc);
+  Decoder dec(enc.bytes());
+  core::Envelope out(1);
+  ASSERT_TRUE(DecodeEnvelope(&dec, &out).ok());
+  EXPECT_EQ(out.log.from, 2);
+  EXPECT_EQ(out.log.table, env.log.table);
+  ASSERT_EQ(out.log.records.size(), 1u);
+  EXPECT_EQ(out.log.records[0].ts, 555);
+  ASSERT_EQ(out.refusals.size(), 1u);
+  EXPECT_EQ(out.refusals[0], env.refusals[0]);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(SerializationTest, FrameRoundTrip) {
+  const auto bytes = FrameEnvelope(SampleEnvelope());
+  auto result = UnframeEnvelope(bytes);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().log.from, 2);
+}
+
+TEST(SerializationTest, FrameRejectsBadMagic) {
+  auto bytes = FrameEnvelope(SampleEnvelope());
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(UnframeEnvelope(bytes).ok());
+}
+
+TEST(SerializationTest, FrameRejectsCorruptedPayload) {
+  auto bytes = FrameEnvelope(SampleEnvelope());
+  bytes[bytes.size() / 2] ^= 0x10;
+  const auto result = UnframeEnvelope(bytes);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(SerializationTest, FrameRejectsTruncation) {
+  auto bytes = FrameEnvelope(SampleEnvelope());
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(UnframeEnvelope(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, FrameRejectsWrongVersion) {
+  auto bytes = FrameEnvelope(SampleEnvelope());
+  bytes[4] = kWireVersion + 1;
+  EXPECT_FALSE(UnframeEnvelope(bytes).ok());
+}
+
+TEST(SerializationTest, EncodedSizeMatchesEncoder) {
+  const core::Envelope env = SampleEnvelope();
+  Encoder enc;
+  EncodeEnvelope(env, &enc);
+  EXPECT_EQ(EncodedEnvelopeSize(env), enc.size());
+}
+
+// Robustness: random byte soup must never crash the decoder or make it
+// succeed with the frame checksum intact.
+TEST(SerializationTest, RandomBytesNeverCrashDecoder) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> junk(rng.Uniform(200));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.Next());
+    const auto result = UnframeEnvelope(junk);
+    // Overwhelmingly this fails; success would require a valid CRC over a
+    // valid payload, which random bytes do not produce.
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+// Robustness: corrupting the *payload portion* of a real frame either
+// fails the CRC or (if we bypass framing) fails structured decoding
+// without crashing.
+TEST(SerializationTest, CorruptedPayloadDecodeIsSafe) {
+  Encoder enc;
+  EncodeEnvelope(SampleEnvelope(), &enc);
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> bytes = enc.bytes();
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < flips; ++i) {
+      bytes[rng.Uniform(bytes.size())] ^= static_cast<uint8_t>(
+          1u << rng.Uniform(8));
+    }
+    Decoder dec(bytes);
+    core::Envelope out(1);
+    // May succeed (the flip hit a value byte) or fail; must not crash.
+    (void)DecodeEnvelope(&dec, &out);
+  }
+}
+
+}  // namespace
+}  // namespace helios::wire

@@ -1,0 +1,214 @@
+// Tests for the T-YCSB workload generator and the closed-loop client.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/helios_cluster.h"
+#include "harness/topology.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "workload/client.h"
+#include "workload/tycsb.h"
+
+namespace helios::workload {
+namespace {
+
+TEST(TYcsbTest, PlansHaveConfiguredShape) {
+  WorkloadConfig cfg;
+  cfg.ops_per_txn = 5;
+  TYcsbGenerator gen(cfg, 1);
+  for (int i = 0; i < 500; ++i) {
+    const TxnPlan plan = gen.NextTxn();
+    EXPECT_EQ(plan.reads.size() + plan.writes.size(), 5u);
+    EXPECT_GE(plan.writes.size(), 1u);  // At least one write, per the model.
+    EXPECT_FALSE(plan.read_only);
+  }
+}
+
+TEST(TYcsbTest, KeysWithinTransactionAreDistinct) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 20;  // Small pool: collisions would be likely.
+  cfg.zipf_theta = 0.9;
+  TYcsbGenerator gen(cfg, 2);
+  for (int i = 0; i < 200; ++i) {
+    const TxnPlan plan = gen.NextTxn();
+    std::set<Key> keys(plan.reads.begin(), plan.reads.end());
+    keys.insert(plan.writes.begin(), plan.writes.end());
+    EXPECT_EQ(keys.size(), plan.reads.size() + plan.writes.size());
+  }
+}
+
+TEST(TYcsbTest, HalfReadsHalfWritesOnAverage) {
+  WorkloadConfig cfg;
+  TYcsbGenerator gen(cfg, 3);
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const TxnPlan plan = gen.NextTxn();
+    reads += plan.reads.size();
+    writes += plan.writes.size();
+  }
+  const double write_fraction =
+      static_cast<double>(writes) / static_cast<double>(reads + writes);
+  EXPECT_NEAR(write_fraction, 0.5, 0.03);
+}
+
+TEST(TYcsbTest, KeysStayInPool) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 100;
+  TYcsbGenerator gen(cfg, 4);
+  for (int i = 0; i < 200; ++i) {
+    const TxnPlan plan = gen.NextTxn();
+    for (const Key& k : plan.reads) {
+      EXPECT_GE(k, TYcsbGenerator::KeyName(0));
+      EXPECT_LT(k, TYcsbGenerator::KeyName(100));
+    }
+  }
+}
+
+TEST(TYcsbTest, DeterministicGivenSeed) {
+  WorkloadConfig cfg;
+  TYcsbGenerator a(cfg, 42);
+  TYcsbGenerator b(cfg, 42);
+  for (int i = 0; i < 100; ++i) {
+    const TxnPlan pa = a.NextTxn();
+    const TxnPlan pb = b.NextTxn();
+    EXPECT_EQ(pa.reads, pb.reads);
+    EXPECT_EQ(pa.writes, pb.writes);
+  }
+}
+
+TEST(TYcsbTest, ReadOnlyFractionHonored) {
+  WorkloadConfig cfg;
+  cfg.read_only_fraction = 0.3;
+  TYcsbGenerator gen(cfg, 5);
+  int read_only = 0;
+  const int total = 3000;
+  for (int i = 0; i < total; ++i) {
+    const TxnPlan plan = gen.NextTxn();
+    if (plan.read_only) {
+      ++read_only;
+      EXPECT_TRUE(plan.writes.empty());
+      EXPECT_EQ(plan.reads.size(), 5u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(read_only) / total, 0.3, 0.03);
+}
+
+TEST(TYcsbTest, ZipfSkewShowsInKeyFrequencies) {
+  WorkloadConfig cfg;
+  cfg.zipf_theta = 0.9;
+  cfg.num_keys = 1000;
+  TYcsbGenerator gen(cfg, 6);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    for (const Key& k : gen.NextTxn().writes) counts[k]++;
+  }
+  // The hottest key must be much more frequent than the median.
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 30);
+}
+
+TEST(TYcsbTest, ValueSizeRespected) {
+  WorkloadConfig cfg;
+  cfg.value_size = 64;
+  TYcsbGenerator gen(cfg, 7);
+  EXPECT_EQ(gen.NextValue().size(), 64u);
+}
+
+TEST(ClientMetricsTest, MergeAccumulates) {
+  ClientMetrics a;
+  ClientMetrics b;
+  a.committed = 3;
+  a.aborted = 1;
+  a.ops_committed = 15;
+  a.commit_latency_ms.Add(10.0);
+  b.committed = 2;
+  b.aborted = 2;
+  b.ops_committed = 10;
+  b.commit_latency_ms.Add(20.0);
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 5u);
+  EXPECT_EQ(a.aborted, 3u);
+  EXPECT_EQ(a.ops_committed, 25u);
+  EXPECT_EQ(a.commit_latency_ms.count(), 2u);
+  EXPECT_NEAR(a.abort_rate(), 3.0 / 8.0, 1e-9);
+}
+
+class ClientLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<sim::Network>(&scheduler_, 2, 1);
+    const auto topo = harness::UniformTopology(2, 40.0);
+    harness::ConfigureNetwork(topo, network_.get());
+    core::HeliosConfig cfg;
+    cfg.num_datacenters = 2;
+    cluster_ = std::make_unique<core::HeliosCluster>(&scheduler_,
+                                                     network_.get(), cfg);
+    workload_.num_keys = 100;
+    for (uint64_t i = 0; i < workload_.num_keys; ++i) {
+      cluster_->LoadInitialAll(TYcsbGenerator::KeyName(i), "init");
+    }
+    cluster_->Start();
+  }
+
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<core::HeliosCluster> cluster_;
+  WorkloadConfig workload_;
+};
+
+TEST_F(ClientLoopTest, ClosedLoopIssuesSequentially) {
+  ClosedLoopClient client(1, 0, cluster_.get(), &scheduler_, workload_, 11,
+                          /*measure_from=*/0, /*measure_until=*/Seconds(5),
+                          /*stop_at=*/Seconds(5));
+  client.Start();
+  scheduler_.RunUntil(Seconds(6));
+  // One outstanding transaction at a time; with ~25-30ms commits and local
+  // reads, expect on the order of 100+ transactions in 5 seconds.
+  EXPECT_GT(client.metrics().committed, 50u);
+  EXPECT_EQ(client.metrics().committed + client.metrics().aborted,
+            client.txns_issued());
+  EXPECT_GT(client.metrics().ops_committed,
+            client.metrics().committed * 4);  // ~5 ops each.
+}
+
+TEST_F(ClientLoopTest, MeasurementWindowFiltersSamples) {
+  ClosedLoopClient client(1, 0, cluster_.get(), &scheduler_, workload_, 11,
+                          /*measure_from=*/Seconds(2),
+                          /*measure_until=*/Seconds(4),
+                          /*stop_at=*/Seconds(6));
+  client.Start();
+  scheduler_.RunUntil(Seconds(7));
+  // Issued over ~6s but measured over 2s: committed counter must be well
+  // below the total issued.
+  EXPECT_GT(client.txns_issued(), client.metrics().committed * 2);
+  EXPECT_GT(client.metrics().committed, 10u);
+}
+
+TEST_F(ClientLoopTest, StopsAtDeadline) {
+  ClosedLoopClient client(1, 0, cluster_.get(), &scheduler_, workload_, 11, 0,
+                          Seconds(1), /*stop_at=*/Seconds(1));
+  client.Start();
+  scheduler_.RunUntil(Seconds(10));
+  const uint64_t issued = client.txns_issued();
+  scheduler_.RunUntil(Seconds(12));
+  EXPECT_EQ(client.txns_issued(), issued);
+}
+
+TEST_F(ClientLoopTest, ReadOnlyTransactionsCounted) {
+  workload_.read_only_fraction = 0.5;
+  ClosedLoopClient client(1, 0, cluster_.get(), &scheduler_, workload_, 11, 0,
+                          Seconds(5), Seconds(5));
+  client.Start();
+  scheduler_.RunUntil(Seconds(6));
+  EXPECT_GT(client.metrics().read_only_done, 10u);
+}
+
+}  // namespace
+}  // namespace helios::workload

@@ -1,0 +1,141 @@
+// helios_sim: run a single custom experiment from the command line.
+//
+// Examples:
+//   helios_sim                                     # Helios-0, Table 2, 60 clients
+//   helios_sim --protocol=helios2 --clients=120
+//   helios_sim --protocol=2pc --topology=uniform --dcs=3 --rtt=80
+//   helios_sim --protocol=helios0 --skew_ms=100,0,0,0,0 --theta=0.6
+//   helios_sim --protocol=mf --measure_s=30 --check_serializability
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace helios;
+namespace hns = helios::harness;
+
+namespace {
+
+Result<hns::Protocol> ParseProtocol(const std::string& name) {
+  if (name == "helios0") return hns::Protocol::kHelios0;
+  if (name == "helios1") return hns::Protocol::kHelios1;
+  if (name == "helios2") return hns::Protocol::kHelios2;
+  if (name == "heliosb") return hns::Protocol::kHeliosB;
+  if (name == "mf") return hns::Protocol::kMessageFutures;
+  if (name == "rc") return hns::Protocol::kReplicatedCommit;
+  if (name == "2pc") return hns::Protocol::kTwoPcPaxos;
+  return Status::InvalidArgument(
+      "unknown protocol '" + name +
+      "' (expected helios0|helios1|helios2|heliosb|mf|rc|2pc)");
+}
+
+std::vector<Duration> ParseSkewList(const std::string& csv) {
+  std::vector<Duration> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(Millis(std::atoll(item.c_str())));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("protocol", "helios0",
+                     "helios0|helios1|helios2|heliosb|mf|rc|2pc");
+  flags.DefineString("topology", "table2", "table2 | uniform");
+  flags.DefineInt("dcs", 5, "datacenters for --topology=uniform");
+  flags.DefineDouble("rtt", 100.0, "pairwise RTT ms for --topology=uniform");
+  flags.DefineInt("clients", 60, "total closed-loop clients");
+  flags.DefineInt("measure_s", 15, "measurement window, seconds");
+  flags.DefineInt("warmup_s", 4, "warm-up, seconds");
+  flags.DefineInt("keys", 50000, "key-pool size");
+  flags.DefineDouble("theta", 0.2, "Zipfian skew");
+  flags.DefineDouble("read_only", 0.0, "read-only transaction fraction");
+  flags.DefineString("skew_ms", "", "per-DC clock offsets, comma-separated ms");
+  flags.DefineInt("seed", 42, "simulation seed");
+  flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
+  flags.DefineBool("check_serializability", false,
+                   "verify the committed history after the run");
+  flags.DefineBool("help", false, "show this help");
+
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok() || flags.GetBool("help")) {
+    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
+                 flags.Help().c_str());
+    return parsed.ok() ? 0 : 2;
+  }
+
+  auto protocol = ParseProtocol(flags.GetString("protocol"));
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+    return 2;
+  }
+
+  hns::ExperimentConfig cfg;
+  cfg.protocol = protocol.value();
+  if (flags.GetString("topology") == "uniform") {
+    cfg.topology = hns::UniformTopology(static_cast<int>(flags.GetInt("dcs")),
+                                        flags.GetDouble("rtt"));
+  } else if (flags.GetString("topology") != "table2") {
+    std::fprintf(stderr, "unknown topology\n");
+    return 2;
+  }
+  cfg.total_clients = static_cast<int>(flags.GetInt("clients"));
+  cfg.measure = Seconds(flags.GetInt("measure_s"));
+  cfg.warmup = Seconds(flags.GetInt("warmup_s"));
+  cfg.workload.num_keys = static_cast<uint64_t>(flags.GetInt("keys"));
+  cfg.workload.zipf_theta = flags.GetDouble("theta");
+  cfg.workload.read_only_fraction = flags.GetDouble("read_only");
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  cfg.log_interval = Millis(flags.GetInt("log_interval_ms"));
+  cfg.check_serializability = flags.GetBool("check_serializability");
+  if (!flags.GetString("skew_ms").empty()) {
+    cfg.clock_offsets = ParseSkewList(flags.GetString("skew_ms"));
+    if (static_cast<int>(cfg.clock_offsets.size()) != cfg.topology.size()) {
+      std::fprintf(stderr, "--skew_ms needs %d comma-separated values\n",
+                   cfg.topology.size());
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "running %s on %s with %d clients for %llds...\n",
+               hns::ProtocolName(cfg.protocol),
+               flags.GetString("topology").c_str(), cfg.total_clients,
+               static_cast<long long>(flags.GetInt("measure_s")));
+  const hns::ExperimentResult r = hns::RunExperiment(cfg);
+
+  TablePrinter table({"DC", "latency ms (sd)", "p50", "p99", "ops/s",
+                      "abort %", "committed"});
+  for (const auto& dc : r.per_dc) {
+    table.AddRow({dc.name,
+                  TablePrinter::MeanStd(dc.latency_mean_ms,
+                                        dc.latency_stddev_ms),
+                  TablePrinter::Num(dc.latency_p50_ms, 1),
+                  TablePrinter::Num(dc.latency_p99_ms, 1),
+                  TablePrinter::Num(dc.throughput_ops_s, 0),
+                  TablePrinter::Num(100.0 * dc.abort_rate, 2),
+                  std::to_string(dc.committed)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("protocol:          %s\n", r.protocol.c_str());
+  std::printf("avg latency:       %.1f ms (MAO optimum for topology: %.1f ms)\n",
+              r.avg_latency_ms, r.optimal_avg_latency_ms);
+  std::printf("total throughput:  %.0f ops/s\n", r.total_throughput_ops_s);
+  std::printf("avg abort rate:    %.2f %%\n", 100.0 * r.avg_abort_rate);
+  std::printf("simulated events:  %llu\n",
+              static_cast<unsigned long long>(r.events_processed));
+  if (r.serializability.has_value()) {
+    std::printf("serializability:   %s\n",
+                r.serializability->ok() ? "OK (conflict-serializable)"
+                                        : r.serializability->ToString().c_str());
+    if (!r.serializability->ok()) return 1;
+  }
+  return 0;
+}
