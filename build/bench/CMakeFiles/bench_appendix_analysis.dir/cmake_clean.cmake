@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_analysis.dir/bench_appendix_analysis.cc.o"
+  "CMakeFiles/bench_appendix_analysis.dir/bench_appendix_analysis.cc.o.d"
+  "bench_appendix_analysis"
+  "bench_appendix_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_throughput.dir/bench_appendix_throughput.cc.o"
+  "CMakeFiles/bench_appendix_throughput.dir/bench_appendix_throughput.cc.o.d"
+  "bench_appendix_throughput"
+  "bench_appendix_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

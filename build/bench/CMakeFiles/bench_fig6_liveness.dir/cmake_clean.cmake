@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_liveness.dir/bench_fig6_liveness.cc.o"
+  "CMakeFiles/bench_fig6_liveness.dir/bench_fig6_liveness.cc.o.d"
+  "bench_fig6_liveness"
+  "bench_fig6_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rtt.dir/bench_table2_rtt.cc.o"
+  "CMakeFiles/bench_table2_rtt.dir/bench_table2_rtt.cc.o.d"
+  "bench_table2_rtt"
+  "bench_table2_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_demo.dir/live_demo.cpp.o"
+  "CMakeFiles/live_demo.dir/live_demo.cpp.o.d"
+  "live_demo"
+  "live_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("store")
+subdirs("txn")
+subdirs("rdict")
+subdirs("lp")
+subdirs("core")
+subdirs("wire")
+subdirs("transport")
+subdirs("wal")
+subdirs("paxos")
+subdirs("baselines")
+subdirs("workload")
+subdirs("harness")

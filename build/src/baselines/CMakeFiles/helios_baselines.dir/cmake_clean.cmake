@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_baselines.dir/replicated_commit.cc.o"
+  "CMakeFiles/helios_baselines.dir/replicated_commit.cc.o.d"
+  "CMakeFiles/helios_baselines.dir/two_pc_paxos.cc.o"
+  "CMakeFiles/helios_baselines.dir/two_pc_paxos.cc.o.d"
+  "libhelios_baselines.a"
+  "libhelios_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

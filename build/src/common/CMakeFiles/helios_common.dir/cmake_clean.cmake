@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_common.dir/flags.cc.o"
+  "CMakeFiles/helios_common.dir/flags.cc.o.d"
+  "CMakeFiles/helios_common.dir/random.cc.o"
+  "CMakeFiles/helios_common.dir/random.cc.o.d"
+  "CMakeFiles/helios_common.dir/stats.cc.o"
+  "CMakeFiles/helios_common.dir/stats.cc.o.d"
+  "CMakeFiles/helios_common.dir/status.cc.o"
+  "CMakeFiles/helios_common.dir/status.cc.o.d"
+  "CMakeFiles/helios_common.dir/table.cc.o"
+  "CMakeFiles/helios_common.dir/table.cc.o.d"
+  "CMakeFiles/helios_common.dir/types.cc.o"
+  "CMakeFiles/helios_common.dir/types.cc.o.d"
+  "libhelios_common.a"
+  "libhelios_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_validation.cc" "src/core/CMakeFiles/helios_core.dir/config_validation.cc.o" "gcc" "src/core/CMakeFiles/helios_core.dir/config_validation.cc.o.d"
+  "/root/repo/src/core/helios_cluster.cc" "src/core/CMakeFiles/helios_core.dir/helios_cluster.cc.o" "gcc" "src/core/CMakeFiles/helios_core.dir/helios_cluster.cc.o.d"
+  "/root/repo/src/core/helios_node.cc" "src/core/CMakeFiles/helios_core.dir/helios_node.cc.o" "gcc" "src/core/CMakeFiles/helios_core.dir/helios_node.cc.o.d"
+  "/root/repo/src/core/history.cc" "src/core/CMakeFiles/helios_core.dir/history.cc.o" "gcc" "src/core/CMakeFiles/helios_core.dir/history.cc.o.d"
+  "/root/repo/src/core/rtt_estimator.cc" "src/core/CMakeFiles/helios_core.dir/rtt_estimator.cc.o" "gcc" "src/core/CMakeFiles/helios_core.dir/rtt_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helios_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/helios_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/helios_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdict/CMakeFiles/helios_rdict.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/helios_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

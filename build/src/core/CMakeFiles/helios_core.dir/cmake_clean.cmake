@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_core.dir/config_validation.cc.o"
+  "CMakeFiles/helios_core.dir/config_validation.cc.o.d"
+  "CMakeFiles/helios_core.dir/helios_cluster.cc.o"
+  "CMakeFiles/helios_core.dir/helios_cluster.cc.o.d"
+  "CMakeFiles/helios_core.dir/helios_node.cc.o"
+  "CMakeFiles/helios_core.dir/helios_node.cc.o.d"
+  "CMakeFiles/helios_core.dir/history.cc.o"
+  "CMakeFiles/helios_core.dir/history.cc.o.d"
+  "CMakeFiles/helios_core.dir/rtt_estimator.cc.o"
+  "CMakeFiles/helios_core.dir/rtt_estimator.cc.o.d"
+  "libhelios_core.a"
+  "libhelios_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_harness.dir/experiment.cc.o"
+  "CMakeFiles/helios_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/helios_harness.dir/topology.cc.o"
+  "CMakeFiles/helios_harness.dir/topology.cc.o.d"
+  "libhelios_harness.a"
+  "libhelios_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

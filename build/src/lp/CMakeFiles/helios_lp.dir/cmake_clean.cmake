@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_lp.dir/latency_model.cc.o"
+  "CMakeFiles/helios_lp.dir/latency_model.cc.o.d"
+  "CMakeFiles/helios_lp.dir/mao.cc.o"
+  "CMakeFiles/helios_lp.dir/mao.cc.o.d"
+  "CMakeFiles/helios_lp.dir/simplex.cc.o"
+  "CMakeFiles/helios_lp.dir/simplex.cc.o.d"
+  "libhelios_lp.a"
+  "libhelios_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

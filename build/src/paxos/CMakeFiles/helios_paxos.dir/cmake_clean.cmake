@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_paxos.dir/paxos.cc.o"
+  "CMakeFiles/helios_paxos.dir/paxos.cc.o.d"
+  "libhelios_paxos.a"
+  "libhelios_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_rdict.dir/replicated_log.cc.o"
+  "CMakeFiles/helios_rdict.dir/replicated_log.cc.o.d"
+  "CMakeFiles/helios_rdict.dir/timetable.cc.o"
+  "CMakeFiles/helios_rdict.dir/timetable.cc.o.d"
+  "libhelios_rdict.a"
+  "libhelios_rdict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_rdict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_sim.dir/network.cc.o"
+  "CMakeFiles/helios_sim.dir/network.cc.o.d"
+  "CMakeFiles/helios_sim.dir/scheduler.cc.o"
+  "CMakeFiles/helios_sim.dir/scheduler.cc.o.d"
+  "libhelios_sim.a"
+  "libhelios_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

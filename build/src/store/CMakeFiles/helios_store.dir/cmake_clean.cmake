@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_store.dir/lock_table.cc.o"
+  "CMakeFiles/helios_store.dir/lock_table.cc.o.d"
+  "CMakeFiles/helios_store.dir/mv_store.cc.o"
+  "CMakeFiles/helios_store.dir/mv_store.cc.o.d"
+  "libhelios_store.a"
+  "libhelios_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_transport.dir/live_datacenter.cc.o"
+  "CMakeFiles/helios_transport.dir/live_datacenter.cc.o.d"
+  "CMakeFiles/helios_transport.dir/realtime_loop.cc.o"
+  "CMakeFiles/helios_transport.dir/realtime_loop.cc.o.d"
+  "CMakeFiles/helios_transport.dir/tcp_transport.cc.o"
+  "CMakeFiles/helios_transport.dir/tcp_transport.cc.o.d"
+  "libhelios_transport.a"
+  "libhelios_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_txn.dir/pool.cc.o"
+  "CMakeFiles/helios_txn.dir/pool.cc.o.d"
+  "CMakeFiles/helios_txn.dir/transaction.cc.o"
+  "CMakeFiles/helios_txn.dir/transaction.cc.o.d"
+  "libhelios_txn.a"
+  "libhelios_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_wal.dir/wal.cc.o"
+  "CMakeFiles/helios_wal.dir/wal.cc.o.d"
+  "libhelios_wal.a"
+  "libhelios_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_wire.dir/codec.cc.o"
+  "CMakeFiles/helios_wire.dir/codec.cc.o.d"
+  "CMakeFiles/helios_wire.dir/serialization.cc.o"
+  "CMakeFiles/helios_wire.dir/serialization.cc.o.d"
+  "libhelios_wire.a"
+  "libhelios_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

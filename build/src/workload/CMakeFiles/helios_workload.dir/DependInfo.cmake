@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/client.cc" "src/workload/CMakeFiles/helios_workload.dir/client.cc.o" "gcc" "src/workload/CMakeFiles/helios_workload.dir/client.cc.o.d"
+  "/root/repo/src/workload/tycsb.cc" "src/workload/CMakeFiles/helios_workload.dir/tycsb.cc.o" "gcc" "src/workload/CMakeFiles/helios_workload.dir/tycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/helios_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/helios_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/helios_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

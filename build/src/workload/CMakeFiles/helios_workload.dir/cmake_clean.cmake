@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_workload.dir/client.cc.o"
+  "CMakeFiles/helios_workload.dir/client.cc.o.d"
+  "CMakeFiles/helios_workload.dir/tycsb.cc.o"
+  "CMakeFiles/helios_workload.dir/tycsb.cc.o.d"
+  "libhelios_workload.a"
+  "libhelios_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

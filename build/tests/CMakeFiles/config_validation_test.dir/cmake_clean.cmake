@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_validation_test.dir/config_validation_test.cc.o"
+  "CMakeFiles/config_validation_test.dir/config_validation_test.cc.o.d"
+  "config_validation_test"
+  "config_validation_test.pdb"
+  "config_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/helios_sweep_test.cc" "tests/CMakeFiles/helios_sweep_test.dir/helios_sweep_test.cc.o" "gcc" "tests/CMakeFiles/helios_sweep_test.dir/helios_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/helios_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/helios_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/helios_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/helios_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdict/CMakeFiles/helios_rdict.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/helios_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/helios_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/helios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/helios_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/helios_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/helios_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

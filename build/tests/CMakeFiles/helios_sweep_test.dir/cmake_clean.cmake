@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_sweep_test.dir/helios_sweep_test.cc.o"
+  "CMakeFiles/helios_sweep_test.dir/helios_sweep_test.cc.o.d"
+  "helios_sweep_test"
+  "helios_sweep_test.pdb"
+  "helios_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_test.dir/helios_test.cc.o"
+  "CMakeFiles/helios_test.dir/helios_test.cc.o.d"
+  "helios_test"
+  "helios_test.pdb"
+  "helios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

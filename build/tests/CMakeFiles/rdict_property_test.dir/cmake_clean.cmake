@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdict_property_test.dir/rdict_property_test.cc.o"
+  "CMakeFiles/rdict_property_test.dir/rdict_property_test.cc.o.d"
+  "rdict_property_test"
+  "rdict_property_test.pdb"
+  "rdict_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdict_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdict_test.dir/rdict_test.cc.o"
+  "CMakeFiles/rdict_test.dir/rdict_test.cc.o.d"
+  "rdict_test"
+  "rdict_test.pdb"
+  "rdict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

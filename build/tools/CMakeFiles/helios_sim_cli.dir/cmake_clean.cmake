@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helios_sim_cli.dir/helios_sim.cc.o"
+  "CMakeFiles/helios_sim_cli.dir/helios_sim.cc.o.d"
+  "helios_sim"
+  "helios_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helios_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
