@@ -20,6 +20,11 @@
 #include "store/mv_store.h"
 #include "txn/transaction.h"
 
+namespace helios::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace helios::obs
+
 namespace helios {
 
 /// Decision returned to a client for a commit request.
@@ -101,6 +106,19 @@ class ProtocolCluster {
 
   virtual std::string name() const = 0;
   virtual int num_datacenters() const = 0;
+
+  // --- Observability (src/obs) -------------------------------------------
+
+  /// Installs a lifecycle trace recorder and metrics registry on every
+  /// component of the deployment. Either pointer may be null; protocols
+  /// without instrumentation may ignore the call (default: no-op). Call
+  /// before Start().
+  virtual void SetObservability(obs::TraceRecorder* /*trace*/,
+                                obs::MetricsRegistry* /*metrics*/) {}
+
+  /// Dumps end-of-run protocol-level counters (commits, aborts, pool
+  /// sizes, ...) into `registry`. Default: no-op.
+  virtual void ExportMetrics(obs::MetricsRegistry* /*registry*/) const {}
 
  private:
   std::vector<uint64_t> client_txn_seq_;  // Lazily sized in BeginTxn.

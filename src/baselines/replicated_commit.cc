@@ -20,6 +20,36 @@ ReplicatedCommitCluster::ReplicatedCommitCluster(sim::Scheduler* scheduler,
   }
 }
 
+void ReplicatedCommitCluster::SetObservability(obs::TraceRecorder* trace,
+                                               obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  h_commit_total_us_ =
+      metrics == nullptr ? nullptr : &metrics->histogram("txn.commit_total_us");
+  h_abort_total_us_ =
+      metrics == nullptr ? nullptr : &metrics->histogram("txn.abort_total_us");
+}
+
+void ReplicatedCommitCluster::ExportMetrics(
+    obs::MetricsRegistry* registry) const {
+  registry->counter("protocol.commits").Set(commits_);
+  registry->counter("protocol.aborts").Set(aborts_);
+}
+
+void ReplicatedCommitCluster::RecordDecision(DcId dc, const TxnId& txn,
+                                             bool commit, sim::SimTime t0,
+                                             const std::string& reason) {
+  const sim::SimTime now = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kTxnServer, dc, txn, t0, now, kInvalidDc,
+                 reason);
+    trace_->Instant(commit ? obs::EventKind::kTxnCommit
+                           : obs::EventKind::kTxnAbort,
+                    dc, txn, now, kInvalidDc, reason);
+  }
+  obs::Histogram* h = commit ? h_commit_total_us_ : h_abort_total_us_;
+  if (h != nullptr) h->Observe(static_cast<double>(now - t0));
+}
+
 void ReplicatedCommitCluster::Route(DcId home, DcId target,
                                     std::function<void()> fn) {
   if (home == target) {
@@ -226,6 +256,7 @@ void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
           ? start_it->second
           : clocks_[static_cast<size_t>(client_dc)]->Now();
   TxnBodyPtr body = MakeTxnBody(txn, std::move(reads), std::move(writes));
+  const sim::SimTime requested_at = scheduler_->Now();
 
   struct CommitState {
     int yes = 0;
@@ -235,7 +266,8 @@ void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
   };
   auto state = std::make_shared<CommitState>();
 
-  auto decide = [this, state, client_dc, txn, body, done](bool commit) {
+  auto decide = [this, state, client_dc, txn, body, done,
+                 requested_at](bool commit) {
     if (state->decided) return;
     state->decided = true;
     Timestamp version_ts = kMinTimestamp;
@@ -252,6 +284,10 @@ void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
           core::CommittedTxn{txn, client_dc, version_ts, body});
     } else {
       ++aborts_;
+    }
+    if (trace_ != nullptr || h_commit_total_us_ != nullptr) {
+      RecordDecision(client_dc, txn, commit, requested_at,
+                     commit ? "" : "vote:no-majority");
     }
     BroadcastDecision(client_dc, txn, commit, body, version_ts);
     done(CommitOutcome{txn, commit, commit ? "" : "vote:no-majority"});

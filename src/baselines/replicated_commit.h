@@ -25,6 +25,8 @@
 #include "api/protocol.h"
 #include "core/helios_config.h"
 #include "core/history.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
@@ -69,6 +71,12 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   std::string name() const override { return "ReplicatedCommit"; }
   int num_datacenters() const override { return config_.num_datacenters; }
 
+  /// Observability (src/obs): commit/abort decision events and a total-
+  /// latency histogram per outcome, measured over the vote round.
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics) override;
+  void ExportMetrics(obs::MetricsRegistry* registry) const override;
+
   const MvStore& store(DcId dc) const { return dcs_[dc]->store; }
   const LockTable& locks(DcId dc) const { return dcs_[dc]->locks; }
   core::HistoryRecorder& history() { return history_; }
@@ -110,6 +118,11 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   void BroadcastDecision(DcId home, const TxnId& txn, bool commit,
                          TxnBodyPtr body, Timestamp version_ts);
 
+  /// Records the trace events and histogram sample for a decision reached
+  /// at `now` for a commit request that entered at `t0`.
+  void RecordDecision(DcId dc, const TxnId& txn, bool commit,
+                      sim::SimTime t0, const std::string& reason);
+
   sim::Scheduler* scheduler_;
   sim::Network* network_;
   ReplicatedCommitConfig config_;
@@ -117,6 +130,9 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   std::vector<std::unique_ptr<sim::Clock>> clocks_;
   std::unordered_map<TxnId, Timestamp, TxnIdHash> txn_start_ts_;
   core::HistoryRecorder history_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Histogram* h_commit_total_us_ = nullptr;
+  obs::Histogram* h_abort_total_us_ = nullptr;
   uint64_t commits_ = 0;
   uint64_t aborts_ = 0;
   uint64_t next_ro_seq_ = 1;

@@ -251,11 +251,53 @@ void TwoPcPaxosCluster::CoordinatorCommit(DcId home, const TxnId& txn,
       });
 }
 
+void TwoPcPaxosCluster::SetObservability(obs::TraceRecorder* trace,
+                                         obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  h_commit_total_us_ =
+      metrics == nullptr ? nullptr : &metrics->histogram("txn.commit_total_us");
+  h_abort_total_us_ =
+      metrics == nullptr ? nullptr : &metrics->histogram("txn.abort_total_us");
+}
+
+void TwoPcPaxosCluster::ExportMetrics(obs::MetricsRegistry* registry) const {
+  registry->counter("protocol.commits").Set(commits_);
+  registry->counter("protocol.aborts").Set(aborts_);
+  registry->counter("protocol.wounds").Set(lock_table_->wounds());
+}
+
+void TwoPcPaxosCluster::RecordDecision(DcId dc, const TxnId& txn, bool commit,
+                                       sim::SimTime t0,
+                                       const std::string& reason) {
+  const sim::SimTime now = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kTxnServer, dc, txn, t0, now, kInvalidDc,
+                 reason);
+    trace_->Instant(commit ? obs::EventKind::kTxnCommit
+                           : obs::EventKind::kTxnAbort,
+                    dc, txn, now, kInvalidDc, reason);
+  }
+  obs::Histogram* h = commit ? h_commit_total_us_ : h_abort_total_us_;
+  if (h != nullptr) h->Observe(static_cast<double>(now - t0));
+}
+
 void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
                                   std::vector<ReadEntry> reads,
                                   std::vector<WriteEntry> writes,
                                   CommitCallback done) {
   TxnBodyPtr body = MakeTxnBody(txn, std::move(reads), std::move(writes));
+  if (trace_ != nullptr || h_commit_total_us_ != nullptr) {
+    // The decision point lives deep in the coordinator's async pipeline;
+    // wrapping the client callback captures request -> decision-delivery
+    // (one client link longer than the coordinator's own processing).
+    const sim::SimTime requested_at = scheduler_->Now();
+    done = [this, client_dc, requested_at,
+            done = std::move(done)](const CommitOutcome& outcome) {
+      RecordDecision(client_dc, outcome.id, outcome.committed, requested_at,
+                     outcome.abort_reason);
+      done(outcome);
+    };
+  }
   ToCoordinator(client_dc, [this, client_dc, txn, body,
                             done = std::move(done)]() {
     // Commit processing at the coordinator: the 2PC bookkeeping plus one

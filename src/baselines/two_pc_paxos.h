@@ -28,6 +28,8 @@
 #include "api/protocol.h"
 #include "core/helios_config.h"
 #include "core/history.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "paxos/paxos.h"
 #include "sim/clock.h"
 #include "sim/network.h"
@@ -72,6 +74,13 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   std::string name() const override { return "2PC/Paxos"; }
   int num_datacenters() const override { return config_.num_datacenters; }
 
+  /// Observability (src/obs): commit/abort decision events and a total-
+  /// latency histogram per outcome, measured client-side around the full
+  /// coordinator round (the coordinator is remote for most clients).
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics) override;
+  void ExportMetrics(obs::MetricsRegistry* registry) const override;
+
   const MvStore& store(DcId dc) const { return stores_[dc]; }
   core::HistoryRecorder& history() { return history_; }
   uint64_t commits() const { return commits_; }
@@ -97,6 +106,11 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   Timestamp StartTs(DcId home, const TxnId& txn);
   bool Doomed(const TxnId& txn) const { return doomed_.count(txn) > 0; }
 
+  /// Records the trace events and histogram sample for a decision
+  /// delivered at the client at `now` for a request issued at `t0`.
+  void RecordDecision(DcId dc, const TxnId& txn, bool commit,
+                      sim::SimTime t0, const std::string& reason);
+
   sim::Scheduler* scheduler_;
   sim::Network* network_;
   TwoPcPaxosConfig config_;
@@ -109,6 +123,9 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   std::unordered_map<TxnId, Timestamp, TxnIdHash> txn_start_ts_;
   std::unordered_set<TxnId, TxnIdHash> doomed_;  ///< Wounded transactions.
   core::HistoryRecorder history_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Histogram* h_commit_total_us_ = nullptr;
+  obs::Histogram* h_abort_total_us_ = nullptr;
   uint64_t commits_ = 0;
   uint64_t aborts_ = 0;
   uint64_t next_load_seq_ = 1;

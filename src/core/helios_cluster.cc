@@ -95,6 +95,40 @@ void HeliosCluster::RecoverDatacenter(DcId dc) {
   node(dc).SetDown(false);
 }
 
+void HeliosCluster::SetObservability(obs::TraceRecorder* trace,
+                                     obs::MetricsRegistry* metrics) {
+  for (auto& node : nodes_) node->SetObservability(trace, metrics);
+}
+
+void HeliosCluster::ExportMetrics(obs::MetricsRegistry* registry) const {
+  const NodeCounters total = AggregateCounters();
+  registry->counter("node.read_requests").Set(total.read_requests);
+  registry->counter("node.commit_requests").Set(total.commit_requests);
+  registry->counter("node.commits").Set(total.commits);
+  registry->counter("node.aborts_on_request").Set(total.aborts_on_request);
+  registry->counter("node.aborts_by_remote").Set(total.aborts_by_remote);
+  registry->counter("node.aborts_liveness").Set(total.aborts_liveness);
+  registry->counter("node.records_ingested").Set(total.records_ingested);
+  registry->counter("node.envelopes_sent").Set(total.envelopes_sent);
+  registry->counter("node.refusals_issued").Set(total.refusals_issued);
+  registry->counter("node.read_only_txns").Set(total.read_only_txns);
+  // Protocol-neutral aliases so cross-protocol comparisons can key on the
+  // same names the baselines export.
+  registry->counter("protocol.commits").Set(total.commits);
+  registry->counter("protocol.aborts")
+      .Set(total.aborts_on_request + total.aborts_by_remote +
+           total.aborts_liveness);
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    const std::string prefix = "node.dc" + std::to_string(dc);
+    registry->gauge(prefix + ".pt_pool").Set(
+        static_cast<double>(node(dc).pt_pool_size()));
+    registry->gauge(prefix + ".ept_pool").Set(
+        static_cast<double>(node(dc).ept_pool_size()));
+    registry->gauge(prefix + ".service_busy_us")
+        .Set(static_cast<double>(node(dc).service_queue().total_busy()));
+  }
+}
+
 NodeCounters HeliosCluster::AggregateCounters() const {
   NodeCounters total;
   for (const auto& node : nodes_) {

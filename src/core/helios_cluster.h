@@ -42,6 +42,13 @@ class HeliosCluster : public ProtocolCluster {
   /// and load keys in the same order across runs for deterministic ids).
   void LoadInitialAll(const Key& key, const Value& value) override;
 
+  /// Installs the observability sinks on every node (src/obs).
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics) override;
+
+  /// Dumps the aggregated NodeCounters (and pool sizes) into `registry`.
+  void ExportMetrics(obs::MetricsRegistry* registry) const override;
+
   /// Full datacenter outage: the network drops its traffic and the node
   /// stops processing.
   void CrashDatacenter(DcId dc);

@@ -40,6 +40,22 @@ void HeliosNode::SetCommitOffsetRow(std::vector<Duration> row) {
   offset_row_override_ = std::move(row);
 }
 
+void HeliosNode::SetObservability(obs::TraceRecorder* trace,
+                                  obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics != nullptr) {
+    h_queue_wait_us_ = &metrics->histogram("txn.queue_wait_us");
+    h_commit_wait_us_ = &metrics->histogram("txn.commit_wait_us");
+    h_commit_total_us_ = &metrics->histogram("txn.commit_total_us");
+    h_abort_total_us_ = &metrics->histogram("txn.abort_total_us");
+  } else {
+    h_queue_wait_us_ = nullptr;
+    h_commit_wait_us_ = nullptr;
+    h_commit_total_us_ = nullptr;
+    h_abort_total_us_ = nullptr;
+  }
+}
+
 Duration HeliosNode::OffsetTo(DcId x) const {
   if (!offset_row_override_.empty()) {
     return offset_row_override_[static_cast<size_t>(x)];
@@ -91,18 +107,26 @@ void HeliosNode::HandleReadOnly(std::vector<Key> keys, ReadOnlyCallback reply) {
 void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
                                      std::vector<WriteEntry> writes,
                                      CommitCallback reply) {
+  const sim::SimTime arrived = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::EventKind::kTxnRequest, id_, TxnId{}, arrived);
+  }
   service_queue_.Submit(config_.service.commit_request,
-                        [this, reads = std::move(reads),
+                        [this, arrived, reads = std::move(reads),
                          writes = std::move(writes),
                          reply = std::move(reply)]() mutable {
                           ProcessCommitRequest(std::move(reads),
                                                std::move(writes),
-                                               std::move(reply));
+                                               std::move(reply), arrived);
                         });
 }
 
 void HeliosNode::HandleEnvelope(Envelope env) {
   if (down_) return;  // A crashed datacenter drops everything.
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::EventKind::kEnvelopeRecv, id_, TxnId{},
+                    scheduler_->Now(), env.log.from);
+  }
   if (rtt_estimator_ != nullptr) {
     // Sample at arrival time (scheduler basis, immune to clock offsets).
     rtt_estimator_->OnIncoming(env.log.from, scheduler_->Now(), env);
@@ -134,16 +158,29 @@ bool HeliosNode::ReadStillValid(const ReadEntry& read) const {
 
 void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
                                       std::vector<WriteEntry> writes,
-                                      CommitCallback reply) {
+                                      CommitCallback reply,
+                                      sim::SimTime arrived_sim) {
   if (down_) return;
   ++counters_.commit_requests;
   const TxnId id{id_, next_txn_seq_++};
   TxnBodyPtr body = MakeTxnBody(id, std::move(reads), std::move(writes));
 
+  const sim::SimTime processed_sim = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kTxnQueue, id_, id, arrived_sim,
+                 processed_sim);
+  }
+  if (h_queue_wait_us_ != nullptr) {
+    h_queue_wait_us_->Observe(
+        static_cast<double>(processed_sim - arrived_sim));
+  }
+
   // Lines 2-3: conflict with any preparing transaction, local or remote.
   if (!pt_pool_.ConflictingWriters(*body).empty() ||
       !ept_pool_.ConflictingWriters(*body).empty()) {
     ++counters_.aborts_on_request;
+    RecordDecisionTrace(id, false, "conflict:preparing", arrived_sim,
+                        processed_sim);
     reply(CommitOutcome{id, false, "conflict:preparing"});
     return;
   }
@@ -151,6 +188,8 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   for (const ReadEntry& r : body->read_set) {
     if (!ReadStillValid(r)) {
       ++counters_.aborts_on_request;
+      RecordDecisionTrace(id, false, "overwritten:" + r.key, arrived_sim,
+                          processed_sim);
       reply(CommitOutcome{id, false, "overwritten:" + r.key});
       return;
     }
@@ -161,6 +200,8 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   PendingTxn pending;
   pending.body = body;
   pending.request_ts = q;
+  pending.arrived_sim = arrived_sim;
+  pending.processed_sim = processed_sim;
   pending.kts.assign(static_cast<size_t>(config_.num_datacenters),
                      kMinTimestamp);
   for (DcId x = 0; x < config_.num_datacenters; ++x) {
@@ -179,6 +220,9 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   assert(append.ok());
   (void)append;
   if (record_sink_) record_sink_(rec);
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::EventKind::kTxnAppend, id_, id, scheduler_->Now());
+  }
 
   pt_pool_.Add(body);
   pending_by_ts_.emplace(std::make_pair(q, id), id);
@@ -343,6 +387,34 @@ void HeliosNode::TryCommitAll() {
   }
 }
 
+void HeliosNode::RecordDecisionTrace(const TxnId& id, bool committed,
+                                     const std::string& reason,
+                                     sim::SimTime arrived_sim,
+                                     sim::SimTime wait_start_sim) {
+  const sim::SimTime now = scheduler_->Now();
+  if (trace_ != nullptr) {
+    if (committed) {
+      trace_->Span(obs::EventKind::kCommitWait, id_, id, wait_start_sim, now);
+      trace_->Instant(obs::EventKind::kTxnCommit, id_, id, now);
+    } else {
+      trace_->Instant(obs::EventKind::kTxnAbort, id_, id, now, kInvalidDc,
+                      reason);
+    }
+    trace_->Span(obs::EventKind::kTxnServer, id_, id, arrived_sim, now,
+                 kInvalidDc, committed ? std::string() : reason);
+  }
+  if (committed) {
+    if (h_commit_wait_us_ != nullptr) {
+      h_commit_wait_us_->Observe(static_cast<double>(now - wait_start_sim));
+    }
+    if (h_commit_total_us_ != nullptr) {
+      h_commit_total_us_->Observe(static_cast<double>(now - arrived_sim));
+    }
+  } else if (h_abort_total_us_ != nullptr) {
+    h_abort_total_us_->Observe(static_cast<double>(now - arrived_sim));
+  }
+}
+
 void HeliosNode::FinishTxn(const TxnId& id) {
   auto it = pending_.find(id);
   assert(it != pending_.end());
@@ -361,6 +433,8 @@ void HeliosNode::CommitPending(const TxnId& id) {
   assert(it != pending_.end());
   TxnBodyPtr body = it->second.body;
   CommitCallback reply = std::move(it->second.reply);
+  RecordDecisionTrace(id, /*committed=*/true, "", it->second.arrived_sim,
+                      it->second.processed_sim);
   FinishTxn(id);
 
   // The whole state transition — apply, finished record, bookkeeping — is
@@ -400,6 +474,8 @@ void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
   assert(it != pending_.end());
   TxnBodyPtr body = it->second.body;
   CommitCallback reply = std::move(it->second.reply);
+  RecordDecisionTrace(id, /*committed=*/false, reason,
+                      it->second.arrived_sim, it->second.processed_sim);
   FinishTxn(id);
 
   rdict::LogRecord rec;
@@ -487,6 +563,10 @@ void HeliosNode::SendToAllPeers() {
       }
       service_queue_.Charge(config_.service.log_message);
       ++counters_.envelopes_sent;
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::EventKind::kEnvelopeSend, id_, TxnId{},
+                        scheduler_->Now(), peer);
+      }
       send_(peer, env);
     }
   }

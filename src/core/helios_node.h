@@ -33,6 +33,8 @@
 #include "core/helios_config.h"
 #include "core/history.h"
 #include "core/rtt_estimator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdict/replicated_log.h"
 #include "sim/clock.h"
 #include "sim/scheduler.h"
@@ -117,11 +119,19 @@ class HeliosNode {
   size_t pt_pool_size() const { return pt_pool_.size(); }
   size_t ept_pool_size() const { return ept_pool_.size(); }
   sim::ServiceQueue& service_queue() { return service_queue_; }
+  const sim::ServiceQueue& service_queue() const { return service_queue_; }
 
   /// Optional shared recorder for serializability checking.
   void set_history_recorder(HistoryRecorder* recorder) {
     history_ = recorder;
   }
+
+  /// Optional observability (src/obs): lifecycle trace events and
+  /// per-stage latency histograms. Either pointer may be null; with both
+  /// null (the default) every instrumentation site reduces to one
+  /// pointer check, keeping the disabled path free.
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics);
 
   /// Optional durability hook: invoked with every record this node appends
   /// locally or ingests fresh from a peer, in processing order. A
@@ -164,12 +174,17 @@ class HeliosNode {
     Timestamp request_ts = kMinTimestamp;      ///< q(t).
     std::vector<Timestamp> kts;                ///< Per peer (Eq. 1).
     CommitCallback reply;
+    /// Scheduler-basis instants for tracing: when the request reached the
+    /// node and when Algorithm 1 processed it (= commit wait start).
+    sim::SimTime arrived_sim = 0;
+    sim::SimTime processed_sim = 0;
   };
 
-  // Algorithm bodies (run inside the service queue).
+  // Algorithm bodies (run inside the service queue). `arrived_sim` is the
+  // scheduler time the request reached the node (for tracing).
   void ProcessCommitRequest(std::vector<ReadEntry> reads,
                             std::vector<WriteEntry> writes,
-                            CommitCallback reply);
+                            CommitCallback reply, sim::SimTime arrived_sim);
   void ProcessEnvelope(Envelope env);
 
   /// Algorithm 3: commits every pending transaction whose wait conditions
@@ -190,6 +205,14 @@ class HeliosNode {
 
   /// True if `read` still matches the latest locally applied version.
   bool ReadStillValid(const ReadEntry& read) const;
+
+  /// Emits the decision-time trace events and histogram samples for `id`:
+  /// commit-wait span (commits only), node-side server span, decision
+  /// instant. `wait_start_sim` is when Algorithm 1 pooled the transaction.
+  void RecordDecisionTrace(const TxnId& id, bool committed,
+                           const std::string& reason,
+                           sim::SimTime arrived_sim,
+                           sim::SimTime wait_start_sim);
 
   void AbortPending(const TxnId& id, const std::string& reason,
                     uint64_t NodeCounters::* counter);
@@ -235,6 +258,13 @@ class HeliosNode {
   bool down_ = false;
   NodeCounters counters_;
   HistoryRecorder* history_ = nullptr;
+  /// Observability (null = disabled). Histograms are resolved once in
+  /// SetObservability so the hot path never touches the registry map.
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Histogram* h_queue_wait_us_ = nullptr;
+  obs::Histogram* h_commit_wait_us_ = nullptr;
+  obs::Histogram* h_commit_total_us_ = nullptr;
+  obs::Histogram* h_abort_total_us_ = nullptr;
   RecordSink record_sink_;
   std::unique_ptr<RttEstimator> rtt_estimator_;
   /// Runtime override of co[self][*]; empty = use the config's offsets.

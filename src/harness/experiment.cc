@@ -78,6 +78,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sim::Network network(&scheduler, n, config.seed);
   ConfigureNetwork(config.topology, &network);
 
+  ExperimentResult result;
+  if (config.trace.enabled) {
+    result.trace =
+        std::make_shared<obs::TraceRecorder>(config.trace.ring_capacity);
+    result.metrics_registry = std::make_shared<obs::MetricsRegistry>();
+    network.set_trace_recorder(result.trace.get());
+  }
+
   std::unique_ptr<ProtocolCluster> cluster;
   core::HistoryRecorder* history = nullptr;
 
@@ -133,6 +141,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       cluster->LoadInitialAll(workload::TYcsbGenerator::KeyName(i), "init");
     }
   }
+  cluster->SetObservability(result.trace.get(), result.metrics_registry.get());
   cluster->Start();
 
   const sim::SimTime measure_from = config.warmup;
@@ -145,6 +154,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         static_cast<uint64_t>(c), home, cluster.get(), &scheduler,
         config.workload, config.seed + 1000003, measure_from, measure_until,
         /*stop_at=*/measure_until));
+    clients.back()->SetObservability(result.trace.get(),
+                                     result.metrics_registry.get());
     // Stagger client start a little to avoid a synchronized burst.
     scheduler.At(Micros(37) * c,
                  [client = clients.back().get()]() { client->Start(); });
@@ -153,7 +164,6 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   scheduler.RunUntil(measure_until + config.drain);
 
   // Aggregate per datacenter.
-  ExperimentResult result;
   result.protocol = ProtocolName(config.protocol);
   result.per_dc.resize(static_cast<size_t>(n));
   std::vector<workload::ClientMetrics> per_dc(static_cast<size_t>(n));
@@ -198,6 +208,24 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.serializability = core::CheckSerializable(history->commits());
   }
   result.events_processed = scheduler.events_processed();
+
+  if (result.metrics_registry != nullptr) {
+    obs::MetricsRegistry* reg = result.metrics_registry.get();
+    cluster->ExportMetrics(reg);
+    reg->counter("net.messages_sent").Set(network.messages_sent());
+    reg->counter("net.messages_dropped").Set(network.messages_dropped());
+    reg->counter("net.bytes_sent").Set(network.bytes_sent());
+    reg->counter("sim.events_processed").Set(scheduler.events_processed());
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    for (const DcResult& r : result.per_dc) {
+      committed += r.committed;
+      aborted += r.aborted;
+    }
+    reg->counter("client.committed").Set(committed);
+    reg->counter("client.aborted").Set(aborted);
+    result.metrics = reg->Snapshot();
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #ifndef HELIOS_HARNESS_EXPERIMENT_H_
 #define HELIOS_HARNESS_EXPERIMENT_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "core/helios_config.h"
 #include "harness/topology.h"
 #include "lp/mao.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/tycsb.h"
 
 namespace helios::harness {
@@ -78,6 +81,11 @@ struct ExperimentConfig {
   /// Verify conflict-serializability of the committed history after the
   /// run (cheap for test-scale runs; quadratic-ish for huge ones).
   bool check_serializability = false;
+
+  /// Observability (src/obs). Disabled by default: with trace.enabled
+  /// false no recorder or registry is created and every instrumentation
+  /// site stays on its null-pointer fast path.
+  obs::TraceConfig trace;
 };
 
 struct DcResult {
@@ -110,6 +118,14 @@ struct ExperimentResult {
   std::optional<Status> serializability;
 
   uint64_t events_processed = 0;
+
+  /// Populated when config.trace.enabled: the full per-transaction event
+  /// trace (exportable as Chrome trace_event JSON) and the metrics
+  /// snapshot taken at the end of the run. The live registry is also kept
+  /// so callers can inspect raw histograms.
+  std::shared_ptr<obs::TraceRecorder> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry;
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs one experiment to completion. Deterministic given the config.

@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace helios::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The target rank falls in bucket i: interpolate across its range.
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac =
+        (target - before) / static_cast<double>(buckets_[i]);
+    const double v = lo + (hi - lo) * frac;
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  // 50us .. 60s, multiplying by ~sqrt(2): 2 buckets per octave keeps the
+  // relative quantile error under ~20% with only ~42 buckets.
+  std::vector<double> bounds;
+  for (double b = 50.0; b <= 60e6; b *= std::sqrt(2.0)) {
+    bounds.push_back(std::round(b));
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? DefaultLatencyBucketsUs() : std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    v.p50 = h->Quantile(0.50);
+    v.p99 = h->Quantile(0.99);
+    v.bounds = h->bounds();
+    v.buckets = h->buckets();
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Doubles rendered with enough digits to round-trip, "NN" for integral
+/// values so snapshots are stable and diffable.
+std::string Num(double v) {
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(17);
+    os << v;
+  }
+  return os.str();
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(&out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(&out, g.name);
+    out += ": " + Num(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + Num(h.sum);
+    out += ", \"min\": " + Num(h.min);
+    out += ", \"max\": " + Num(h.max);
+    out += ", \"p50\": " + Num(h.p50);
+    out += ", \"p99\": " + Num(h.p99);
+    out += ", \"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Num(h.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& c : counters) {
+    out += "counter," + c.name + ",value," + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    out += "gauge," + g.name + ",value," + Num(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    out += "histogram," + h.name + ",count," + std::to_string(h.count) + "\n";
+    out += "histogram," + h.name + ",sum," + Num(h.sum) + "\n";
+    out += "histogram," + h.name + ",min," + Num(h.min) + "\n";
+    out += "histogram," + h.name + ",max," + Num(h.max) + "\n";
+    out += "histogram," + h.name + ",p50," + Num(h.p50) + "\n";
+    out += "histogram," + h.name + ",p99," + Num(h.p99) + "\n";
+  }
+  return out;
+}
+
+Status MetricsSnapshot::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open metrics output file: " + path);
+  }
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  out << (csv ? ToCsv() : ToJson());
+  out.flush();
+  if (!out) return Status::Internal("failed writing metrics to " + path);
+  return Status::Ok();
+}
+
+}  // namespace helios::obs

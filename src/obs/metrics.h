@@ -1,0 +1,152 @@
+// Named runtime metrics: counters, gauges, and fixed-bucket latency
+// histograms, collected into a MetricsRegistry and dumped as a
+// deterministic JSON or CSV snapshot.
+//
+// Complements the tracing side of src/obs: traces answer "where did THIS
+// transaction's latency go", metrics answer "what is the distribution of
+// each stage across the whole run". Components record into histograms
+// cached by pointer (one map lookup at wiring time, O(1) per observation);
+// a component holding no registry records nothing and pays a single null
+// check — the same zero-cost-when-disabled contract as TraceRecorder.
+
+#ifndef HELIOS_OBS_METRICS_H_
+#define HELIOS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) { value_ += delta; }
+  void Set(uint64_t value) { value_ = value; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins point-in-time value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// an implicit overflow bucket catches everything above the last bound.
+/// Memory is bounds.size()+1 counters regardless of sample count, unlike
+/// the sample-retaining common/stats Distribution.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Estimated quantile (`q` in [0, 1]) by linear interpolation inside the
+  /// containing bucket; 0 on an empty histogram. Clamped to the observed
+  /// min/max so estimates never leave the data range.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Default bucket bounds for microsecond latencies: roughly logarithmic
+/// from 50us to 60s, 2 buckets per octave.
+std::vector<double> DefaultLatencyBucketsUs();
+
+/// One immutable dump of a registry, ordered by metric name (so two
+/// registries populated in any order snapshot identically).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  const CounterValue* FindCounter(const std::string& name) const;
+  const HistogramValue* FindHistogram(const std::string& name) const;
+
+  std::string ToJson() const;
+  /// One line per scalar: "kind,name,field,value".
+  std::string ToCsv() const;
+  /// Writes ToJson() (or ToCsv() when `path` ends in ".csv").
+  Status WriteFile(const std::string& path) const;
+};
+
+/// Owner of all named metrics. Lookup creates on first use; returned
+/// references stay valid for the registry's lifetime, so call sites cache
+/// them and skip the map on the hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation; empty = default latency
+  /// buckets.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace helios::obs
+
+#endif  // HELIOS_OBS_METRICS_H_

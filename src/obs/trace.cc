@@ -1,0 +1,332 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <queue>
+#include <sstream>
+
+namespace helios::obs {
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kClientIssue:
+      return "client.issue";
+    case EventKind::kClientCommit:
+      return "client.commit";
+    case EventKind::kTxnRequest:
+      return "txn.request";
+    case EventKind::kTxnQueue:
+      return "txn.queue";
+    case EventKind::kTxnAppend:
+      return "txn.append";
+    case EventKind::kCommitWait:
+      return "txn.commit_wait";
+    case EventKind::kTxnServer:
+      return "txn.server";
+    case EventKind::kTxnCommit:
+      return "txn.commit";
+    case EventKind::kTxnAbort:
+      return "txn.abort";
+    case EventKind::kEnvelopeSend:
+      return "env.send";
+    case EventKind::kEnvelopeRecv:
+      return "env.recv";
+    case EventKind::kNetHop:
+      return "net.hop";
+    case EventKind::kNetDrop:
+      return "net.drop";
+  }
+  return "?";
+}
+
+bool IsSpanKind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kClientCommit:
+    case EventKind::kTxnQueue:
+    case EventKind::kCommitWait:
+    case EventKind::kTxnServer:
+    case EventKind::kNetHop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<int> AssignLanes(const std::vector<const TraceEvent*>& spans) {
+  // Greedy interval partitioning: free lanes ordered by index, busy lanes
+  // in a min-heap by end time. A span takes the lowest-numbered lane that
+  // has drained; otherwise it opens a new lane.
+  std::vector<int> lanes(spans.size(), 0);
+  using Busy = std::pair<int64_t, int>;  // (end_us, lane)
+  std::priority_queue<Busy, std::vector<Busy>, std::greater<Busy>> busy;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> free_lanes;
+  int next_lane = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceEvent& e = *spans[i];
+    while (!busy.empty() && busy.top().first <= e.ts_us) {
+      free_lanes.push(busy.top().second);
+      busy.pop();
+    }
+    int lane;
+    if (!free_lanes.empty()) {
+      lane = free_lanes.top();
+      free_lanes.pop();
+    } else {
+      lane = next_lane++;
+    }
+    lanes[i] = lane;
+    busy.emplace(e.ts_us + std::max<int64_t>(e.dur_us, 0), lane);
+  }
+  return lanes;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void TraceRecorder::Record(TraceEvent event) {
+  ++total_recorded_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(event));
+    return;
+  }
+  buffer_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+}
+
+void TraceRecorder::Instant(EventKind kind, DcId dc, const TxnId& txn,
+                            int64_t ts_us, DcId peer, std::string detail) {
+  TraceEvent e;
+  e.kind = kind;
+  e.dc = dc;
+  e.peer = peer;
+  e.txn = txn;
+  e.ts_us = ts_us;
+  e.detail = std::move(detail);
+  Record(std::move(e));
+}
+
+void TraceRecorder::Span(EventKind kind, DcId dc, const TxnId& txn,
+                         int64_t start_us, int64_t end_us, DcId peer,
+                         std::string detail) {
+  TraceEvent e;
+  e.kind = kind;
+  e.dc = dc;
+  e.peer = peer;
+  e.txn = txn;
+  e.ts_us = start_us;
+  e.dur_us = std::max<int64_t>(end_us - start_us, 0);
+  e.detail = std::move(detail);
+  Record(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  if (buffer_.size() < capacity_) {
+    out = buffer_;
+    return out;
+  }
+  // Full ring: next_ is the oldest element.
+  out.insert(out.end(), buffer_.begin() + static_cast<ptrdiff_t>(next_),
+             buffer_.end());
+  out.insert(out.end(), buffer_.begin(),
+             buffer_.begin() + static_cast<ptrdiff_t>(next_));
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_recorded_ = 0;
+}
+
+namespace {
+
+/// JSON string escaping for the small names/details we emit.
+void AppendJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Lane-group of an event within its datacenter's Chrome-trace process:
+/// server-side transaction events, client-observed events, and WAN hops
+/// render as separate thread blocks.
+enum class LaneGroup { kServer = 0, kClient = 1, kNet = 2 };
+
+LaneGroup GroupOf(EventKind kind) {
+  switch (kind) {
+    case EventKind::kClientIssue:
+    case EventKind::kClientCommit:
+      return LaneGroup::kClient;
+    case EventKind::kEnvelopeSend:
+    case EventKind::kEnvelopeRecv:
+    case EventKind::kNetHop:
+    case EventKind::kNetDrop:
+      return LaneGroup::kNet;
+    default:
+      return LaneGroup::kServer;
+  }
+}
+
+const char* GroupName(LaneGroup g) {
+  switch (g) {
+    case LaneGroup::kServer:
+      return "server";
+    case LaneGroup::kClient:
+      return "client";
+    case LaneGroup::kNet:
+      return "net";
+  }
+  return "?";
+}
+
+/// Lanes within a group start at group * kGroupStride, so groups never
+/// interleave in the Chrome-trace thread list.
+constexpr int kGroupStride = 100;
+
+void EmitEvent(std::ostream& os, const TraceEvent& e, int tid, bool* first) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":";
+  AppendJsonString(os, KindName(e.kind));
+  os << ",\"cat\":";
+  AppendJsonString(os, GroupName(GroupOf(e.kind)));
+  if (e.dur_us >= 0) {
+    os << ",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+  } else {
+    os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.ts_us;
+  }
+  os << ",\"pid\":" << e.dc << ",\"tid\":" << tid << ",\"args\":{";
+  bool first_arg = true;
+  if (e.txn.valid()) {
+    os << "\"txn\":";
+    AppendJsonString(os, e.txn.ToString());
+    first_arg = false;
+  }
+  if (e.peer != kInvalidDc) {
+    if (!first_arg) os << ",";
+    os << "\"peer\":" << e.peer;
+    first_arg = false;
+  }
+  if (!e.detail.empty()) {
+    if (!first_arg) os << ",";
+    os << "\"detail\":";
+    AppendJsonString(os, e.detail);
+  }
+  os << "}}";
+}
+
+void EmitMetadata(std::ostream& os, const char* name, int pid, int tid,
+                  const std::string& value, bool* first) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << name << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":";
+  AppendJsonString(os, value);
+  os << "}}";
+}
+
+}  // namespace
+
+void TraceRecorder::ExportChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = Events();
+
+  // Bucket span events by (pid, group) and lane-assign each bucket so
+  // overlapping spans land on distinct tids. Ring order is record order,
+  // which is non-decreasing in ts only per emitting site, so sort each
+  // bucket by start time first.
+  std::map<std::pair<DcId, LaneGroup>, std::vector<size_t>> span_buckets;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].dur_us >= 0) {
+      span_buckets[{events[i].dc, GroupOf(events[i].kind)}].push_back(i);
+    }
+  }
+  std::vector<int> tid(events.size(), 0);
+  for (auto& [key, indices] : span_buckets) {
+    std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      return events[a].ts_us < events[b].ts_us;
+    });
+    std::vector<const TraceEvent*> spans;
+    spans.reserve(indices.size());
+    for (size_t i : indices) spans.push_back(&events[i]);
+    const std::vector<int> lanes = AssignLanes(spans);
+    const int base = static_cast<int>(key.second) * kGroupStride;
+    for (size_t j = 0; j < indices.size(); ++j) {
+      tid[indices[j]] = base + lanes[j];
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Name each datacenter process and each lane group's base thread.
+  std::map<DcId, std::vector<bool>> seen_groups;
+  for (const TraceEvent& e : events) {
+    auto& groups = seen_groups[e.dc];
+    if (groups.empty()) {
+      groups.assign(3, false);
+      EmitMetadata(os, "process_name", e.dc, -1,
+                   e.dc == kInvalidDc ? "harness"
+                                      : "dc" + std::to_string(e.dc),
+                   &first);
+    }
+    const auto g = static_cast<size_t>(GroupOf(e.kind));
+    if (!groups[g]) {
+      groups[g] = true;
+      EmitMetadata(os, "thread_name", e.dc,
+                   static_cast<int>(g) * kGroupStride,
+                   GroupName(GroupOf(e.kind)), &first);
+    }
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const int t = e.dur_us >= 0
+                      ? tid[i]
+                      : static_cast<int>(GroupOf(e.kind)) * kGroupStride;
+    EmitEvent(os, e, t, &first);
+  }
+  os << "\n]}\n";
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace output file: " + path);
+  }
+  ExportChromeTrace(out);
+  out.flush();
+  if (!out) return Status::Internal("failed writing trace to " + path);
+  return Status::Ok();
+}
+
+}  // namespace helios::obs

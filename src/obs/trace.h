@@ -1,0 +1,141 @@
+// Transaction-lifecycle tracing: structured events and spans recorded per
+// transaction and per message hop, with bounded memory and an exporter to
+// the Chrome trace_event JSON format (loadable in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Every protocol decision in Helios hinges on *when* messages arrive and
+// how long a transaction sat in each commit-wait stage (Rule 2 knowledge
+// wait, Rule 3 ack quorum, service-queue time). End-to-end aggregates
+// (ClientMetrics, NodeCounters) cannot localize a latency regression; this
+// recorder can: it captures the timeline
+//
+//   client.issue -> txn.request -> txn.queue -> txn.append ->
+//   txn.commit_wait -> txn.commit / txn.abort
+//
+// plus every envelope hop over the simulated WAN (env.send, net.hop,
+// env.recv), all on the *scheduler* time basis so events from differently
+// skewed datacenters line up on one timeline.
+//
+// Cost model: recording is OFF unless a component has been handed a
+// non-null TraceRecorder; every instrumentation site is a single
+// pointer-null check on the disabled path, so benches and production runs
+// without tracing pay (measurably) nothing. When enabled, events land in a
+// fixed-capacity ring buffer: the newest `capacity` events are kept and the
+// oldest are evicted, so memory stays bounded no matter how long the run.
+
+#ifndef HELIOS_OBS_TRACE_H_
+#define HELIOS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace helios::obs {
+
+/// What happened. Span kinds carry a duration; instant kinds do not.
+enum class EventKind : uint8_t {
+  // --- Transaction lifecycle (dc = the datacenter acting) ---------------
+  kClientIssue,    ///< Instant: client sent the commit request.
+  kClientCommit,   ///< Span: client-observed request -> decision.
+  kTxnRequest,     ///< Instant: commit request arrived at the node.
+  kTxnQueue,       ///< Span: service-queue wait + request processing.
+  kTxnAppend,      ///< Instant: preparing record appended to the log.
+  kCommitWait,     ///< Span: q(t) -> commit-wait satisfied (Rule 2/3).
+  kTxnServer,      ///< Span: request arrival -> decision at the server.
+  kTxnCommit,      ///< Instant: decision = commit.
+  kTxnAbort,       ///< Instant: decision = abort (detail = reason).
+  // --- Messaging (dc = sender or receiver, peer = the other end) --------
+  kEnvelopeSend,   ///< Instant: node handed an envelope to the WAN.
+  kEnvelopeRecv,   ///< Instant: envelope arrived at the peer node.
+  kNetHop,         ///< Span: one-way WAN flight (dc = from, peer = to).
+  kNetDrop,        ///< Instant: message dropped (crash or partition).
+};
+
+/// Stable short name, e.g. "txn.commit_wait". Used as the Chrome-trace
+/// event name and in tests.
+const char* KindName(EventKind kind);
+
+/// True for kinds that carry a duration.
+bool IsSpanKind(EventKind kind);
+
+/// One recorded event. `ts_us` / `dur_us` are on the scheduler ("true")
+/// time basis, in microseconds; `dur_us` is negative for instants.
+struct TraceEvent {
+  EventKind kind = EventKind::kTxnRequest;
+  DcId dc = kInvalidDc;      ///< Acting datacenter (Chrome-trace pid).
+  DcId peer = kInvalidDc;    ///< Other end of a hop, if any.
+  TxnId txn;                 ///< Associated transaction, if any.
+  int64_t ts_us = 0;
+  int64_t dur_us = -1;
+  std::string detail;        ///< Small free-form note (abort reason, ...).
+};
+
+/// Greedy interval-graph lane assignment used by the exporter: spans are
+/// given the smallest lane whose previous occupant has ended, so
+/// overlapping spans render on separate Chrome-trace threads. `spans` must
+/// be sorted by ts_us; returns one lane index per span. Exposed for tests.
+std::vector<int> AssignLanes(const std::vector<const TraceEvent*>& spans);
+
+/// Bounded-memory recorder of TraceEvents.
+///
+/// Single-threaded, like the simulation that feeds it. All recording
+/// methods are O(1); the ring keeps the newest `capacity` events.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 18;  // ~256k events
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Records a fully populated event.
+  void Record(TraceEvent event);
+
+  /// Convenience: an instant event.
+  void Instant(EventKind kind, DcId dc, const TxnId& txn, int64_t ts_us,
+               DcId peer = kInvalidDc, std::string detail = {});
+
+  /// Convenience: a span [start_us, end_us] (clamped to >= 0 duration).
+  void Span(EventKind kind, DcId dc, const TxnId& txn, int64_t start_us,
+            int64_t end_us, DcId peer = kInvalidDc, std::string detail = {});
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const { return total_recorded_ - buffer_.size(); }
+  void Clear();
+
+  /// Writes the retained events as Chrome trace_event JSON (the
+  /// {"traceEvents": [...]} object form). Spans become complete ("X")
+  /// events; instants become "i" events. pid = datacenter, tid = a lane
+  /// chosen so overlapping spans do not collide; process/thread metadata
+  /// names the lanes.
+  void ExportChromeTrace(std::ostream& os) const;
+
+  /// ExportChromeTrace to a file.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  ///< Ring write position once the buffer is full.
+  uint64_t total_recorded_ = 0;
+  std::vector<TraceEvent> buffer_;
+};
+
+/// Knob block embedded in harness/tool configs.
+struct TraceConfig {
+  bool enabled = false;
+  size_t ring_capacity = TraceRecorder::kDefaultCapacity;
+};
+
+}  // namespace helios::obs
+
+#endif  // HELIOS_OBS_TRACE_H_

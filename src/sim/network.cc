@@ -64,6 +64,11 @@ void Network::SendSized(int from, int to, size_t size_bytes,
   bytes_sent_ += size_bytes;
   if (!up_[from] || partitioned_[ChannelIndex(from, to)]) {
     ++messages_dropped_;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::EventKind::kNetDrop, from, TxnId{},
+                      scheduler_->Now(), to,
+                      up_[from] ? "partitioned" : "sender-down");
+    }
     return;
   }
   const int ch = ChannelIndex(from, to);
@@ -80,9 +85,17 @@ void Network::SendSized(int from, int to, size_t size_bytes,
   // time.
   arrive = std::max(arrive, last_delivery_[ch] + transmission);
   last_delivery_[ch] = arrive;
-  scheduler_->At(arrive, [this, to, deliver = std::move(deliver)]() {
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kNetHop, from, TxnId{}, scheduler_->Now(),
+                 arrive, to);
+  }
+  scheduler_->At(arrive, [this, from, to, deliver = std::move(deliver)]() {
     if (!up_[to]) {
       ++messages_dropped_;
+      if (trace_ != nullptr) {
+        trace_->Instant(obs::EventKind::kNetDrop, to, TxnId{},
+                        scheduler_->Now(), from, "receiver-down");
+      }
       return;  // Receiver is down: the message is lost.
     }
     deliver();

@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 
 namespace helios::sim {
@@ -84,6 +85,11 @@ class Network {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
+  /// Optional message-hop tracing (src/obs): every delivery becomes a
+  /// net.hop span from send to receive; drops become net.drop instants.
+  /// Null (the default) disables with a single pointer check per send.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   int ChannelIndex(int from, int to) const { return from * n_ + to; }
   Duration SampleOneWay(int from, int to);
@@ -95,6 +101,7 @@ class Network {
   std::vector<SimTime> last_delivery_;   // FIFO watermark per channel
   std::vector<bool> partitioned_;        // per channel
   std::vector<bool> up_;                 // per node
+  obs::TraceRecorder* trace_ = nullptr;
   int64_t bandwidth_bps_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;

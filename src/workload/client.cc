@@ -34,6 +34,14 @@ void ClosedLoopClient::Start() {
   scheduler_->After(0, [this]() { NextTxn(); });
 }
 
+void ClosedLoopClient::SetObservability(obs::TraceRecorder* trace,
+                                        obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  h_commit_latency_us_ =
+      metrics != nullptr ? &metrics->histogram("client.commit_latency_us")
+                         : nullptr;
+}
+
 void ClosedLoopClient::NextTxn() {
   if (scheduler_->Now() >= stop_at_) return;
   ++txns_issued_;
@@ -86,21 +94,37 @@ void ClosedLoopClient::CommitPhase(std::shared_ptr<InFlight> txn) {
     writes.push_back({key, generator_.NextValue()});
   }
   txn->commit_requested_at = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::EventKind::kClientIssue, home_, txn->id,
+                    txn->commit_requested_at);
+  }
   cluster_->TxnCommit(home_, txn->id, txn->reads, std::move(writes),
                       [this, txn](const CommitOutcome& outcome) {
-                        OnOutcome(txn, outcome.committed);
+                        OnOutcome(txn, outcome);
                       });
 }
 
 void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
-                                 bool committed) {
+                                 const CommitOutcome& outcome) {
+  const sim::SimTime now = scheduler_->Now();
+  if (trace_ != nullptr) {
+    // Use the outcome's id: some protocols assign the durable TxnId at the
+    // server, and that id is what the server-side spans carry.
+    trace_->Span(obs::EventKind::kClientCommit, home_, outcome.id,
+                 txn->commit_requested_at, now, kInvalidDc,
+                 outcome.committed ? "committed" : outcome.abort_reason);
+  }
   if (InWindow(txn->commit_requested_at)) {
-    if (committed) {
+    if (outcome.committed) {
       ++metrics_.committed;
       metrics_.ops_committed +=
           txn->plan.reads.size() + txn->plan.writes.size();
       metrics_.commit_latency_ms.Add(
-          ToMillis(scheduler_->Now() - txn->commit_requested_at));
+          ToMillis(now - txn->commit_requested_at));
+      if (h_commit_latency_us_ != nullptr) {
+        h_commit_latency_us_->Observe(
+            static_cast<double>(now - txn->commit_requested_at));
+      }
     } else {
       ++metrics_.aborted;
     }

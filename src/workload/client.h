@@ -18,6 +18,8 @@
 #include "api/protocol.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/scheduler.h"
 #include "workload/tycsb.h"
 
@@ -52,6 +54,13 @@ class ClosedLoopClient {
   /// Begins the closed loop (schedules the first transaction now).
   void Start();
 
+  /// Optional observability (src/obs): records a client.issue instant per
+  /// commit request and a client.commit span per decision (the span's txn
+  /// id is the server-assigned one from the outcome, so it joins with the
+  /// server-side spans), plus a client-observed commit-latency histogram.
+  void SetObservability(obs::TraceRecorder* trace,
+                        obs::MetricsRegistry* metrics);
+
   const ClientMetrics& metrics() const { return metrics_; }
   DcId home() const { return home_; }
   uint64_t txns_issued() const { return txns_issued_; }
@@ -68,7 +77,8 @@ class ClosedLoopClient {
   void NextTxn();
   void ReadPhase(std::shared_ptr<InFlight> txn);
   void CommitPhase(std::shared_ptr<InFlight> txn);
-  void OnOutcome(const std::shared_ptr<InFlight>& txn, bool committed);
+  void OnOutcome(const std::shared_ptr<InFlight>& txn,
+                 const CommitOutcome& outcome);
   bool InWindow(sim::SimTime t) const {
     return t >= measure_from_ && t < measure_until_;
   }
@@ -83,6 +93,8 @@ class ClosedLoopClient {
   sim::SimTime stop_at_;
   ClientMetrics metrics_;
   uint64_t txns_issued_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Histogram* h_commit_latency_us_ = nullptr;
 };
 
 }  // namespace helios::workload

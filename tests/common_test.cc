@@ -238,6 +238,43 @@ TEST(DistributionTest, EmptySafe) {
   Distribution d;
   EXPECT_EQ(d.Percentile(50), 0.0);
   EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.Median(), 0.0);
+  EXPECT_EQ(d.Percentile(0), 0.0);
+  EXPECT_EQ(d.Percentile(100), 0.0);
+  EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(DistributionTest, SingleSample) {
+  Distribution d;
+  d.Add(7.5);
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(d.Median(), 7.5);
+  EXPECT_DOUBLE_EQ(d.Percentile(99), 7.5);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 7.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(DistributionTest, PercentileBoundsClampToExtremes) {
+  Distribution d;
+  for (int i = 1; i <= 10; ++i) d.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(250), 10.0);
+}
+
+TEST(DistributionTest, UnsortedAddsInterpolateCorrectly) {
+  Distribution d;
+  for (double x : {30.0, 10.0, 40.0, 20.0}) d.Add(x);
+  // Sorted: 10 20 30 40. Median rank 1.5 -> midway between 20 and 30.
+  EXPECT_DOUBLE_EQ(d.Median(), 25.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(25), 17.5);
+  // Percentile sorting must not break later mixed use.
+  d.Add(0.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 40.0);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

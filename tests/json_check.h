@@ -1,0 +1,192 @@
+// Minimal recursive-descent JSON syntax checker for tests: validates that
+// exporter output is well-formed without pulling a JSON library into the
+// build. Accepts exactly RFC 8259 JSON (objects, arrays, strings with
+// escapes, numbers, true/false/null).
+
+#ifndef HELIOS_TESTS_JSON_CHECK_H_
+#define HELIOS_TESTS_JSON_CHECK_H_
+
+#include <cctype>
+#include <string>
+
+namespace helios::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// True iff the whole input is one valid JSON value (plus whitespace).
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  /// Byte offset of the first error after a failed Valid() call.
+  size_t error_pos() const { return pos_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // Control characters must be escaped.
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(
+                                         s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // Unterminated.
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      return false;
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (s_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      if (s_[pos_] != ',') return false;
+      ++pos_;
+    }
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+}  // namespace helios::testing
+
+#endif  // HELIOS_TESTS_JSON_CHECK_H_

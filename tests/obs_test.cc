@@ -1,0 +1,263 @@
+// Unit tests for the observability subsystem (src/obs): the trace
+// recorder's ring-buffer semantics and Chrome-trace export, lane
+// assignment, histograms, and registry snapshots.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace helios::obs {
+namespace {
+
+using helios::testing::IsValidJson;
+
+TxnId Txn(uint64_t seq) { return TxnId{0, seq}; }
+
+// ---------------------------------------------------------------- Trace --
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  TraceRecorder rec(16);
+  rec.Instant(EventKind::kClientIssue, 0, Txn(1), 100);
+  rec.Span(EventKind::kTxnQueue, 1, Txn(1), 150, 250);
+  rec.Instant(EventKind::kTxnCommit, 1, Txn(1), 300);
+
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kClientIssue);
+  EXPECT_EQ(events[0].ts_us, 100);
+  EXPECT_LT(events[0].dur_us, 0);  // Instants carry no duration.
+  EXPECT_EQ(events[1].kind, EventKind::kTxnQueue);
+  EXPECT_EQ(events[1].ts_us, 150);
+  EXPECT_EQ(events[1].dur_us, 100);
+  EXPECT_EQ(events[2].ts_us, 300);
+  EXPECT_EQ(rec.total_recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, SpanClampsNegativeDuration) {
+  TraceRecorder rec(4);
+  rec.Span(EventKind::kNetHop, 0, Txn(1), 500, 400);  // end < start
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].dur_us, 0);
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestBeyondCapacity) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 6; ++i) {
+    rec.Instant(EventKind::kTxnRequest, 0, Txn(static_cast<uint64_t>(i)),
+                i * 10);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+
+  // The newest 4 survive, oldest first.
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].txn.seq, i + 2);
+    EXPECT_EQ(events[i].ts_us, static_cast<int64_t>((i + 2) * 10));
+  }
+}
+
+TEST(TraceRecorderTest, ClearResetsRetainedButNotTotals) {
+  TraceRecorder rec(4);
+  rec.Instant(EventKind::kTxnRequest, 0, Txn(1), 10);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.Events().empty());
+  // Further recording works after a clear.
+  rec.Instant(EventKind::kTxnRequest, 0, Txn(2), 20);
+  EXPECT_EQ(rec.size(), 1u);
+}
+
+TEST(TraceRecorderTest, KindNamesAreStableAndDistinct) {
+  std::vector<std::string> names;
+  for (int k = static_cast<int>(EventKind::kClientIssue);
+       k <= static_cast<int>(EventKind::kNetDrop); ++k) {
+    names.emplace_back(KindName(static_cast<EventKind>(k)));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+  EXPECT_STREQ(KindName(EventKind::kCommitWait), "txn.commit_wait");
+  EXPECT_TRUE(IsSpanKind(EventKind::kCommitWait));
+  EXPECT_FALSE(IsSpanKind(EventKind::kTxnCommit));
+}
+
+TEST(AssignLanesTest, NonOverlappingSpansShareLaneZero) {
+  TraceEvent a, b;
+  a.ts_us = 0;
+  a.dur_us = 10;
+  b.ts_us = 20;
+  b.dur_us = 10;
+  const std::vector<const TraceEvent*> spans = {&a, &b};
+  EXPECT_EQ(AssignLanes(spans), (std::vector<int>{0, 0}));
+}
+
+TEST(AssignLanesTest, OverlappingSpansGetDistinctLanes) {
+  // Three mutually overlapping spans need three lanes; a fourth starting
+  // after the first ends reuses lane 0.
+  TraceEvent a, b, c, d;
+  a.ts_us = 0;
+  a.dur_us = 100;
+  b.ts_us = 10;
+  b.dur_us = 100;
+  c.ts_us = 20;
+  c.dur_us = 100;
+  d.ts_us = 150;
+  d.dur_us = 10;
+  const std::vector<const TraceEvent*> spans = {&a, &b, &c, &d};
+  const auto lanes = AssignLanes(spans);
+  ASSERT_EQ(lanes.size(), 4u);
+  EXPECT_EQ(lanes[0], 0);
+  EXPECT_EQ(lanes[1], 1);
+  EXPECT_EQ(lanes[2], 2);
+  EXPECT_EQ(lanes[3], 0);
+}
+
+TEST(TraceRecorderTest, ExportsValidChromeTraceJson) {
+  TraceRecorder rec(64);
+  rec.Instant(EventKind::kClientIssue, 0, Txn(1), 100);
+  rec.Span(EventKind::kClientCommit, 0, Txn(1), 100, 900, kInvalidDc,
+           "committed");
+  rec.Span(EventKind::kNetHop, 0, Txn(1), 120, 220, /*peer=*/2);
+  // Detail with every character class the escaper must handle.
+  rec.Instant(EventKind::kTxnAbort, 2, Txn(2), 500, kInvalidDc,
+              "quote\" slash\\ newline\n tab\t ctrl\x01");
+
+  std::ostringstream os;
+  rec.ExportChromeTrace(os);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(IsValidJson(json));
+  // Structural spot checks: the trace_event envelope, one complete event
+  // per span, one instant event, and process metadata.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("client.commit"), std::string::npos);
+  EXPECT_NE(json.find("net.hop"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EmptyExportIsValidJson) {
+  TraceRecorder rec(4);
+  std::ostringstream os;
+  rec.ExportChromeTrace(os);
+  EXPECT_TRUE(IsValidJson(os.str()));
+}
+
+// -------------------------------------------------------------- Metrics --
+
+TEST(HistogramTest, BucketsAndStats) {
+  Histogram h({10.0, 20.0, 40.0});
+  h.Observe(5.0);    // bucket 0 (<= 10)
+  h.Observe(10.0);   // bucket 0 (inclusive upper bound)
+  h.Observe(15.0);   // bucket 1
+  h.Observe(100.0);  // overflow
+
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 130.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 32.5);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h(DefaultLatencyBucketsUs());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotoneAndWithinRange) {
+  Histogram h(DefaultLatencyBucketsUs());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 100.0);  // 100us .. 100ms
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // The median of a uniform 100..100000 spread lands mid-range (bucket
+  // interpolation, so allow a loose factor-of-two window).
+  EXPECT_GT(h.Quantile(0.5), 25'000.0);
+  EXPECT_LT(h.Quantile(0.5), 100'000.0);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesAndReturnsStableRefs) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.Inc();
+  reg.counter("x").Inc(2);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+  reg.gauge("g").Set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  h.Observe(1.0);
+  // Bounds apply only on first creation.
+  EXPECT_EQ(reg.histogram("h", {99.0}).bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsInsertionOrderIndependent) {
+  MetricsRegistry a;
+  a.counter("one").Set(1);
+  a.counter("two").Set(2);
+  a.gauge("g1").Set(0.5);
+  a.histogram("h1", {10.0}).Observe(3.0);
+
+  MetricsRegistry b;  // Same content, reversed insertion order.
+  b.histogram("h1", {10.0}).Observe(3.0);
+  b.gauge("g1").Set(0.5);
+  b.counter("two").Set(2);
+  b.counter("one").Set(1);
+
+  EXPECT_EQ(a.Snapshot().ToJson(), b.Snapshot().ToJson());
+  EXPECT_EQ(a.Snapshot().ToCsv(), b.Snapshot().ToCsv());
+}
+
+TEST(MetricsSnapshotTest, JsonValidAndCsvHasAllScalars) {
+  MetricsRegistry reg;
+  reg.counter("commits").Set(42);
+  reg.gauge("pool").Set(7.25);
+  reg.histogram("lat_us", {100.0, 200.0}).Observe(150.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  EXPECT_FALSE(snap.empty());
+  ASSERT_NE(snap.FindCounter("commits"), nullptr);
+  EXPECT_EQ(snap.FindCounter("commits")->value, 42u);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+  ASSERT_NE(snap.FindHistogram("lat_us"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("lat_us")->count, 1u);
+
+  EXPECT_TRUE(IsValidJson(snap.ToJson()));
+  const std::string csv = snap.ToCsv();
+  EXPECT_NE(csv.find("counter,commits"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,pool"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace helios::obs

@@ -62,6 +62,14 @@ int main(int argc, char** argv) {
   flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
   flags.DefineBool("check_serializability", false,
                    "verify the committed history after the run");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of the run here "
+                     "(load in chrome://tracing or Perfetto)");
+  flags.DefineString("metrics_out", "",
+                     "write the metrics snapshot here (.csv for CSV, "
+                     "anything else for JSON)");
+  flags.DefineInt("trace_capacity", 0,
+                  "trace ring-buffer capacity in events (0 = default)");
   flags.DefineBool("help", false, "show this help");
 
   const Status parsed = flags.Parse(argc, argv);
@@ -96,6 +104,15 @@ int main(int argc, char** argv) {
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   cfg.log_interval = Millis(flags.GetInt("log_interval_ms"));
   cfg.check_serializability = flags.GetBool("check_serializability");
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string metrics_out = flags.GetString("metrics_out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    cfg.trace.enabled = true;
+    if (flags.GetInt("trace_capacity") > 0) {
+      cfg.trace.ring_capacity =
+          static_cast<size_t>(flags.GetInt("trace_capacity"));
+    }
+  }
   if (!flags.GetString("skew_ms").empty()) {
     cfg.clock_offsets = ParseSkewList(flags.GetString("skew_ms"));
     if (static_cast<int>(cfg.clock_offsets.size()) != cfg.topology.size()) {
@@ -136,6 +153,27 @@ int main(int argc, char** argv) {
                 r.serializability->ok() ? "OK (conflict-serializable)"
                                         : r.serializability->ToString().c_str());
     if (!r.serializability->ok()) return 1;
+  }
+  if (!trace_out.empty() && r.trace != nullptr) {
+    const Status s = r.trace->WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", trace_out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace:             %s (%llu events, %llu dropped)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(r.trace->size()),
+                static_cast<unsigned long long>(r.trace->dropped()));
+  }
+  if (!metrics_out.empty()) {
+    const Status s = r.metrics.WriteFile(metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", metrics_out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics:           %s\n", metrics_out.c_str());
   }
   return 0;
 }
