@@ -17,6 +17,7 @@
 //     batches), using the wire-format serializer and bandwidth accounting.
 
 #include <cstdio>
+#include <iterator>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -38,27 +39,64 @@ namespace bench = helios::bench;
 
 namespace {
 
-harness::ExperimentConfig SmallRun(harness::Protocol p) {
-  harness::ExperimentConfig cfg;
-  cfg.protocol = p;
-  cfg.total_clients = 60;
-  cfg.warmup = bench::Scaled(Seconds(3));
-  cfg.measure = bench::Scaled(Seconds(10));
-  return cfg;
+harness::ExperimentSpec SmallRun(harness::Protocol p) {
+  return harness::ExperimentSpec()
+      .WithProtocol(p)
+      .WithClients(60)
+      .WithWarmup(bench::Scaled(Seconds(3)))
+      .WithMeasure(bench::Scaled(Seconds(10)));
 }
 
-void LogIntervalAblation() {
+// Studies A, C, and D are plain RunExperiment grids, so they are declared
+// here as one combined spec list and executed as a single parallel sweep;
+// the slices below carve the flat result vector back into studies. B, E,
+// and F drive clusters directly (they read cluster counters or mutate the
+// network mid-run) and stay serial.
+const Duration kLogIntervals[] = {Millis(2),  Millis(5),  Millis(10),
+                                  Millis(25), Millis(50), Millis(100)};
+const double kThetas[] = {0.0, 0.3, 0.5, 0.7};
+const harness::Protocol kContentionProtocols[] = {
+    harness::Protocol::kHelios0, harness::Protocol::kMessageFutures,
+    harness::Protocol::kReplicatedCommit, harness::Protocol::kTwoPcPaxos};
+const double kReadOnlyFractions[] = {0.0, 0.25, 0.5, 0.75};
+
+std::vector<harness::ExperimentSpec> SweepableSpecs() {
+  std::vector<harness::ExperimentSpec> specs;
+  for (Duration interval : kLogIntervals) {
+    specs.push_back(
+        SmallRun(harness::Protocol::kHelios0)
+            .WithLogInterval(interval)
+            .WithLabel("A: log interval " +
+                       TablePrinter::Num(helios::ToMillis(interval), 0) +
+                       "ms"));
+  }
+  for (harness::Protocol p : kContentionProtocols) {
+    for (double theta : kThetas) {
+      specs.push_back(SmallRun(p)
+                          .WithMeasure(bench::Scaled(Seconds(8)))
+                          .WithZipfTheta(theta)
+                          .WithLabel(std::string("C: ") +
+                                     harness::ProtocolName(p) + " theta " +
+                                     TablePrinter::Num(theta, 1)));
+    }
+  }
+  for (double fraction : kReadOnlyFractions) {
+    specs.push_back(SmallRun(harness::Protocol::kHelios0)
+                        .WithReadOnlyFraction(fraction)
+                        .WithLabel("D: read-only " +
+                                   TablePrinter::Num(fraction, 2)));
+  }
+  return specs;
+}
+
+void LogIntervalAblation(const harness::ExperimentResult* results) {
   bench::PrintHeading(
       "Ablation A: log propagation interval vs Helios-0 commit latency");
   TablePrinter table({"interval (ms)", "avg latency (ms)", "throughput",
                       "envelopes sent/s"});
-  for (Duration interval : {Millis(2), Millis(5), Millis(10), Millis(25),
-                            Millis(50), Millis(100)}) {
-    std::fprintf(stderr, "log interval %lldms...\n",
-                 static_cast<long long>(interval / 1000));
-    harness::ExperimentConfig cfg = SmallRun(harness::Protocol::kHelios0);
-    cfg.log_interval = interval;
-    const auto r = harness::RunExperiment(cfg);
+  size_t i = 0;
+  for (Duration interval : kLogIntervals) {
+    const auto& r = results[i++];
     table.AddRow({TablePrinter::Num(helios::ToMillis(interval), 0),
                   TablePrinter::Num(r.avg_latency_ms, 1),
                   TablePrinter::Num(r.total_throughput_ops_s, 0), "-"});
@@ -121,25 +159,16 @@ void GraceTimeAblation() {
       "bench_fig6_liveness).\n");
 }
 
-void ContentionAblation() {
+void ContentionAblation(const harness::ExperimentResult* results) {
   bench::PrintHeading("Ablation C: abort rate (%) vs Zipfian skew theta");
-  const std::vector<double> thetas = {0.0, 0.3, 0.5, 0.7};
   std::vector<std::string> header = {"Protocol"};
-  for (double t : thetas) header.push_back(TablePrinter::Num(t, 1));
+  for (double t : kThetas) header.push_back(TablePrinter::Num(t, 1));
   TablePrinter table(header);
-  for (harness::Protocol p :
-       {harness::Protocol::kHelios0, harness::Protocol::kMessageFutures,
-        harness::Protocol::kReplicatedCommit,
-        harness::Protocol::kTwoPcPaxos}) {
+  size_t i = 0;
+  for (harness::Protocol p : kContentionProtocols) {
     std::vector<std::string> row = {harness::ProtocolName(p)};
-    for (double theta : thetas) {
-      std::fprintf(stderr, "%s theta=%.1f...\n", harness::ProtocolName(p),
-                   theta);
-      harness::ExperimentConfig cfg = SmallRun(p);
-      cfg.measure = bench::Scaled(Seconds(8));
-      cfg.workload.zipf_theta = theta;
-      const auto r = harness::RunExperiment(cfg);
-      row.push_back(TablePrinter::Num(100.0 * r.avg_abort_rate, 1));
+    for (size_t t = 0; t < std::size(kThetas); ++t) {
+      row.push_back(TablePrinter::Num(100.0 * results[i++].avg_abort_rate, 1));
     }
     table.AddRow(std::move(row));
   }
@@ -150,16 +179,14 @@ void ContentionAblation() {
       "skew; wound-wait 2PC\nmostly converts conflicts into waits.\n");
 }
 
-void ReadOnlyAblation() {
+void ReadOnlyAblation(const harness::ExperimentResult* results) {
   bench::PrintHeading(
       "Ablation D (Appendix B): read-only snapshot transaction share");
   TablePrinter table({"read-only share", "rw avg latency (ms)",
                       "rw throughput (ops/s)", "read-only txns/s"});
-  for (double fraction : {0.0, 0.25, 0.5, 0.75}) {
-    std::fprintf(stderr, "read-only fraction %.2f...\n", fraction);
-    harness::ExperimentConfig cfg = SmallRun(harness::Protocol::kHelios0);
-    cfg.workload.read_only_fraction = fraction;
-    const auto r = harness::RunExperiment(cfg);
+  size_t i = 0;
+  for (double fraction : kReadOnlyFractions) {
+    const auto& r = results[i++];
     // Recompute read-only rate from per-dc committed metrics is not
     // exposed; derive from throughput change instead. Report rw metrics.
     table.AddRow({TablePrinter::Num(fraction, 2),
@@ -321,11 +348,17 @@ void AdaptiveOffsetsAblation() {
 
 }  // namespace
 
-int main() {
-  LogIntervalAblation();
+int main(int argc, char** argv) {
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(SweepableSpecs(), args);
+  const harness::ExperimentResult* cursor = results.data();
+  LogIntervalAblation(cursor);
+  cursor += std::size(kLogIntervals);
   GraceTimeAblation();
-  ContentionAblation();
-  ReadOnlyAblation();
+  ContentionAblation(cursor);
+  cursor += std::size(kContentionProtocols) * std::size(kThetas);
+  ReadOnlyAblation(cursor);
   WireSizeAblation();
   AdaptiveOffsetsAblation();
   return 0;

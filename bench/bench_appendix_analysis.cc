@@ -15,7 +15,7 @@
 #include "harness/experiment.h"
 #include "lp/latency_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using helios::Duration;
   using helios::Millis;
   using helios::TablePrinter;
@@ -24,6 +24,7 @@ int main() {
   namespace bench = helios::bench;
   namespace lp = helios::lp;
 
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
   const auto topo = harness::Table2Topology();
 
   struct Scenario {
@@ -41,6 +42,19 @@ int main() {
       {"RTT estimate all-zero", {}, zero_estimate},
   };
 
+  std::vector<harness::ExperimentSpec> specs;
+  for (const auto& s : scenarios) {
+    harness::ExperimentSpec spec =
+        bench::Fig3Spec(harness::Protocol::kHelios0)
+            .WithMeasure(bench::Scaled(helios::Seconds(10)))
+            .WithClockOffsets(s.clock_offsets)
+            .WithLabel("A.1: " + s.name);
+    if (s.estimate.has_value()) spec.WithRttEstimate(*s.estimate);
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(specs, args);
+
   bench::PrintHeading(
       "Appendix A.1: analytic latency model (Eq. 7) vs simulation, "
       "Helios-0, ms");
@@ -49,14 +63,9 @@ int main() {
   // C_remote + log-interval quantization) from the synchronized run.
   double overhead_ms = 0.0;
 
-  for (const auto& s : scenarios) {
-    std::fprintf(stderr, "running %s...\n", s.name.c_str());
-    harness::ExperimentConfig cfg =
-        bench::Fig3Config(harness::Protocol::kHelios0);
-    cfg.measure = bench::Scaled(helios::Seconds(10));
-    cfg.clock_offsets = s.clock_offsets;
-    cfg.rtt_estimate_ms = s.estimate;
-    const auto measured = harness::RunExperiment(cfg);
+  for (size_t si = 0; si < scenarios.size(); ++si) {
+    const auto& s = scenarios[si];
+    const auto& measured = results[si];
 
     std::vector<double> skew_ms;
     for (Duration d : s.clock_offsets) skew_ms.push_back(ToMillis(d));

@@ -17,12 +17,13 @@
 #include "harness/experiment.h"
 #include "lp/mao.h"
 
-int main() {
+int main(int argc, char** argv) {
   using helios::TablePrinter;
   namespace harness = helios::harness;
   namespace bench = helios::bench;
   namespace lp = helios::lp;
 
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
   const auto topo = harness::PaperExampleTopology();
   const lp::RttMatrix& rtt = topo.rtt_ms;
   const double kOverheadMs = 1.0;
@@ -54,37 +55,38 @@ int main() {
 
   // End-to-end validation: run both assignments through the simulator.
   bench::PrintHeading("End-to-end: simulated throughput under both assignments");
-  TablePrinter sim_table(
-      {"Assignment", "avg latency (ms)", "throughput (ops/s)"});
-  for (const auto& [name, latencies] :
-       {std::pair<std::string, std::vector<double>>{"MAO (5/25/15)", mao},
-        {"Throughput-optimal", optimized.latencies}}) {
-    harness::ExperimentConfig cfg;
-    cfg.topology = topo;
-    cfg.protocol = harness::Protocol::kHelios0;
-    cfg.total_clients = 30;
-    cfg.warmup = bench::Scaled(helios::Seconds(3));
-    cfg.measure = bench::Scaled(helios::Seconds(12));
-    cfg.log_interval = helios::Millis(2);
-    // Plan offsets from the chosen latencies rather than MAO.
-    lp::RttMatrix rtt_copy = rtt;
-    const auto offsets_ms = lp::CommitOffsetsFromLatencies(rtt_copy, latencies);
-    // RunExperiment plans from an RTT estimate; to force specific
+  const std::vector<std::pair<std::string, std::vector<double>>> assignments = {
+      {"MAO (5/25/15)", mao}, {"Throughput-optimal", optimized.latencies}};
+  std::vector<harness::ExperimentSpec> specs;
+  for (const auto& [name, latencies] : assignments) {
+    // RunExperiment plans offsets from an RTT estimate; to force specific
     // latencies we exploit Eq. 5's inverse: an estimate with
     // RTT'(a,b) = L_a + L_b reproduces exactly these latencies under MAO
-    // when they are all tight... instead, simplest: pass the real matrix
-    // but with the desired latencies encoded via a custom estimate below.
+    // when they are all tight.
     lp::RttMatrix estimate(rtt.size());
     for (int a = 0; a < rtt.size(); ++a) {
       for (int b = a + 1; b < rtt.size(); ++b) {
         estimate.Set(a, b, latencies[a] + latencies[b]);
       }
     }
-    cfg.rtt_estimate_ms = estimate;
-    std::fprintf(stderr, "running %s...\n", name.c_str());
-    const auto r = harness::RunExperiment(cfg);
-    sim_table.AddRow({name, TablePrinter::Num(r.avg_latency_ms, 1),
-                      TablePrinter::Num(r.total_throughput_ops_s, 0)});
+    specs.push_back(harness::ExperimentSpec()
+                        .WithTopology("example3")
+                        .WithProtocol(harness::Protocol::kHelios0)
+                        .WithClients(30)
+                        .WithWarmup(bench::Scaled(helios::Seconds(3)))
+                        .WithMeasure(bench::Scaled(helios::Seconds(12)))
+                        .WithLogInterval(helios::Millis(2))
+                        .WithRttEstimate(estimate)
+                        .WithLabel("A.2: " + name));
+  }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(specs, args);
+  TablePrinter sim_table(
+      {"Assignment", "avg latency (ms)", "throughput (ops/s)"});
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    sim_table.AddRow({assignments[i].first,
+                      TablePrinter::Num(results[i].avg_latency_ms, 1),
+                      TablePrinter::Num(results[i].total_throughput_ops_s, 0)});
   }
   std::printf("%s", sim_table.ToString().c_str());
   std::printf(

@@ -15,19 +15,21 @@
 #include "common/table.h"
 #include "harness/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using helios::TablePrinter;
   namespace harness = helios::harness;
   namespace bench = helios::bench;
 
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
   const auto topo = harness::Table2Topology();
   const int n = topo.size();
 
-  std::vector<harness::ExperimentResult> results;
+  std::vector<harness::ExperimentSpec> specs;
   for (harness::Protocol p : bench::AllProtocols()) {
-    std::fprintf(stderr, "running %s...\n", harness::ProtocolName(p));
-    results.push_back(harness::RunExperiment(bench::Fig3Config(p)));
+    specs.push_back(bench::Fig3Spec(p));
   }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(specs, args);
 
   std::vector<std::string> header = {"Protocol"};
   for (const auto& name : topo.names) header.push_back(name);

@@ -16,36 +16,51 @@
 #include "common/table.h"
 #include "harness/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using helios::TablePrinter;
   namespace harness = helios::harness;
   namespace bench = helios::bench;
+
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
 
   std::vector<int> client_counts = {15, 75, 135, 195, 255};
   if (bench::BenchScale() >= 1.0) {
     client_counts = {15, 60, 105, 150, 195, 240, 285};
   }
 
+  // The full protocol x client-count grid, flattened in row-major order;
+  // the sweep engine fans it out across --jobs threads.
+  std::vector<harness::ExperimentSpec> specs;
+  for (harness::Protocol p : bench::AllProtocols()) {
+    for (int clients : client_counts) {
+      specs.push_back(
+          harness::ExperimentSpec()
+              .WithProtocol(p)
+              .WithClients(clients)
+              .WithWarmup(bench::Scaled(helios::Seconds(3)))
+              .WithMeasure(bench::Scaled(helios::Seconds(10)))
+              .WithLabel(std::string(harness::ProtocolName(p)) + "/" +
+                         std::to_string(clients) + " clients"));
+    }
+  }
+  const std::vector<harness::ExperimentResult> flat =
+      bench::RunSweepOrDie(specs, args);
+
   struct Series {
     std::string protocol;
     std::vector<harness::ExperimentResult> points;
   };
   std::vector<Series> series;
-
-  for (harness::Protocol p : bench::AllProtocols()) {
-    Series s;
-    s.protocol = harness::ProtocolName(p);
-    for (int clients : client_counts) {
-      std::fprintf(stderr, "running %s with %d clients...\n",
-                   s.protocol.c_str(), clients);
-      harness::ExperimentConfig cfg;
-      cfg.protocol = p;
-      cfg.total_clients = clients;
-      cfg.warmup = bench::Scaled(helios::Seconds(3));
-      cfg.measure = bench::Scaled(helios::Seconds(10));
-      s.points.push_back(harness::RunExperiment(cfg));
+  {
+    size_t i = 0;
+    for (harness::Protocol p : bench::AllProtocols()) {
+      Series s;
+      s.protocol = harness::ProtocolName(p);
+      for (size_t c = 0; c < client_counts.size(); ++c) {
+        s.points.push_back(flat[i++]);
+      }
+      series.push_back(std::move(s));
     }
-    series.push_back(std::move(s));
   }
 
   std::vector<std::string> header = {"Protocol"};

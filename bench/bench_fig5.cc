@@ -19,7 +19,7 @@
 #include "common/table.h"
 #include "harness/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using helios::Duration;
   using helios::Millis;
   using helios::TablePrinter;
@@ -27,6 +27,7 @@ int main() {
   namespace bench = helios::bench;
   namespace lp = helios::lp;
 
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
   const auto topo = harness::Table2Topology();
 
   struct Scenario {
@@ -66,14 +67,16 @@ int main() {
   for (const auto& name : topo.names) header.push_back(name);
   header.push_back("Avg");
 
-  std::vector<harness::ExperimentResult> results;
+  std::vector<harness::ExperimentSpec> specs;
   for (const auto& s : scenarios) {
-    std::fprintf(stderr, "running Helios-0 scenario: %s...\n", s.name.c_str());
-    harness::ExperimentConfig cfg = bench::Fig3Config(harness::Protocol::kHelios0);
-    cfg.clock_offsets = s.clock_offsets;
-    cfg.rtt_estimate_ms = s.estimate;
-    results.push_back(harness::RunExperiment(cfg));
+    harness::ExperimentSpec spec = bench::Fig3Spec(harness::Protocol::kHelios0)
+                                       .WithClockOffsets(s.clock_offsets)
+                                       .WithLabel("Helios-0: " + s.name);
+    if (s.estimate.has_value()) spec.WithRttEstimate(*s.estimate);
+    specs.push_back(std::move(spec));
   }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(specs, args);
 
   bench::PrintHeading(
       "Figure 5(a): Helios-0 commit latency (ms) under sync/estimation errors");

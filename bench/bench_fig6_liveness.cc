@@ -83,18 +83,17 @@ void SingleTransactionTimeline() {
 }
 
 // Part 2: liveness overhead on the Table 2 topology.
-void LivenessOverheadTable() {
+void LivenessOverheadTable(const bench::BenchArgs& args) {
   bench::PrintHeading(
       "Liveness overhead: per-DC commit latency delta vs Helios-0 (ms)");
-  std::vector<harness::ExperimentResult> results;
+  std::vector<harness::ExperimentSpec> specs;
   for (harness::Protocol p :
        {harness::Protocol::kHelios0, harness::Protocol::kHelios1,
         harness::Protocol::kHelios2}) {
-    std::fprintf(stderr, "running %s...\n", harness::ProtocolName(p));
-    harness::ExperimentConfig cfg = bench::Fig3Config(p);
-    cfg.measure = bench::Scaled(Seconds(12));
-    results.push_back(harness::RunExperiment(cfg));
+    specs.push_back(bench::Fig3Spec(p).WithMeasure(bench::Scaled(Seconds(12))));
   }
+  const std::vector<harness::ExperimentResult> results =
+      bench::RunSweepOrDie(specs, args);
   const auto topo = harness::Table2Topology();
   std::vector<std::string> header = {"Variant"};
   for (const auto& name : topo.names) header.push_back(name);
@@ -180,9 +179,10 @@ void OutageTimeline(int f) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::ParseBenchArgsOrDie(argc, argv);
   SingleTransactionTimeline();
-  LivenessOverheadTable();
+  LivenessOverheadTable(args);
 
   bench::PrintHeading(
       "Outage timeline, Helios-1 @ Virginia (Singapore down 10s-20s)");

@@ -1,0 +1,760 @@
+#include "harness/experiment_spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/config_validation.h"
+
+namespace helios::harness {
+
+const char* ProtocolToken(Protocol p) {
+  switch (p) {
+    case Protocol::kHelios0:
+      return "helios0";
+    case Protocol::kHelios1:
+      return "helios1";
+    case Protocol::kHelios2:
+      return "helios2";
+    case Protocol::kHeliosB:
+      return "heliosb";
+    case Protocol::kMessageFutures:
+      return "mf";
+    case Protocol::kReplicatedCommit:
+      return "rc";
+    case Protocol::kTwoPcPaxos:
+      return "2pc";
+  }
+  return "?";
+}
+
+Result<Protocol> ParseProtocolToken(const std::string& token) {
+  for (Protocol p :
+       {Protocol::kHelios0, Protocol::kHelios1, Protocol::kHelios2,
+        Protocol::kHeliosB, Protocol::kMessageFutures,
+        Protocol::kReplicatedCommit, Protocol::kTwoPcPaxos}) {
+    if (token == ProtocolToken(p) || token == ProtocolName(p)) return p;
+  }
+  return Status::InvalidArgument(
+      "unknown protocol '" + token +
+      "' (expected helios0|helios1|helios2|heliosb|mf|rc|2pc)");
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
+  // splitmix64 of (base + index): decorrelates neighbouring grid entries.
+  uint64_t z = base_seed + index * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// --- Deterministic JSON emission -------------------------------------------
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  // Shortest representation that round-trips exactly; deterministic across
+  // runs, which the sweep JSON contract requires.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) { *out_ += '{'; }
+  void Key(const char* key) {
+    if (!first_) *out_ += ',';
+    first_ = false;
+    AppendEscaped(out_, key);
+    *out_ += ':';
+  }
+  void Field(const char* key, const std::string& v) {
+    Key(key);
+    AppendEscaped(out_, v);
+  }
+  void Field(const char* key, bool v) {
+    Key(key);
+    *out_ += v ? "true" : "false";
+  }
+  void Field(const char* key, int64_t v) {
+    Key(key);
+    *out_ += std::to_string(v);
+  }
+  void Field(const char* key, uint64_t v) {
+    Key(key);
+    *out_ += std::to_string(v);
+  }
+  void Field(const char* key, double v) {
+    Key(key);
+    AppendDouble(out_, v);
+  }
+  void Close() { *out_ += '}'; }
+
+ private:
+  std::string* out_;
+  bool first_ = true;
+};
+
+// --- Minimal JSON parser ----------------------------------------------------
+//
+// Just enough of RFC 8259 for spec files: objects, arrays, strings with
+// the escapes we emit, numbers, booleans, null. Errors carry a byte
+// offset. Kept private to this translation unit; tests/json_check.h stays
+// the syntax oracle on the emission side.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  ///< String payload, and the raw token for numbers.
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status st = Value(&v);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Value(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return Object(out);
+      case '[':
+        return Array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return String(&out->text);
+      case 't':
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+          out->boolean = true;
+          pos_ += 4;
+          return Status::Ok();
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+          out->boolean = false;
+          pos_ += 5;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          out->kind = JsonValue::Kind::kNull;
+          pos_ += 4;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      default:
+        return Number(out);
+    }
+  }
+
+  Status String(std::string* out) {
+    ++pos_;  // Opening quote.
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Error("unterminated escape");
+        switch (s_[pos_]) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            if (code > 0x7F) return Error("non-ASCII \\u escape unsupported");
+            *out += static_cast<char>(code);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character");
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    out->kind = JsonValue::Kind::kNumber;
+    out->text = s_.substr(start, pos_ - start);
+    const char* begin = out->text.data();
+    const char* end = begin + out->text.size();
+    const auto res = std::from_chars(begin, end, out->number);
+    if (res.ec != std::errc() || res.ptr != end) return Error("bad number");
+    return Status::Ok();
+  }
+
+  Status Array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      JsonValue item;
+      Status st = Value(&item);
+      if (!st.ok()) return st;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= s_.size()) return Error("unterminated array");
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (s_[pos_] != ',') return Error("expected ',' or ']'");
+      ++pos_;
+    }
+  }
+
+  Status Object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Error("expected key");
+      std::string key;
+      Status st = String(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Error("expected ':'");
+      ++pos_;
+      JsonValue value;
+      st = Value(&value);
+      if (!st.ok()) return st;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= s_.size()) return Error("unterminated object");
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (s_[pos_] != ',') return Error("expected ',' or '}'");
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- Typed field extraction -------------------------------------------------
+
+Status WrongType(const std::string& key, const char* want) {
+  return Status::InvalidArgument("spec field '" + key + "' must be " + want);
+}
+
+Status ReadInt64(const std::string& key, const JsonValue& v, int64_t* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
+  const char* begin = v.text.data();
+  const char* end = begin + v.text.size();
+  const auto res = std::from_chars(begin, end, *out);
+  if (res.ec != std::errc() || res.ptr != end) {
+    return WrongType(key, "an integer");
+  }
+  return Status::Ok();
+}
+
+Status ReadUint64(const std::string& key, const JsonValue& v, uint64_t* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
+  const char* begin = v.text.data();
+  const char* end = begin + v.text.size();
+  const auto res = std::from_chars(begin, end, *out);
+  if (res.ec != std::errc() || res.ptr != end) {
+    return WrongType(key, "an unsigned integer");
+  }
+  return Status::Ok();
+}
+
+Status ReadInt(const std::string& key, const JsonValue& v, int* out) {
+  int64_t wide = 0;
+  Status st = ReadInt64(key, v, &wide);
+  if (!st.ok()) return st;
+  if (wide < INT32_MIN || wide > INT32_MAX) {
+    return WrongType(key, "a 32-bit integer");
+  }
+  *out = static_cast<int>(wide);
+  return Status::Ok();
+}
+
+Status ReadDouble(const std::string& key, const JsonValue& v, double* out) {
+  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
+  *out = v.number;
+  return Status::Ok();
+}
+
+Status ReadBool(const std::string& key, const JsonValue& v, bool* out) {
+  if (v.kind != JsonValue::Kind::kBool) return WrongType(key, "a boolean");
+  *out = v.boolean;
+  return Status::Ok();
+}
+
+Status ReadString(const std::string& key, const JsonValue& v,
+                  std::string* out) {
+  if (v.kind != JsonValue::Kind::kString) return WrongType(key, "a string");
+  *out = v.text;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ExperimentSpec::DisplayName() const {
+  if (!label.empty()) return label;
+  return std::string(ProtocolToken(protocol)) + "/c" +
+         std::to_string(clients) + "/s" + std::to_string(seed);
+}
+
+Topology ExperimentSpec::BuildTopology() const {
+  if (topology == "example3") return PaperExampleTopology();
+  if (topology == "uniform") {
+    return UniformTopology(uniform_dcs, uniform_rtt_ms, uniform_stddev_ms);
+  }
+  return Table2Topology();
+}
+
+Status ExperimentSpec::Validate() const {
+  if (topology != "table2" && topology != "example3" &&
+      topology != "uniform") {
+    return Status::InvalidArgument("unknown topology '" + topology +
+                                   "' (expected table2|example3|uniform)");
+  }
+  if (topology == "uniform") {
+    if (uniform_dcs < 2) {
+      return Status::InvalidArgument("uniform topology needs >= 2 DCs");
+    }
+    if (uniform_rtt_ms < 0.0 || uniform_stddev_ms < 0.0) {
+      return Status::InvalidArgument(
+          "uniform RTT and stddev must be >= 0 ms");
+    }
+  }
+  if (clients <= 0) {
+    return Status::InvalidArgument("clients must be positive (got " +
+                                   std::to_string(clients) + ")");
+  }
+  if (measure <= 0) {
+    return Status::InvalidArgument("measure window must be positive");
+  }
+  if (warmup < 0 || drain < 0) {
+    return Status::InvalidArgument("warmup and drain must be >= 0");
+  }
+  if (ops_per_txn <= 0) {
+    return Status::InvalidArgument("ops_per_txn must be positive");
+  }
+  if (num_keys == 0) {
+    return Status::InvalidArgument("num_keys must be positive");
+  }
+  if (static_cast<uint64_t>(ops_per_txn) > num_keys) {
+    return Status::InvalidArgument(
+        "ops_per_txn exceeds num_keys: transactions need distinct keys");
+  }
+  if (write_fraction < 0.0 || write_fraction > 1.0 ||
+      read_only_fraction < 0.0 || read_only_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "write_fraction and read_only_fraction must be in [0, 1]");
+  }
+  if (zipf_theta < 0.0 || zipf_theta >= 1.0) {
+    return Status::InvalidArgument("zipf_theta must be in [0, 1)");
+  }
+  if (value_size < 0) {
+    return Status::InvalidArgument("value_size must be >= 0");
+  }
+
+  const Topology topo = BuildTopology();
+  const int n = topo.size();
+  if (rtt_estimate_ms.has_value() && rtt_estimate_ms->size() != n) {
+    return Status::InvalidArgument(
+        "rtt_estimate_ms is " + std::to_string(rtt_estimate_ms->size()) +
+        "x" + std::to_string(rtt_estimate_ms->size()) + " but the topology has " +
+        std::to_string(n) + " datacenters");
+  }
+  if (two_pc_coordinator < 0 || two_pc_coordinator >= n) {
+    return Status::InvalidArgument("two_pc_coordinator out of range");
+  }
+
+  // Deployment-level checks: build the HeliosConfig this spec implies and
+  // reuse the operator-facing validator, so a spec that would start an
+  // unsafe or impossible cluster is rejected here with the same message.
+  core::HeliosConfig hc;
+  hc.num_datacenters = n;
+  hc.grace_time = grace_time;
+  hc.log_interval = log_interval;
+  hc.client_link_one_way = client_link_one_way;
+  hc.clock_offsets = clock_offsets;
+  switch (protocol) {
+    case Protocol::kHelios1:
+      hc.fault_tolerance = 1;
+      break;
+    case Protocol::kHelios2:
+      hc.fault_tolerance = 2;
+      break;
+    default:
+      hc.fault_tolerance = 0;
+  }
+  if (protocol == Protocol::kHelios0 || protocol == Protocol::kHelios1 ||
+      protocol == Protocol::kHelios2) {
+    const lp::RttMatrix& rtt =
+        rtt_estimate_ms.has_value() ? *rtt_estimate_ms : topo.rtt_ms;
+    auto mao = lp::SolveMao(rtt);
+    if (!mao.ok()) {
+      return Status::InvalidArgument("commit-offset planning failed: " +
+                                     mao.status().ToString());
+    }
+    hc.commit_offsets = PlanCommitOffsets(topo, rtt_estimate_ms);
+  }
+  return core::ValidateHeliosConfig(hc);
+}
+
+Result<ExperimentConfig> ExperimentSpec::ToConfig() const {
+  Status st = Validate();
+  if (!st.ok()) return st;
+  ExperimentConfig cfg;
+  cfg.topology = BuildTopology();
+  cfg.protocol = protocol;
+  cfg.total_clients = clients;
+  cfg.warmup = warmup;
+  cfg.measure = measure;
+  cfg.drain = drain;
+  cfg.seed = seed;
+  cfg.workload.ops_per_txn = ops_per_txn;
+  cfg.workload.write_fraction = write_fraction;
+  cfg.workload.num_keys = num_keys;
+  cfg.workload.zipf_theta = zipf_theta;
+  cfg.workload.value_size = value_size;
+  cfg.workload.read_only_fraction = read_only_fraction;
+  cfg.log_interval = log_interval;
+  cfg.grace_time = grace_time;
+  cfg.client_link_one_way = client_link_one_way;
+  cfg.clock_offsets = clock_offsets;
+  cfg.rtt_estimate_ms = rtt_estimate_ms;
+  cfg.two_pc_coordinator = two_pc_coordinator;
+  cfg.preload = preload;
+  cfg.check_serializability = check_serializability;
+  return cfg;
+}
+
+std::string ExperimentSpec::ToJson() const {
+  std::string out;
+  JsonWriter w(&out);
+  // Keys in alphabetical order — the deterministic-JSON contract.
+  w.Field("check_serializability", check_serializability);
+  w.Field("client_link_one_way_us", static_cast<int64_t>(client_link_one_way));
+  w.Field("clients", static_cast<int64_t>(clients));
+  if (!clock_offsets.empty()) {
+    w.Key("clock_offsets_us");
+    out += '[';
+    for (size_t i = 0; i < clock_offsets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(clock_offsets[i]);
+    }
+    out += ']';
+  }
+  w.Field("drain_us", static_cast<int64_t>(drain));
+  w.Field("grace_time_us", static_cast<int64_t>(grace_time));
+  if (!label.empty()) w.Field("label", label);
+  w.Field("log_interval_us", static_cast<int64_t>(log_interval));
+  w.Field("measure_us", static_cast<int64_t>(measure));
+  w.Field("num_keys", num_keys);
+  w.Field("ops_per_txn", static_cast<int64_t>(ops_per_txn));
+  w.Field("preload", preload);
+  w.Field("protocol", std::string(ProtocolToken(protocol)));
+  w.Field("read_only_fraction", read_only_fraction);
+  if (rtt_estimate_ms.has_value()) {
+    w.Key("rtt_estimate_ms");
+    out += '[';
+    const int n = rtt_estimate_ms->size();
+    for (int a = 0; a < n; ++a) {
+      if (a > 0) out += ',';
+      out += '[';
+      for (int b = 0; b < n; ++b) {
+        if (b > 0) out += ',';
+        AppendDouble(&out, a == b ? 0.0 : rtt_estimate_ms->Get(a, b));
+      }
+      out += ']';
+    }
+    out += ']';
+  }
+  w.Field("seed", seed);
+  w.Field("topology", topology);
+  w.Field("two_pc_coordinator", static_cast<int64_t>(two_pc_coordinator));
+  w.Field("uniform_dcs", static_cast<int64_t>(uniform_dcs));
+  w.Field("uniform_rtt_ms", uniform_rtt_ms);
+  w.Field("uniform_stddev_ms", uniform_stddev_ms);
+  w.Field("value_size", static_cast<int64_t>(value_size));
+  w.Field("warmup_us", static_cast<int64_t>(warmup));
+  w.Field("write_fraction", write_fraction);
+  w.Field("zipf_theta", zipf_theta);
+  w.Close();
+  return out;
+}
+
+Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
+  auto parsed = JsonParser(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("spec JSON must be an object");
+  }
+
+  ExperimentSpec spec;
+  for (const auto& [key, v] : root.members) {
+    Status st;
+    if (key == "check_serializability") {
+      st = ReadBool(key, v, &spec.check_serializability);
+    } else if (key == "client_link_one_way_us") {
+      st = ReadInt64(key, v, &spec.client_link_one_way);
+    } else if (key == "clients") {
+      st = ReadInt(key, v, &spec.clients);
+    } else if (key == "clock_offsets_us") {
+      if (v.kind != JsonValue::Kind::kArray) {
+        st = WrongType(key, "an array");
+      } else {
+        spec.clock_offsets.clear();
+        for (const JsonValue& item : v.items) {
+          Duration d = 0;
+          st = ReadInt64(key, item, &d);
+          if (!st.ok()) break;
+          spec.clock_offsets.push_back(d);
+        }
+      }
+    } else if (key == "drain_us") {
+      st = ReadInt64(key, v, &spec.drain);
+    } else if (key == "grace_time_us") {
+      st = ReadInt64(key, v, &spec.grace_time);
+    } else if (key == "label") {
+      st = ReadString(key, v, &spec.label);
+    } else if (key == "log_interval_us") {
+      st = ReadInt64(key, v, &spec.log_interval);
+    } else if (key == "measure_us") {
+      st = ReadInt64(key, v, &spec.measure);
+    } else if (key == "num_keys") {
+      st = ReadUint64(key, v, &spec.num_keys);
+    } else if (key == "ops_per_txn") {
+      st = ReadInt(key, v, &spec.ops_per_txn);
+    } else if (key == "preload") {
+      st = ReadBool(key, v, &spec.preload);
+    } else if (key == "protocol") {
+      std::string token;
+      st = ReadString(key, v, &token);
+      if (st.ok()) {
+        auto p = ParseProtocolToken(token);
+        if (!p.ok()) return p.status();
+        spec.protocol = p.value();
+      }
+    } else if (key == "read_only_fraction") {
+      st = ReadDouble(key, v, &spec.read_only_fraction);
+    } else if (key == "rtt_estimate_ms") {
+      if (v.kind != JsonValue::Kind::kArray || v.items.empty()) {
+        st = WrongType(key, "a non-empty array of arrays");
+      } else {
+        const int n = static_cast<int>(v.items.size());
+        lp::RttMatrix m(n);
+        for (int a = 0; a < n && st.ok(); ++a) {
+          const JsonValue& row = v.items[static_cast<size_t>(a)];
+          if (row.kind != JsonValue::Kind::kArray ||
+              static_cast<int>(row.items.size()) != n) {
+            st = WrongType(key, "a square matrix");
+            break;
+          }
+          for (int b = a + 1; b < n && st.ok(); ++b) {
+            double rtt = 0.0;
+            st = ReadDouble(key, row.items[static_cast<size_t>(b)], &rtt);
+            if (st.ok()) {
+              if (rtt < 0.0) {
+                st = WrongType(key, "a matrix of non-negative RTTs");
+              } else {
+                m.Set(a, b, rtt);
+              }
+            }
+          }
+        }
+        if (st.ok()) spec.rtt_estimate_ms = std::move(m);
+      }
+    } else if (key == "seed") {
+      st = ReadUint64(key, v, &spec.seed);
+    } else if (key == "topology") {
+      st = ReadString(key, v, &spec.topology);
+    } else if (key == "two_pc_coordinator") {
+      st = ReadInt(key, v, &spec.two_pc_coordinator);
+    } else if (key == "uniform_dcs") {
+      st = ReadInt(key, v, &spec.uniform_dcs);
+    } else if (key == "uniform_rtt_ms") {
+      st = ReadDouble(key, v, &spec.uniform_rtt_ms);
+    } else if (key == "uniform_stddev_ms") {
+      st = ReadDouble(key, v, &spec.uniform_stddev_ms);
+    } else if (key == "value_size") {
+      st = ReadInt(key, v, &spec.value_size);
+    } else if (key == "warmup_us") {
+      st = ReadInt64(key, v, &spec.warmup);
+    } else if (key == "write_fraction") {
+      st = ReadDouble(key, v, &spec.write_fraction);
+    } else if (key == "zipf_theta") {
+      st = ReadDouble(key, v, &spec.zipf_theta);
+    } else {
+      return Status::InvalidArgument("unknown spec field '" + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  return spec;
+}
+
+bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
+  auto estimates_equal = [&] {
+    if (a.rtt_estimate_ms.has_value() != b.rtt_estimate_ms.has_value()) {
+      return false;
+    }
+    if (!a.rtt_estimate_ms.has_value()) return true;
+    if (a.rtt_estimate_ms->size() != b.rtt_estimate_ms->size()) return false;
+    for (int i = 0; i < a.rtt_estimate_ms->size(); ++i) {
+      for (int j = i + 1; j < a.rtt_estimate_ms->size(); ++j) {
+        if (a.rtt_estimate_ms->Get(i, j) != b.rtt_estimate_ms->Get(i, j)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return a.label == b.label && a.protocol == b.protocol &&
+         a.topology == b.topology && a.uniform_dcs == b.uniform_dcs &&
+         a.uniform_rtt_ms == b.uniform_rtt_ms &&
+         a.uniform_stddev_ms == b.uniform_stddev_ms &&
+         a.clients == b.clients && a.warmup == b.warmup &&
+         a.measure == b.measure && a.drain == b.drain && a.seed == b.seed &&
+         a.ops_per_txn == b.ops_per_txn &&
+         a.write_fraction == b.write_fraction && a.num_keys == b.num_keys &&
+         a.zipf_theta == b.zipf_theta && a.value_size == b.value_size &&
+         a.read_only_fraction == b.read_only_fraction &&
+         a.log_interval == b.log_interval && a.grace_time == b.grace_time &&
+         a.client_link_one_way == b.client_link_one_way &&
+         a.clock_offsets == b.clock_offsets &&
+         a.two_pc_coordinator == b.two_pc_coordinator &&
+         a.preload == b.preload &&
+         a.check_serializability == b.check_serializability &&
+         estimates_equal();
+}
+
+}  // namespace helios::harness

@@ -1,0 +1,74 @@
+#include "harness/job_pool.h"
+
+#include <utility>
+
+namespace helios::harness {
+
+int ResolveJobCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+JobPool::JobPool(int num_threads) {
+  const int n = ResolveJobCount(num_threads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void JobPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || cancelled_.load(std::memory_order_relaxed)) return;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void JobPool::Cancel() {
+  std::deque<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.store(true, std::memory_order_release);
+    dropped.swap(queue_);  // Destroy closures outside the lock.
+  }
+  idle_cv_.notify_all();
+}
+
+void JobPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void JobPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;  // Anything still queued is dropped.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace helios::harness

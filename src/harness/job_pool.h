@@ -1,0 +1,71 @@
+// A fixed-size thread pool for independent batch jobs: the fan-out
+// substrate under harness::SweepRunner (and, later, any sharded or cached
+// job runner). Jobs are opaque closures executed FIFO by a fixed set of
+// worker threads; Cancel() drops everything still queued (running jobs
+// finish), and Wait() blocks until the pool is drained and idle.
+//
+// The pool makes no fairness or ordering promise beyond FIFO dispatch.
+// Determinism is the *jobs'* responsibility: a job that depends only on
+// its own inputs produces the same result whatever thread or order runs
+// it, which is exactly the contract SweepRunner builds on.
+
+#ifndef HELIOS_HARNESS_JOB_POOL_H_
+#define HELIOS_HARNESS_JOB_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace helios::harness {
+
+/// Clamps a requested thread count to something sane: values <= 0 resolve
+/// to the hardware concurrency (at least 1).
+int ResolveJobCount(int requested);
+
+class JobPool {
+ public:
+  /// Spawns `num_threads` workers (resolved through ResolveJobCount).
+  explicit JobPool(int num_threads);
+
+  /// Joins all workers. Pending jobs that never started are dropped, so
+  /// callers that need completion must Wait() first.
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Enqueues a job. Safe from any thread, including from inside a running
+  /// job. Submitting after Cancel() is a no-op.
+  void Submit(std::function<void()> job);
+
+  /// Drops every job still queued and marks the pool cancelled. Jobs
+  /// already running are not interrupted. Safe from inside a job.
+  void Cancel();
+
+  /// Blocks until the queue is empty and no job is running. Jobs submitted
+  /// while waiting extend the wait.
+  void Wait();
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Signals workers: work or shutdown.
+  std::condition_variable idle_cv_;  ///< Signals Wait(): drained and idle.
+  int active_ = 0;                   ///< Jobs currently executing.
+  bool shutdown_ = false;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace helios::harness
+
+#endif  // HELIOS_HARNESS_JOB_POOL_H_

@@ -1,4 +1,9 @@
-// helios_sim: run a single custom experiment from the command line.
+// helios_sim: run custom experiments from the command line.
+//
+// A single run builds one harness::ExperimentSpec from the flags; grid
+// runs (--protocols and/or --seeds lists) fan the cross-product out over
+// a harness::SweepRunner with --jobs worker threads and can dump the
+// aggregated deterministic JSON with --json_out.
 //
 // Examples:
 //   helios_sim                                     # Helios-0, Table 2, 60 clients
@@ -6,128 +11,45 @@
 //   helios_sim --protocol=2pc --topology=uniform --dcs=3 --rtt=80
 //   helios_sim --protocol=helios0 --skew_ms=100,0,0,0,0 --theta=0.6
 //   helios_sim --protocol=mf --measure_s=30 --check_serializability
+//   helios_sim --protocols=helios0,helios2,2pc --seeds=1,2,3
+//       --jobs=4 --json_out=sweep.json
+//
+// --trace_out / --metrics_out need a single run (they capture one
+// experiment's timeline) and bypass the sweep engine.
 
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "harness/experiment_spec.h"
+#include "harness/job_pool.h"
+#include "harness/sweep.h"
 
 using namespace helios;
 namespace hns = helios::harness;
 
 namespace {
 
-Result<hns::Protocol> ParseProtocol(const std::string& name) {
-  if (name == "helios0") return hns::Protocol::kHelios0;
-  if (name == "helios1") return hns::Protocol::kHelios1;
-  if (name == "helios2") return hns::Protocol::kHelios2;
-  if (name == "heliosb") return hns::Protocol::kHeliosB;
-  if (name == "mf") return hns::Protocol::kMessageFutures;
-  if (name == "rc") return hns::Protocol::kReplicatedCommit;
-  if (name == "2pc") return hns::Protocol::kTwoPcPaxos;
-  return Status::InvalidArgument(
-      "unknown protocol '" + name +
-      "' (expected helios0|helios1|helios2|heliosb|mf|rc|2pc)");
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
 }
 
 std::vector<Duration> ParseSkewList(const std::string& csv) {
   std::vector<Duration> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
+  for (const std::string& item : SplitCsv(csv)) {
     out.push_back(Millis(std::atoll(item.c_str())));
   }
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  FlagSet flags;
-  flags.DefineString("protocol", "helios0",
-                     "helios0|helios1|helios2|heliosb|mf|rc|2pc");
-  flags.DefineString("topology", "table2", "table2 | uniform");
-  flags.DefineInt("dcs", 5, "datacenters for --topology=uniform");
-  flags.DefineDouble("rtt", 100.0, "pairwise RTT ms for --topology=uniform");
-  flags.DefineInt("clients", 60, "total closed-loop clients");
-  flags.DefineInt("measure_s", 15, "measurement window, seconds");
-  flags.DefineInt("warmup_s", 4, "warm-up, seconds");
-  flags.DefineInt("keys", 50000, "key-pool size");
-  flags.DefineDouble("theta", 0.2, "Zipfian skew");
-  flags.DefineDouble("read_only", 0.0, "read-only transaction fraction");
-  flags.DefineString("skew_ms", "", "per-DC clock offsets, comma-separated ms");
-  flags.DefineInt("seed", 42, "simulation seed");
-  flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
-  flags.DefineBool("check_serializability", false,
-                   "verify the committed history after the run");
-  flags.DefineString("trace_out", "",
-                     "write a Chrome trace_event JSON of the run here "
-                     "(load in chrome://tracing or Perfetto)");
-  flags.DefineString("metrics_out", "",
-                     "write the metrics snapshot here (.csv for CSV, "
-                     "anything else for JSON)");
-  flags.DefineInt("trace_capacity", 0,
-                  "trace ring-buffer capacity in events (0 = default)");
-  flags.DefineBool("help", false, "show this help");
-
-  const Status parsed = flags.Parse(argc, argv);
-  if (!parsed.ok() || flags.GetBool("help")) {
-    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
-    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
-                 flags.Help().c_str());
-    return parsed.ok() ? 0 : 2;
-  }
-
-  auto protocol = ParseProtocol(flags.GetString("protocol"));
-  if (!protocol.ok()) {
-    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
-    return 2;
-  }
-
-  hns::ExperimentConfig cfg;
-  cfg.protocol = protocol.value();
-  if (flags.GetString("topology") == "uniform") {
-    cfg.topology = hns::UniformTopology(static_cast<int>(flags.GetInt("dcs")),
-                                        flags.GetDouble("rtt"));
-  } else if (flags.GetString("topology") != "table2") {
-    std::fprintf(stderr, "unknown topology\n");
-    return 2;
-  }
-  cfg.total_clients = static_cast<int>(flags.GetInt("clients"));
-  cfg.measure = Seconds(flags.GetInt("measure_s"));
-  cfg.warmup = Seconds(flags.GetInt("warmup_s"));
-  cfg.workload.num_keys = static_cast<uint64_t>(flags.GetInt("keys"));
-  cfg.workload.zipf_theta = flags.GetDouble("theta");
-  cfg.workload.read_only_fraction = flags.GetDouble("read_only");
-  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  cfg.log_interval = Millis(flags.GetInt("log_interval_ms"));
-  cfg.check_serializability = flags.GetBool("check_serializability");
-  const std::string trace_out = flags.GetString("trace_out");
-  const std::string metrics_out = flags.GetString("metrics_out");
-  if (!trace_out.empty() || !metrics_out.empty()) {
-    cfg.trace.enabled = true;
-    if (flags.GetInt("trace_capacity") > 0) {
-      cfg.trace.ring_capacity =
-          static_cast<size_t>(flags.GetInt("trace_capacity"));
-    }
-  }
-  if (!flags.GetString("skew_ms").empty()) {
-    cfg.clock_offsets = ParseSkewList(flags.GetString("skew_ms"));
-    if (static_cast<int>(cfg.clock_offsets.size()) != cfg.topology.size()) {
-      std::fprintf(stderr, "--skew_ms needs %d comma-separated values\n",
-                   cfg.topology.size());
-      return 2;
-    }
-  }
-
-  std::fprintf(stderr, "running %s on %s with %d clients for %llds...\n",
-               hns::ProtocolName(cfg.protocol),
-               flags.GetString("topology").c_str(), cfg.total_clients,
-               static_cast<long long>(flags.GetInt("measure_s")));
-  const hns::ExperimentResult r = hns::RunExperiment(cfg);
-
+void PrintDetail(const hns::ExperimentResult& r) {
   TablePrinter table({"DC", "latency ms (sd)", "p50", "p99", "ops/s",
                       "abort %", "committed"});
   for (const auto& dc : r.per_dc) {
@@ -152,28 +74,206 @@ int main(int argc, char** argv) {
     std::printf("serializability:   %s\n",
                 r.serializability->ok() ? "OK (conflict-serializable)"
                                         : r.serializability->ToString().c_str());
-    if (!r.serializability->ok()) return 1;
   }
-  if (!trace_out.empty() && r.trace != nullptr) {
-    const Status s = r.trace->WriteChromeTrace(trace_out);
-    if (!s.ok()) {
-      std::fprintf(stderr, "failed to write %s: %s\n", trace_out.c_str(),
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("protocol", "helios0",
+                     "helios0|helios1|helios2|heliosb|mf|rc|2pc");
+  flags.DefineString("protocols", "",
+                     "comma-separated protocol list; builds a grid "
+                     "(overrides --protocol)");
+  flags.DefineString("topology", "table2", "table2 | example3 | uniform");
+  flags.DefineInt("dcs", 5, "datacenters for --topology=uniform");
+  flags.DefineDouble("rtt", 100.0, "pairwise RTT ms for --topology=uniform");
+  flags.DefineInt("clients", 60, "total closed-loop clients");
+  flags.DefineInt("measure_s", 15, "measurement window, seconds");
+  flags.DefineInt("warmup_s", 4, "warm-up, seconds");
+  flags.DefineInt("keys", 50000, "key-pool size");
+  flags.DefineDouble("theta", 0.2, "Zipfian skew");
+  flags.DefineDouble("read_only", 0.0, "read-only transaction fraction");
+  flags.DefineString("skew_ms", "", "per-DC clock offsets, comma-separated ms");
+  flags.DefineInt("seed", 42, "simulation seed");
+  flags.DefineString("seeds", "",
+                     "comma-separated seed list; builds a grid "
+                     "(overrides --seed)");
+  flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
+  flags.DefineBool("check_serializability", false,
+                   "verify the committed history after the run");
+  flags.DefineInt("jobs", 1,
+                  "concurrent experiments for grid runs (0 = one per core)");
+  flags.DefineString("json_out", "",
+                     "write the aggregated sweep JSON here (deterministic: "
+                     "identical whatever --jobs is)");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome trace_event JSON of the run here "
+                     "(load in chrome://tracing or Perfetto); single run only");
+  flags.DefineString("metrics_out", "",
+                     "write the metrics snapshot here (.csv for CSV, "
+                     "anything else for JSON); single run only");
+  flags.DefineInt("trace_capacity", 0,
+                  "trace ring-buffer capacity in events (0 = default)");
+  flags.DefineBool("help", false, "show this help");
+
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok() || flags.GetBool("help")) {
+    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
+                 flags.Help().c_str());
+    return parsed.ok() ? 0 : 2;
+  }
+
+  // The base spec every grid cell starts from.
+  hns::ExperimentSpec base;
+  base.WithTopology(flags.GetString("topology"))
+      .WithClients(static_cast<int>(flags.GetInt("clients")))
+      .WithMeasure(Seconds(flags.GetInt("measure_s")))
+      .WithWarmup(Seconds(flags.GetInt("warmup_s")))
+      .WithNumKeys(static_cast<uint64_t>(flags.GetInt("keys")))
+      .WithZipfTheta(flags.GetDouble("theta"))
+      .WithReadOnlyFraction(flags.GetDouble("read_only"))
+      .WithSeed(static_cast<uint64_t>(flags.GetInt("seed")))
+      .WithLogInterval(Millis(flags.GetInt("log_interval_ms")))
+      .WithSerializabilityCheck(flags.GetBool("check_serializability"));
+  if (flags.GetString("topology") == "uniform") {
+    base.WithUniformTopology(static_cast<int>(flags.GetInt("dcs")),
+                             flags.GetDouble("rtt"));
+  }
+  if (!flags.GetString("skew_ms").empty()) {
+    base.WithClockOffsets(ParseSkewList(flags.GetString("skew_ms")));
+  }
+
+  // Grid axes: protocols x seeds (each defaults to a single value).
+  std::vector<hns::Protocol> protocols;
+  const std::string protocols_csv = flags.GetString("protocols").empty()
+                                        ? flags.GetString("protocol")
+                                        : flags.GetString("protocols");
+  for (const std::string& token : SplitCsv(protocols_csv)) {
+    auto p = hns::ParseProtocolToken(token);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+      return 2;
+    }
+    protocols.push_back(p.value());
+  }
+  std::vector<uint64_t> seeds;
+  if (flags.GetString("seeds").empty()) {
+    seeds.push_back(base.seed);
+  } else {
+    for (const std::string& s : SplitCsv(flags.GetString("seeds"))) {
+      seeds.push_back(static_cast<uint64_t>(std::atoll(s.c_str())));
+    }
+  }
+
+  std::vector<hns::ExperimentSpec> specs;
+  for (hns::Protocol p : protocols) {
+    for (uint64_t seed : seeds) {
+      hns::ExperimentSpec spec = base;
+      spec.WithProtocol(p).WithSeed(seed);
+      if (protocols.size() > 1 || seeds.size() > 1) {
+        spec.WithLabel(std::string(hns::ProtocolToken(p)) + " seed " +
+                       std::to_string(seed));
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  for (const auto& spec : specs) {
+    if (const Status v = spec.Validate(); !v.ok()) {
+      std::fprintf(stderr, "invalid spec %s: %s\n", spec.DisplayName().c_str(),
+                   v.ToString().c_str());
+      return 2;
+    }
+  }
+
+  const std::string trace_out = flags.GetString("trace_out");
+  const std::string metrics_out = flags.GetString("metrics_out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    // Tracing captures one experiment's timeline; it bypasses the sweep.
+    if (specs.size() != 1) {
+      std::fprintf(stderr,
+                   "--trace_out/--metrics_out need a single run, not a "
+                   "%zu-cell grid\n",
+                   specs.size());
+      return 2;
+    }
+    auto cfg_or = specs[0].ToConfig();
+    if (!cfg_or.ok()) {
+      std::fprintf(stderr, "%s\n", cfg_or.status().ToString().c_str());
+      return 2;
+    }
+    hns::ExperimentConfig cfg = std::move(cfg_or).value();
+    cfg.trace.enabled = true;
+    if (flags.GetInt("trace_capacity") > 0) {
+      cfg.trace.ring_capacity =
+          static_cast<size_t>(flags.GetInt("trace_capacity"));
+    }
+    std::fprintf(stderr, "running %s...\n", specs[0].DisplayName().c_str());
+    const hns::ExperimentResult r = hns::RunExperiment(cfg);
+    PrintDetail(r);
+    if (r.serializability.has_value() && !r.serializability->ok()) return 1;
+    if (!trace_out.empty() && r.trace != nullptr) {
+      const Status s = r.trace->WriteChromeTrace(trace_out);
+      if (!s.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", trace_out.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("trace:             %s (%llu events, %llu dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(r.trace->size()),
+                  static_cast<unsigned long long>(r.trace->dropped()));
+    }
+    if (!metrics_out.empty()) {
+      const Status s = r.metrics.WriteFile(metrics_out);
+      if (!s.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", metrics_out.c_str(),
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics:           %s\n", metrics_out.c_str());
+    }
+    return 0;
+  }
+
+  // Sweep path: one job or many, same engine.
+  hns::SweepOptions options;
+  options.jobs = hns::ResolveJobCount(static_cast<int>(flags.GetInt("jobs")));
+  options.progress = [](const hns::SweepProgress& p) {
+    std::fprintf(stderr, "[%d/%d] %s (%.1fs elapsed, eta %.0fs)\n", p.done,
+                 p.total, p.last_label.c_str(), p.elapsed_seconds,
+                 p.eta_seconds);
+  };
+  hns::SweepRunner runner(options);
+  const hns::SweepResult sweep = runner.Run(specs);
+  const std::string json_out = flags.GetString("json_out");
+  if (!json_out.empty()) {
+    if (const Status s = sweep.WriteJsonFile(json_out); !s.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_out.c_str(),
                    s.ToString().c_str());
       return 1;
     }
-    std::printf("trace:             %s (%llu events, %llu dropped)\n",
-                trace_out.c_str(),
-                static_cast<unsigned long long>(r.trace->size()),
-                static_cast<unsigned long long>(r.trace->dropped()));
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
   }
-  if (!metrics_out.empty()) {
-    const Status s = r.metrics.WriteFile(metrics_out);
-    if (!s.ok()) {
-      std::fprintf(stderr, "failed to write %s: %s\n", metrics_out.c_str(),
-                   s.ToString().c_str());
-      return 1;
-    }
-    std::printf("metrics:           %s\n", metrics_out.c_str());
+  if (const Status s = sweep.status(); !s.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n", s.ToString().c_str());
+    return 1;
   }
+  std::fprintf(stderr, "%s\n", sweep.TimingSummary().c_str());
+
+  if (specs.size() == 1) {
+    PrintDetail(sweep.jobs[0].result);
+    return 0;
+  }
+  TablePrinter table({"Experiment", "avg latency (ms)", "ops/s", "abort %"});
+  for (const auto& job : sweep.jobs) {
+    table.AddRow({job.spec.DisplayName(),
+                  TablePrinter::Num(job.result.avg_latency_ms, 1),
+                  TablePrinter::Num(job.result.total_throughput_ops_s, 0),
+                  TablePrinter::Num(100.0 * job.result.avg_abort_rate, 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
   return 0;
 }
