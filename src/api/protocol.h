@@ -25,6 +25,10 @@ class TraceRecorder;
 class MetricsRegistry;
 }  // namespace helios::obs
 
+namespace helios::sim {
+class ReliableMesh;
+}  // namespace helios::sim
+
 namespace helios {
 
 /// Decision returned to a client for a commit request.
@@ -119,6 +123,21 @@ class ProtocolCluster {
   /// Dumps end-of-run protocol-level counters (commits, aborts, pool
   /// sizes, ...) into `registry`. Default: no-op.
   virtual void ExportMetrics(obs::MetricsRegistry* /*registry*/) const {}
+
+  // --- Chaos harness (src/sim fault injection) ----------------------------
+
+  /// Routes all inter-datacenter protocol traffic through `mesh`, the
+  /// reliable session layer the chaos harness puts under every protocol
+  /// when the network can lose or duplicate messages. Null (the default
+  /// state) keeps direct network sends. Call before Start(). Default
+  /// implementation: no-op, for deployments without a WAN.
+  virtual void SetReliableMesh(sim::ReliableMesh* /*mesh*/) {}
+
+  /// Marks datacenter `dc`'s server process down or up without touching
+  /// the network; the harness pairs this with Network::CrashNode /
+  /// RecoverNode when executing a FaultPlan's node events. Default: no-op
+  /// (the network-level drop already models the outage).
+  virtual void SetDatacenterDown(DcId /*dc*/, bool /*down*/) {}
 
  private:
   std::vector<uint64_t> client_txn_seq_;  // Lazily sized in BeginTxn.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/reliable.h"
+
 namespace helios::baselines {
 
 ReplicatedCommitCluster::ReplicatedCommitCluster(sim::Scheduler* scheduler,
@@ -50,6 +52,15 @@ void ReplicatedCommitCluster::RecordDecision(DcId dc, const TxnId& txn,
   if (h != nullptr) h->Observe(static_cast<double>(now - t0));
 }
 
+void ReplicatedCommitCluster::WanSend(DcId from, DcId to,
+                                      std::function<void()> fn) {
+  if (mesh_ != nullptr) {
+    mesh_->Send(from, to, std::move(fn));
+  } else {
+    network_->Send(from, to, std::move(fn));
+  }
+}
+
 void ReplicatedCommitCluster::Route(DcId home, DcId target,
                                     std::function<void()> fn) {
   if (home == target) {
@@ -57,7 +68,7 @@ void ReplicatedCommitCluster::Route(DcId home, DcId target,
   } else {
     scheduler_->After(config_.client_link_one_way,
                       [this, home, target, fn = std::move(fn)]() {
-                        network_->Send(home, target, fn);
+                        WanSend(home, target, fn);
                       });
   }
 }
@@ -67,7 +78,7 @@ void ReplicatedCommitCluster::RouteBack(DcId target, DcId home,
   if (home == target) {
     scheduler_->After(config_.client_link_one_way, std::move(fn));
   } else {
-    network_->Send(target, home, [this, fn = std::move(fn)]() {
+    WanSend(target, home, [this, fn = std::move(fn)]() {
       scheduler_->After(config_.client_link_one_way, fn);
     });
   }

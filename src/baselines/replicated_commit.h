@@ -77,6 +77,10 @@ class ReplicatedCommitCluster : public ProtocolCluster {
                         obs::MetricsRegistry* metrics) override;
   void ExportMetrics(obs::MetricsRegistry* registry) const override;
 
+  /// Routes inter-datacenter RPCs through `mesh`; unlike Helios, the vote
+  /// rounds here are not loss-tolerant, so chaos runs need this.
+  void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
+
   const MvStore& store(DcId dc) const { return dcs_[dc]->store; }
   const LockTable& locks(DcId dc) const { return dcs_[dc]->locks; }
   core::HistoryRecorder& history() { return history_; }
@@ -102,6 +106,8 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   void Route(DcId home, DcId target, std::function<void()> fn);
   /// Runs `fn` back at the client after the reverse latency.
   void RouteBack(DcId target, DcId home, std::function<void()> fn);
+  /// One WAN hop, through the reliable mesh when installed.
+  void WanSend(DcId from, DcId to, std::function<void()> fn);
 
   // Server-side handlers; `reply` is routed back to the client by the
   // caller.
@@ -125,6 +131,7 @@ class ReplicatedCommitCluster : public ProtocolCluster {
 
   sim::Scheduler* scheduler_;
   sim::Network* network_;
+  sim::ReliableMesh* mesh_ = nullptr;
   ReplicatedCommitConfig config_;
   std::vector<std::unique_ptr<Datacenter>> dcs_;
   std::vector<std::unique_ptr<sim::Clock>> clocks_;

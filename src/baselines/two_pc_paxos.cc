@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/reliable.h"
+
 namespace helios::baselines {
 
 TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
@@ -37,12 +39,12 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
       coord, config_.num_datacenters, /*lease=*/true, &acceptors_[coord],
       /*send_prepare=*/
       [this, coord](DcId peer, const paxos::PrepareRequest& req) {
-        network_->Send(coord, peer, [this, coord, peer, req]() {
+        WanSend(coord, peer, [this, coord, peer, req]() {
           services_[static_cast<size_t>(peer)]->Submit(
               config_.service.log_message, [this, coord, peer, req]() {
                 const paxos::PrepareReply reply =
                     acceptors_[static_cast<size_t>(peer)].OnPrepare(req);
-                network_->Send(peer, coord, [this, peer, reply]() {
+                WanSend(peer, coord, [this, peer, reply]() {
                   replicator_->OnPrepareReply(peer, reply);
                 });
               });
@@ -50,12 +52,12 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
       },
       /*send_accept=*/
       [this, coord](DcId peer, const paxos::AcceptRequest& req) {
-        network_->Send(coord, peer, [this, coord, peer, req]() {
+        WanSend(coord, peer, [this, coord, peer, req]() {
           services_[static_cast<size_t>(peer)]->Submit(
               config_.service.log_message, [this, coord, peer, req]() {
                 const paxos::AcceptReply reply =
                     acceptors_[static_cast<size_t>(peer)].OnAccept(req);
-                network_->Send(peer, coord, [this, coord, peer, reply]() {
+                WanSend(peer, coord, [this, coord, peer, reply]() {
                   // Processing the vote occupies the coordinator.
                   services_[static_cast<size_t>(coord)]->Charge(
                       config_.service.log_message);
@@ -66,13 +68,22 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
       });
 }
 
+void TwoPcPaxosCluster::WanSend(DcId from, DcId to,
+                                std::function<void()> fn) {
+  if (mesh_ != nullptr) {
+    mesh_->Send(from, to, std::move(fn));
+  } else {
+    network_->Send(from, to, std::move(fn));
+  }
+}
+
 void TwoPcPaxosCluster::ToCoordinator(DcId home, std::function<void()> fn) {
   if (home == config_.coordinator) {
     scheduler_->After(config_.client_link_one_way, std::move(fn));
   } else {
     scheduler_->After(config_.client_link_one_way,
                       [this, home, fn = std::move(fn)]() {
-                        network_->Send(home, config_.coordinator, fn);
+                        WanSend(home, config_.coordinator, fn);
                       });
   }
 }
@@ -81,7 +92,7 @@ void TwoPcPaxosCluster::FromCoordinator(DcId home, std::function<void()> fn) {
   if (home == config_.coordinator) {
     scheduler_->After(config_.client_link_one_way, std::move(fn));
   } else {
-    network_->Send(config_.coordinator, home, [this, fn = std::move(fn)]() {
+    WanSend(config_.coordinator, home, [this, fn = std::move(fn)]() {
       scheduler_->After(config_.client_link_one_way, fn);
     });
   }
@@ -185,7 +196,7 @@ void TwoPcPaxosCluster::FinishAtCoordinator(DcId home, const TxnId& txn,
       if (dc == coord) continue;
       services_[static_cast<size_t>(coord)]->Charge(
           config_.service.log_message);
-      network_->Send(coord, dc, [this, dc, body, version_ts]() {
+      WanSend(coord, dc, [this, dc, body, version_ts]() {
         services_[static_cast<size_t>(dc)]->Submit(
             config_.service.write_apply *
                 static_cast<Duration>(body->write_set.size()),

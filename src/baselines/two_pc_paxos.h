@@ -81,6 +81,10 @@ class TwoPcPaxosCluster : public ProtocolCluster {
                         obs::MetricsRegistry* metrics) override;
   void ExportMetrics(obs::MetricsRegistry* registry) const override;
 
+  /// Routes all coordinator/Paxos traffic through `mesh`; a single lost
+  /// Paxos reply otherwise wedges a slot forever.
+  void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
+
   const MvStore& store(DcId dc) const { return stores_[dc]; }
   core::HistoryRecorder& history() { return history_; }
   uint64_t commits() const { return commits_; }
@@ -92,6 +96,8 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   /// Client-to-coordinator routing (client link when co-located).
   void ToCoordinator(DcId home, std::function<void()> fn);
   void FromCoordinator(DcId home, std::function<void()> fn);
+  /// One WAN hop, through the reliable mesh when installed.
+  void WanSend(DcId from, DcId to, std::function<void()> fn);
 
   /// Async sequential write-lock acquisition, then validation, then Paxos.
   void CoordinatorCommit(DcId home, const TxnId& txn, TxnBodyPtr body,
@@ -113,6 +119,7 @@ class TwoPcPaxosCluster : public ProtocolCluster {
 
   sim::Scheduler* scheduler_;
   sim::Network* network_;
+  sim::ReliableMesh* mesh_ = nullptr;
   TwoPcPaxosConfig config_;
   std::vector<std::unique_ptr<sim::Clock>> clocks_;
   std::vector<MvStore> stores_;

@@ -1,0 +1,322 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace helios::json {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  Result<Value> Run() {
+    Value v;
+    Status st = ParseValue(&v);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->text);
+      case 't':
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+          out->boolean = true;
+          pos_ += 4;
+          return Status::Ok();
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+          out->boolean = false;
+          pos_ += 5;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          out->kind = Value::Kind::kNull;
+          pos_ += 4;
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // Opening quote.
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Error("unterminated escape");
+        switch (s_[pos_]) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            if (code > 0x7F) return Error("non-ASCII \\u escape unsupported");
+            *out += static_cast<char>(code);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character");
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    out->kind = Value::Kind::kNumber;
+    out->text = s_.substr(start, pos_ - start);
+    const char* begin = out->text.data();
+    const char* end = begin + out->text.size();
+    const auto res = std::from_chars(begin, end, out->number);
+    if (res.ec != std::errc() || res.ptr != end) return Error("bad number");
+    return Status::Ok();
+  }
+
+  Status ParseArray(Value* out) {
+    out->kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      Value item;
+      Status st = ParseValue(&item);
+      if (!st.ok()) return st;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= s_.size()) return Error("unterminated array");
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (s_[pos_] != ',') return Error("expected ',' or ']'");
+      ++pos_;
+    }
+  }
+
+  Status ParseObject(Value* out) {
+    out->kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Error("expected key");
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Error("expected ':'");
+      ++pos_;
+      Value value;
+      st = ParseValue(&value);
+      if (!st.ok()) return st;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= s_.size()) return Error("unterminated object");
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (s_[pos_] != ',') return Error("expected ',' or '}'");
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& s) { return Parser(s).Run(); }
+
+Status WrongType(const std::string& key, const char* want) {
+  return Status::InvalidArgument("field '" + key + "' must be " + want);
+}
+
+Status ReadInt64(const std::string& key, const Value& v, int64_t* out) {
+  if (v.kind != Value::Kind::kNumber) return WrongType(key, "a number");
+  const char* begin = v.text.data();
+  const char* end = begin + v.text.size();
+  const auto res = std::from_chars(begin, end, *out);
+  if (res.ec != std::errc() || res.ptr != end) {
+    return WrongType(key, "an integer");
+  }
+  return Status::Ok();
+}
+
+Status ReadUint64(const std::string& key, const Value& v, uint64_t* out) {
+  if (v.kind != Value::Kind::kNumber) return WrongType(key, "a number");
+  const char* begin = v.text.data();
+  const char* end = begin + v.text.size();
+  const auto res = std::from_chars(begin, end, *out);
+  if (res.ec != std::errc() || res.ptr != end) {
+    return WrongType(key, "an unsigned integer");
+  }
+  return Status::Ok();
+}
+
+Status ReadInt(const std::string& key, const Value& v, int* out) {
+  int64_t wide = 0;
+  Status st = ReadInt64(key, v, &wide);
+  if (!st.ok()) return st;
+  if (wide < INT32_MIN || wide > INT32_MAX) {
+    return WrongType(key, "a 32-bit integer");
+  }
+  *out = static_cast<int>(wide);
+  return Status::Ok();
+}
+
+Status ReadDouble(const std::string& key, const Value& v, double* out) {
+  if (v.kind != Value::Kind::kNumber) return WrongType(key, "a number");
+  *out = v.number;
+  return Status::Ok();
+}
+
+Status ReadBool(const std::string& key, const Value& v, bool* out) {
+  if (v.kind != Value::Kind::kBool) return WrongType(key, "a boolean");
+  *out = v.boolean;
+  return Status::Ok();
+}
+
+Status ReadString(const std::string& key, const Value& v, std::string* out) {
+  if (v.kind != Value::Kind::kString) return WrongType(key, "a string");
+  *out = v.text;
+  return Status::Ok();
+}
+
+}  // namespace helios::json

@@ -1,0 +1,110 @@
+// Shared deterministic-JSON toolkit: a writer that emits stable-key
+// documents with shortest-round-trip numbers, and a minimal RFC 8259
+// parser with typed field extractors.
+//
+// Hoisted out of harness/experiment_spec.cc so every JSON-round-trippable
+// config in the tree (ExperimentSpec, sim::FaultPlan, ...) shares one
+// audited implementation instead of growing private parsers. The emission
+// rules are part of the sweep-JSON determinism contract: keys in a fixed
+// order chosen by the caller, numbers via std::to_chars (shortest exact
+// representation), no whitespace.
+
+#ifndef HELIOS_COMMON_JSON_H_
+#define HELIOS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios::json {
+
+// --- Emission ---------------------------------------------------------------
+
+/// Appends `s` as a quoted JSON string with the escapes the parser accepts.
+void AppendEscaped(std::string* out, const std::string& s);
+
+/// Appends the shortest representation of `v` that round-trips exactly;
+/// deterministic across runs, which the sweep JSON contract requires.
+void AppendDouble(std::string* out, double v);
+
+/// Builds one flat JSON object. The caller is responsible for key order
+/// (alphabetical, per the deterministic-JSON convention).
+class ObjectWriter {
+ public:
+  explicit ObjectWriter(std::string* out) : out_(out) { *out_ += '{'; }
+  void Key(const char* key) {
+    if (!first_) *out_ += ',';
+    first_ = false;
+    AppendEscaped(out_, key);
+    *out_ += ':';
+  }
+  /// Key followed by pre-rendered JSON (nested objects/arrays).
+  void Raw(const char* key, const std::string& rendered) {
+    Key(key);
+    *out_ += rendered;
+  }
+  void Field(const char* key, const std::string& v) {
+    Key(key);
+    AppendEscaped(out_, v);
+  }
+  void Field(const char* key, bool v) {
+    Key(key);
+    *out_ += v ? "true" : "false";
+  }
+  void Field(const char* key, int64_t v) {
+    Key(key);
+    *out_ += std::to_string(v);
+  }
+  void Field(const char* key, uint64_t v) {
+    Key(key);
+    *out_ += std::to_string(v);
+  }
+  void Field(const char* key, double v) {
+    Key(key);
+    AppendDouble(out_, v);
+  }
+  void Close() { *out_ += '}'; }
+
+ private:
+  std::string* out_;
+  bool first_ = true;
+};
+
+// --- Parsing ----------------------------------------------------------------
+
+/// Parsed JSON value. Numbers keep their raw token in `text` so integer
+/// fields can be re-parsed losslessly.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;  ///< String payload, and the raw token for numbers.
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+};
+
+/// Parses a complete JSON document: objects, arrays, strings with the
+/// escapes ObjectWriter emits, numbers, booleans, null. Errors carry a
+/// byte offset.
+Result<Value> Parse(const std::string& s);
+
+// --- Typed field extraction -------------------------------------------------
+//
+// Each reads one Value into a typed output, returning InvalidArgument
+// ("field '<key>' must be ...") on a kind or range mismatch.
+
+Status WrongType(const std::string& key, const char* want);
+Status ReadInt64(const std::string& key, const Value& v, int64_t* out);
+Status ReadUint64(const std::string& key, const Value& v, uint64_t* out);
+Status ReadInt(const std::string& key, const Value& v, int* out);
+Status ReadDouble(const std::string& key, const Value& v, double* out);
+Status ReadBool(const std::string& key, const Value& v, bool* out);
+Status ReadString(const std::string& key, const Value& v, std::string* out);
+
+}  // namespace helios::json
+
+#endif  // HELIOS_COMMON_JSON_H_

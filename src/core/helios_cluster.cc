@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/reliable.h"
+
 namespace helios::core {
 
 HeliosCluster::HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
@@ -25,9 +27,14 @@ HeliosCluster::HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
         dc, config_, kind, scheduler_, clocks_.back().get(),
         [this, dc](DcId to, const Envelope& env) {
           const size_t size = envelope_sizer_ ? envelope_sizer_(env) : 0;
-          network_->SendSized(dc, to, size, [this, to, env]() {
+          auto deliver = [this, to, env]() {
             nodes_[static_cast<size_t>(to)]->HandleEnvelope(env);
-          });
+          };
+          if (mesh_ != nullptr) {
+            mesh_->SendSized(dc, to, size, std::move(deliver));
+          } else {
+            network_->SendSized(dc, to, size, std::move(deliver));
+          }
         }));
     nodes_.back()->set_history_recorder(&history_);
   }

@@ -54,6 +54,15 @@ class HeliosCluster : public ProtocolCluster {
   void CrashDatacenter(DcId dc);
   void RecoverDatacenter(DcId dc);
 
+  /// Routes peer envelopes through `mesh` (reliable sessions over the
+  /// lossy WAN); null restores direct network sends.
+  void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
+
+  /// Node-process half of an outage; the harness handles the network half.
+  void SetDatacenterDown(DcId dc, bool down) override {
+    node(dc).SetDown(down);
+  }
+
   HeliosNode& node(DcId dc) { return *nodes_[static_cast<size_t>(dc)]; }
   const HeliosNode& node(DcId dc) const {
     return *nodes_[static_cast<size_t>(dc)];
@@ -85,6 +94,7 @@ class HeliosCluster : public ProtocolCluster {
  private:
   sim::Scheduler* scheduler_;
   sim::Network* network_;
+  sim::ReliableMesh* mesh_ = nullptr;
   HeliosConfig config_;
   std::string name_;
   HistoryRecorder history_;

@@ -8,7 +8,9 @@
 #include "baselines/two_pc_paxos.h"
 #include "core/helios_cluster.h"
 #include "core/history.h"
+#include "harness/experiment_spec.h"
 #include "sim/network.h"
+#include "sim/reliable.h"
 #include "sim/scheduler.h"
 #include "workload/client.h"
 
@@ -70,6 +72,10 @@ bool IsHeliosFamily(Protocol p) {
          p == Protocol::kMessageFutures;
 }
 
+/// Seed-stream tag for the fault RNG: keeps fault decisions decorrelated
+/// from every client and latency stream derived from the same base seed.
+constexpr uint64_t kFaultSeedTag = 0xFA171;
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -78,12 +84,34 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sim::Network network(&scheduler, n, config.seed);
   ConfigureNetwork(config.topology, &network);
 
+  // Chaos layer: install the fault plan's message faults and decide
+  // whether the protocol needs the reliable session layer underneath.
+  const bool has_message_faults = config.fault_plan.HasMessageFaults();
+  if (!config.fault_plan.empty()) {
+    const Status st = config.fault_plan.Validate(n);
+    assert(st.ok() && "invalid fault plan; run FaultPlan::Validate first");
+    (void)st;
+  }
+  if (has_message_faults) {
+    const Status st = network.InstallMessageFaults(
+        config.fault_plan, DeriveSeed(config.seed, kFaultSeedTag));
+    assert(st.ok());
+    (void)st;
+  }
+  const bool reliable_on =
+      config.reliable == ReliableDelivery::kOn ||
+      (config.reliable == ReliableDelivery::kAuto && has_message_faults);
+  sim::ReliableConfig mesh_config;
+  mesh_config.enabled = reliable_on;
+  sim::ReliableMesh mesh(&scheduler, &network, mesh_config);
+
   ExperimentResult result;
   if (config.trace.enabled) {
     result.trace =
         std::make_shared<obs::TraceRecorder>(config.trace.ring_capacity);
     result.metrics_registry = std::make_shared<obs::MetricsRegistry>();
     network.set_trace_recorder(result.trace.get());
+    if (reliable_on) mesh.set_trace_recorder(result.trace.get());
   }
 
   std::unique_ptr<ProtocolCluster> cluster;
@@ -142,7 +170,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
   }
   cluster->SetObservability(result.trace.get(), result.metrics_registry.get());
+  if (reliable_on) cluster->SetReliableMesh(&mesh);
   cluster->Start();
+
+  // Timed chaos events: each crash/recover flips both the network (drop
+  // traffic) and the protocol process (stop serving); partitions are
+  // network-only, exactly like the paper's Section 4.4 scenarios.
+  for (const sim::NodeEvent& e : config.fault_plan.node_events) {
+    scheduler.At(e.at, [&network, cluster = cluster.get(), e]() {
+      if (e.up) {
+        (void)network.RecoverNode(e.node);
+      } else {
+        (void)network.CrashNode(e.node);
+      }
+      cluster->SetDatacenterDown(e.node, !e.up);
+    });
+  }
+  for (const sim::PartitionEvent& e : config.fault_plan.partition_events) {
+    scheduler.At(e.at, [&network, e]() {
+      (void)network.SetPartitioned(e.a, e.b, e.partitioned);
+    });
+  }
 
   const sim::SimTime measure_from = config.warmup;
   const sim::SimTime measure_until = config.warmup + config.measure;
@@ -216,6 +264,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     reg->counter("net.messages_dropped").Set(network.messages_dropped());
     reg->counter("net.bytes_sent").Set(network.bytes_sent());
     reg->counter("sim.events_processed").Set(scheduler.events_processed());
+    if (has_message_faults) {
+      reg->counter("net.fault_drops").Set(network.fault_drops());
+      reg->counter("net.fault_duplicates").Set(network.fault_duplicates());
+      reg->counter("net.fault_reorders").Set(network.fault_reorders());
+    }
+    if (reliable_on) {
+      reg->counter("reliable.retransmits").Set(mesh.retransmits());
+      reg->counter("reliable.duplicates_suppressed")
+          .Set(mesh.duplicates_suppressed());
+      reg->counter("reliable.acks_sent").Set(mesh.acks_sent());
+      reg->counter("reliable.gave_up").Set(mesh.gave_up());
+    }
     uint64_t committed = 0;
     uint64_t aborted = 0;
     for (const DcResult& r : result.per_dc) {

@@ -22,6 +22,7 @@
 #include "lp/mao.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fault_plan.h"
 #include "workload/tycsb.h"
 
 namespace helios::harness {
@@ -40,6 +41,12 @@ enum class Protocol {
 };
 
 const char* ProtocolName(Protocol p);
+
+/// Whether to put the reliable-delivery session layer (sim::ReliableMesh)
+/// under the protocol. kAuto engages it exactly when the fault plan can
+/// lose/duplicate/reorder messages, so fault-free runs keep the session
+/// layer fully out of the event stream.
+enum class ReliableDelivery { kAuto, kOff, kOn };
 
 struct ExperimentConfig {
   Topology topology = Table2Topology();
@@ -86,6 +93,14 @@ struct ExperimentConfig {
   /// false no recorder or registry is created and every instrumentation
   /// site stays on its null-pointer fast path.
   obs::TraceConfig trace;
+
+  /// Chaos: fault schedule executed during the run (docs/FAULTS.md).
+  /// Message faults are installed into the network with a seed derived
+  /// from `seed`; node/partition events fire at their scheduled times.
+  /// Empty = no faults, and the run is bit-identical to a build without
+  /// the chaos layer.
+  sim::FaultPlan fault_plan;
+  ReliableDelivery reliable = ReliableDelivery::kAuto;
 };
 
 struct DcResult {

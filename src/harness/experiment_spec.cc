@@ -8,6 +8,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/json.h"
 #include "core/config_validation.h"
 
 namespace helios::harness {
@@ -51,377 +52,6 @@ uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
-
-namespace {
-
-// --- Deterministic JSON emission -------------------------------------------
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendDouble(std::string* out, double v) {
-  // Shortest representation that round-trips exactly; deterministic across
-  // runs, which the sweep JSON contract requires.
-  char buf[64];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  out->append(buf, res.ptr);
-}
-
-class JsonWriter {
- public:
-  explicit JsonWriter(std::string* out) : out_(out) { *out_ += '{'; }
-  void Key(const char* key) {
-    if (!first_) *out_ += ',';
-    first_ = false;
-    AppendEscaped(out_, key);
-    *out_ += ':';
-  }
-  void Field(const char* key, const std::string& v) {
-    Key(key);
-    AppendEscaped(out_, v);
-  }
-  void Field(const char* key, bool v) {
-    Key(key);
-    *out_ += v ? "true" : "false";
-  }
-  void Field(const char* key, int64_t v) {
-    Key(key);
-    *out_ += std::to_string(v);
-  }
-  void Field(const char* key, uint64_t v) {
-    Key(key);
-    *out_ += std::to_string(v);
-  }
-  void Field(const char* key, double v) {
-    Key(key);
-    AppendDouble(out_, v);
-  }
-  void Close() { *out_ += '}'; }
-
- private:
-  std::string* out_;
-  bool first_ = true;
-};
-
-// --- Minimal JSON parser ----------------------------------------------------
-//
-// Just enough of RFC 8259 for spec files: objects, arrays, strings with
-// the escapes we emit, numbers, booleans, null. Errors carry a byte
-// offset. Kept private to this translation unit; tests/json_check.h stays
-// the syntax oracle on the emission side.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;  ///< String payload, and the raw token for numbers.
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& s) : s_(s) {}
-
-  Result<JsonValue> Parse() {
-    JsonValue v;
-    Status st = Value(&v);
-    if (!st.ok()) return st;
-    SkipWs();
-    if (pos_ != s_.size()) return Error("trailing characters");
-    return v;
-  }
-
- private:
-  Status Error(const std::string& what) const {
-    return Status::InvalidArgument("JSON error at byte " +
-                                   std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipWs() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  Status Value(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= s_.size()) return Error("unexpected end of input");
-    switch (s_[pos_]) {
-      case '{':
-        return Object(out);
-      case '[':
-        return Array(out);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return String(&out->text);
-      case 't':
-      case 'f':
-        out->kind = JsonValue::Kind::kBool;
-        if (s_.compare(pos_, 4, "true") == 0) {
-          out->boolean = true;
-          pos_ += 4;
-          return Status::Ok();
-        }
-        if (s_.compare(pos_, 5, "false") == 0) {
-          out->boolean = false;
-          pos_ += 5;
-          return Status::Ok();
-        }
-        return Error("bad literal");
-      case 'n':
-        if (s_.compare(pos_, 4, "null") == 0) {
-          out->kind = JsonValue::Kind::kNull;
-          pos_ += 4;
-          return Status::Ok();
-        }
-        return Error("bad literal");
-      default:
-        return Number(out);
-    }
-  }
-
-  Status String(std::string* out) {
-    ++pos_;  // Opening quote.
-    out->clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return Status::Ok();
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return Error("unterminated escape");
-        switch (s_[pos_]) {
-          case '"':
-            *out += '"';
-            break;
-          case '\\':
-            *out += '\\';
-            break;
-          case '/':
-            *out += '/';
-            break;
-          case 'n':
-            *out += '\n';
-            break;
-          case 't':
-            *out += '\t';
-            break;
-          case 'r':
-            *out += '\r';
-            break;
-          case 'b':
-            *out += '\b';
-            break;
-          case 'f':
-            *out += '\f';
-            break;
-          case 'u': {
-            if (pos_ + 4 >= s_.size()) return Error("short \\u escape");
-            unsigned code = 0;
-            for (int i = 1; i <= 4; ++i) {
-              const char h = s_[pos_ + static_cast<size_t>(i)];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("bad \\u escape");
-              }
-            }
-            if (code > 0x7F) return Error("non-ASCII \\u escape unsupported");
-            *out += static_cast<char>(code);
-            pos_ += 4;
-            break;
-          }
-          default:
-            return Error("bad escape");
-        }
-        ++pos_;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return Error("unescaped control character");
-      } else {
-        *out += c;
-        ++pos_;
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Status Number(JsonValue* out) {
-    const size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected a value");
-    out->kind = JsonValue::Kind::kNumber;
-    out->text = s_.substr(start, pos_ - start);
-    const char* begin = out->text.data();
-    const char* end = begin + out->text.size();
-    const auto res = std::from_chars(begin, end, out->number);
-    if (res.ec != std::errc() || res.ptr != end) return Error("bad number");
-    return Status::Ok();
-  }
-
-  Status Array(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return Status::Ok();
-    }
-    for (;;) {
-      JsonValue item;
-      Status st = Value(&item);
-      if (!st.ok()) return st;
-      out->items.push_back(std::move(item));
-      SkipWs();
-      if (pos_ >= s_.size()) return Error("unterminated array");
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return Status::Ok();
-      }
-      if (s_[pos_] != ',') return Error("expected ',' or ']'");
-      ++pos_;
-    }
-  }
-
-  Status Object(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return Status::Ok();
-    }
-    for (;;) {
-      SkipWs();
-      if (pos_ >= s_.size() || s_[pos_] != '"') return Error("expected key");
-      std::string key;
-      Status st = String(&key);
-      if (!st.ok()) return st;
-      SkipWs();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return Error("expected ':'");
-      ++pos_;
-      JsonValue value;
-      st = Value(&value);
-      if (!st.ok()) return st;
-      out->members.emplace_back(std::move(key), std::move(value));
-      SkipWs();
-      if (pos_ >= s_.size()) return Error("unterminated object");
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return Status::Ok();
-      }
-      if (s_[pos_] != ',') return Error("expected ',' or '}'");
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
-// --- Typed field extraction -------------------------------------------------
-
-Status WrongType(const std::string& key, const char* want) {
-  return Status::InvalidArgument("spec field '" + key + "' must be " + want);
-}
-
-Status ReadInt64(const std::string& key, const JsonValue& v, int64_t* out) {
-  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
-  const char* begin = v.text.data();
-  const char* end = begin + v.text.size();
-  const auto res = std::from_chars(begin, end, *out);
-  if (res.ec != std::errc() || res.ptr != end) {
-    return WrongType(key, "an integer");
-  }
-  return Status::Ok();
-}
-
-Status ReadUint64(const std::string& key, const JsonValue& v, uint64_t* out) {
-  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
-  const char* begin = v.text.data();
-  const char* end = begin + v.text.size();
-  const auto res = std::from_chars(begin, end, *out);
-  if (res.ec != std::errc() || res.ptr != end) {
-    return WrongType(key, "an unsigned integer");
-  }
-  return Status::Ok();
-}
-
-Status ReadInt(const std::string& key, const JsonValue& v, int* out) {
-  int64_t wide = 0;
-  Status st = ReadInt64(key, v, &wide);
-  if (!st.ok()) return st;
-  if (wide < INT32_MIN || wide > INT32_MAX) {
-    return WrongType(key, "a 32-bit integer");
-  }
-  *out = static_cast<int>(wide);
-  return Status::Ok();
-}
-
-Status ReadDouble(const std::string& key, const JsonValue& v, double* out) {
-  if (v.kind != JsonValue::Kind::kNumber) return WrongType(key, "a number");
-  *out = v.number;
-  return Status::Ok();
-}
-
-Status ReadBool(const std::string& key, const JsonValue& v, bool* out) {
-  if (v.kind != JsonValue::Kind::kBool) return WrongType(key, "a boolean");
-  *out = v.boolean;
-  return Status::Ok();
-}
-
-Status ReadString(const std::string& key, const JsonValue& v,
-                  std::string* out) {
-  if (v.kind != JsonValue::Kind::kString) return WrongType(key, "a string");
-  *out = v.text;
-  return Status::Ok();
-}
-
-}  // namespace
 
 std::string ExperimentSpec::DisplayName() const {
   if (!label.empty()) return label;
@@ -495,6 +125,15 @@ Status ExperimentSpec::Validate() const {
   if (two_pc_coordinator < 0 || two_pc_coordinator >= n) {
     return Status::InvalidArgument("two_pc_coordinator out of range");
   }
+  if (reliable != "auto" && reliable != "on" && reliable != "off") {
+    return Status::InvalidArgument("reliable must be auto|on|off (got '" +
+                                   reliable + "')");
+  }
+  if (!fault_plan.empty()) {
+    if (Status st = fault_plan.Validate(n); !st.ok()) {
+      return Status::InvalidArgument("fault_plan: " + st.ToString());
+    }
+  }
 
   // Deployment-level checks: build the HeliosConfig this spec implies and
   // reuse the operator-facing validator, so a spec that would start an
@@ -554,12 +193,16 @@ Result<ExperimentConfig> ExperimentSpec::ToConfig() const {
   cfg.two_pc_coordinator = two_pc_coordinator;
   cfg.preload = preload;
   cfg.check_serializability = check_serializability;
+  cfg.fault_plan = fault_plan;
+  cfg.reliable = reliable == "on"    ? ReliableDelivery::kOn
+                 : reliable == "off" ? ReliableDelivery::kOff
+                                     : ReliableDelivery::kAuto;
   return cfg;
 }
 
 std::string ExperimentSpec::ToJson() const {
   std::string out;
-  JsonWriter w(&out);
+  json::ObjectWriter w(&out);
   // Keys in alphabetical order — the deterministic-JSON contract.
   w.Field("check_serializability", check_serializability);
   w.Field("client_link_one_way_us", static_cast<int64_t>(client_link_one_way));
@@ -574,6 +217,9 @@ std::string ExperimentSpec::ToJson() const {
     out += ']';
   }
   w.Field("drain_us", static_cast<int64_t>(drain));
+  // Omitted when empty so pre-chaos specs (and their sweep JSON) stay
+  // byte-identical.
+  if (!fault_plan.empty()) w.Raw("fault_plan", fault_plan.ToJson());
   w.Field("grace_time_us", static_cast<int64_t>(grace_time));
   if (!label.empty()) w.Field("label", label);
   w.Field("log_interval_us", static_cast<int64_t>(log_interval));
@@ -583,6 +229,7 @@ std::string ExperimentSpec::ToJson() const {
   w.Field("preload", preload);
   w.Field("protocol", std::string(ProtocolToken(protocol)));
   w.Field("read_only_fraction", read_only_fraction);
+  if (reliable != "auto") w.Field("reliable", reliable);
   if (rtt_estimate_ms.has_value()) {
     w.Key("rtt_estimate_ms");
     out += '[';
@@ -592,7 +239,7 @@ std::string ExperimentSpec::ToJson() const {
       out += '[';
       for (int b = 0; b < n; ++b) {
         if (b > 0) out += ',';
-        AppendDouble(&out, a == b ? 0.0 : rtt_estimate_ms->Get(a, b));
+        json::AppendDouble(&out, a == b ? 0.0 : rtt_estimate_ms->Get(a, b));
       }
       out += ']';
     }
@@ -613,10 +260,10 @@ std::string ExperimentSpec::ToJson() const {
 }
 
 Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
-  auto parsed = JsonParser(json).Parse();
+  auto parsed = json::Parse(json);
   if (!parsed.ok()) return parsed.status();
-  const JsonValue& root = parsed.value();
-  if (root.kind != JsonValue::Kind::kObject) {
+  const json::Value& root = parsed.value();
+  if (root.kind != json::Value::Kind::kObject) {
     return Status::InvalidArgument("spec JSON must be an object");
   }
 
@@ -624,68 +271,74 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
   for (const auto& [key, v] : root.members) {
     Status st;
     if (key == "check_serializability") {
-      st = ReadBool(key, v, &spec.check_serializability);
+      st = json::ReadBool(key, v, &spec.check_serializability);
     } else if (key == "client_link_one_way_us") {
-      st = ReadInt64(key, v, &spec.client_link_one_way);
+      st = json::ReadInt64(key, v, &spec.client_link_one_way);
     } else if (key == "clients") {
-      st = ReadInt(key, v, &spec.clients);
+      st = json::ReadInt(key, v, &spec.clients);
     } else if (key == "clock_offsets_us") {
-      if (v.kind != JsonValue::Kind::kArray) {
-        st = WrongType(key, "an array");
+      if (v.kind != json::Value::Kind::kArray) {
+        st = json::WrongType(key, "an array");
       } else {
         spec.clock_offsets.clear();
-        for (const JsonValue& item : v.items) {
+        for (const json::Value& item : v.items) {
           Duration d = 0;
-          st = ReadInt64(key, item, &d);
+          st = json::ReadInt64(key, item, &d);
           if (!st.ok()) break;
           spec.clock_offsets.push_back(d);
         }
       }
     } else if (key == "drain_us") {
-      st = ReadInt64(key, v, &spec.drain);
+      st = json::ReadInt64(key, v, &spec.drain);
+    } else if (key == "fault_plan") {
+      auto plan = sim::FaultPlan::FromJsonValue(v);
+      if (!plan.ok()) return plan.status();
+      spec.fault_plan = std::move(plan).value();
     } else if (key == "grace_time_us") {
-      st = ReadInt64(key, v, &spec.grace_time);
+      st = json::ReadInt64(key, v, &spec.grace_time);
     } else if (key == "label") {
-      st = ReadString(key, v, &spec.label);
+      st = json::ReadString(key, v, &spec.label);
     } else if (key == "log_interval_us") {
-      st = ReadInt64(key, v, &spec.log_interval);
+      st = json::ReadInt64(key, v, &spec.log_interval);
     } else if (key == "measure_us") {
-      st = ReadInt64(key, v, &spec.measure);
+      st = json::ReadInt64(key, v, &spec.measure);
     } else if (key == "num_keys") {
-      st = ReadUint64(key, v, &spec.num_keys);
+      st = json::ReadUint64(key, v, &spec.num_keys);
     } else if (key == "ops_per_txn") {
-      st = ReadInt(key, v, &spec.ops_per_txn);
+      st = json::ReadInt(key, v, &spec.ops_per_txn);
     } else if (key == "preload") {
-      st = ReadBool(key, v, &spec.preload);
+      st = json::ReadBool(key, v, &spec.preload);
     } else if (key == "protocol") {
       std::string token;
-      st = ReadString(key, v, &token);
+      st = json::ReadString(key, v, &token);
       if (st.ok()) {
         auto p = ParseProtocolToken(token);
         if (!p.ok()) return p.status();
         spec.protocol = p.value();
       }
     } else if (key == "read_only_fraction") {
-      st = ReadDouble(key, v, &spec.read_only_fraction);
+      st = json::ReadDouble(key, v, &spec.read_only_fraction);
+    } else if (key == "reliable") {
+      st = json::ReadString(key, v, &spec.reliable);
     } else if (key == "rtt_estimate_ms") {
-      if (v.kind != JsonValue::Kind::kArray || v.items.empty()) {
-        st = WrongType(key, "a non-empty array of arrays");
+      if (v.kind != json::Value::Kind::kArray || v.items.empty()) {
+        st = json::WrongType(key, "a non-empty array of arrays");
       } else {
         const int n = static_cast<int>(v.items.size());
         lp::RttMatrix m(n);
         for (int a = 0; a < n && st.ok(); ++a) {
-          const JsonValue& row = v.items[static_cast<size_t>(a)];
-          if (row.kind != JsonValue::Kind::kArray ||
+          const json::Value& row = v.items[static_cast<size_t>(a)];
+          if (row.kind != json::Value::Kind::kArray ||
               static_cast<int>(row.items.size()) != n) {
-            st = WrongType(key, "a square matrix");
+            st = json::WrongType(key, "a square matrix");
             break;
           }
           for (int b = a + 1; b < n && st.ok(); ++b) {
             double rtt = 0.0;
-            st = ReadDouble(key, row.items[static_cast<size_t>(b)], &rtt);
+            st = json::ReadDouble(key, row.items[static_cast<size_t>(b)], &rtt);
             if (st.ok()) {
               if (rtt < 0.0) {
-                st = WrongType(key, "a matrix of non-negative RTTs");
+                st = json::WrongType(key, "a matrix of non-negative RTTs");
               } else {
                 m.Set(a, b, rtt);
               }
@@ -695,25 +348,25 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
         if (st.ok()) spec.rtt_estimate_ms = std::move(m);
       }
     } else if (key == "seed") {
-      st = ReadUint64(key, v, &spec.seed);
+      st = json::ReadUint64(key, v, &spec.seed);
     } else if (key == "topology") {
-      st = ReadString(key, v, &spec.topology);
+      st = json::ReadString(key, v, &spec.topology);
     } else if (key == "two_pc_coordinator") {
-      st = ReadInt(key, v, &spec.two_pc_coordinator);
+      st = json::ReadInt(key, v, &spec.two_pc_coordinator);
     } else if (key == "uniform_dcs") {
-      st = ReadInt(key, v, &spec.uniform_dcs);
+      st = json::ReadInt(key, v, &spec.uniform_dcs);
     } else if (key == "uniform_rtt_ms") {
-      st = ReadDouble(key, v, &spec.uniform_rtt_ms);
+      st = json::ReadDouble(key, v, &spec.uniform_rtt_ms);
     } else if (key == "uniform_stddev_ms") {
-      st = ReadDouble(key, v, &spec.uniform_stddev_ms);
+      st = json::ReadDouble(key, v, &spec.uniform_stddev_ms);
     } else if (key == "value_size") {
-      st = ReadInt(key, v, &spec.value_size);
+      st = json::ReadInt(key, v, &spec.value_size);
     } else if (key == "warmup_us") {
-      st = ReadInt64(key, v, &spec.warmup);
+      st = json::ReadInt64(key, v, &spec.warmup);
     } else if (key == "write_fraction") {
-      st = ReadDouble(key, v, &spec.write_fraction);
+      st = json::ReadDouble(key, v, &spec.write_fraction);
     } else if (key == "zipf_theta") {
-      st = ReadDouble(key, v, &spec.zipf_theta);
+      st = json::ReadDouble(key, v, &spec.zipf_theta);
     } else {
       return Status::InvalidArgument("unknown spec field '" + key + "'");
     }
@@ -754,6 +407,7 @@ bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
          a.two_pc_coordinator == b.two_pc_coordinator &&
          a.preload == b.preload &&
          a.check_serializability == b.check_serializability &&
+         a.fault_plan == b.fault_plan && a.reliable == b.reliable &&
          estimates_equal();
 }
 

@@ -24,6 +24,7 @@
 #include "harness/experiment.h"
 #include "harness/topology.h"
 #include "lp/mao.h"
+#include "sim/fault_plan.h"
 
 namespace helios::harness {
 
@@ -82,6 +83,16 @@ struct ExperimentSpec {
   bool preload = true;
   bool check_serializability = false;
 
+  /// Chaos: declarative fault schedule executed during the run (message
+  /// loss/duplication/reordering/delay plus timed crash and partition
+  /// events — see docs/FAULTS.md). Empty (the default) keeps the run
+  /// byte-identical to pre-chaos output.
+  sim::FaultPlan fault_plan;
+
+  /// Reliable-delivery session layer under the protocol: "auto" (on
+  /// exactly when fault_plan has message faults), "on", or "off".
+  std::string reliable = "auto";
+
   // --- Fluent builder -----------------------------------------------------
   ExperimentSpec& WithLabel(std::string v) { label = std::move(v); return *this; }
   ExperimentSpec& WithProtocol(Protocol v) { protocol = v; return *this; }
@@ -119,6 +130,21 @@ struct ExperimentSpec {
   ExperimentSpec& WithPreload(bool v) { preload = v; return *this; }
   ExperimentSpec& WithSerializabilityCheck(bool v = true) {
     check_serializability = v;
+    return *this;
+  }
+  ExperimentSpec& WithFaultPlan(sim::FaultPlan v) {
+    fault_plan = std::move(v);
+    return *this;
+  }
+  /// Uniform per-message loss probability on every link, for loss-grid
+  /// sweeps. Composes with any faults already in the plan.
+  ExperimentSpec& WithLoss(double p) { fault_plan.WithLoss(p); return *this; }
+  ExperimentSpec& WithDuplication(double p) {
+    fault_plan.WithDuplication(p);
+    return *this;
+  }
+  ExperimentSpec& WithReliable(std::string v) {
+    reliable = std::move(v);
     return *this;
   }
 

@@ -38,6 +38,8 @@ const char* KindName(EventKind kind) {
       return "net.hop";
     case EventKind::kNetDrop:
       return "net.drop";
+    case EventKind::kNetRetransmit:
+      return "net.retransmit";
   }
   return "?";
 }
@@ -49,6 +51,7 @@ bool IsSpanKind(EventKind kind) {
     case EventKind::kCommitWait:
     case EventKind::kTxnServer:
     case EventKind::kNetHop:
+    case EventKind::kNetRetransmit:
       return true;
     default:
       return false;

@@ -53,6 +53,8 @@ enum class EventKind : uint8_t {
   kEnvelopeRecv,   ///< Instant: envelope arrived at the peer node.
   kNetHop,         ///< Span: one-way WAN flight (dc = from, peer = to).
   kNetDrop,        ///< Instant: message dropped (crash or partition).
+  kNetRetransmit,  ///< Span: reliable-layer retransmission wait (dc = from,
+                   ///< peer = to) from loss detection to the resend.
 };
 
 /// Stable short name, e.g. "txn.commit_wait". Used as the Chrome-trace

@@ -1,0 +1,283 @@
+#include "sim/fault_plan.h"
+
+#include <utility>
+
+namespace helios::sim {
+
+namespace {
+
+Status CheckProbability(const char* what, double p, size_t index) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(
+        "link_faults[" + std::to_string(index) + "]." + what + " is " +
+        std::to_string(p) + "; probabilities must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+Status CheckNode(const char* where, int node, int n, bool allow_any) {
+  if (allow_any && node == kAnyDc) return Status::Ok();
+  if (node < 0 || node >= n) {
+    return Status::InvalidArgument(
+        std::string(where) + " names datacenter " + std::to_string(node) +
+        " but the deployment has " + std::to_string(n) +
+        " datacenters (valid: 0.." + std::to_string(n - 1) +
+        (allow_any ? ", or -1 for any)" : ")"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultPlan::Validate(int num_datacenters) const {
+  const int n = num_datacenters;
+  if (n <= 0) return Status::InvalidArgument("deployment size must be > 0");
+  for (size_t i = 0; i < link_faults.size(); ++i) {
+    const LinkFault& f = link_faults[i];
+    const std::string where = "link_faults[" + std::to_string(i) + "]";
+    if (Status s = CheckNode((where + ".from").c_str(), f.from, n, true);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckNode((where + ".to").c_str(), f.to, n, true); !s.ok()) {
+      return s;
+    }
+    if (f.from != kAnyDc && f.from == f.to) {
+      return Status::InvalidArgument(where + " targets the self-link " +
+                                     std::to_string(f.from) + "->" +
+                                     std::to_string(f.to) +
+                                     "; links connect distinct datacenters");
+    }
+    if (Status s = CheckProbability("loss", f.loss, i); !s.ok()) return s;
+    if (Status s = CheckProbability("duplicate", f.duplicate, i); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckProbability("reorder", f.reorder, i); !s.ok()) return s;
+    if (f.reorder_window < 0 || f.delay < 0) {
+      return Status::InvalidArgument(
+          where + ": reorder_window and delay must be >= 0");
+    }
+    if (f.reorder > 0.0 && f.reorder_window == 0) {
+      return Status::InvalidArgument(
+          where + ": reorder > 0 needs a positive reorder_window");
+    }
+    if (f.active_from < 0 || f.active_until < f.active_from) {
+      return Status::InvalidArgument(
+          where + ": active window must satisfy 0 <= from <= until");
+    }
+  }
+  for (size_t i = 0; i < node_events.size(); ++i) {
+    const NodeEvent& e = node_events[i];
+    const std::string where = "node_events[" + std::to_string(i) + "]";
+    if (Status s = CheckNode((where + ".node").c_str(), e.node, n, false);
+        !s.ok()) {
+      return s;
+    }
+    if (e.at < 0) return Status::InvalidArgument(where + ".at must be >= 0");
+  }
+  for (size_t i = 0; i < partition_events.size(); ++i) {
+    const PartitionEvent& e = partition_events[i];
+    const std::string where = "partition_events[" + std::to_string(i) + "]";
+    if (Status s = CheckNode((where + ".a").c_str(), e.a, n, false); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckNode((where + ".b").c_str(), e.b, n, false); !s.ok()) {
+      return s;
+    }
+    if (e.a == e.b) {
+      return Status::InvalidArgument(
+          where + ": cannot partition datacenter " + std::to_string(e.a) +
+          " from itself");
+    }
+    if (e.at < 0) return Status::InvalidArgument(where + ".at must be >= 0");
+  }
+  return Status::Ok();
+}
+
+// --- JSON -------------------------------------------------------------------
+
+std::string FaultPlan::ToJson() const {
+  std::string out;
+  json::ObjectWriter w(&out);
+  if (!link_faults.empty()) {
+    w.Key("link_faults");
+    out += '[';
+    for (size_t i = 0; i < link_faults.size(); ++i) {
+      const LinkFault& f = link_faults[i];
+      if (i > 0) out += ',';
+      json::ObjectWriter lf(&out);
+      lf.Field("active_from_us", static_cast<int64_t>(f.active_from));
+      lf.Field("active_until_us", static_cast<int64_t>(f.active_until));
+      lf.Field("delay_us", static_cast<int64_t>(f.delay));
+      lf.Field("duplicate", f.duplicate);
+      lf.Field("from", static_cast<int64_t>(f.from));
+      lf.Field("loss", f.loss);
+      lf.Field("reorder", f.reorder);
+      lf.Field("reorder_window_us", static_cast<int64_t>(f.reorder_window));
+      lf.Field("to", static_cast<int64_t>(f.to));
+      lf.Close();
+    }
+    out += ']';
+  }
+  if (!node_events.empty()) {
+    w.Key("node_events");
+    out += '[';
+    for (size_t i = 0; i < node_events.size(); ++i) {
+      const NodeEvent& e = node_events[i];
+      if (i > 0) out += ',';
+      json::ObjectWriter ne(&out);
+      ne.Field("at_us", static_cast<int64_t>(e.at));
+      ne.Field("node", static_cast<int64_t>(e.node));
+      ne.Field("up", e.up);
+      ne.Close();
+    }
+    out += ']';
+  }
+  if (!partition_events.empty()) {
+    w.Key("partition_events");
+    out += '[';
+    for (size_t i = 0; i < partition_events.size(); ++i) {
+      const PartitionEvent& e = partition_events[i];
+      if (i > 0) out += ',';
+      json::ObjectWriter pe(&out);
+      pe.Field("a", static_cast<int64_t>(e.a));
+      pe.Field("at_us", static_cast<int64_t>(e.at));
+      pe.Field("b", static_cast<int64_t>(e.b));
+      pe.Field("partitioned", e.partitioned);
+      pe.Close();
+    }
+    out += ']';
+  }
+  w.Close();
+  return out;
+}
+
+namespace {
+
+Result<LinkFault> ParseLinkFault(const json::Value& v, size_t index) {
+  const std::string where = "link_faults[" + std::to_string(index) + "]";
+  if (v.kind != json::Value::Kind::kObject) {
+    return json::WrongType(where, "an object");
+  }
+  LinkFault f;
+  for (const auto& [key, item] : v.members) {
+    Status st;
+    if (key == "active_from_us") {
+      st = json::ReadInt64(where + "." + key, item, &f.active_from);
+    } else if (key == "active_until_us") {
+      st = json::ReadInt64(where + "." + key, item, &f.active_until);
+    } else if (key == "delay_us") {
+      st = json::ReadInt64(where + "." + key, item, &f.delay);
+    } else if (key == "duplicate") {
+      st = json::ReadDouble(where + "." + key, item, &f.duplicate);
+    } else if (key == "from") {
+      st = json::ReadInt(where + "." + key, item, &f.from);
+    } else if (key == "loss") {
+      st = json::ReadDouble(where + "." + key, item, &f.loss);
+    } else if (key == "reorder") {
+      st = json::ReadDouble(where + "." + key, item, &f.reorder);
+    } else if (key == "reorder_window_us") {
+      st = json::ReadInt64(where + "." + key, item, &f.reorder_window);
+    } else if (key == "to") {
+      st = json::ReadInt(where + "." + key, item, &f.to);
+    } else {
+      return Status::InvalidArgument("unknown fault-plan field '" + where +
+                                     "." + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  return f;
+}
+
+Result<NodeEvent> ParseNodeEvent(const json::Value& v, size_t index) {
+  const std::string where = "node_events[" + std::to_string(index) + "]";
+  if (v.kind != json::Value::Kind::kObject) {
+    return json::WrongType(where, "an object");
+  }
+  NodeEvent e;
+  for (const auto& [key, item] : v.members) {
+    Status st;
+    if (key == "at_us") {
+      st = json::ReadInt64(where + "." + key, item, &e.at);
+    } else if (key == "node") {
+      st = json::ReadInt(where + "." + key, item, &e.node);
+    } else if (key == "up") {
+      st = json::ReadBool(where + "." + key, item, &e.up);
+    } else {
+      return Status::InvalidArgument("unknown fault-plan field '" + where +
+                                     "." + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  return e;
+}
+
+Result<PartitionEvent> ParsePartitionEvent(const json::Value& v,
+                                           size_t index) {
+  const std::string where = "partition_events[" + std::to_string(index) + "]";
+  if (v.kind != json::Value::Kind::kObject) {
+    return json::WrongType(where, "an object");
+  }
+  PartitionEvent e;
+  for (const auto& [key, item] : v.members) {
+    Status st;
+    if (key == "a") {
+      st = json::ReadInt(where + "." + key, item, &e.a);
+    } else if (key == "at_us") {
+      st = json::ReadInt64(where + "." + key, item, &e.at);
+    } else if (key == "b") {
+      st = json::ReadInt(where + "." + key, item, &e.b);
+    } else if (key == "partitioned") {
+      st = json::ReadBool(where + "." + key, item, &e.partitioned);
+    } else {
+      return Status::InvalidArgument("unknown fault-plan field '" + where +
+                                     "." + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::FromJsonValue(const json::Value& root) {
+  if (root.kind != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("fault plan JSON must be an object");
+  }
+  FaultPlan plan;
+  for (const auto& [key, v] : root.members) {
+    if (v.kind != json::Value::Kind::kArray) {
+      return json::WrongType(key, "an array");
+    }
+    if (key == "link_faults") {
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        auto f = ParseLinkFault(v.items[i], i);
+        if (!f.ok()) return f.status();
+        plan.link_faults.push_back(std::move(f).value());
+      }
+    } else if (key == "node_events") {
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        auto e = ParseNodeEvent(v.items[i], i);
+        if (!e.ok()) return e.status();
+        plan.node_events.push_back(std::move(e).value());
+      }
+    } else if (key == "partition_events") {
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        auto e = ParsePartitionEvent(v.items[i], i);
+        if (!e.ok()) return e.status();
+        plan.partition_events.push_back(std::move(e).value());
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault-plan field '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::FromJson(const std::string& text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  return FromJsonValue(parsed.value());
+}
+
+}  // namespace helios::sim

@@ -38,15 +38,19 @@ Duration Network::MeanRtt(int a, int b) const {
          links_[ChannelIndex(b, a)].one_way_mean;
 }
 
-Duration Network::SampleOneWay(int from, int to) {
+Duration Network::SampleOneWayWith(Rng& rng, int from, int to) {
   const LinkSpec& spec = links_[ChannelIndex(from, to)];
   if (spec.one_way_stddev == 0) return spec.one_way_mean;
   const double sample =
-      rng_.Normal(static_cast<double>(spec.one_way_mean),
-                  static_cast<double>(spec.one_way_stddev));
+      rng.Normal(static_cast<double>(spec.one_way_mean),
+                 static_cast<double>(spec.one_way_stddev));
   // Latency can never go below a small propagation floor.
   const double floor = static_cast<double>(spec.one_way_mean) * 0.5;
   return static_cast<Duration>(std::max(sample, floor));
+}
+
+Duration Network::SampleOneWay(int from, int to) {
+  return SampleOneWayWith(rng_, from, to);
 }
 
 Duration Network::SampleRtt(int a, int b) {
@@ -57,34 +61,8 @@ void Network::Send(int from, int to, std::function<void()> deliver) {
   SendSized(from, to, 0, std::move(deliver));
 }
 
-void Network::SendSized(int from, int to, size_t size_bytes,
-                        std::function<void()> deliver) {
-  assert(from != to);
-  ++messages_sent_;
-  bytes_sent_ += size_bytes;
-  if (!up_[from] || partitioned_[ChannelIndex(from, to)]) {
-    ++messages_dropped_;
-    if (trace_ != nullptr) {
-      trace_->Instant(obs::EventKind::kNetDrop, from, TxnId{},
-                      scheduler_->Now(), to,
-                      up_[from] ? "partitioned" : "sender-down");
-    }
-    return;
-  }
-  const int ch = ChannelIndex(from, to);
-  Duration transmission = 0;
-  if (bandwidth_bps_ > 0 && size_bytes > 0) {
-    transmission = static_cast<Duration>(
-        static_cast<double>(size_bytes) * 1e6 /
-        static_cast<double>(bandwidth_bps_));
-  }
-  SimTime arrive =
-      scheduler_->Now() + transmission + SampleOneWay(from, to);
-  // FIFO: never overtake the previous message on this channel; with
-  // bandwidth modeling the channel is also occupied for the transmission
-  // time.
-  arrive = std::max(arrive, last_delivery_[ch] + transmission);
-  last_delivery_[ch] = arrive;
+void Network::ScheduleDelivery(int from, int to, SimTime arrive,
+                               std::function<void()> deliver) {
   if (trace_ != nullptr) {
     trace_->Span(obs::EventKind::kNetHop, from, TxnId{}, scheduler_->Now(),
                  arrive, to);
@@ -102,20 +80,130 @@ void Network::SendSized(int from, int to, size_t size_bytes,
   });
 }
 
-void Network::CrashNode(int node) {
-  assert(node >= 0 && node < n_);
+void Network::SendSized(int from, int to, size_t size_bytes,
+                        std::function<void()> deliver) {
+  assert(from != to);
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  if (!up_[from] || partitioned_[ChannelIndex(from, to)]) {
+    ++messages_dropped_;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::EventKind::kNetDrop, from, TxnId{},
+                      scheduler_->Now(), to,
+                      up_[from] ? "partitioned" : "sender-down");
+    }
+    return;
+  }
+
+  // Message faults, drawn in fixed order per matching fault so every run
+  // with the same fault seed makes identical decisions. With no installed
+  // message faults this whole block is a vector-empty check.
+  Duration fault_delay = 0;
+  bool reordered = false;
+  bool duplicated = false;
+  if (!message_faults_.empty()) {
+    const SimTime now = scheduler_->Now();
+    for (const LinkFault& f : message_faults_) {
+      if (!f.ActiveOn(from, to, now)) continue;
+      if (f.loss > 0.0 && fault_rng_.Bernoulli(f.loss)) {
+        ++messages_dropped_;
+        ++fault_drops_;
+        if (trace_ != nullptr) {
+          trace_->Instant(obs::EventKind::kNetDrop, from, TxnId{}, now, to,
+                          "fault:loss");
+        }
+        return;
+      }
+      fault_delay += f.delay;
+      if (f.reorder > 0.0 && fault_rng_.Bernoulli(f.reorder)) {
+        reordered = true;
+        fault_delay += static_cast<Duration>(
+            fault_rng_.Uniform(static_cast<uint64_t>(f.reorder_window)));
+      }
+      if (f.duplicate > 0.0 && fault_rng_.Bernoulli(f.duplicate)) {
+        duplicated = true;
+      }
+    }
+  }
+
+  const int ch = ChannelIndex(from, to);
+  Duration transmission = 0;
+  if (bandwidth_bps_ > 0 && size_bytes > 0) {
+    transmission = static_cast<Duration>(
+        static_cast<double>(size_bytes) * 1e6 /
+        static_cast<double>(bandwidth_bps_));
+  }
+  SimTime arrive =
+      scheduler_->Now() + transmission + SampleOneWay(from, to) + fault_delay;
+  if (reordered) {
+    // A reordered message is exempt from the FIFO clamp and leaves the
+    // watermark alone — it may overtake or be overtaken, and later traffic
+    // is not held back behind it (otherwise a reorder would degrade into a
+    // delay for everything after it).
+    ++fault_reorders_;
+  } else {
+    // FIFO: never overtake the previous message on this channel; with
+    // bandwidth modeling the channel is also occupied for the transmission
+    // time.
+    arrive = std::max(arrive, last_delivery_[ch] + transmission);
+    last_delivery_[ch] = arrive;
+  }
+  if (duplicated) {
+    // The copy takes its own independently sampled path and also skips the
+    // FIFO machinery, like a stray retransmission on a real network.
+    ++fault_duplicates_;
+    const SimTime copy_arrive = scheduler_->Now() + transmission +
+                                SampleOneWayWith(fault_rng_, from, to) +
+                                fault_delay;
+    ScheduleDelivery(from, to, copy_arrive, deliver);
+  }
+  ScheduleDelivery(from, to, arrive, std::move(deliver));
+}
+
+Status Network::InstallMessageFaults(const FaultPlan& plan,
+                                     uint64_t fault_seed) {
+  if (Status s = plan.Validate(n_); !s.ok()) return s;
+  message_faults_.clear();
+  for (const LinkFault& f : plan.link_faults) {
+    if (f.HasEffect()) message_faults_.push_back(f);
+  }
+  fault_rng_ = Rng(fault_seed);
+  return Status::Ok();
+}
+
+namespace {
+
+Status BadNode(const char* op, int node, int n) {
+  return Status::InvalidArgument(
+      std::string(op) + ": datacenter " + std::to_string(node) +
+      " does not exist (valid: 0.." + std::to_string(n - 1) + ")");
+}
+
+}  // namespace
+
+Status Network::CrashNode(int node) {
+  if (node < 0 || node >= n_) return BadNode("CrashNode", node, n_);
   up_[node] = false;
+  return Status::Ok();
 }
 
-void Network::RecoverNode(int node) {
-  assert(node >= 0 && node < n_);
+Status Network::RecoverNode(int node) {
+  if (node < 0 || node >= n_) return BadNode("RecoverNode", node, n_);
   up_[node] = true;
+  return Status::Ok();
 }
 
-void Network::SetPartitioned(int a, int b, bool partitioned) {
-  assert(a != b);
+Status Network::SetPartitioned(int a, int b, bool partitioned) {
+  if (a < 0 || a >= n_) return BadNode("SetPartitioned", a, n_);
+  if (b < 0 || b >= n_) return BadNode("SetPartitioned", b, n_);
+  if (a == b) {
+    return Status::InvalidArgument(
+        "SetPartitioned: cannot partition datacenter " + std::to_string(a) +
+        " from itself");
+  }
   partitioned_[ChannelIndex(a, b)] = partitioned;
   partitioned_[ChannelIndex(b, a)] = partitioned;
+  return Status::Ok();
 }
 
 bool Network::IsPartitioned(int a, int b) const {

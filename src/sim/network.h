@@ -10,6 +10,12 @@
 // recovering datacenters and cutting individual links (network partitions).
 // Messages to or from a crashed datacenter, or across a cut link, are
 // silently dropped — exactly what a protocol observes in practice.
+//
+// Beyond those clean failures, InstallMessageFaults activates a FaultPlan's
+// probabilistic link faults (loss, duplication, reordering, delay spikes)
+// inside every delivery. Fault decisions draw from a dedicated RNG so a
+// plan with no message faults leaves the latency sampling stream — and
+// therefore every simulated timestamp — bit-for-bit unchanged.
 
 #ifndef HELIOS_SIM_NETWORK_H_
 #define HELIOS_SIM_NETWORK_H_
@@ -19,8 +25,10 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "obs/trace.h"
+#include "sim/fault_plan.h"
 #include "sim/scheduler.h"
 
 namespace helios::sim {
@@ -74,16 +82,32 @@ class Network {
 
   /// Crashes `node`: all in-flight messages to it are dropped on arrival and
   /// no messages originating from it are delivered until recovery.
-  void CrashNode(int node);
-  void RecoverNode(int node);
+  /// Rejects out-of-range node indices.
+  Status CrashNode(int node);
+  Status RecoverNode(int node);
   bool IsUp(int node) const { return up_[node]; }
 
   /// Cuts or restores the (bidirectional) link between `a` and `b`.
-  void SetPartitioned(int a, int b, bool partitioned);
+  /// Rejects out-of-range indices and self-partitioning (a == b).
+  Status SetPartitioned(int a, int b, bool partitioned);
   bool IsPartitioned(int a, int b) const;
+
+  /// Activates `plan`'s probabilistic link faults on every subsequent
+  /// delivery, drawing decisions from a dedicated RNG seeded with
+  /// `fault_seed`. The plan must already be validated against this
+  /// network's size. Per message, in fixed draw order per matching fault:
+  /// loss drops it; a delay spike adds deterministic latency; reordering
+  /// adds Uniform[0, window) latency and exempts the message from the
+  /// FIFO clamp (so it can overtake); duplication schedules a second,
+  /// independently delayed copy. A plan with no message faults leaves the
+  /// delivery path byte-identical to an uninstalled one.
+  Status InstallMessageFaults(const FaultPlan& plan, uint64_t fault_seed);
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t fault_drops() const { return fault_drops_; }
+  uint64_t fault_duplicates() const { return fault_duplicates_; }
+  uint64_t fault_reorders() const { return fault_reorders_; }
 
   /// Optional message-hop tracing (src/obs): every delivery becomes a
   /// net.hop span from send to receive; drops become net.drop instants.
@@ -93,6 +117,9 @@ class Network {
  private:
   int ChannelIndex(int from, int to) const { return from * n_ + to; }
   Duration SampleOneWay(int from, int to);
+  Duration SampleOneWayWith(Rng& rng, int from, int to);
+  void ScheduleDelivery(int from, int to, SimTime arrive,
+                        std::function<void()> deliver);
 
   Scheduler* scheduler_;
   int n_;
@@ -106,6 +133,14 @@ class Network {
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+
+  // Message-fault state (InstallMessageFaults). Kept out of the hot path
+  // entirely when no fault has an effect.
+  std::vector<LinkFault> message_faults_;
+  Rng fault_rng_{0};
+  uint64_t fault_drops_ = 0;
+  uint64_t fault_duplicates_ = 0;
+  uint64_t fault_reorders_ = 0;
 };
 
 }  // namespace helios::sim

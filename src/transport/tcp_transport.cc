@@ -108,42 +108,38 @@ void TcpTransport::ReadLoop(int fd) {
   ::close(fd);
 }
 
+int TcpTransport::DialPeer(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
 Status TcpTransport::Connect(DcId to, uint16_t port) {
   // Retry briefly: peers may still be binding.
   for (int attempt = 0; attempt < 100; ++attempt) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return Status::Internal("socket() failed");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
-        0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int fd = DialPeer(port);
+    if (fd >= 0) {
       std::lock_guard<std::mutex> lock(mu_);
-      peer_fds_.emplace_back(to, fd);
+      peers_.push_back(Peer{to, fd, port});
       return Status::Ok();
     }
-    ::close(fd);
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return Status::Unavailable("could not connect to peer " +
                              std::to_string(to));
 }
 
-Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
-  int fd = -1;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [peer, peer_fd] : peer_fds_) {
-      if (peer == to) {
-        fd = peer_fd;
-        break;
-      }
-    }
-  }
-  if (fd < 0) return Status::FailedPrecondition("no connection to peer");
+Status TcpTransport::SendOnce(DcId to, const std::vector<uint8_t>& payload) {
   uint8_t header[4] = {
       static_cast<uint8_t>(payload.size() & 0xFF),
       static_cast<uint8_t>((payload.size() >> 8) & 0xFF),
@@ -151,12 +147,69 @@ Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
       static_cast<uint8_t>((payload.size() >> 24) & 0xFF),
   };
   std::lock_guard<std::mutex> lock(mu_);  // One writer at a time per fd.
-  if (!WriteFully(fd, header, 4) ||
-      !WriteFully(fd, payload.data(), payload.size())) {
+  Peer* peer = nullptr;
+  for (Peer& p : peers_) {
+    if (p.id == to) {
+      peer = &p;
+      break;
+    }
+  }
+  if (peer == nullptr) {
+    return Status::FailedPrecondition("no connection to peer");
+  }
+  if (peer->fd < 0) return Status::Unavailable("peer disconnected");
+  if (!WriteFully(peer->fd, header, 4) ||
+      !WriteFully(peer->fd, payload.data(), payload.size())) {
+    // The connection is dead (peer restarted or reset the socket): close
+    // it so Send() redials on a fresh fd instead of writing into a pipe
+    // that will never drain.
+    ::close(peer->fd);
+    peer->fd = -1;
     return Status::Unavailable("send failed");
   }
   ++messages_sent_;
   return Status::Ok();
+}
+
+Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
+  Status s = SendOnce(to, payload);
+  if (s.ok() || s.code() == StatusCode::kFailedPrecondition) return s;
+
+  // The connection died. Redial with bounded exponential backoff and
+  // retry; the backoff sleeps happen outside mu_ so other peers' sends
+  // keep flowing while this link recovers.
+  int backoff_ms = 10;
+  for (int attempt = 0; attempt < 5 && !shutdown_.load(); ++attempt) {
+    uint16_t port = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const Peer& p : peers_) {
+        if (p.id == to) port = p.port;
+      }
+    }
+    if (port == 0) break;
+    const int fd = DialPeer(port);
+    if (fd >= 0) {
+      bool installed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Peer& p : peers_) {
+          if (p.id == to && p.fd < 0) {
+            p.fd = fd;
+            installed = true;
+            break;
+          }
+        }
+      }
+      if (!installed) ::close(fd);  // Another sender already reconnected.
+      ++reconnects_;
+      s = SendOnce(to, payload);
+      if (s.ok()) return s;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;  // 10, 20, 40, 80, 160 ms.
+  }
+  return Status::Unavailable("send failed; reconnect attempts exhausted");
 }
 
 void TcpTransport::Shutdown() {
@@ -167,11 +220,12 @@ void TcpTransport::Shutdown() {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [peer, fd] : peer_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    for (Peer& p : peers_) {
+      if (p.fd < 0) continue;
+      ::shutdown(p.fd, SHUT_RDWR);
+      ::close(p.fd);
     }
-    peer_fds_.clear();
+    peers_.clear();
     // Unblock reader threads parked in recv() on accepted connections.
     for (int fd : inbound_fds_) ::shutdown(fd, SHUT_RDWR);
     inbound_fds_.clear();

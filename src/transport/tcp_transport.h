@@ -49,6 +49,10 @@ class TcpTransport {
   Status Connect(DcId to, uint16_t port);
 
   /// Sends one framed message to `to`. Requires a prior Connect(to, ...).
+  /// If the connection has died (peer restarted, socket reset), closes it
+  /// and redials with bounded exponential backoff (10 ms doubling to
+  /// 160 ms, 5 attempts) before giving up, so a transient peer outage
+  /// costs retries instead of a permanently wedged link.
   Status Send(DcId to, const std::vector<uint8_t>& payload);
 
   /// Closes everything and joins the background threads.
@@ -56,11 +60,23 @@ class TcpTransport {
 
   uint64_t messages_received() const { return messages_received_; }
   uint64_t messages_sent() const { return messages_sent_; }
+  /// Successful redials performed inside Send() after a dead connection.
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
+  struct Peer {
+    DcId id;
+    int fd;         // -1 while disconnected.
+    uint16_t port;  // Remembered so Send() can redial.
+  };
+
   void AcceptLoop();
   void ReadLoop(int fd);
   void SpawnReader(int fd);
+  /// One dial attempt to 127.0.0.1:`port`; returns the fd or -1.
+  int DialPeer(uint16_t port);
+  /// One framed write on the current connection; marks it dead on failure.
+  Status SendOnce(DcId to, const std::vector<uint8_t>& payload);
 
   MessageHandler handler_;
   int listen_fd_ = -1;
@@ -68,11 +84,12 @@ class TcpTransport {
   std::atomic<bool> shutdown_{false};
   std::thread accept_thread_;
   std::mutex mu_;
-  std::vector<std::pair<DcId, int>> peer_fds_;  // Outbound connections.
-  std::vector<int> inbound_fds_;                // Accepted connections.
+  std::vector<Peer> peers_;       // Outbound connections.
+  std::vector<int> inbound_fds_;  // Accepted connections.
   std::vector<std::thread> readers_;
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> reconnects_{0};
 };
 
 }  // namespace helios::transport

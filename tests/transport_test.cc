@@ -139,6 +139,45 @@ TEST(TcpTransportTest, ConnectToClosedPortFailsEventually) {
   EXPECT_FALSE(s.ok());
 }
 
+TEST(TcpTransportTest, SendReconnectsAfterPeerRestart) {
+  std::promise<void> got_first;
+  auto server1 = std::make_unique<TcpTransport>(
+      [&](std::vector<uint8_t>) { got_first.set_value(); });
+  ASSERT_TRUE(server1->Listen(0).ok());
+  const uint16_t port = server1->port();
+
+  TcpTransport client([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(client.Connect(0, port).ok());
+  ASSERT_TRUE(client.Send(0, {1}).ok());
+  ASSERT_EQ(got_first.get_future().wait_for(5s), std::future_status::ready);
+
+  // Kill the peer and bring a new one up on the same port.
+  server1->Shutdown();
+  server1.reset();
+  std::promise<void> got_again;
+  std::atomic<bool> got_again_set{false};
+  TcpTransport server2([&](std::vector<uint8_t>) {
+    if (!got_again_set.exchange(true)) got_again.set_value();
+  });
+  ASSERT_TRUE(server2.Listen(port).ok());
+
+  // The old connection is dead. Send() notices — possibly only on the
+  // second call, since the first write can land in the kernel buffer
+  // before the RST comes back — then redials and delivers.
+  auto delivered = got_again.get_future();
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (delivered.wait_for(0s) != std::future_status::ready &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)client.Send(0, {2});
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ(delivered.wait_for(0s), std::future_status::ready)
+      << "send never reached the restarted peer";
+  EXPECT_GE(client.reconnects(), 1u);
+  client.Shutdown();
+  server2.Shutdown();
+}
+
 // --- Live clusters over real sockets -----------------------------------------
 
 struct LiveCluster {

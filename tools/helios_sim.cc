@@ -18,6 +18,7 @@
 // experiment's timeline) and bypass the sweep engine.
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "harness/experiment_spec.h"
 #include "harness/job_pool.h"
 #include "harness/sweep.h"
+#include "sim/fault_plan.h"
 
 using namespace helios;
 namespace hns = helios::harness;
@@ -39,6 +41,14 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
   std::string item;
   while (std::getline(ss, item, ',')) out.push_back(item);
   return out;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
 std::vector<Duration> ParseSkewList(const std::string& csv) {
@@ -103,6 +113,20 @@ int main(int argc, char** argv) {
   flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
   flags.DefineBool("check_serializability", false,
                    "verify the committed history after the run");
+  flags.DefineString("fault_plan", "",
+                     "JSON fault-plan file applied to every run "
+                     "(see docs/FAULTS.md)");
+  flags.DefineDouble("loss", 0.0,
+                     "per-message loss probability on every WAN link");
+  flags.DefineDouble("dup", 0.0,
+                     "per-message duplication probability on every WAN link");
+  flags.DefineString("losses", "",
+                     "comma-separated loss-probability list; builds a grid "
+                     "(overrides --loss)");
+  flags.DefineString("reliable", "auto",
+                     "reliable-delivery session layer: auto|on|off "
+                     "(auto = on exactly when the fault plan can drop or "
+                     "duplicate messages)");
   flags.DefineInt("jobs", 1,
                   "concurrent experiments for grid runs (0 = one per core)");
   flags.DefineString("json_out", "",
@@ -145,6 +169,24 @@ int main(int argc, char** argv) {
   if (!flags.GetString("skew_ms").empty()) {
     base.WithClockOffsets(ParseSkewList(flags.GetString("skew_ms")));
   }
+  if (!flags.GetString("fault_plan").empty()) {
+    auto text = ReadWholeFile(flags.GetString("fault_plan"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto plan = sim::FaultPlan::FromJson(text.value());
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --fault_plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    base.WithFaultPlan(std::move(plan).value());
+  }
+  if (flags.GetDouble("dup") > 0.0) {
+    base.WithDuplication(flags.GetDouble("dup"));
+  }
+  base.WithReliable(flags.GetString("reliable"));
 
   // Grid axes: protocols x seeds (each defaults to a single value).
   std::vector<hns::Protocol> protocols;
@@ -168,16 +210,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<double> losses;
+  if (flags.GetString("losses").empty()) {
+    losses.push_back(flags.GetDouble("loss"));
+  } else {
+    for (const std::string& l : SplitCsv(flags.GetString("losses"))) {
+      losses.push_back(std::atof(l.c_str()));
+    }
+  }
+
   std::vector<hns::ExperimentSpec> specs;
+  const bool grid =
+      protocols.size() > 1 || seeds.size() > 1 || losses.size() > 1;
   for (hns::Protocol p : protocols) {
     for (uint64_t seed : seeds) {
-      hns::ExperimentSpec spec = base;
-      spec.WithProtocol(p).WithSeed(seed);
-      if (protocols.size() > 1 || seeds.size() > 1) {
-        spec.WithLabel(std::string(hns::ProtocolToken(p)) + " seed " +
-                       std::to_string(seed));
+      for (double loss : losses) {
+        hns::ExperimentSpec spec = base;
+        spec.WithProtocol(p).WithSeed(seed);
+        if (loss > 0.0) spec.WithLoss(loss);
+        if (grid) {
+          std::string label = std::string(hns::ProtocolToken(p)) + " seed " +
+                              std::to_string(seed);
+          if (losses.size() > 1) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " loss %g", loss);
+            label += buf;
+          }
+          spec.WithLabel(std::move(label));
+        }
+        specs.push_back(std::move(spec));
       }
-      specs.push_back(std::move(spec));
     }
   }
   for (const auto& spec : specs) {
