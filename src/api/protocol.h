@@ -44,6 +44,17 @@ using CommitCallback = std::function<void(const CommitOutcome&)>;
 using ReadOnlyCallback =
     std::function<void(std::vector<Result<VersionedValue>>)>;
 
+/// Crash-recovery progress, accumulated across every restart in the run
+/// (restarted replica objects do not survive their next crash, so the
+/// cluster owns the running totals). Every protocol exports these as
+/// `recovery.*` counters when nonzero.
+struct RecoveryStats {
+  uint64_t recoveries = 0;
+  uint64_t records_replayed = 0;  ///< WAL records rebuilt on restart.
+  uint64_t catchup_records = 0;   ///< Records pulled from peers post-restore.
+  uint64_t duration_us = 0;       ///< Total restore -> caught-up time.
+};
+
 /// A running deployment of one protocol across the simulated datacenters.
 class ProtocolCluster {
  public:

@@ -19,7 +19,10 @@ ReplicatedCommitCluster::ReplicatedCommitCluster(sim::Scheduler* scheduler,
             ? 0
             : config_.clock_offsets[static_cast<size_t>(dc)];
     clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
+    wals_.push_back(std::make_unique<wal::MemoryWal>());
   }
+  dc_state_.resize(static_cast<size_t>(config_.num_datacenters));
+  journaled_.resize(static_cast<size_t>(config_.num_datacenters));
 }
 
 void ReplicatedCommitCluster::SetObservability(obs::TraceRecorder* trace,
@@ -35,6 +38,17 @@ void ReplicatedCommitCluster::ExportMetrics(
     obs::MetricsRegistry* registry) const {
   registry->counter("protocol.commits").Set(commits_);
   registry->counter("protocol.aborts").Set(aborts_);
+  // Gated on an actual recovery so crash-free snapshots keep their
+  // pre-existing key set byte for byte.
+  if (recovery_stats_.recoveries > 0) {
+    registry->counter("recovery.recoveries").Set(recovery_stats_.recoveries);
+    registry->counter("recovery.records_replayed")
+        .Set(recovery_stats_.records_replayed);
+    registry->counter("recovery.catchup_records")
+        .Set(recovery_stats_.catchup_records);
+    registry->counter("recovery.duration_us")
+        .Set(recovery_stats_.duration_us);
+  }
 }
 
 void ReplicatedCommitCluster::RecordDecision(DcId dc, const TxnId& txn,
@@ -95,10 +109,18 @@ TxnId ReplicatedCommitCluster::BeginTxn(DcId client_dc) {
 void ReplicatedCommitCluster::HandleLockRead(
     DcId dc, const TxnId& txn, Timestamp start_ts, const Key& key,
     std::function<void(Result<VersionedValue>)> reply) {
+  const DcState& st = dc_state_[static_cast<size_t>(dc)];
+  if (st.down) return;  // A crashed datacenter drops everything.
   Datacenter& d = *dcs_[static_cast<size_t>(dc)];
   d.service.Submit(config_.service.read + config_.service.lock_op,
-                   [this, dc, txn, start_ts, key,
+                   [this, dc, gen = st.gen, txn, start_ts, key,
                     reply = std::move(reply)]() {
+    const DcState& st = dc_state_[static_cast<size_t>(dc)];
+    if (st.down || gen != st.gen) return;  // Crashed while queued.
+    if (st.recovering) {
+      reply(Status::Unavailable("recovering"));
+      return;
+    }
     Datacenter& d = *dcs_[static_cast<size_t>(dc)];
     d.locks.Acquire(key, LockMode::kShared, txn, start_ts,
                     [&d, &key, &reply](Status s) {
@@ -116,6 +138,8 @@ void ReplicatedCommitCluster::HandleVote(
     DcId dc, const TxnId& txn, Timestamp start_ts,
     const std::vector<ReadEntry>& reads, const std::vector<WriteEntry>& writes,
     std::function<void(VoteReply)> reply) {
+  const DcState& state = dc_state_[static_cast<size_t>(dc)];
+  if (state.down) return;
   Datacenter& d = *dcs_[static_cast<size_t>(dc)];
   const Duration vote_cost =
       config_.service.commit_request +
@@ -123,7 +147,16 @@ void ReplicatedCommitCluster::HandleVote(
           static_cast<Duration>(reads.size() + writes.size());
   d.service.Submit(
       vote_cost,
-      [this, dc, txn, start_ts, reads, writes, reply = std::move(reply)]() {
+      [this, dc, gen = state.gen, txn, start_ts, reads, writes,
+       reply = std::move(reply)]() {
+        const DcState& st = dc_state_[static_cast<size_t>(dc)];
+        if (st.down || gen != st.gen) return;
+        if (st.recovering) {
+          // A store that has not caught up cannot validate reads; vote no
+          // rather than risk validating against stale versions.
+          reply(VoteReply{});
+          return;
+        }
         Datacenter& d = *dcs_[static_cast<size_t>(dc)];
         VoteReply vote;
         vote.yes = true;
@@ -165,15 +198,22 @@ void ReplicatedCommitCluster::HandleVote(
 void ReplicatedCommitCluster::HandleDecision(DcId dc, const TxnId& txn,
                                              bool commit, TxnBodyPtr body,
                                              Timestamp version_ts) {
+  const DcState& state = dc_state_[static_cast<size_t>(dc)];
+  if (state.down) return;
   Datacenter& d = *dcs_[static_cast<size_t>(dc)];
   const Duration cost =
       commit ? config_.service.write_apply *
                    static_cast<Duration>(body ? body->write_set.size() : 0)
              : Micros(10);
-  d.service.Submit(cost, [this, dc, txn, commit, body = std::move(body),
-                          version_ts]() {
+  d.service.Submit(cost, [this, dc, gen = state.gen, txn, commit,
+                          body = std::move(body), version_ts]() {
+    const DcState& st = dc_state_[static_cast<size_t>(dc)];
+    if (st.down || gen != st.gen) return;
     Datacenter& d = *dcs_[static_cast<size_t>(dc)];
-    if (commit && body != nullptr) {
+    // Journal-then-apply; a false return means catch-up already applied
+    // this decision, so the broadcast copy must not apply it again.
+    if (commit && body != nullptr &&
+        JournalCommit(dc, txn, body, version_ts)) {
       d.store.ApplyTxn(*body, version_ts);
     }
     d.locks.ReleaseAll(txn);
@@ -337,6 +377,7 @@ void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
 void ReplicatedCommitCluster::LoadInitialAll(const Key& key,
                                              const Value& value) {
   const TxnId loader{-2, next_load_seq_++};
+  initial_loads_.emplace_back(key, value);
   for (auto& dc : dcs_) dc->store.ApplyWrite(key, value, 0, loader);
 }
 
@@ -348,10 +389,21 @@ void ReplicatedCommitCluster::ClientRead(DcId client_dc, const Key& key,
                                          ReadCallback done) {
   // Plain read outside a transaction: lock-free local read.
   Route(client_dc, client_dc, [this, client_dc, key, done = std::move(done)]() {
+    const DcState& st = dc_state_[static_cast<size_t>(client_dc)];
+    if (st.down) return;
     Datacenter& d = *dcs_[static_cast<size_t>(client_dc)];
-    d.service.Submit(config_.service.read, [this, &d, key, client_dc,
+    d.service.Submit(config_.service.read, [this, key, client_dc,
+                                            gen = st.gen,
                                             done = std::move(done)]() {
-      auto r = d.store.Read(key);
+      const DcState& st = dc_state_[static_cast<size_t>(client_dc)];
+      if (st.down || gen != st.gen) return;
+      if (st.recovering) {
+        RouteBack(client_dc, client_dc, [done]() {
+          done(Status::Unavailable("recovering"));
+        });
+        return;
+      }
+      auto r = dcs_[static_cast<size_t>(client_dc)]->store.Read(key);
       RouteBack(client_dc, client_dc,
                 [done, r = std::move(r)]() { done(r); });
     });
@@ -371,17 +423,148 @@ void ReplicatedCommitCluster::ClientReadOnly(DcId client_dc,
                                              ReadOnlyCallback done) {
   Route(client_dc, client_dc, [this, client_dc, keys = std::move(keys),
                                done = std::move(done)]() {
+    const DcState& st = dc_state_[static_cast<size_t>(client_dc)];
+    if (st.down) return;
     Datacenter& d = *dcs_[static_cast<size_t>(client_dc)];
     d.service.Submit(
         config_.service.read * static_cast<Duration>(keys.size()),
-        [this, &d, keys, client_dc, done = std::move(done)]() {
+        [this, keys, client_dc, gen = st.gen, done = std::move(done)]() {
+          const DcState& st = dc_state_[static_cast<size_t>(client_dc)];
+          if (st.down || gen != st.gen) return;
           std::vector<Result<VersionedValue>> out;
-          out.reserve(keys.size());
-          for (const Key& k : keys) out.push_back(d.store.Read(k));
+          if (st.recovering) {
+            out.assign(keys.size(),
+                       Result<VersionedValue>(Status::Unavailable("recovering")));
+          } else {
+            Datacenter& d = *dcs_[static_cast<size_t>(client_dc)];
+            out.reserve(keys.size());
+            for (const Key& k : keys) out.push_back(d.store.Read(k));
+          }
           RouteBack(client_dc, client_dc,
                     [done, out = std::move(out)]() { done(out); });
         });
   });
+}
+
+// --- Crash recovery ------------------------------------------------------------
+
+bool ReplicatedCommitCluster::JournalCommit(DcId dc, const TxnId& txn,
+                                            TxnBodyPtr body,
+                                            Timestamp version_ts) {
+  if (!journaled_[static_cast<size_t>(dc)].insert(txn).second) return false;
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = true;
+  rec.ts = version_ts;
+  rec.version_ts = version_ts;
+  rec.origin = txn.origin;
+  rec.body = std::move(body);
+  (void)wals_[static_cast<size_t>(dc)]->AppendRecord(rec);
+  return true;
+}
+
+void ReplicatedCommitCluster::SetDatacenterDown(DcId dc, bool down) {
+  DcState& st = dc_state_[static_cast<size_t>(dc)];
+  if (down) {
+    if (st.down) return;
+    // Crash with amnesia: destroy the Datacenter object — lock table,
+    // store and service queue vanish; only the WAL journal (and its
+    // TxnId mirror) survives. A fresh shell replaces it so closures
+    // queued against the old object hit the generation guard instead of
+    // freed memory.
+    dcs_[static_cast<size_t>(dc)] = std::make_unique<Datacenter>(scheduler_);
+    ++st.gen;
+    st.down = true;
+    st.recovering = false;
+    return;
+  }
+  if (!st.down) return;
+  st.down = false;
+  st.recovering = true;
+  const sim::SimTime started = scheduler_->Now();
+  const uint64_t gen = st.gen;
+  // Restore: data loaded outside the protocol first (same TxnIds as the
+  // original loads, since they replay in order from 1), then the journal
+  // of every decision this datacenter had applied before the crash.
+  Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+  uint64_t load_seq = 1;
+  for (const auto& [key, value] : initial_loads_) {
+    d.store.ApplyWrite(key, value, 0, TxnId{-2, load_seq++});
+  }
+  const auto& journal = wals_[static_cast<size_t>(dc)]->contents().records;
+  for (const auto& rec : journal) {
+    if (rec.body != nullptr) d.store.ApplyTxn(*rec.body, rec.version_ts);
+  }
+  const uint64_t replayed = journal.size();
+  // Catch-up: pull the journal from the first live peer and apply the
+  // decisions missed during the outage. One peer suffices — every peer's
+  // journal holds every decision it applied, and any decision a majority
+  // committed was applied at every live datacenter.
+  DcId peer = kInvalidDc;
+  for (DcId p = 0; p < config_.num_datacenters; ++p) {
+    if (p != dc && !dc_state_[static_cast<size_t>(p)].down) {
+      peer = p;
+      break;
+    }
+  }
+  if (peer == kInvalidDc) {
+    FinishRecovery(dc, replayed, 0, started);
+    return;
+  }
+  WanSend(dc, peer, [this, dc, peer, gen, replayed, started]() {
+    const DcState& ps = dc_state_[static_cast<size_t>(peer)];
+    if (ps.down) return;  // Request lost; the guard below finishes.
+    dcs_[static_cast<size_t>(peer)]->service.Submit(
+        config_.service.read, [this, dc, peer, gen, replayed, started]() {
+          if (dc_state_[static_cast<size_t>(peer)].down) return;
+          auto records = std::make_shared<std::vector<rdict::LogRecord>>(
+              wals_[static_cast<size_t>(peer)]->contents().records);
+          WanSend(peer, dc, [this, dc, gen, replayed, started, records]() {
+            const DcState& st = dc_state_[static_cast<size_t>(dc)];
+            if (st.down || gen != st.gen || !st.recovering) return;
+            Datacenter& d = *dcs_[static_cast<size_t>(dc)];
+            uint64_t fresh = 0;
+            for (const auto& rec : *records) {
+              if (rec.body == nullptr) continue;
+              // JournalCommit dedups against everything already applied —
+              // the pre-crash journal and decisions broadcast since the
+              // restart.
+              if (!JournalCommit(dc, rec.body->id, rec.body,
+                                 rec.version_ts)) {
+                continue;
+              }
+              d.store.ApplyTxn(*rec.body, rec.version_ts);
+              ++fresh;
+            }
+            FinishRecovery(dc, replayed, fresh, started);
+          });
+        });
+  });
+  // Guard: if the peer crashes before answering, rejoin with the local
+  // journal alone rather than staying wedged in the recovering state.
+  scheduler_->After(config_.decision_timeout,
+                    [this, dc, gen, replayed, started]() {
+                      const DcState& st = dc_state_[static_cast<size_t>(dc)];
+                      if (st.down || gen != st.gen || !st.recovering) return;
+                      FinishRecovery(dc, replayed, 0, started);
+                    });
+}
+
+void ReplicatedCommitCluster::FinishRecovery(DcId dc, uint64_t records_replayed,
+                                             uint64_t catchup_records,
+                                             sim::SimTime started) {
+  DcState& st = dc_state_[static_cast<size_t>(dc)];
+  if (!st.recovering) return;  // Already finished.
+  st.recovering = false;
+  ++recovery_stats_.recoveries;
+  recovery_stats_.records_replayed += records_replayed;
+  recovery_stats_.catchup_records += catchup_records;
+  const sim::SimTime now = scheduler_->Now();
+  recovery_stats_.duration_us += static_cast<uint64_t>(now - started);
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kNodeRecover, dc, TxnId{}, started, now,
+                 kInvalidDc, "journal-replay+peer-catchup");
+  }
 }
 
 }  // namespace helios::baselines

@@ -20,6 +20,8 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "api/protocol.h"
@@ -33,6 +35,7 @@
 #include "sim/service_queue.h"
 #include "store/lock_table.h"
 #include "store/mv_store.h"
+#include "wal/wal_sink.h"
 
 namespace helios::baselines {
 
@@ -81,6 +84,18 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   /// rounds here are not loss-tolerant, so chaos runs need this.
   void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
 
+  /// Node-process half of an outage. `down` crashes the datacenter with
+  /// amnesia (lock table, store and service queue destroyed; only the WAL
+  /// journal of applied decisions survives). `!down` replays the journal,
+  /// then pulls the decisions it missed from the first live peer. While
+  /// catching up the datacenter refuses lock-reads and votes.
+  void SetDatacenterDown(DcId dc, bool down) override;
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  bool datacenter_down(DcId dc) const {
+    return dc_state_[static_cast<size_t>(dc)].down;
+  }
+
   const MvStore& store(DcId dc) const { return dcs_[dc]->store; }
   const LockTable& locks(DcId dc) const { return dcs_[dc]->locks; }
   core::HistoryRecorder& history() { return history_; }
@@ -124,10 +139,29 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   void BroadcastDecision(DcId home, const TxnId& txn, bool commit,
                          TxnBodyPtr body, Timestamp version_ts);
 
+  /// Persists one applied commit decision into `dc`'s WAL journal.
+  /// Returns false (and journals nothing) when `txn` is already journaled
+  /// there — the apply-side dedup that makes broadcast + catch-up
+  /// delivery of the same decision idempotent.
+  bool JournalCommit(DcId dc, const TxnId& txn, TxnBodyPtr body,
+                     Timestamp version_ts);
+  /// Ends `dc`'s catch-up phase and accounts the recovery.
+  void FinishRecovery(DcId dc, uint64_t records_replayed,
+                      uint64_t catchup_records, sim::SimTime started);
+
   /// Records the trace events and histogram sample for a decision reached
   /// at `now` for a commit request that entered at `t0`.
   void RecordDecision(DcId dc, const TxnId& txn, bool commit,
                       sim::SimTime t0, const std::string& reason);
+
+  /// Crash/recovery state per datacenter. `gen` increments on every
+  /// amnesia restart so closures queued against the destroyed Datacenter
+  /// object become no-ops instead of acting on its replacement.
+  struct DcState {
+    bool down = false;
+    bool recovering = false;
+    uint64_t gen = 0;
+  };
 
   sim::Scheduler* scheduler_;
   sim::Network* network_;
@@ -135,6 +169,15 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   ReplicatedCommitConfig config_;
   std::vector<std::unique_ptr<Datacenter>> dcs_;
   std::vector<std::unique_ptr<sim::Clock>> clocks_;
+  /// Per-datacenter durable journal of applied commit decisions; survives
+  /// the Datacenter object across amnesia restarts.
+  std::vector<std::unique_ptr<wal::MemoryWal>> wals_;
+  /// Mirror of each WAL's TxnId set (durable, like the WAL itself);
+  /// JournalCommit consults it so decisions apply exactly once.
+  std::vector<std::unordered_set<TxnId, TxnIdHash>> journaled_;
+  std::vector<DcState> dc_state_;
+  std::vector<std::pair<Key, Value>> initial_loads_;
+  RecoveryStats recovery_stats_;
   std::unordered_map<TxnId, Timestamp, TxnIdHash> txn_start_ts_;
   core::HistoryRecorder history_;
   obs::TraceRecorder* trace_ = nullptr;

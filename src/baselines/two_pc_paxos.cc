@@ -24,7 +24,10 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
             : config_.clock_offsets[static_cast<size_t>(dc)];
     clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
     services_.push_back(std::make_unique<sim::ServiceQueue>(scheduler_));
+    wals_.push_back(std::make_unique<wal::MemoryWal>());
   }
+  journaled_.resize(static_cast<size_t>(config_.num_datacenters));
+  dc_state_.resize(static_cast<size_t>(config_.num_datacenters));
   acceptors_.resize(static_cast<size_t>(config_.num_datacenters));
   lock_table_ = std::make_unique<LockTable>(LockPolicy::kWoundWait);
   lock_table_->set_wound_handler([this](TxnId victim) {
@@ -33,18 +36,28 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
     // from the same client abort fast.
     doomed_.insert(victim);
   });
+  replicator_ = MakeReplicator();
+}
 
+std::unique_ptr<paxos::Replicator> TwoPcPaxosCluster::MakeReplicator() {
   const DcId coord = config_.coordinator;
-  replicator_ = std::make_unique<paxos::Replicator>(
+  return std::make_unique<paxos::Replicator>(
       coord, config_.num_datacenters, /*lease=*/true, &acceptors_[coord],
       /*send_prepare=*/
       [this, coord](DcId peer, const paxos::PrepareRequest& req) {
-        WanSend(coord, peer, [this, coord, peer, req]() {
+        const uint64_t gen = dc_state_[static_cast<size_t>(coord)].gen;
+        WanSend(coord, peer, [this, coord, peer, gen, req]() {
+          if (dc_state_[static_cast<size_t>(peer)].down) return;
           services_[static_cast<size_t>(peer)]->Submit(
-              config_.service.log_message, [this, coord, peer, req]() {
+              config_.service.log_message, [this, coord, peer, gen, req]() {
+                if (dc_state_[static_cast<size_t>(peer)].down) return;
+                // Acceptor state is durable: a recovering datacenter may
+                // vote immediately.
                 const paxos::PrepareReply reply =
                     acceptors_[static_cast<size_t>(peer)].OnPrepare(req);
-                WanSend(peer, coord, [this, peer, reply]() {
+                WanSend(peer, coord, [this, coord, gen, peer, reply]() {
+                  const DcState& cs = dc_state_[static_cast<size_t>(coord)];
+                  if (cs.down || gen != cs.gen) return;
                   replicator_->OnPrepareReply(peer, reply);
                 });
               });
@@ -52,12 +65,17 @@ TwoPcPaxosCluster::TwoPcPaxosCluster(sim::Scheduler* scheduler,
       },
       /*send_accept=*/
       [this, coord](DcId peer, const paxos::AcceptRequest& req) {
-        WanSend(coord, peer, [this, coord, peer, req]() {
+        const uint64_t gen = dc_state_[static_cast<size_t>(coord)].gen;
+        WanSend(coord, peer, [this, coord, peer, gen, req]() {
+          if (dc_state_[static_cast<size_t>(peer)].down) return;
           services_[static_cast<size_t>(peer)]->Submit(
-              config_.service.log_message, [this, coord, peer, req]() {
+              config_.service.log_message, [this, coord, peer, gen, req]() {
+                if (dc_state_[static_cast<size_t>(peer)].down) return;
                 const paxos::AcceptReply reply =
                     acceptors_[static_cast<size_t>(peer)].OnAccept(req);
-                WanSend(peer, coord, [this, coord, peer, reply]() {
+                WanSend(peer, coord, [this, coord, gen, peer, reply]() {
+                  const DcState& cs = dc_state_[static_cast<size_t>(coord)];
+                  if (cs.down || gen != cs.gen) return;
                   // Processing the vote occupies the coordinator.
                   services_[static_cast<size_t>(coord)]->Charge(
                       config_.service.log_message);
@@ -115,10 +133,22 @@ void TwoPcPaxosCluster::TxnRead(DcId client_dc, const TxnId& txn,
   const Timestamp start_ts = StartTs(client_dc, txn);
   ToCoordinator(client_dc, [this, client_dc, txn, start_ts, key,
                             done = std::move(done)]() {
+    const DcState& cs = dc_state_[static_cast<size_t>(config_.coordinator)];
+    if (cs.down) return;  // A crashed coordinator drops everything.
     sim::ServiceQueue& svc =
         *services_[static_cast<size_t>(config_.coordinator)];
     svc.Submit(config_.service.read + config_.service.lock_op,
-               [this, client_dc, txn, start_ts, key, done]() {
+               [this, client_dc, txn, start_ts, key, gen = cs.gen, done]() {
+      const DcState& cs = dc_state_[static_cast<size_t>(config_.coordinator)];
+      if (cs.down || gen != cs.gen) return;  // Crashed while queued.
+      if (cs.recovering) {
+        // The store is mid-catch-up; locking against it could validate
+        // reads on stale versions.
+        FromCoordinator(client_dc, [done]() {
+          done(Status::Unavailable("recovering"));
+        });
+        return;
+      }
       if (Doomed(txn)) {
         FromCoordinator(client_dc, [done]() {
           done(Status::Aborted("transaction wounded"));
@@ -180,28 +210,39 @@ bool TwoPcPaxosCluster::ValidateReads(const TxnId& txn, Timestamp start_ts,
 void TwoPcPaxosCluster::FinishAtCoordinator(DcId home, const TxnId& txn,
                                             TxnBodyPtr body, bool commit,
                                             CommitCallback done) {
+  const DcId coord = config_.coordinator;
+  if (dc_state_[static_cast<size_t>(coord)].down) return;
   if (commit) {
-    const DcId coord = config_.coordinator;
     const Timestamp version_ts =
         clocks_[static_cast<size_t>(coord)]->NowUnique();
     services_[static_cast<size_t>(coord)]->Charge(
         config_.service.write_apply *
         static_cast<Duration>(body->write_set.size()));
-    stores_[static_cast<size_t>(coord)].ApplyTxn(*body, version_ts);
+    // Journal-then-apply; the dedup makes learner delivery, catch-up and
+    // replay of the same transaction idempotent.
+    if (JournalApply(coord, txn, body, version_ts)) {
+      stores_[static_cast<size_t>(coord)].ApplyTxn(*body, version_ts);
+    }
     ++commits_;
     history_.RecordCommit(core::CommittedTxn{txn, home, version_ts, body});
     // Learners: ship the decided transaction to every replica. Building
     // and sending each message occupies the coordinator.
     for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
       if (dc == coord) continue;
+      const uint64_t gen = dc_state_[static_cast<size_t>(dc)].gen;
       services_[static_cast<size_t>(coord)]->Charge(
           config_.service.log_message);
-      WanSend(coord, dc, [this, dc, body, version_ts]() {
+      WanSend(coord, dc, [this, dc, gen, txn, body, version_ts]() {
+        if (dc_state_[static_cast<size_t>(dc)].down) return;
         services_[static_cast<size_t>(dc)]->Submit(
             config_.service.write_apply *
                 static_cast<Duration>(body->write_set.size()),
-            [this, dc, body, version_ts]() {
-              stores_[static_cast<size_t>(dc)].ApplyTxn(*body, version_ts);
+            [this, dc, gen, txn, body, version_ts]() {
+              const DcState& st = dc_state_[static_cast<size_t>(dc)];
+              if (st.down || gen != st.gen) return;
+              if (JournalApply(dc, txn, body, version_ts)) {
+                stores_[static_cast<size_t>(dc)].ApplyTxn(*body, version_ts);
+              }
             });
       });
     }
@@ -237,15 +278,20 @@ void TwoPcPaxosCluster::CoordinatorCommit(DcId home, const TxnId& txn,
         // majority before acknowledging the commit (Spanner-style
         // durability of the commit record).
         auto decided = std::make_shared<bool>(false);
+        const uint64_t gen =
+            dc_state_[static_cast<size_t>(config_.coordinator)].gen;
         replicator_->Replicate(
             txn.ToString(),
-            [this, home, txn, body, done, decided](paxos::SlotId,
-                                                   const paxos::PaxosValue&) {
+            [this, home, txn, body, done, decided, gen](
+                paxos::SlotId, const paxos::PaxosValue&) {
               if (*decided) return;
               *decided = true;
               services_[static_cast<size_t>(config_.coordinator)]->Submit(
                   config_.service.commit_request,
-                  [this, home, txn, body, done]() {
+                  [this, home, txn, body, done, gen]() {
+                    const DcState& cs =
+                        dc_state_[static_cast<size_t>(config_.coordinator)];
+                    if (cs.down || gen != cs.gen) return;
                     // The transaction may have been wounded (and its locks
                     // released) while the Paxos round was in flight; it
                     // must abort in that case or a conflicting transaction
@@ -254,9 +300,12 @@ void TwoPcPaxosCluster::CoordinatorCommit(DcId home, const TxnId& txn,
                   });
             });
         scheduler_->After(config_.decision_timeout,
-                          [this, home, txn, body, done, decided]() {
+                          [this, home, txn, body, done, decided, gen]() {
                             if (*decided) return;
                             *decided = true;
+                            const DcState& cs = dc_state_[static_cast<size_t>(
+                                config_.coordinator)];
+                            if (cs.down || gen != cs.gen) return;
                             FinishAtCoordinator(home, txn, body, false, done);
                           });
       });
@@ -275,6 +324,17 @@ void TwoPcPaxosCluster::ExportMetrics(obs::MetricsRegistry* registry) const {
   registry->counter("protocol.commits").Set(commits_);
   registry->counter("protocol.aborts").Set(aborts_);
   registry->counter("protocol.wounds").Set(lock_table_->wounds());
+  // Gated on an actual recovery so crash-free snapshots keep their
+  // pre-existing key set byte for byte.
+  if (recovery_stats_.recoveries > 0) {
+    registry->counter("recovery.recoveries").Set(recovery_stats_.recoveries);
+    registry->counter("recovery.records_replayed")
+        .Set(recovery_stats_.records_replayed);
+    registry->counter("recovery.catchup_records")
+        .Set(recovery_stats_.catchup_records);
+    registry->counter("recovery.duration_us")
+        .Set(recovery_stats_.duration_us);
+  }
 }
 
 void TwoPcPaxosCluster::RecordDecision(DcId dc, const TxnId& txn, bool commit,
@@ -311,6 +371,8 @@ void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
   }
   ToCoordinator(client_dc, [this, client_dc, txn, body,
                             done = std::move(done)]() {
+    const DcState& cs = dc_state_[static_cast<size_t>(config_.coordinator)];
+    if (cs.down) return;
     // Commit processing at the coordinator: the 2PC bookkeeping plus one
     // lock-table operation per write lock and read validation.
     const Duration cost =
@@ -319,7 +381,16 @@ void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
             static_cast<Duration>(body->read_set.size() +
                                   body->write_set.size());
     services_[static_cast<size_t>(config_.coordinator)]->Submit(
-        cost, [this, client_dc, txn, body, done]() {
+        cost, [this, client_dc, txn, body, gen = cs.gen, done]() {
+          const DcState& cs =
+              dc_state_[static_cast<size_t>(config_.coordinator)];
+          if (cs.down || gen != cs.gen) return;
+          if (cs.recovering) {
+            FromCoordinator(client_dc, [txn, done]() {
+              done(CommitOutcome{txn, false, "recovering"});
+            });
+            return;
+          }
           CoordinatorCommit(client_dc, txn, body, done);
         });
   });
@@ -327,11 +398,13 @@ void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
 
 void TwoPcPaxosCluster::LoadInitialAll(const Key& key, const Value& value) {
   const TxnId loader{-2, next_load_seq_++};
+  initial_loads_.emplace_back(key, value);
   for (auto& store : stores_) store.ApplyWrite(key, value, 0, loader);
 }
 
 void TwoPcPaxosCluster::TxnAbandon(DcId client_dc, const TxnId& txn) {
   ToCoordinator(client_dc, [this, txn]() {
+    if (dc_state_[static_cast<size_t>(config_.coordinator)].down) return;
     lock_table_->ReleaseAll(txn);
     doomed_.erase(txn);
     txn_start_ts_.erase(txn);
@@ -343,8 +416,19 @@ void TwoPcPaxosCluster::ClientRead(DcId client_dc, const Key& key,
   // Plain (non-transactional) read: served by the coordinator without
   // locking.
   ToCoordinator(client_dc, [this, client_dc, key, done = std::move(done)]() {
+    const DcState& cs = dc_state_[static_cast<size_t>(config_.coordinator)];
+    if (cs.down) return;
     services_[static_cast<size_t>(config_.coordinator)]->Submit(
-        config_.service.read, [this, client_dc, key, done]() {
+        config_.service.read, [this, client_dc, key, gen = cs.gen, done]() {
+          const DcState& cs =
+              dc_state_[static_cast<size_t>(config_.coordinator)];
+          if (cs.down || gen != cs.gen) return;
+          if (cs.recovering) {
+            FromCoordinator(client_dc, [done]() {
+              done(Status::Unavailable("recovering"));
+            });
+            return;
+          }
           auto r = stores_[static_cast<size_t>(config_.coordinator)].Read(key);
           FromCoordinator(client_dc, [done, r = std::move(r)]() { done(r); });
         });
@@ -363,18 +447,164 @@ void TwoPcPaxosCluster::ClientReadOnly(DcId client_dc, std::vector<Key> keys,
                                        ReadOnlyCallback done) {
   ToCoordinator(client_dc, [this, client_dc, keys = std::move(keys),
                             done = std::move(done)]() {
+    const DcState& cs = dc_state_[static_cast<size_t>(config_.coordinator)];
+    if (cs.down) return;
     services_[static_cast<size_t>(config_.coordinator)]->Submit(
         config_.service.read * static_cast<Duration>(keys.size()),
-        [this, client_dc, keys, done]() {
-          const MvStore& store =
-              stores_[static_cast<size_t>(config_.coordinator)];
+        [this, client_dc, keys, gen = cs.gen, done]() {
+          const DcState& cs =
+              dc_state_[static_cast<size_t>(config_.coordinator)];
+          if (cs.down || gen != cs.gen) return;
           std::vector<Result<VersionedValue>> out;
-          out.reserve(keys.size());
-          for (const Key& k : keys) out.push_back(store.Read(k));
+          if (cs.recovering) {
+            out.assign(keys.size(), Result<VersionedValue>(
+                                        Status::Unavailable("recovering")));
+          } else {
+            const MvStore& store =
+                stores_[static_cast<size_t>(config_.coordinator)];
+            out.reserve(keys.size());
+            for (const Key& k : keys) out.push_back(store.Read(k));
+          }
           FromCoordinator(client_dc,
                           [done, out = std::move(out)]() { done(out); });
         });
   });
+}
+
+// --- Crash recovery ------------------------------------------------------------
+
+bool TwoPcPaxosCluster::JournalApply(DcId dc, const TxnId& txn,
+                                     TxnBodyPtr body, Timestamp version_ts) {
+  if (!journaled_[static_cast<size_t>(dc)].insert(txn).second) return false;
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = true;
+  rec.ts = version_ts;
+  rec.version_ts = version_ts;
+  rec.origin = txn.origin;
+  rec.body = std::move(body);
+  (void)wals_[static_cast<size_t>(dc)]->AppendRecord(rec);
+  return true;
+}
+
+void TwoPcPaxosCluster::SetDatacenterDown(DcId dc, bool down) {
+  DcState& st = dc_state_[static_cast<size_t>(dc)];
+  if (down) {
+    if (st.down) return;
+    // Crash with amnesia: volatile state goes — the store and service
+    // queue everywhere, plus the lock table, wound bookkeeping and
+    // replicator when the coordinator crashes. Paxos acceptor state is
+    // deliberately NOT reset: an acceptor's promises are durable by the
+    // protocol's own contract (they sit in the same WAL). Fresh
+    // replacements are installed immediately so closures queued against
+    // the old objects hit the generation guard instead of freed memory.
+    ++st.gen;
+    st.down = true;
+    st.recovering = false;
+    stores_[static_cast<size_t>(dc)].Clear();
+    services_[static_cast<size_t>(dc)] =
+        std::make_unique<sim::ServiceQueue>(scheduler_);
+    if (dc == config_.coordinator) {
+      lock_table_ = std::make_unique<LockTable>(LockPolicy::kWoundWait);
+      lock_table_->set_wound_handler(
+          [this](TxnId victim) { doomed_.insert(victim); });
+      doomed_.clear();
+      txn_start_ts_.clear();
+      replicator_ = MakeReplicator();
+    }
+    return;
+  }
+  if (!st.down) return;
+  st.down = false;
+  st.recovering = true;
+  const sim::SimTime started = scheduler_->Now();
+  const uint64_t gen = st.gen;
+  // Restore: data loaded outside the protocol first (same TxnIds as the
+  // original loads, since they replay in order from 1), then the journal
+  // of every transaction this datacenter had applied before the crash.
+  MvStore& store = stores_[static_cast<size_t>(dc)];
+  uint64_t load_seq = 1;
+  for (const auto& [key, value] : initial_loads_) {
+    store.ApplyWrite(key, value, 0, TxnId{-2, load_seq++});
+  }
+  const auto& journal = wals_[static_cast<size_t>(dc)]->contents().records;
+  for (const auto& rec : journal) {
+    if (rec.body != nullptr) store.ApplyTxn(*rec.body, rec.version_ts);
+  }
+  const uint64_t replayed = journal.size();
+  // Catch-up: pull the journal of a live peer and apply what the outage
+  // missed. The coordinator is the preferred source — it journals every
+  // decision at decision time, so its journal is complete; a replica's
+  // may trail by in-flight learner messages.
+  DcId peer = kInvalidDc;
+  if (dc != config_.coordinator &&
+      !dc_state_[static_cast<size_t>(config_.coordinator)].down) {
+    peer = config_.coordinator;
+  } else {
+    for (DcId p = 0; p < config_.num_datacenters; ++p) {
+      if (p != dc && !dc_state_[static_cast<size_t>(p)].down) {
+        peer = p;
+        break;
+      }
+    }
+  }
+  if (peer == kInvalidDc) {
+    FinishRecovery(dc, replayed, 0, started);
+    return;
+  }
+  WanSend(dc, peer, [this, dc, peer, gen, replayed, started]() {
+    if (dc_state_[static_cast<size_t>(peer)].down) return;
+    services_[static_cast<size_t>(peer)]->Submit(
+        config_.service.read, [this, dc, peer, gen, replayed, started]() {
+          if (dc_state_[static_cast<size_t>(peer)].down) return;
+          auto records = std::make_shared<std::vector<rdict::LogRecord>>(
+              wals_[static_cast<size_t>(peer)]->contents().records);
+          WanSend(peer, dc, [this, dc, gen, replayed, started, records]() {
+            const DcState& st = dc_state_[static_cast<size_t>(dc)];
+            if (st.down || gen != st.gen || !st.recovering) return;
+            uint64_t fresh = 0;
+            for (const auto& rec : *records) {
+              if (rec.body == nullptr) continue;
+              // JournalApply dedups against everything already applied —
+              // the pre-crash journal and learner deliveries since the
+              // restart.
+              if (!JournalApply(dc, rec.body->id, rec.body,
+                                rec.version_ts)) {
+                continue;
+              }
+              stores_[static_cast<size_t>(dc)].ApplyTxn(*rec.body,
+                                                        rec.version_ts);
+              ++fresh;
+            }
+            FinishRecovery(dc, replayed, fresh, started);
+          });
+        });
+  });
+  // Guard: if the peer crashes before answering, rejoin with the local
+  // journal alone rather than staying wedged in the recovering state.
+  scheduler_->After(config_.decision_timeout,
+                    [this, dc, gen, replayed, started]() {
+                      const DcState& st = dc_state_[static_cast<size_t>(dc)];
+                      if (st.down || gen != st.gen || !st.recovering) return;
+                      FinishRecovery(dc, replayed, 0, started);
+                    });
+}
+
+void TwoPcPaxosCluster::FinishRecovery(DcId dc, uint64_t records_replayed,
+                                       uint64_t catchup_records,
+                                       sim::SimTime started) {
+  DcState& st = dc_state_[static_cast<size_t>(dc)];
+  if (!st.recovering) return;  // Already finished.
+  st.recovering = false;
+  ++recovery_stats_.recoveries;
+  recovery_stats_.records_replayed += records_replayed;
+  recovery_stats_.catchup_records += catchup_records;
+  const sim::SimTime now = scheduler_->Now();
+  recovery_stats_.duration_us += static_cast<uint64_t>(now - started);
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kNodeRecover, dc, TxnId{}, started, now,
+                 kInvalidDc, "journal-replay+peer-catchup");
+  }
 }
 
 }  // namespace helios::baselines

@@ -23,6 +23,7 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "api/protocol.h"
@@ -37,6 +38,7 @@
 #include "sim/service_queue.h"
 #include "store/lock_table.h"
 #include "store/mv_store.h"
+#include "wal/wal_sink.h"
 
 namespace helios::baselines {
 
@@ -85,6 +87,21 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   /// Paxos reply otherwise wedges a slot forever.
   void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
 
+  /// Node-process half of an outage. `down` crashes the datacenter with
+  /// amnesia: the store is cleared and the service queue replaced; at the
+  /// coordinator the lock table, wound bookkeeping and replicator go too.
+  /// Paxos acceptor state is NOT reset — an acceptor's promises are
+  /// durable by the protocol's own contract, exactly like this WAL.
+  /// `!down` replays the initial loads plus the local journal of applied
+  /// transactions, then pulls the decisions missed during the outage from
+  /// the first live peer.
+  void SetDatacenterDown(DcId dc, bool down) override;
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  bool datacenter_down(DcId dc) const {
+    return dc_state_[static_cast<size_t>(dc)].down;
+  }
+
   const MvStore& store(DcId dc) const { return stores_[dc]; }
   core::HistoryRecorder& history() { return history_; }
   uint64_t commits() const { return commits_; }
@@ -112,10 +129,33 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   Timestamp StartTs(DcId home, const TxnId& txn);
   bool Doomed(const TxnId& txn) const { return doomed_.count(txn) > 0; }
 
+  /// Builds the coordinator-side Paxos replicator. Every send closure
+  /// snapshots the coordinator's generation so replies raised against a
+  /// pre-crash replicator are dropped instead of reaching its successor.
+  std::unique_ptr<paxos::Replicator> MakeReplicator();
+
+  /// Persists one applied transaction into `dc`'s WAL journal. Returns
+  /// false (journaling nothing) when `txn` is already journaled there, so
+  /// learner delivery and catch-up of the same decision stay idempotent.
+  bool JournalApply(DcId dc, const TxnId& txn, TxnBodyPtr body,
+                    Timestamp version_ts);
+  /// Ends `dc`'s catch-up phase and accounts the recovery.
+  void FinishRecovery(DcId dc, uint64_t records_replayed,
+                      uint64_t catchup_records, sim::SimTime started);
+
   /// Records the trace events and histogram sample for a decision
   /// delivered at the client at `now` for a request issued at `t0`.
   void RecordDecision(DcId dc, const TxnId& txn, bool commit,
                       sim::SimTime t0, const std::string& reason);
+
+  /// Crash/recovery state per datacenter. `gen` increments on every
+  /// amnesia restart so closures queued against the pre-crash volatile
+  /// state (store, service queue, lock table, replicator) become no-ops.
+  struct DcState {
+    bool down = false;
+    bool recovering = false;
+    uint64_t gen = 0;
+  };
 
   sim::Scheduler* scheduler_;
   sim::Network* network_;
@@ -124,6 +164,13 @@ class TwoPcPaxosCluster : public ProtocolCluster {
   std::vector<std::unique_ptr<sim::Clock>> clocks_;
   std::vector<MvStore> stores_;
   std::vector<std::unique_ptr<sim::ServiceQueue>> services_;
+  /// Per-datacenter durable journal of applied transactions, its TxnId
+  /// mirror (for exactly-once application), and crash state.
+  std::vector<std::unique_ptr<wal::MemoryWal>> wals_;
+  std::vector<std::unordered_set<TxnId, TxnIdHash>> journaled_;
+  std::vector<DcState> dc_state_;
+  std::vector<std::pair<Key, Value>> initial_loads_;
+  RecoveryStats recovery_stats_;
   std::unique_ptr<LockTable> lock_table_;        ///< At the coordinator.
   std::vector<paxos::Acceptor> acceptors_;       ///< One per datacenter.
   std::unique_ptr<paxos::Replicator> replicator_;  ///< At the coordinator.

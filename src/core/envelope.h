@@ -28,6 +28,17 @@ struct Refusal {
   }
 };
 
+/// What an envelope is for. Regular gossip carries the periodic partial
+/// log; the catch-up kinds implement the anti-entropy phase a recovering
+/// datacenter runs after rebuilding from its WAL (it sends its restored
+/// timetable to every peer and each peer answers with exactly the log
+/// suffix the table proves the requester is missing).
+enum class EnvelopeKind : uint8_t {
+  kGossip = 0,
+  kCatchupRequest = 1,
+  kCatchupResponse = 2,
+};
+
 /// One Helios-to-Helios message.
 struct Envelope {
   rdict::LogMessage log;
@@ -49,6 +60,11 @@ struct Envelope {
   /// (microseconds; 0 = unknown). Gossiped so every node can assemble the
   /// full matrix the MAO replanner needs.
   std::vector<Duration> rtt_row_us;
+
+  /// Role of this envelope (gossip vs. recovery catch-up). On the wire
+  /// the field is a trailing optional: omitted for kGossip, so regular
+  /// traffic's byte layout (and measured message sizes) are unchanged.
+  EnvelopeKind kind = EnvelopeKind::kGossip;
 
   explicit Envelope(int n) : log(n) {}
 };

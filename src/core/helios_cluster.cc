@@ -13,34 +13,53 @@ HeliosCluster::HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
     : scheduler_(scheduler),
       network_(network),
       config_(std::move(config)),
+      kind_(kind),
       name_(std::move(name)) {
   assert(network_->size() == config_.num_datacenters);
   const int n = config_.num_datacenters;
   clocks_.reserve(static_cast<size_t>(n));
   nodes_.reserve(static_cast<size_t>(n));
+  wals_.reserve(static_cast<size_t>(n));
   for (DcId dc = 0; dc < n; ++dc) {
     const Duration offset = config_.clock_offsets.empty()
                                 ? 0
                                 : config_.clock_offsets[static_cast<size_t>(dc)];
     clocks_.push_back(std::make_unique<sim::Clock>(scheduler_, offset));
-    nodes_.push_back(std::make_unique<HeliosNode>(
-        dc, config_, kind, scheduler_, clocks_.back().get(),
-        [this, dc](DcId to, const Envelope& env) {
-          const size_t size = envelope_sizer_ ? envelope_sizer_(env) : 0;
-          auto deliver = [this, to, env]() {
-            nodes_[static_cast<size_t>(to)]->HandleEnvelope(env);
-          };
-          if (mesh_ != nullptr) {
-            mesh_->SendSized(dc, to, size, std::move(deliver));
-          } else {
-            network_->SendSized(dc, to, size, std::move(deliver));
-          }
-        }));
-    nodes_.back()->set_history_recorder(&history_);
+    wals_.push_back(std::make_unique<wal::MemoryWal>());
+    nodes_.push_back(MakeNode(dc));
   }
 }
 
+std::unique_ptr<HeliosNode> HeliosCluster::MakeNode(DcId dc) {
+  auto node = std::make_unique<HeliosNode>(
+      dc, config_, kind_, scheduler_, clocks_[static_cast<size_t>(dc)].get(),
+      [this, dc](DcId to, const Envelope& env) {
+        const size_t size = envelope_sizer_ ? envelope_sizer_(env) : 0;
+        auto deliver = [this, to, env]() {
+          nodes_[static_cast<size_t>(to)]->HandleEnvelope(env);
+        };
+        if (mesh_ != nullptr) {
+          mesh_->SendSized(dc, to, size, std::move(deliver));
+        } else {
+          network_->SendSized(dc, to, size, std::move(deliver));
+        }
+      });
+  node->set_history_recorder(&history_);
+  node->SetObservability(trace_, metrics_);
+  // Durability is always on: every append/ingest and every GC-tick
+  // timetable snapshot lands in the per-datacenter MemoryWal. The sink is
+  // a pure memory side effect — no scheduler events, no RNG — so
+  // crash-free runs stay bit-identical.
+  wal::MemoryWal* wal = wals_[static_cast<size_t>(dc)].get();
+  node->set_record_sink(
+      [wal](const rdict::LogRecord& rec) { (void)wal->AppendRecord(rec); });
+  node->set_timetable_sink(
+      [wal](const rdict::Timetable& t) { (void)wal->AppendTimetable(t); });
+  return node;
+}
+
 void HeliosCluster::Start() {
+  started_ = true;
   for (auto& node : nodes_) node->Start();
 }
 
@@ -89,21 +108,58 @@ void HeliosCluster::ClientReadOnly(DcId client_dc, std::vector<Key> keys,
 }
 
 void HeliosCluster::LoadInitialAll(const Key& key, const Value& value) {
+  initial_loads_.emplace_back(key, value);
   for (auto& node : nodes_) node->LoadInitial(key, value);
 }
 
 void HeliosCluster::CrashDatacenter(DcId dc) {
   network_->CrashNode(dc);
-  node(dc).SetDown(true);
+  SetDatacenterDown(dc, true);
 }
 
 void HeliosCluster::RecoverDatacenter(DcId dc) {
   network_->RecoverNode(dc);
+  SetDatacenterDown(dc, false);
+}
+
+void HeliosCluster::SetDatacenterDown(DcId dc, bool down) {
+  if (down) {
+    if (node(dc).down()) return;
+    // Crash with amnesia: destroy the node object — log, store, pools,
+    // pending transactions, refusal state, clock floor bookkeeping and
+    // offset overrides all vanish. A fresh down shell takes its place so
+    // deliveries already in flight land on a live object that drops them.
+    nodes_[static_cast<size_t>(dc)] = MakeNode(dc);
+    node(dc).SetDown(true);
+    return;
+  }
+  if (!node(dc).down()) return;
+  // Recovery: replay data loaded outside the protocol, then the WAL
+  // (records + latest timetable snapshot), then rejoin and catch up.
+  for (const auto& [key, value] : initial_loads_) {
+    node(dc).LoadInitial(key, value);
+  }
+  const wal::WalContents& contents = wals_[static_cast<size_t>(dc)]->contents();
+  const Status restored = node(dc).Restore(
+      contents.records, contents.has_timetable ? &contents.timetable : nullptr);
+  assert(restored.ok());
+  (void)restored;
   node(dc).SetDown(false);
+  if (!started_) return;  // Crash/recover before Start(): nothing to rejoin.
+  node(dc).Start();
+  node(dc).BeginCatchup([this](const RecoveryOutcome& out) {
+    ++recovery_stats_.recoveries;
+    recovery_stats_.records_replayed += out.records_replayed;
+    recovery_stats_.catchup_records += out.catchup_records;
+    recovery_stats_.duration_us +=
+        static_cast<uint64_t>(out.finished_sim - out.started_sim);
+  });
 }
 
 void HeliosCluster::SetObservability(obs::TraceRecorder* trace,
                                      obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  metrics_ = metrics;
   for (auto& node : nodes_) node->SetObservability(trace, metrics);
 }
 
@@ -125,6 +181,17 @@ void HeliosCluster::ExportMetrics(obs::MetricsRegistry* registry) const {
   registry->counter("protocol.aborts")
       .Set(total.aborts_on_request + total.aborts_by_remote +
            total.aborts_liveness);
+  // Gated on an actual recovery so crash-free snapshots keep their
+  // pre-existing key set byte for byte.
+  if (recovery_stats_.recoveries > 0) {
+    registry->counter("recovery.recoveries").Set(recovery_stats_.recoveries);
+    registry->counter("recovery.records_replayed")
+        .Set(recovery_stats_.records_replayed);
+    registry->counter("recovery.catchup_records")
+        .Set(recovery_stats_.catchup_records);
+    registry->counter("recovery.duration_us")
+        .Set(recovery_stats_.duration_us);
+  }
   for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
     const std::string prefix = "node.dc" + std::to_string(dc);
     registry->gauge(prefix + ".pt_pool").Set(

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/protocol.h"
@@ -16,6 +17,7 @@
 #include "sim/clock.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
+#include "wal/wal_sink.h"
 
 namespace helios::core {
 
@@ -50,7 +52,9 @@ class HeliosCluster : public ProtocolCluster {
   void ExportMetrics(obs::MetricsRegistry* registry) const override;
 
   /// Full datacenter outage: the network drops its traffic and the node
-  /// stops processing.
+  /// process crashes with amnesia (volatile state destroyed; only the WAL
+  /// survives). Recovery rebuilds the node from its WAL via Restore(),
+  /// then runs the anti-entropy catch-up against the peers.
   void CrashDatacenter(DcId dc);
   void RecoverDatacenter(DcId dc);
 
@@ -58,9 +62,17 @@ class HeliosCluster : public ProtocolCluster {
   /// lossy WAN); null restores direct network sends.
   void SetReliableMesh(sim::ReliableMesh* mesh) override { mesh_ = mesh; }
 
-  /// Node-process half of an outage; the harness handles the network half.
-  void SetDatacenterDown(DcId dc, bool down) override {
-    node(dc).SetDown(down);
+  /// Node-process half of an outage (the harness handles the network
+  /// half): `down` destroys the node object — true amnesia — leaving a
+  /// fresh down shell that drops in-flight deliveries; `!down` replays
+  /// the WAL through Restore() and begins catch-up.
+  void SetDatacenterDown(DcId dc, bool down) override;
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// The per-datacenter in-memory WAL (the simulated durable disk).
+  const wal::MemoryWal& wal(DcId dc) const {
+    return *wals_[static_cast<size_t>(dc)];
   }
 
   HeliosNode& node(DcId dc) { return *nodes_[static_cast<size_t>(dc)]; }
@@ -92,14 +104,30 @@ class HeliosCluster : public ProtocolCluster {
   }
 
  private:
+  /// Builds a fresh node for `dc` with all cluster wiring (WAN send, WAL
+  /// sinks, history, observability). Used at construction and for the
+  /// amnesia restart on crash.
+  std::unique_ptr<HeliosNode> MakeNode(DcId dc);
+
   sim::Scheduler* scheduler_;
   sim::Network* network_;
   sim::ReliableMesh* mesh_ = nullptr;
   HeliosConfig config_;
+  const LogProtocolKind kind_;
   std::string name_;
   HistoryRecorder history_;
   std::vector<std::unique_ptr<sim::Clock>> clocks_;
   std::vector<std::unique_ptr<HeliosNode>> nodes_;
+  /// Per-datacenter durable state: survives node destruction, so a crash
+  /// wipes everything except what went through the sinks.
+  std::vector<std::unique_ptr<wal::MemoryWal>> wals_;
+  /// Data loaded outside the protocol (LoadInitialAll bypasses the log,
+  /// so recovery must replay it separately before the WAL).
+  std::vector<std::pair<Key, Value>> initial_loads_;
+  bool started_ = false;
+  RecoveryStats recovery_stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   EnvelopeSizer envelope_sizer_;
 };
 

@@ -51,6 +51,14 @@ struct HeliosConfig {
   /// Period of log / store garbage collection. <= 0 disables GC.
   Duration gc_interval = Millis(500);
 
+  /// Recovery catch-up: a recovering node re-requests the missed log
+  /// suffix from peers that have not answered after this long, up to
+  /// `catchup_max_attempts` rounds; after that, catch-up finishes
+  /// partially and regular gossip fills any remaining gap (a peer may
+  /// itself be down).
+  Duration catchup_retry_interval = Millis(250);
+  int catchup_max_attempts = 5;
+
   ServiceModel service;
 
   /// Per-datacenter clock offsets (for Figure 5 skew experiments); empty

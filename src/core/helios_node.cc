@@ -64,13 +64,15 @@ Duration HeliosNode::OffsetTo(DcId x) const {
 }
 
 void HeliosNode::Start() {
+  if (started_) return;  // A recovered node restarts its loops exactly once.
+  started_ = true;
   // Stagger the first transmission so datacenters do not tick in lockstep.
   const Duration stagger =
       config_.log_interval * id_ / std::max(1, config_.num_datacenters);
   scheduler_->After(config_.log_interval + stagger,
-                    [this]() { SendToAllPeers(); });
+                    Guarded([this]() { SendToAllPeers(); }));
   if (config_.gc_interval > 0) {
-    scheduler_->After(config_.gc_interval, [this]() { RunGc(); });
+    scheduler_->After(config_.gc_interval, Guarded([this]() { RunGc(); }));
   }
 }
 
@@ -78,19 +80,30 @@ void HeliosNode::Start() {
 
 void HeliosNode::HandleRead(const Key& key, ReadCallback reply) {
   service_queue_.Submit(config_.service.read,
-                        [this, key, reply = std::move(reply)]() {
+                        Guarded([this, key, reply = std::move(reply)]() {
                           if (down_) return;
+                          if (recovering_) {
+                            reply(Status::Unavailable("recovering"));
+                            return;
+                          }
                           ++counters_.read_requests;
                           reply(store_.Read(key));
-                        });
+                        }));
 }
 
 void HeliosNode::HandleReadOnly(std::vector<Key> keys, ReadOnlyCallback reply) {
   const Duration cost =
       config_.service.read * static_cast<Duration>(keys.size());
   service_queue_.Submit(
-      cost, [this, keys = std::move(keys), reply = std::move(reply)]() {
+      cost, Guarded([this, keys = std::move(keys), reply = std::move(reply)]() {
         if (down_) return;
+        if (recovering_) {
+          std::vector<Result<VersionedValue>> out(
+              keys.size(), Result<VersionedValue>(
+                               Status::Unavailable("recovering")));
+          reply(std::move(out));
+          return;
+        }
         ++counters_.read_only_txns;
         // The node is single-threaded, so reading every key's latest
         // applied version within one event *is* a consistent snapshot of
@@ -101,7 +114,7 @@ void HeliosNode::HandleReadOnly(std::vector<Key> keys, ReadOnlyCallback reply) {
         out.reserve(keys.size());
         for (const Key& k : keys) out.push_back(store_.Read(k));
         reply(std::move(out));
-      });
+      }));
 }
 
 void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
@@ -112,13 +125,13 @@ void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
     trace_->Instant(obs::EventKind::kTxnRequest, id_, TxnId{}, arrived);
   }
   service_queue_.Submit(config_.service.commit_request,
-                        [this, arrived, reads = std::move(reads),
-                         writes = std::move(writes),
-                         reply = std::move(reply)]() mutable {
+                        Guarded([this, arrived, reads = std::move(reads),
+                                 writes = std::move(writes),
+                                 reply = std::move(reply)]() mutable {
                           ProcessCommitRequest(std::move(reads),
                                                std::move(writes),
                                                std::move(reply), arrived);
-                        });
+                        }));
 }
 
 void HeliosNode::HandleEnvelope(Envelope env) {
@@ -135,9 +148,9 @@ void HeliosNode::HandleEnvelope(Envelope env) {
   // charged inside ProcessEnvelope for *fresh* records only (recognizing a
   // retransmitted record is a constant-time timetable lookup).
   service_queue_.Submit(config_.service.log_message,
-                        [this, env = std::move(env)]() mutable {
+                        Guarded([this, env = std::move(env)]() mutable {
                           ProcessEnvelope(std::move(env));
-                        });
+                        }));
 }
 
 void HeliosNode::LoadInitial(const Key& key, const Value& value) {
@@ -161,6 +174,13 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
                                       CommitCallback reply,
                                       sim::SimTime arrived_sim) {
   if (down_) return;
+  if (recovering_) {
+    // Not yet caught up: refuse rather than decide on a stale log. The
+    // client's timeout-retry loop (or its next attempt) comes back once
+    // catch-up finished.
+    reply(CommitOutcome{TxnId{}, false, "recovering"});
+    return;
+  }
   ++counters_.commit_requests;
   const TxnId id{id_, next_txn_seq_++};
   TxnBodyPtr body = MakeTxnBody(id, std::move(reads), std::move(writes));
@@ -241,6 +261,7 @@ void HeliosNode::ProcessEnvelope(Envelope env) {
 
   std::vector<rdict::LogRecord> fresh = log_.Ingest(env.log);
   counters_.records_ingested += fresh.size();
+  if (recovering_) catchup_records_ += fresh.size();
   service_queue_.Charge(config_.service.log_record *
                         static_cast<Duration>(fresh.size()));
   if (record_sink_) {
@@ -281,6 +302,27 @@ void HeliosNode::ProcessEnvelope(Envelope env) {
       ept_pool_.Remove(rec.body->id);
       refusals_.erase(rec.body->id);
     }
+  }
+
+  if (env.kind == EnvelopeKind::kCatchupRequest) {
+    // A recovering peer sent us its restored timetable (merged by the
+    // Ingest above); BuildMessageFor now computes exactly the suffix it
+    // is missing. Answer immediately instead of waiting for the next
+    // gossip tick.
+    Envelope resp(config_.num_datacenters);
+    resp.log = log_.BuildMessageFor(env.log.from);
+    resp.refusals = RefusalsSnapshot();
+    resp.kind = EnvelopeKind::kCatchupResponse;
+    service_queue_.Charge(config_.service.log_message);
+    ++counters_.envelopes_sent;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::EventKind::kEnvelopeSend, id_, TxnId{},
+                      scheduler_->Now(), env.log.from);
+    }
+    send_(env.log.from, resp);
+  } else if (env.kind == EnvelopeKind::kCatchupResponse && recovering_) {
+    catchup_pending_.erase(env.log.from);
+    if (catchup_pending_.empty()) FinishCatchup();
   }
 
   // Algorithm 3 runs whenever new knowledge arrives.
@@ -462,10 +504,10 @@ void HeliosNode::CommitPending(const TxnId& id) {
   }
   const Duration cost = config_.service.write_apply *
                         static_cast<Duration>(body->write_set.size());
-  service_queue_.Submit(cost, [body = std::move(body),
-                               reply = std::move(reply)]() {
+  service_queue_.Submit(cost, Guarded([body = std::move(body),
+                                       reply = std::move(reply)]() {
     reply(CommitOutcome{body->id, true, ""});
-  });
+  }));
 }
 
 void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
@@ -519,6 +561,16 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
   }
   // Never reuse a persisted timestamp.
   clock_->AdvanceTo(log_.table().Get(id_, id_));
+  records_replayed_ = records.size();
+#ifndef NDEBUG
+  // The recovered timestamp floor must exceed every timestamp this node
+  // itself persisted (peers' timestamps come from their clocks and do not
+  // constrain ours).
+  for (const rdict::LogRecord& rec : records) {
+    assert(rec.origin != id_ || clock_->floor() >= rec.ts);
+  }
+  assert(clock_->floor() >= log_.table().Get(id_, id_));
+#endif
 
   // Pass 2: transactions still preparing. Remote ones re-enter the
   // EPTPool (their decisions will arrive through the log exchange). Our
@@ -570,23 +622,29 @@ void HeliosNode::SendToAllPeers() {
       send_(peer, env);
     }
   }
-  scheduler_->After(config_.log_interval, [this]() { SendToAllPeers(); });
+  scheduler_->After(config_.log_interval,
+                    Guarded([this]() { SendToAllPeers(); }));
 }
 
 void HeliosNode::RunGc() {
-  log_.GarbageCollect();
-  store_.TruncateVersionsBefore(clock_->Now() - Seconds(10));
-  // Drop refusal state for transactions that are long decided.
-  const Timestamp horizon = clock_->Now() - 10 * config_.grace_time;
-  for (auto it = refusals_.begin(); it != refusals_.end();) {
-    if (it->second.txn_ts != kMinTimestamp && it->second.txn_ts < horizon &&
-        pending_.find(it->first) == pending_.end()) {
-      it = refusals_.erase(it);
-    } else {
-      ++it;
+  if (!down_) {
+    log_.GarbageCollect();
+    store_.TruncateVersionsBefore(clock_->Now() - Seconds(10));
+    // Drop refusal state for transactions that are long decided.
+    const Timestamp horizon = clock_->Now() - 10 * config_.grace_time;
+    for (auto it = refusals_.begin(); it != refusals_.end();) {
+      if (it->second.txn_ts != kMinTimestamp && it->second.txn_ts < horizon &&
+          pending_.find(it->first) == pending_.end()) {
+        it = refusals_.erase(it);
+      } else {
+        ++it;
+      }
     }
+    // Checkpoint knowledge: piggybacking on the GC tick keeps the WAL
+    // write off the event schedule (bit-identity of crash-free runs).
+    if (timetable_sink_) timetable_sink_(log_.table());
   }
-  scheduler_->After(config_.gc_interval, [this]() { RunGc(); });
+  scheduler_->After(config_.gc_interval, Guarded([this]() { RunGc(); }));
 }
 
 void HeliosNode::MergeRefusals(const std::vector<Refusal>& refusals) {
@@ -596,6 +654,79 @@ void HeliosNode::MergeRefusals(const std::vector<Refusal>& refusals) {
     RefusalState& state = refusals_[r.txn];
     state.txn_ts = std::max(state.txn_ts, r.txn_ts);
     state.refusers.insert(r.refuser);
+  }
+}
+
+// --- Recovery catch-up --------------------------------------------------------
+
+void HeliosNode::BeginCatchup(
+    std::function<void(const RecoveryOutcome&)> done) {
+  assert(!down_ && !recovering_);
+  recovering_ = true;
+  recover_started_sim_ = scheduler_->Now();
+  catchup_done_ = std::move(done);
+  catchup_attempts_ = 0;
+  catchup_records_ = 0;
+  catchup_pending_.clear();
+  for (DcId peer = 0; peer < config_.num_datacenters; ++peer) {
+    if (peer != id_) catchup_pending_.insert(peer);
+  }
+  if (catchup_pending_.empty()) {
+    FinishCatchup();
+    return;
+  }
+  SendCatchupRequests();
+}
+
+void HeliosNode::SendCatchupRequests() {
+  // The request carries our restored timetable (inside the log message):
+  // once the peer merges it, BuildMessageFor on its side computes exactly
+  // the suffix we are missing.
+  log_.AdvanceOwnClock(clock_->NowUnique());
+  for (DcId peer : catchup_pending_) {
+    Envelope env(config_.num_datacenters);
+    env.log = log_.BuildMessageFor(peer);
+    env.kind = EnvelopeKind::kCatchupRequest;
+    if (rtt_estimator_ != nullptr) {
+      rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), &env);
+    }
+    service_queue_.Charge(config_.service.log_message);
+    ++counters_.envelopes_sent;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::EventKind::kEnvelopeSend, id_, TxnId{},
+                      scheduler_->Now(), peer);
+    }
+    send_(peer, env);
+  }
+  ++catchup_attempts_;
+  scheduler_->After(config_.catchup_retry_interval, Guarded([this]() {
+                      if (!recovering_ || down_) return;
+                      if (catchup_attempts_ >= config_.catchup_max_attempts) {
+                        // A peer may itself be down; finish partially and
+                        // let regular gossip fill the rest.
+                        FinishCatchup();
+                        return;
+                      }
+                      SendCatchupRequests();
+                    }));
+}
+
+void HeliosNode::FinishCatchup() {
+  if (!recovering_) return;
+  recovering_ = false;
+  RecoveryOutcome out;
+  out.records_replayed = records_replayed_;
+  out.catchup_records = catchup_records_;
+  out.started_sim = recover_started_sim_;
+  out.finished_sim = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kNodeRecover, id_, TxnId{}, out.started_sim,
+                 out.finished_sim);
+  }
+  if (catchup_done_) {
+    auto done = std::move(catchup_done_);
+    catchup_done_ = nullptr;
+    done(out);
   }
 }
 

@@ -68,6 +68,17 @@ struct NodeCounters {
   }
 };
 
+/// What a recovery accomplished: WAL replay volume, the anti-entropy
+/// catch-up volume, and the wall-clock (scheduler) window it took. The
+/// cluster accumulates these across restarts because the node object
+/// itself does not survive the next crash.
+struct RecoveryOutcome {
+  uint64_t records_replayed = 0;  ///< Records rebuilt from the WAL.
+  uint64_t catchup_records = 0;   ///< Fresh records pulled from peers.
+  sim::SimTime started_sim = 0;
+  sim::SimTime finished_sim = 0;
+};
+
 class HeliosNode {
  public:
   using SendFn = std::function<void(DcId to, const Envelope& env)>;
@@ -140,6 +151,14 @@ class HeliosNode {
   using RecordSink = std::function<void(const rdict::LogRecord&)>;
   void set_record_sink(RecordSink sink) { record_sink_ = std::move(sink); }
 
+  /// Companion durability hook: invoked with the current timetable on
+  /// every GC tick, checkpointing knowledge so recovery does not have to
+  /// re-derive it record by record.
+  using TimetableSink = std::function<void(const rdict::Timetable&)>;
+  void set_timetable_sink(TimetableSink sink) {
+    timetable_sink_ = std::move(sink);
+  }
+
   /// Recovery: rebuilds the node's state from the records (and optional
   /// timetable snapshot) replayed from its write-ahead log. Must run
   /// before Start() and before any traffic. Re-applies committed write
@@ -149,6 +168,16 @@ class HeliosNode {
   /// the timestamp floor so no persisted timestamp is ever reused.
   Status Restore(const std::vector<rdict::LogRecord>& records,
                  const rdict::Timetable* timetable);
+
+  /// Anti-entropy catch-up after Restore(): asks every peer for the log
+  /// suffix this node missed while down (the peer derives it from the
+  /// restored timetable the request carries) and calls `done` once all
+  /// peers answered — or after `config.catchup_max_attempts` rounds, in
+  /// which case regular gossip fills any remaining gap. While catching
+  /// up the node answers client traffic with "recovering" instead of
+  /// entering the commit path.
+  void BeginCatchup(std::function<void(const RecoveryOutcome&)> done);
+  bool recovering() const { return recovering_; }
 
   /// The effective knowledge bound \hat{T}[self][peer] of Eq. 2 (direct
   /// knowledge, raised by the inferred eta bound when f > 0). Exposed for
@@ -228,6 +257,23 @@ class HeliosNode {
   void MergeRefusals(const std::vector<Refusal>& refusals);
   std::vector<Refusal> RefusalsSnapshot() const;
 
+  void SendCatchupRequests();
+  void FinishCatchup();
+
+  /// Wraps a deferred callback so it dies with this node object. The
+  /// scheduler has no cancellation, and an amnesia restart destroys the
+  /// node while its periodic loops and queued service work are still
+  /// scheduled — the weak token turns those into no-ops instead of
+  /// use-after-free.
+  template <typename Fn>
+  auto Guarded(Fn fn) {
+    return [alive = std::weak_ptr<char>(alive_),
+            fn = std::move(fn)]() mutable {
+      if (alive.expired()) return;
+      fn();
+    };
+  }
+
   const DcId id_;
   const HeliosConfig& config_;
   const LogProtocolKind kind_;
@@ -256,6 +302,18 @@ class HeliosNode {
   uint64_t next_txn_seq_ = 1;
   uint64_t next_load_seq_ = 1;
   bool down_ = false;
+  bool started_ = false;
+  /// Liveness token for Guarded(): resets implicitly when the node object
+  /// is destroyed on an amnesia restart.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  /// Anti-entropy catch-up state (recovery only).
+  bool recovering_ = false;
+  std::set<DcId> catchup_pending_;
+  int catchup_attempts_ = 0;
+  uint64_t catchup_records_ = 0;
+  uint64_t records_replayed_ = 0;
+  sim::SimTime recover_started_sim_ = 0;
+  std::function<void(const RecoveryOutcome&)> catchup_done_;
   NodeCounters counters_;
   HistoryRecorder* history_ = nullptr;
   /// Observability (null = disabled). Histograms are resolved once in
@@ -266,6 +324,7 @@ class HeliosNode {
   obs::Histogram* h_commit_total_us_ = nullptr;
   obs::Histogram* h_abort_total_us_ = nullptr;
   RecordSink record_sink_;
+  TimetableSink timetable_sink_;
   std::unique_ptr<RttEstimator> rtt_estimator_;
   /// Runtime override of co[self][*]; empty = use the config's offsets.
   std::vector<Duration> offset_row_override_;

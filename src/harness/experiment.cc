@@ -204,6 +204,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         /*stop_at=*/measure_until));
     clients.back()->SetObservability(result.trace.get(),
                                      result.metrics_registry.get());
+    if (config.client_commit_timeout > 0) {
+      clients.back()->SetCommitTimeout(config.client_commit_timeout,
+                                       config.client_max_retries,
+                                       config.client_retry_backoff);
+    }
     // Stagger client start a little to avoid a synchronized burst.
     scheduler.At(Micros(37) * c,
                  [client = clients.back().get()]() { client->Start(); });
@@ -217,6 +222,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::vector<workload::ClientMetrics> per_dc(static_cast<size_t>(n));
   for (const auto& client : clients) {
     per_dc[static_cast<size_t>(client->home())].Merge(client->metrics());
+    result.client_timeouts += client->metrics().timeouts;
+    result.client_retries += client->metrics().retries;
   }
   const double measure_s =
       static_cast<double>(config.measure) / 1'000'000.0;
@@ -284,6 +291,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     }
     reg->counter("client.committed").Set(committed);
     reg->counter("client.aborted").Set(aborted);
+    // Gated on the feature being enabled so crash-free snapshots keep
+    // their pre-existing key set byte for byte.
+    if (config.client_commit_timeout > 0) {
+      reg->counter("client.timeouts").Set(result.client_timeouts);
+      reg->counter("client.retries").Set(result.client_retries);
+    }
     result.metrics = reg->Snapshot();
   }
   return result;

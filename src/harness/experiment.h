@@ -101,6 +101,16 @@ struct ExperimentConfig {
   /// the chaos layer.
   sim::FaultPlan fault_plan;
   ReliableDelivery reliable = ReliableDelivery::kAuto;
+
+  /// Client-side commit timeout (docs/RECOVERY.md): a transaction attempt
+  /// exceeding this is abandoned and retried with exponential backoff, up
+  /// to `client_max_retries` retries. 0 (the default) arms no timer, so
+  /// crash-free runs stay bit-identical; crash runs need it — a request
+  /// swallowed by a crashed datacenter otherwise wedges its closed-loop
+  /// client forever.
+  Duration client_commit_timeout = 0;
+  int client_max_retries = 3;
+  Duration client_retry_backoff = Millis(50);
 };
 
 struct DcResult {
@@ -131,6 +141,10 @@ struct ExperimentResult {
   /// Only set when check_serializability was requested and the protocol
   /// records history.
   std::optional<Status> serializability;
+
+  /// Totals across clients; nonzero only with client_commit_timeout set.
+  uint64_t client_timeouts = 0;
+  uint64_t client_retries = 0;
 
   uint64_t events_processed = 0;
 

@@ -129,6 +129,12 @@ Status ExperimentSpec::Validate() const {
     return Status::InvalidArgument("reliable must be auto|on|off (got '" +
                                    reliable + "')");
   }
+  if (client_timeout < 0) {
+    return Status::InvalidArgument("client_timeout must be >= 0");
+  }
+  if (client_retries < 0) {
+    return Status::InvalidArgument("client_retries must be >= 0");
+  }
   if (!fault_plan.empty()) {
     if (Status st = fault_plan.Validate(n); !st.ok()) {
       return Status::InvalidArgument("fault_plan: " + st.ToString());
@@ -197,6 +203,8 @@ Result<ExperimentConfig> ExperimentSpec::ToConfig() const {
   cfg.reliable = reliable == "on"    ? ReliableDelivery::kOn
                  : reliable == "off" ? ReliableDelivery::kOff
                                      : ReliableDelivery::kAuto;
+  cfg.client_commit_timeout = client_timeout;
+  cfg.client_max_retries = client_retries;
   return cfg;
 }
 
@@ -206,6 +214,14 @@ std::string ExperimentSpec::ToJson() const {
   // Keys in alphabetical order — the deterministic-JSON contract.
   w.Field("check_serializability", check_serializability);
   w.Field("client_link_one_way_us", static_cast<int64_t>(client_link_one_way));
+  // Omitted at their defaults so pre-timeout specs (and their sweep JSON)
+  // stay byte-identical.
+  if (client_retries != 3) {
+    w.Field("client_retries", static_cast<int64_t>(client_retries));
+  }
+  if (client_timeout != 0) {
+    w.Field("client_timeout_us", static_cast<int64_t>(client_timeout));
+  }
   w.Field("clients", static_cast<int64_t>(clients));
   if (!clock_offsets.empty()) {
     w.Key("clock_offsets_us");
@@ -274,6 +290,10 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
       st = json::ReadBool(key, v, &spec.check_serializability);
     } else if (key == "client_link_one_way_us") {
       st = json::ReadInt64(key, v, &spec.client_link_one_way);
+    } else if (key == "client_retries") {
+      st = json::ReadInt(key, v, &spec.client_retries);
+    } else if (key == "client_timeout_us") {
+      st = json::ReadInt64(key, v, &spec.client_timeout);
     } else if (key == "clients") {
       st = json::ReadInt(key, v, &spec.clients);
     } else if (key == "clock_offsets_us") {
@@ -408,7 +428,8 @@ bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
          a.preload == b.preload &&
          a.check_serializability == b.check_serializability &&
          a.fault_plan == b.fault_plan && a.reliable == b.reliable &&
-         estimates_equal();
+         a.client_timeout == b.client_timeout &&
+         a.client_retries == b.client_retries && estimates_equal();
 }
 
 }  // namespace helios::harness

@@ -93,6 +93,12 @@ struct ExperimentSpec {
   /// exactly when fault_plan has message faults), "on", or "off".
   std::string reliable = "auto";
 
+  /// Client commit timeout + bounded retry (docs/RECOVERY.md). 0 disables
+  /// the timeout entirely (no timer scheduled); crash plans need it so
+  /// clients whose requests a crashed datacenter swallowed make progress.
+  Duration client_timeout = 0;
+  int client_retries = 3;
+
   // --- Fluent builder -----------------------------------------------------
   ExperimentSpec& WithLabel(std::string v) { label = std::move(v); return *this; }
   ExperimentSpec& WithProtocol(Protocol v) { protocol = v; return *this; }
@@ -145,6 +151,11 @@ struct ExperimentSpec {
   }
   ExperimentSpec& WithReliable(std::string v) {
     reliable = std::move(v);
+    return *this;
+  }
+  ExperimentSpec& WithClientTimeout(Duration timeout, int retries = 3) {
+    client_timeout = timeout;
+    client_retries = retries;
     return *this;
   }
 

@@ -40,6 +40,8 @@ const char* KindName(EventKind kind) {
       return "net.drop";
     case EventKind::kNetRetransmit:
       return "net.retransmit";
+    case EventKind::kNodeRecover:
+      return "node.recover";
   }
   return "?";
 }
@@ -52,6 +54,7 @@ bool IsSpanKind(EventKind kind) {
     case EventKind::kTxnServer:
     case EventKind::kNetHop:
     case EventKind::kNetRetransmit:
+    case EventKind::kNodeRecover:
       return true;
     default:
       return false;

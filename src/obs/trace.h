@@ -55,6 +55,9 @@ enum class EventKind : uint8_t {
   kNetDrop,        ///< Instant: message dropped (crash or partition).
   kNetRetransmit,  ///< Span: reliable-layer retransmission wait (dc = from,
                    ///< peer = to) from loss detection to the resend.
+  // --- Recovery (dc = the recovering datacenter) ------------------------
+  kNodeRecover,    ///< Span: WAL restore begins -> anti-entropy catch-up
+                   ///< complete (the node re-enters the commit path).
 };
 
 /// Stable short name, e.g. "txn.commit_wait". Used as the Chrome-trace

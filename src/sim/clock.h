@@ -49,6 +49,11 @@ class Clock {
     if (ts > last_unique_) last_unique_ = ts;
   }
 
+  /// The unique-timestamp floor: every future NowUnique() reading is
+  /// strictly greater. Recovery asserts this exceeds all persisted
+  /// timestamps.
+  Timestamp floor() const { return last_unique_; }
+
   /// Manual offset adjustment, e.g. to emulate an NTP step or the paper's
   /// skew-injection experiments.
   void set_offset(Duration offset) { offset_ = offset; }

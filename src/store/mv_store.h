@@ -73,6 +73,14 @@ class MvStore {
   uint64_t version_count() const { return version_count_; }
   uint64_t writes_applied() const { return writes_applied_; }
 
+  /// Drops every version and resets the counters — the amnesia half of a
+  /// crash restart (recovery then replays the WAL journal back in).
+  void Clear() {
+    data_.clear();
+    version_count_ = 0;
+    writes_applied_ = 0;
+  }
+
  private:
   // Version chain per key, ordered ascending by (ts, writer).
   struct VersionKeyLess {

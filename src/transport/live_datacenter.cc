@@ -52,6 +52,13 @@ Status LiveDatacenter::EnableWal(const std::string& path,
         (void)wal_->AppendRecord(rec);
         (void)wal_->Sync(fsync_each_record);
       });
+  // Periodic knowledge checkpoint (the node emits one per GC tick): lets
+  // Restore resume catch-up from the snapshot instead of replaying the
+  // timetable from zero.
+  node_->set_timetable_sink([this, fsync_each_record](const rdict::Timetable& t) {
+    (void)wal_->AppendTimetable(t);
+    (void)wal_->Sync(fsync_each_record);
+  });
   return Status::Ok();
 }
 

@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "rdict/record.h"
 #include "rdict/timetable.h"
+#include "wal/wal_sink.h"
 
 namespace helios::wal {
 
@@ -36,11 +37,12 @@ enum class EntryType : uint8_t {
   kTimetable = 2,
 };
 
-/// Append-only writer. Not thread-safe; owned by the node's event loop.
-class WalWriter {
+/// Append-only file-backed writer. Not thread-safe; owned by the node's
+/// event loop.
+class WalWriter : public WalSink {
  public:
   WalWriter() = default;
-  ~WalWriter();
+  ~WalWriter() override;
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
@@ -48,18 +50,18 @@ class WalWriter {
   Status Open(const std::string& path);
 
   /// Appends one replicated-log record.
-  Status AppendRecord(const rdict::LogRecord& record);
+  Status AppendRecord(const rdict::LogRecord& record) override;
 
   /// Appends a timetable snapshot (checkpointing knowledge so recovery
   /// does not have to re-learn it from peers).
-  Status AppendTimetable(const rdict::Timetable& table);
+  Status AppendTimetable(const rdict::Timetable& table) override;
 
   /// Flushes buffered writes to the OS (and optionally fsyncs).
   Status Sync(bool fsync_to_disk = false);
 
   void Close();
   bool is_open() const { return file_ != nullptr; }
-  uint64_t entries_appended() const { return entries_appended_; }
+  uint64_t entries_appended() const override { return entries_appended_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
@@ -68,17 +70,6 @@ class WalWriter {
   std::FILE* file_ = nullptr;
   uint64_t entries_appended_ = 0;
   uint64_t bytes_written_ = 0;
-};
-
-/// Everything a WAL replay recovers.
-struct WalContents {
-  std::vector<rdict::LogRecord> records;  ///< In append order.
-  /// Latest timetable snapshot, if any was persisted.
-  bool has_timetable = false;
-  rdict::Timetable timetable{1};
-  /// True if a torn/corrupted tail was detected and discarded.
-  bool truncated_tail = false;
-  uint64_t entries = 0;
 };
 
 /// Replays the WAL at `path`. A missing file yields empty contents (a

@@ -196,6 +196,11 @@ void EncodeEnvelope(const core::Envelope& env, Encoder* enc) {
   enc->PutSignedVarint(env.pong_hold_us);
   enc->PutVarint(env.rtt_row_us.size());
   for (Duration d : env.rtt_row_us) enc->PutSignedVarint(d);
+  // Trailing optional: only non-gossip envelopes (recovery catch-up)
+  // carry a kind byte, so the regular gossip layout is unchanged.
+  if (env.kind != core::EnvelopeKind::kGossip) {
+    enc->PutU8(static_cast<uint8_t>(env.kind));
+  }
 }
 
 Status DecodeEnvelope(Decoder* dec, core::Envelope* out) {
@@ -241,6 +246,16 @@ Status DecodeEnvelope(Decoder* dec, core::Envelope* out) {
   for (uint64_t i = 0; i < row; ++i) {
     s = dec->GetSignedVarint(&env.rtt_row_us[i]);
     if (!s.ok()) return s;
+  }
+  if (dec->remaining() > 0) {
+    uint8_t kind = 0;
+    s = dec->GetU8(&kind);
+    if (!s.ok()) return s;
+    if (kind == 0 ||
+        kind > static_cast<uint8_t>(core::EnvelopeKind::kCatchupResponse)) {
+      return Status::InvalidArgument("bad envelope kind");
+    }
+    env.kind = static_cast<core::EnvelopeKind>(kind);
   }
   *out = std::move(env);
   return Status::Ok();

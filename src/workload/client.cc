@@ -12,6 +12,8 @@ void ClientMetrics::Merge(const ClientMetrics& other) {
   aborted += other.aborted;
   ops_committed += other.ops_committed;
   read_only_done += other.read_only_done;
+  timeouts += other.timeouts;
+  retries += other.retries;
 }
 
 ClosedLoopClient::ClosedLoopClient(uint64_t id, DcId home,
@@ -42,18 +44,41 @@ void ClosedLoopClient::SetObservability(obs::TraceRecorder* trace,
                          : nullptr;
 }
 
+void ClosedLoopClient::SetCommitTimeout(Duration timeout, int max_retries,
+                                        Duration backoff) {
+  commit_timeout_ = timeout;
+  max_retries_ = max_retries;
+  retry_backoff_ = backoff;
+}
+
 void ClosedLoopClient::NextTxn() {
   if (scheduler_->Now() >= stop_at_) return;
   ++txns_issued_;
   auto txn = std::make_shared<InFlight>();
   txn->plan = generator_.NextTxn();
+  StartAttempt(std::move(txn));
+}
+
+void ClosedLoopClient::StartAttempt(std::shared_ptr<InFlight> txn) {
   txn->id = cluster_->BeginTxn(home_);
+  txn->reads.clear();
+  txn->next_read = 0;
+  txn->commit_requested_at = 0;
+  txn->attempt_started_at = scheduler_->Now();
+  if (commit_timeout_ > 0) {
+    scheduler_->After(commit_timeout_, [this, txn, attempt = txn->attempt]() {
+      OnTimeout(txn, attempt);
+    });
+  }
 
   if (txn->plan.read_only) {
     const bool in_window = InWindow(scheduler_->Now());
     cluster_->ClientReadOnly(
         home_, txn->plan.reads,
-        [this, in_window](std::vector<Result<VersionedValue>>) {
+        [this, txn, in_window,
+         attempt = txn->attempt](std::vector<Result<VersionedValue>>) {
+          if (txn->done || attempt != txn->attempt) return;
+          txn->done = true;
           if (in_window) ++metrics_.read_only_done;
           NextTxn();
         });
@@ -70,7 +95,8 @@ void ClosedLoopClient::ReadPhase(std::shared_ptr<InFlight> txn) {
   const Key key = txn->plan.reads[txn->next_read++];
   cluster_->TxnRead(
       home_, txn->id, key,
-      [this, txn, key](Result<VersionedValue> r) {
+      [this, txn, key, attempt = txn->attempt](Result<VersionedValue> r) {
+        if (txn->done || attempt != txn->attempt) return;
         if (r.ok()) {
           txn->reads.push_back({key, r.value().ts, r.value().writer});
         } else if (r.status().code() == StatusCode::kNotFound) {
@@ -78,6 +104,7 @@ void ClosedLoopClient::ReadPhase(std::shared_ptr<InFlight> txn) {
         } else {
           // Read failed (e.g. a lock refusal): the transaction aborts
           // before ever requesting commit.
+          txn->done = true;
           cluster_->TxnAbandon(home_, txn->id);
           if (InWindow(scheduler_->Now())) ++metrics_.aborted;
           NextTxn();
@@ -99,13 +126,16 @@ void ClosedLoopClient::CommitPhase(std::shared_ptr<InFlight> txn) {
                     txn->commit_requested_at);
   }
   cluster_->TxnCommit(home_, txn->id, txn->reads, std::move(writes),
-                      [this, txn](const CommitOutcome& outcome) {
+                      [this, txn,
+                       attempt = txn->attempt](const CommitOutcome& outcome) {
+                        if (txn->done || attempt != txn->attempt) return;
                         OnOutcome(txn, outcome);
                       });
 }
 
 void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
                                  const CommitOutcome& outcome) {
+  txn->done = true;
   const sim::SimTime now = scheduler_->Now();
   if (trace_ != nullptr) {
     // Use the outcome's id: some protocols assign the durable TxnId at the
@@ -130,6 +160,38 @@ void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
     }
   }
   NextTxn();
+}
+
+void ClosedLoopClient::OnTimeout(const std::shared_ptr<InFlight>& txn,
+                                 int attempt) {
+  if (txn->done || attempt != txn->attempt) return;
+  const sim::SimTime now = scheduler_->Now();
+  // The attempt is wedged (a crashed or recovering datacenter swallowed a
+  // request) or just slow past the deadline: release its server-side
+  // locks and supersede it.
+  cluster_->TxnAbandon(home_, txn->id);
+  ++metrics_.timeouts;
+  if (trace_ != nullptr) {
+    trace_->Span(obs::EventKind::kClientCommit, home_, txn->id,
+                 txn->attempt_started_at, now, kInvalidDc, "timeout");
+  }
+  ++txn->attempt;
+  if (txn->attempt > max_retries_ || now >= stop_at_) {
+    txn->done = true;
+    if (InWindow(txn->attempt_started_at)) ++metrics_.aborted;
+    NextTxn();
+    return;
+  }
+  ++metrics_.retries;
+  // Deterministic exponential backoff (no RNG: the schedule must be
+  // reproducible across runs); the shift is capped so the delay cannot
+  // overflow no matter how max_retries is configured.
+  const int shift = txn->attempt - 1 < 20 ? txn->attempt - 1 : 20;
+  const Duration delay = retry_backoff_ * (Duration{1} << shift);
+  scheduler_->After(delay, [this, txn]() {
+    if (txn->done) return;
+    StartAttempt(txn);
+  });
 }
 
 }  // namespace helios::workload

@@ -32,6 +32,8 @@ struct ClientMetrics {
   uint64_t aborted = 0;
   uint64_t ops_committed = 0;
   uint64_t read_only_done = 0;
+  uint64_t timeouts = 0;  ///< Attempts abandoned by the commit timeout.
+  uint64_t retries = 0;   ///< Attempts re-issued after a timeout.
 
   void Merge(const ClientMetrics& other);
   double abort_rate() const {
@@ -61,6 +63,16 @@ class ClosedLoopClient {
   void SetObservability(obs::TraceRecorder* trace,
                         obs::MetricsRegistry* metrics);
 
+  /// Arms a per-attempt timeout spanning the read phase and the commit
+  /// wait. On expiry the attempt is abandoned (releasing server-side
+  /// locks) and the same plan retries with fresh reads after
+  /// `backoff * 2^attempt`, up to `max_retries` retries; after that the
+  /// transaction counts as aborted and the loop moves on. A crashed
+  /// datacenter drops requests outright, so without this a client homed
+  /// there wedges forever. `timeout == 0` (the default) schedules no
+  /// timer at all — crash-free runs stay bit-identical.
+  void SetCommitTimeout(Duration timeout, int max_retries, Duration backoff);
+
   const ClientMetrics& metrics() const { return metrics_; }
   DcId home() const { return home_; }
   uint64_t txns_issued() const { return txns_issued_; }
@@ -72,13 +84,20 @@ class ClosedLoopClient {
     std::vector<ReadEntry> reads;
     size_t next_read = 0;
     sim::SimTime commit_requested_at = 0;
+    sim::SimTime attempt_started_at = 0;
+    /// Attempt number; late callbacks from a timed-out attempt carry a
+    /// stale copy and are dropped.
+    int attempt = 0;
+    bool done = false;  ///< Terminal: an outcome arrived or retries ran out.
   };
 
   void NextTxn();
+  void StartAttempt(std::shared_ptr<InFlight> txn);
   void ReadPhase(std::shared_ptr<InFlight> txn);
   void CommitPhase(std::shared_ptr<InFlight> txn);
   void OnOutcome(const std::shared_ptr<InFlight>& txn,
                  const CommitOutcome& outcome);
+  void OnTimeout(const std::shared_ptr<InFlight>& txn, int attempt);
   bool InWindow(sim::SimTime t) const {
     return t >= measure_from_ && t < measure_until_;
   }
@@ -92,6 +111,9 @@ class ClosedLoopClient {
   sim::SimTime measure_until_;
   sim::SimTime stop_at_;
   ClientMetrics metrics_;
+  Duration commit_timeout_ = 0;  ///< 0: no timeout, never retries.
+  int max_retries_ = 0;
+  Duration retry_backoff_ = Millis(50);
   uint64_t txns_issued_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Histogram* h_commit_latency_us_ = nullptr;

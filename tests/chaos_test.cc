@@ -103,7 +103,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 // Timed chaos through the spec: a crash/recover and a partition/heal
 // scheduled by the fault plan, plus a loss window that ends mid-run.
-// After everything heals the cluster keeps committing at every DC.
+// After everything heals the cluster keeps committing at every DC. The
+// crash is a real amnesia restart (docs/RECOVERY.md), so the crashed
+// datacenter's clients need the commit timeout to ride out requests the
+// outage swallowed.
 TEST(ChaosTest, TimedCrashPartitionAndLossWindowThroughSpec) {
   sim::FaultPlan plan;
   sim::LinkFault lf;
@@ -122,6 +125,7 @@ TEST(ChaosTest, TimedCrashPartitionAndLossWindowThroughSpec) {
       .WithSeed(7)
       .WithNumKeys(500)
       .WithFaultPlan(plan)
+      .WithClientTimeout(Seconds(2), /*retries=*/10)
       .WithSerializabilityCheck();
   ASSERT_TRUE(spec.Validate().ok());
 

@@ -116,6 +116,18 @@ int main(int argc, char** argv) {
   flags.DefineString("fault_plan", "",
                      "JSON fault-plan file applied to every run "
                      "(see docs/FAULTS.md)");
+  flags.DefineString("crash", "",
+                     "crash/recover one datacenter: <dc>:<t_down_ms>:<t_up_ms> "
+                     "(sugar for a fault-plan crash+recover pair; "
+                     "see docs/RECOVERY.md). Repeatable via commas: "
+                     "1:5000:9000,2:6000:10000");
+  flags.DefineInt("client_timeout_us", 0,
+                  "client commit timeout per attempt, microseconds "
+                  "(0 = no timeout; crash runs need one so clients homed "
+                  "at a crashed datacenter keep making progress)");
+  flags.DefineInt("client_retries", 3,
+                  "max timeout retries per transaction before it counts "
+                  "as aborted");
   flags.DefineDouble("loss", 0.0,
                      "per-message loss probability on every WAN link");
   flags.DefineDouble("dup", 0.0,
@@ -182,6 +194,31 @@ int main(int argc, char** argv) {
       return 2;
     }
     base.WithFaultPlan(std::move(plan).value());
+  }
+  if (!flags.GetString("crash").empty()) {
+    // Each entry is <dc>:<t_down_ms>:<t_up_ms>; the fault plan executes
+    // the pair as a true amnesia crash followed by WAL recovery.
+    for (const std::string& entry : SplitCsv(flags.GetString("crash"))) {
+      int dc = -1;
+      long long down_ms = -1;
+      long long up_ms = -1;
+      if (std::sscanf(entry.c_str(), "%d:%lld:%lld", &dc, &down_ms, &up_ms) !=
+              3 ||
+          dc < 0 || down_ms < 0 || up_ms <= down_ms) {
+        std::fprintf(stderr,
+                     "bad --crash entry '%s' (want <dc>:<t_down_ms>:<t_up_ms> "
+                     "with t_up > t_down)\n",
+                     entry.c_str());
+        return 2;
+      }
+      base.fault_plan.AddCrash(Millis(down_ms), dc);
+      base.fault_plan.AddRecover(Millis(up_ms), dc);
+    }
+  }
+  if (flags.GetInt("client_timeout_us") > 0) {
+    base.WithClientTimeout(
+        static_cast<Duration>(flags.GetInt("client_timeout_us")),
+        static_cast<int>(flags.GetInt("client_retries")));
   }
   if (flags.GetDouble("dup") > 0.0) {
     base.WithDuplication(flags.GetDouble("dup"));
