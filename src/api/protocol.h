@@ -29,6 +29,10 @@ namespace helios::sim {
 class ReliableMesh;
 }  // namespace helios::sim
 
+namespace helios::wal {
+class MemoryWal;
+}  // namespace helios::wal
+
 namespace helios {
 
 /// Decision returned to a client for a commit request.
@@ -149,6 +153,34 @@ class ProtocolCluster {
   /// RecoverNode when executing a FaultPlan's node events. Default: no-op
   /// (the network-level drop already models the outage).
   virtual void SetDatacenterDown(DcId /*dc*/, bool /*down*/) {}
+
+  // --- Checker observation points (src/check) ------------------------------
+  //
+  // Read-only end-of-run surfaces the invariant oracles inspect: the
+  // per-datacenter durable journal, the latest version of every key in the
+  // replica's store, the down flag, and the accumulated recovery totals.
+  // Defaults are "nothing to observe" so deployments without the surfaces
+  // (e.g. the live transport cluster) need no changes.
+
+  /// Datacenter `dc`'s durable in-memory WAL journal, or null when the
+  /// deployment has none. The journal outlives crashes, so it is valid
+  /// even for a datacenter that is down at the end of the run.
+  virtual const wal::MemoryWal* wal_journal(DcId /*dc*/) const {
+    return nullptr;
+  }
+
+  /// Visits the latest installed version of every key in `dc`'s store.
+  /// Default: no-op (no store surface).
+  virtual void SnapshotStore(
+      DcId /*dc*/,
+      const std::function<void(const Key&, const VersionedValue&)>& /*fn*/)
+      const {}
+
+  /// Whether `dc` is crashed (down) right now.
+  virtual bool datacenter_down(DcId /*dc*/) const { return false; }
+
+  /// Copy of the accumulated crash-recovery totals.
+  virtual RecoveryStats recovery_snapshot() const { return {}; }
 
  private:
   std::vector<uint64_t> client_txn_seq_;  // Lazily sized in BeginTxn.

@@ -92,9 +92,20 @@ class ReplicatedCommitCluster : public ProtocolCluster {
   void SetDatacenterDown(DcId dc, bool down) override;
 
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
-  bool datacenter_down(DcId dc) const {
+  bool datacenter_down(DcId dc) const override {
     return dc_state_[static_cast<size_t>(dc)].down;
   }
+
+  // Checker observation points (src/check).
+  const wal::MemoryWal* wal_journal(DcId dc) const override {
+    return wals_[static_cast<size_t>(dc)].get();
+  }
+  void SnapshotStore(
+      DcId dc, const std::function<void(const Key&, const VersionedValue&)>&
+                   fn) const override {
+    store(dc).ForEachLatest(fn);
+  }
+  RecoveryStats recovery_snapshot() const override { return recovery_stats_; }
 
   const MvStore& store(DcId dc) const { return dcs_[dc]->store; }
   const LockTable& locks(DcId dc) const { return dcs_[dc]->locks; }

@@ -75,6 +75,18 @@ class HeliosCluster : public ProtocolCluster {
     return *wals_[static_cast<size_t>(dc)];
   }
 
+  // Checker observation points (src/check).
+  const wal::MemoryWal* wal_journal(DcId dc) const override {
+    return wals_[static_cast<size_t>(dc)].get();
+  }
+  void SnapshotStore(
+      DcId dc, const std::function<void(const Key&, const VersionedValue&)>&
+                   fn) const override {
+    node(dc).store().ForEachLatest(fn);
+  }
+  bool datacenter_down(DcId dc) const override { return node(dc).down(); }
+  RecoveryStats recovery_snapshot() const override { return recovery_stats_; }
+
   HeliosNode& node(DcId dc) { return *nodes_[static_cast<size_t>(dc)]; }
   const HeliosNode& node(DcId dc) const {
     return *nodes_[static_cast<size_t>(dc)];

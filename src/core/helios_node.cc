@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 namespace helios::core {
@@ -12,6 +14,21 @@ namespace {
 /// from kInvalidDc so loaded versions validate correctly, and never equal
 /// to a real datacenter id.
 constexpr DcId kLoaderOrigin = -2;
+
+/// Mutation-testing hook (tests/check_mutation_test.cc): with
+/// HELIOS_CHECK_MUTATION=skip_commit_wait in the environment, the Section 3
+/// commit wait (Rule 2 / Rule 3 condition 1) is skipped entirely, so
+/// transactions commit before learning about concurrent conflicting
+/// remote transactions. The src/check oracles must catch the resulting
+/// serializability violations — this proves they have teeth. Cached after
+/// the first call; never set this in a measurement process.
+bool MutationSkipCommitWait() {
+  static const bool on = [] {
+    const char* m = std::getenv("HELIOS_CHECK_MUTATION");
+    return m != nullptr && std::strcmp(m, "skip_commit_wait") == 0;
+  }();
+  return on;
+}
 
 }  // namespace
 
@@ -369,6 +386,7 @@ bool HeliosNode::CommitWaitSatisfied(const PendingTxn& t) const {
     return true;
   }
   // Helios Rule 2 / Rule 3 condition (1).
+  if (MutationSkipCommitWait()) return true;
   for (DcId b = 0; b < n; ++b) {
     if (b == id_) continue;
     if (EffectiveKnowledge(b) < t.kts[static_cast<size_t>(b)]) return false;

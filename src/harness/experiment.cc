@@ -209,6 +209,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                                        config.client_max_retries,
                                        config.client_retry_backoff);
     }
+    if (config.capture_artifacts) clients.back()->EnableSessionLog();
     // Stagger client start a little to avoid a synchronized burst.
     scheduler.At(Micros(37) * c,
                  [client = clients.back().get()]() { client->Start(); });
@@ -263,6 +264,36 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.serializability = core::CheckSerializable(history->commits());
   }
   result.events_processed = scheduler.events_processed();
+
+  // Oracle inputs (src/check): snapshot everything the invariant checks
+  // need while the cluster is still alive.
+  if (config.capture_artifacts) {
+    auto cap = std::make_shared<RunCapture>();
+    if (history != nullptr) cap->history = history->commits();
+    cap->sessions.reserve(clients.size());
+    for (const auto& client : clients) {
+      if (client->session_log() != nullptr) {
+        cap->sessions.push_back(*client->session_log());
+      }
+    }
+    cap->wals.resize(static_cast<size_t>(n));
+    cap->wal_present.assign(static_cast<size_t>(n), false);
+    cap->stores.resize(static_cast<size_t>(n));
+    cap->dc_down.assign(static_cast<size_t>(n), false);
+    for (DcId dc = 0; dc < n; ++dc) {
+      const size_t i = static_cast<size_t>(dc);
+      if (const wal::MemoryWal* w = cluster->wal_journal(dc)) {
+        cap->wals[i] = w->contents();
+        cap->wal_present[i] = true;
+      }
+      cluster->SnapshotStore(dc, [&](const Key& key, const VersionedValue& v) {
+        cap->stores[i][key] = v;
+      });
+      cap->dc_down[i] = cluster->datacenter_down(dc);
+    }
+    cap->recovery = cluster->recovery_snapshot();
+    result.capture = std::move(cap);
+  }
 
   if (result.metrics_registry != nullptr) {
     obs::MetricsRegistry* reg = result.metrics_registry.get();

@@ -10,19 +10,24 @@
 #ifndef HELIOS_HARNESS_EXPERIMENT_H_
 #define HELIOS_HARNESS_EXPERIMENT_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/protocol.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/helios_config.h"
+#include "core/history.h"
 #include "harness/topology.h"
 #include "lp/mao.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/fault_plan.h"
+#include "wal/wal_sink.h"
+#include "workload/client.h"
 #include "workload/tycsb.h"
 
 namespace helios::harness {
@@ -111,6 +116,27 @@ struct ExperimentConfig {
   Duration client_commit_timeout = 0;
   int client_max_retries = 3;
   Duration client_retry_backoff = Millis(50);
+
+  /// Capture end-of-run artifacts (committed history, per-client session
+  /// logs, per-datacenter WAL contents and store snapshots) into
+  /// ExperimentResult::capture for the src/check invariant oracles. Off by
+  /// default: capturing copies WALs and stores, which measurement runs
+  /// should not pay for.
+  bool capture_artifacts = false;
+};
+
+/// Everything the invariant oracles (src/check) inspect after a run,
+/// snapshotted before the cluster is torn down. Indexed per datacenter
+/// where applicable.
+struct RunCapture {
+  std::vector<core::CommittedTxn> history;     ///< Committed transactions.
+  std::vector<workload::SessionLog> sessions;  ///< One per client.
+  std::vector<wal::WalContents> wals;          ///< Durable journals.
+  std::vector<bool> wal_present;               ///< wal_journal() != null.
+  /// Latest version of every key in each replica's live store.
+  std::vector<std::map<Key, VersionedValue>> stores;
+  std::vector<bool> dc_down;  ///< Crashed at end of run.
+  RecoveryStats recovery;
 };
 
 struct DcResult {
@@ -155,6 +181,9 @@ struct ExperimentResult {
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::MetricsRegistry> metrics_registry;
   obs::MetricsSnapshot metrics;
+
+  /// Populated when config.capture_artifacts: the oracle inputs.
+  std::shared_ptr<RunCapture> capture;
 };
 
 /// Runs one experiment to completion. Deterministic given the config.

@@ -209,10 +209,14 @@ SweepResult SweepRunner::Run(const std::vector<ExperimentSpec>& specs) {
         if (!cfg.ok()) {
           st = cfg.status();
         } else {
+          if (options_.configure) options_.configure(out.spec, &cfg.value());
           out.result = RunExperiment(cfg.value());
           if (out.result.serializability.has_value() &&
               !out.result.serializability->ok()) {
             st = *out.result.serializability;
+          }
+          if (st.ok() && options_.check) {
+            st = options_.check(out.spec, &out.result);
           }
         }
         out.status = st;

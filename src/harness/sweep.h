@@ -52,6 +52,19 @@ struct SweepOptions {
   /// Optional registry for sweep.* gauges (not owned; updated under the
   /// same lock that serializes `progress`).
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Adjusts the materialized config after spec validation and before the
+  /// run (runs on a worker thread; must be thread-safe). The fuzz driver
+  /// uses it to flip on tracing and artifact capture — knobs deliberately
+  /// outside the spec JSON.
+  std::function<void(const ExperimentSpec&, ExperimentConfig*)> configure;
+
+  /// Post-run check, called for jobs whose experiment ran and passed the
+  /// built-in checks (runs on a worker thread; must be thread-safe). A
+  /// non-OK status fails the job — with cancel_on_failure this cancels the
+  /// rest of the sweep. The callee may free heavy result fields (capture,
+  /// trace) it has finished with.
+  std::function<Status(const ExperimentSpec&, ExperimentResult*)> check;
 };
 
 struct SweepJobResult {

@@ -61,6 +61,15 @@ void MvStore::ApplyTxn(const TxnBody& txn, Timestamp commit_ts) {
   }
 }
 
+void MvStore::ForEachLatest(
+    const std::function<void(const Key&, const VersionedValue&)>& fn) const {
+  for (const auto& [key, chain] : data_) {
+    if (chain.empty()) continue;
+    const auto& [vkey, value] = *chain.rbegin();
+    fn(key, VersionedValue{value, vkey.first, vkey.second});
+  }
+}
+
 size_t MvStore::TruncateVersionsBefore(Timestamp horizon) {
   size_t dropped = 0;
   for (auto& [key, chain] : data_) {

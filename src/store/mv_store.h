@@ -17,6 +17,7 @@
 #define HELIOS_STORE_MV_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,12 @@ class MvStore {
   /// (older versions can no longer be read by any live snapshot).
   /// Returns the number of versions discarded.
   size_t TruncateVersionsBefore(Timestamp horizon);
+
+  /// Visits the latest version of every key, in unspecified key order.
+  /// Checkers (src/check) snapshot replica state through this to compare
+  /// live stores against a WAL replay.
+  void ForEachLatest(
+      const std::function<void(const Key&, const VersionedValue&)>& fn) const;
 
   size_t key_count() const { return data_.size(); }
   uint64_t version_count() const { return version_count_; }

@@ -44,6 +44,12 @@ void ClosedLoopClient::SetObservability(obs::TraceRecorder* trace,
                          : nullptr;
 }
 
+void ClosedLoopClient::EnableSessionLog() {
+  session_ = std::make_unique<SessionLog>();
+  session_->client_id = id_;
+  session_->home = home_;
+}
+
 void ClosedLoopClient::SetCommitTimeout(Duration timeout, int max_retries,
                                         Duration backoff) {
   commit_timeout_ = timeout;
@@ -76,9 +82,25 @@ void ClosedLoopClient::StartAttempt(std::shared_ptr<InFlight> txn) {
     cluster_->ClientReadOnly(
         home_, txn->plan.reads,
         [this, txn, in_window,
-         attempt = txn->attempt](std::vector<Result<VersionedValue>>) {
+         attempt = txn->attempt](std::vector<Result<VersionedValue>> results) {
           if (txn->done || attempt != txn->attempt) return;
           txn->done = true;
+          if (session_ != nullptr) {
+            for (size_t i = 0; i < results.size(); ++i) {
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kRead;
+              ev.at = scheduler_->Now();
+              ev.key = i < txn->plan.reads.size() ? txn->plan.reads[i] : Key();
+              ev.read_only = true;
+              if (results[i].ok()) {
+                ev.version_ts = results[i].value().ts;
+                ev.version_writer = results[i].value().writer;
+              } else {
+                ev.not_found = true;
+              }
+              session_->events.push_back(std::move(ev));
+            }
+          }
           if (in_window) ++metrics_.read_only_done;
           NextTxn();
         });
@@ -97,6 +119,20 @@ void ClosedLoopClient::ReadPhase(std::shared_ptr<InFlight> txn) {
       home_, txn->id, key,
       [this, txn, key, attempt = txn->attempt](Result<VersionedValue> r) {
         if (txn->done || attempt != txn->attempt) return;
+        if (session_ != nullptr &&
+            (r.ok() || r.status().code() == StatusCode::kNotFound)) {
+          SessionEvent ev;
+          ev.kind = SessionEvent::Kind::kRead;
+          ev.at = scheduler_->Now();
+          ev.key = key;
+          if (r.ok()) {
+            ev.version_ts = r.value().ts;
+            ev.version_writer = r.value().writer;
+          } else {
+            ev.not_found = true;
+          }
+          session_->events.push_back(std::move(ev));
+        }
         if (r.ok()) {
           txn->reads.push_back({key, r.value().ts, r.value().writer});
         } else if (r.status().code() == StatusCode::kNotFound) {
@@ -137,6 +173,14 @@ void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
                                  const CommitOutcome& outcome) {
   txn->done = true;
   const sim::SimTime now = scheduler_->Now();
+  if (session_ != nullptr) {
+    SessionEvent ev;
+    ev.kind = SessionEvent::Kind::kCommit;
+    ev.at = now;
+    ev.txn = outcome.id;  // Server-assigned id: joins with the history.
+    ev.committed = outcome.committed;
+    session_->events.push_back(std::move(ev));
+  }
   if (trace_ != nullptr) {
     // Use the outcome's id: some protocols assign the durable TxnId at the
     // server, and that id is what the server-side spans carry.

@@ -42,6 +42,37 @@ struct ClientMetrics {
   }
 };
 
+/// One client-observed event, in session (wall-clock) order: either a read
+/// that completed (with the version it observed) or a commit decision that
+/// arrived. The invariant oracles in src/check replay these against the
+/// recorded history to verify read-your-writes and monotonic reads.
+struct SessionEvent {
+  enum class Kind { kRead, kCommit };
+  Kind kind = Kind::kRead;
+  sim::SimTime at = 0;
+
+  // kRead: the key and the version the client observed. `not_found` marks
+  // a read that returned no version (version fields are then meaningless);
+  // `read_only` marks reads served by a read-only snapshot transaction,
+  // which may legitimately return older versions.
+  Key key;
+  Timestamp version_ts = kMinTimestamp;
+  TxnId version_writer;
+  bool not_found = false;
+  bool read_only = false;
+
+  // kCommit: the server-assigned transaction id and the decision.
+  TxnId txn;
+  bool committed = false;
+};
+
+/// The full event sequence one client observed.
+struct SessionLog {
+  uint64_t client_id = 0;
+  DcId home = kInvalidDc;
+  std::vector<SessionEvent> events;
+};
+
 class ClosedLoopClient {
  public:
   /// All pointers must outlive the client. Measurements are recorded only
@@ -72,6 +103,14 @@ class ClosedLoopClient {
   /// there wedges forever. `timeout == 0` (the default) schedules no
   /// timer at all — crash-free runs stay bit-identical.
   void SetCommitTimeout(Duration timeout, int max_retries, Duration backoff);
+
+  /// Starts recording every observed read and commit decision into a
+  /// SessionLog (for the src/check oracles). Off by default: recording
+  /// allocates per event, so measurement runs leave it disabled.
+  void EnableSessionLog();
+
+  /// The recorded session, or null when EnableSessionLog was never called.
+  const SessionLog* session_log() const { return session_.get(); }
 
   const ClientMetrics& metrics() const { return metrics_; }
   DcId home() const { return home_; }
@@ -115,6 +154,7 @@ class ClosedLoopClient {
   int max_retries_ = 0;
   Duration retry_backoff_ = Millis(50);
   uint64_t txns_issued_ = 0;
+  std::unique_ptr<SessionLog> session_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::Histogram* h_commit_latency_us_ = nullptr;
 };

@@ -1,0 +1,57 @@
+// Regression corpus: every JSON spec under tests/corpus/ replays through
+// the full fuzz pipeline (check::RunScenario) and must satisfy every
+// invariant oracle. When the fuzzer finds and shrinks a new failure, the
+// fix lands together with the repro JSON as a new corpus entry — the
+// corpus is the fuzzer's long-term memory (docs/TESTING.md).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+#include "harness/experiment_spec.h"
+
+namespace helios::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> CorpusFiles() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(HELIOS_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplay, CorpusIsNotEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 5u)
+      << "tests/corpus/ lost its regression scenarios";
+}
+
+TEST(CorpusReplay, EveryEntryParsesValidatesAndPassesAllOracles) {
+  for (const fs::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    auto spec = harness::ExperimentSpec::FromJson(text.str());
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ASSERT_TRUE(spec.value().Validate().ok())
+        << spec.value().Validate().ToString();
+
+    const ScenarioVerdict verdict = RunScenario(spec.value());
+    EXPECT_TRUE(verdict.ok()) << verdict.report.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace helios::check
