@@ -20,6 +20,7 @@
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/experiment_spec.h"
 #include "harness/job_pool.h"
@@ -87,21 +88,12 @@ struct BenchArgs {
   std::string json_out;
 };
 
-/// Parses the common flags; prints usage and exits on error or --help.
+/// Parses the common flags (harness::cli spellings: --jobs, --json_out);
+/// prints usage and exits on error or --help.
 inline BenchArgs ParseBenchArgsOrDie(int argc, char** argv) {
   FlagSet flags;
-  flags.DefineInt("jobs", 1,
-                  "parallel experiment jobs (0 = all hardware threads)");
-  flags.DefineString("json_out", "",
-                     "write the sweep's deterministic JSON document here");
-  flags.DefineBool("help", false, "show this help");
-  const Status parsed = flags.Parse(argc, argv);
-  if (!parsed.ok() || flags.GetBool("help")) {
-    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
-    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
-                 flags.Help().c_str());
-    std::exit(parsed.ok() ? 0 : 2);
-  }
+  harness::cli::AddCommonFlags(&flags, /*default_jobs=*/1);
+  harness::cli::ParseOrExit(&flags, argc, argv);
   BenchArgs args;
   args.jobs = static_cast<int>(flags.GetInt("jobs"));
   args.json_out = flags.GetString("json_out");

@@ -4,6 +4,7 @@
 #ifndef HELIOS_CORE_ENVELOPE_H_
 #define HELIOS_CORE_ENVELOPE_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -67,7 +68,28 @@ struct Envelope {
   EnvelopeKind kind = EnvelopeKind::kGossip;
 
   explicit Envelope(int n) : log(n) {}
+
+  /// Returns a recycled envelope (common::ObjectPool) to a blank gossip
+  /// state while keeping every vector's capacity — the reuse contract of
+  /// the pooled send path. The timetable is left as-is; builders
+  /// overwrite it (same cluster size, so that assignment is also
+  /// allocation-free).
+  void ResetForReuse() {
+    log.from = kInvalidDc;
+    log.records.clear();
+    refusals.clear();
+    ping_id = 0;
+    pong_for = 0;
+    pong_hold_us = 0;
+    rtt_row_us.clear();
+    kind = EnvelopeKind::kGossip;
+  }
 };
+
+/// How envelopes travel: built once by the sender (usually from a pool),
+/// then shared immutably by the network, retransmission buffers, and the
+/// receiver's service queue — no per-hop deep copies.
+using EnvelopePtr = std::shared_ptr<const Envelope>;
 
 }  // namespace helios::core
 

@@ -33,8 +33,11 @@ HeliosCluster::HeliosCluster(sim::Scheduler* scheduler, sim::Network* network,
 std::unique_ptr<HeliosNode> HeliosCluster::MakeNode(DcId dc) {
   auto node = std::make_unique<HeliosNode>(
       dc, config_, kind_, scheduler_, clocks_[static_cast<size_t>(dc)].get(),
-      [this, dc](DcId to, const Envelope& env) {
-        const size_t size = envelope_sizer_ ? envelope_sizer_(env) : 0;
+      [this, dc](DcId to, const EnvelopePtr& env) {
+        // Sized once per logical send; retransmissions and duplicate
+        // deliveries reuse the cached size and the shared envelope (no
+        // re-encode, no deep copies).
+        const size_t size = envelope_sizer_ ? envelope_sizer_(*env) : 0;
         auto deliver = [this, to, env]() {
           nodes_[static_cast<size_t>(to)]->HandleEnvelope(env);
         };

@@ -151,22 +151,22 @@ void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
                         }));
 }
 
-void HeliosNode::HandleEnvelope(Envelope env) {
+void HeliosNode::HandleEnvelope(EnvelopePtr env) {
   if (down_) return;  // A crashed datacenter drops everything.
   if (trace_ != nullptr) {
     trace_->Instant(obs::EventKind::kEnvelopeRecv, id_, TxnId{},
-                    scheduler_->Now(), env.log.from);
+                    scheduler_->Now(), env->log.from);
   }
   if (rtt_estimator_ != nullptr) {
     // Sample at arrival time (scheduler basis, immune to clock offsets).
-    rtt_estimator_->OnIncoming(env.log.from, scheduler_->Now(), env);
+    rtt_estimator_->OnIncoming(env->log.from, scheduler_->Now(), *env);
   }
   // Only the fixed per-message cost is known up front; per-record work is
   // charged inside ProcessEnvelope for *fresh* records only (recognizing a
   // retransmitted record is a constant-time timetable lookup).
   service_queue_.Submit(config_.service.log_message,
-                        Guarded([this, env = std::move(env)]() mutable {
-                          ProcessEnvelope(std::move(env));
+                        Guarded([this, env = std::move(env)]() {
+                          ProcessEnvelope(*env);
                         }));
 }
 
@@ -272,7 +272,13 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
 
 // --- Algorithm 2: log processing ---------------------------------------------
 
-void HeliosNode::ProcessEnvelope(Envelope env) {
+std::shared_ptr<Envelope> HeliosNode::AcquireEnvelope() {
+  auto env = envelope_pool_.Acquire(config_.num_datacenters);
+  env->ResetForReuse();
+  return env;
+}
+
+void HeliosNode::ProcessEnvelope(const Envelope& env) {
   if (down_) return;
   MergeRefusals(env.refusals);
 
@@ -326,10 +332,10 @@ void HeliosNode::ProcessEnvelope(Envelope env) {
     // Ingest above); BuildMessageFor now computes exactly the suffix it
     // is missing. Answer immediately instead of waiting for the next
     // gossip tick.
-    Envelope resp(config_.num_datacenters);
-    resp.log = log_.BuildMessageFor(env.log.from);
-    resp.refusals = RefusalsSnapshot();
-    resp.kind = EnvelopeKind::kCatchupResponse;
+    auto resp = AcquireEnvelope();
+    log_.BuildMessageInto(env.log.from, &resp->log);
+    resp->refusals = RefusalsSnapshot();
+    resp->kind = EnvelopeKind::kCatchupResponse;
     service_queue_.Charge(config_.service.log_message);
     ++counters_.envelopes_sent;
     if (trace_ != nullptr) {
@@ -625,11 +631,11 @@ void HeliosNode::SendToAllPeers() {
     const std::vector<Refusal> refusals = RefusalsSnapshot();
     for (DcId peer = 0; peer < config_.num_datacenters; ++peer) {
       if (peer == id_) continue;
-      Envelope env(config_.num_datacenters);
-      env.log = log_.BuildMessageFor(peer);
-      env.refusals = refusals;
+      auto env = AcquireEnvelope();
+      log_.BuildMessageInto(peer, &env->log);
+      env->refusals = refusals;
       if (rtt_estimator_ != nullptr) {
-        rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), &env);
+        rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), env.get());
       }
       service_queue_.Charge(config_.service.log_message);
       ++counters_.envelopes_sent;
@@ -702,11 +708,11 @@ void HeliosNode::SendCatchupRequests() {
   // the suffix we are missing.
   log_.AdvanceOwnClock(clock_->NowUnique());
   for (DcId peer : catchup_pending_) {
-    Envelope env(config_.num_datacenters);
-    env.log = log_.BuildMessageFor(peer);
-    env.kind = EnvelopeKind::kCatchupRequest;
+    auto env = AcquireEnvelope();
+    log_.BuildMessageInto(peer, &env->log);
+    env->kind = EnvelopeKind::kCatchupRequest;
     if (rtt_estimator_ != nullptr) {
-      rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), &env);
+      rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), env.get());
     }
     service_queue_.Charge(config_.service.log_message);
     ++counters_.envelopes_sent;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "api/protocol.h"
+#include "common/object_pool.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/envelope.h"
@@ -81,7 +82,10 @@ struct RecoveryOutcome {
 
 class HeliosNode {
  public:
-  using SendFn = std::function<void(DcId to, const Envelope& env)>;
+  /// Outgoing envelopes are shared immutably (see EnvelopePtr): the
+  /// network layer and every delivery hold references to the same object,
+  /// which the sender's pool recycles once the last one drops.
+  using SendFn = std::function<void(DcId to, const EnvelopePtr& env)>;
 
   /// All pointers must outlive the node. `send` delivers an envelope to a
   /// peer datacenter (the cluster routes it through the simulated WAN).
@@ -109,7 +113,13 @@ class HeliosNode {
                            CommitCallback reply);
 
   /// Algorithm 2 (+ Algorithm 3 afterwards): processes a peer's envelope.
-  void HandleEnvelope(Envelope env);
+  void HandleEnvelope(EnvelopePtr env);
+
+  /// Convenience for call sites that own a loose Envelope (live-mode
+  /// decode, tests): wraps it and forwards to the shared-pointer path.
+  void HandleEnvelope(Envelope env) {
+    HandleEnvelope(std::make_shared<const Envelope>(std::move(env)));
+  }
 
   // --- Experiment setup / introspection ----------------------------------
 
@@ -214,7 +224,11 @@ class HeliosNode {
   void ProcessCommitRequest(std::vector<ReadEntry> reads,
                             std::vector<WriteEntry> writes,
                             CommitCallback reply, sim::SimTime arrived_sim);
-  void ProcessEnvelope(Envelope env);
+  void ProcessEnvelope(const Envelope& env);
+
+  /// Pool-backed envelope for the send paths: recycled storage, reset to
+  /// blank gossip state.
+  std::shared_ptr<Envelope> AcquireEnvelope();
 
   /// Algorithm 3: commits every pending transaction whose wait conditions
   /// are now satisfied; aborts the provably unreplicable ones.
@@ -325,6 +339,9 @@ class HeliosNode {
   obs::Histogram* h_abort_total_us_ = nullptr;
   RecordSink record_sink_;
   TimetableSink timetable_sink_;
+  /// Recycles outgoing envelopes; in-flight shared_ptrs survive this
+  /// node's destruction (amnesia crash) via the pool's weak deleter.
+  common::ObjectPool<Envelope> envelope_pool_;
   std::unique_ptr<RttEstimator> rtt_estimator_;
   /// Runtime override of co[self][*]; empty = use the config's offsets.
   std::vector<Duration> offset_row_override_;

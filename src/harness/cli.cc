@@ -1,0 +1,117 @@
+#include "harness/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment_spec.h"
+
+namespace helios::harness::cli {
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  if (csv.empty()) return out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  // getline drops a trailing empty segment ("a," -> one entry); restore it
+  // so splitting is the exact inverse of joining.
+  if (!csv.empty() && csv.back() == ',') out.emplace_back();
+  return out;
+}
+
+Result<std::vector<Protocol>> ParseProtocolList(const std::string& csv) {
+  std::vector<Protocol> out;
+  for (const std::string& token : SplitCsv(csv)) {
+    auto p = ParseProtocolToken(token);
+    if (!p.ok()) return p.status();
+    out.push_back(p.value());
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("protocol list must not be empty");
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> ParseSeedList(const std::string& csv) {
+  std::vector<uint64_t> out;
+  for (const std::string& item : SplitCsv(csv)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(item.c_str(), &end, 10);
+    if (item.empty() || end == item.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad seed '" + item + "'");
+    }
+    out.push_back(static_cast<uint64_t>(v));
+  }
+  return out;
+}
+
+Result<std::vector<double>> ParseDoubleList(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& item : SplitCsv(csv)) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (item.empty() || end == item.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad number '" + item + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<Duration>> ParseMillisList(const std::string& csv) {
+  std::vector<Duration> out;
+  for (const std::string& item : SplitCsv(csv)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(item.c_str(), &end, 10);
+    if (item.empty() || end == item.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad milliseconds value '" + item + "'");
+    }
+    out.push_back(Millis(v));
+  }
+  return out;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("failed writing " + path);
+  return Status::Ok();
+}
+
+void AddCommonFlags(FlagSet* flags, int default_jobs) {
+  flags->DefineInt("jobs", default_jobs,
+                   "concurrent jobs (0 = one per hardware thread)");
+  flags->DefineString("json_out", "",
+                      "write the deterministic JSON results document here");
+  flags->DefineBool("help", false, "show this help");
+}
+
+void ParseOrExit(FlagSet* flags, int argc, char** argv) {
+  const Status parsed = flags->Parse(argc, argv);
+  if (parsed.ok() && !flags->GetBool("help")) return;
+  if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+  std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
+               flags->Help().c_str());
+  std::exit(parsed.ok() ? kExitOk : kExitUsage);
+}
+
+int FailWith(const Status& status, int exit_code) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  }
+  return exit_code;
+}
+
+}  // namespace helios::harness::cli

@@ -53,6 +53,12 @@ const char* ProtocolName(Protocol p);
 /// layer fully out of the event stream.
 enum class ReliableDelivery { kAuto, kOff, kOn };
 
+/// INTERNAL — the materialized runner input. New code should not fill this
+/// struct by hand: build a harness::ExperimentSpec with its fluent builder
+/// and call ToConfig(), which validates the spec (including the Rule 1
+/// safety check) before producing one of these. The raw struct remains
+/// public only as the compatibility bridge for RunExperiment and for the
+/// few knobs (service model) the spec intentionally does not expose.
 struct ExperimentConfig {
   Topology topology = Table2Topology();
   Protocol protocol = Protocol::kHelios0;

@@ -205,6 +205,8 @@ Result<ExperimentConfig> ExperimentSpec::ToConfig() const {
                                      : ReliableDelivery::kAuto;
   cfg.client_commit_timeout = client_timeout;
   cfg.client_max_retries = client_retries;
+  cfg.trace.enabled = trace_enabled;
+  if (trace_ring_capacity > 0) cfg.trace.ring_capacity = trace_ring_capacity;
   return cfg;
 }
 
@@ -263,6 +265,12 @@ std::string ExperimentSpec::ToJson() const {
   }
   w.Field("seed", seed);
   w.Field("topology", topology);
+  // Omitted at their defaults so pre-tracing specs stay byte-identical.
+  if (trace_enabled) w.Field("trace", trace_enabled);
+  if (trace_ring_capacity != 0) {
+    w.Field("trace_ring_capacity",
+            static_cast<uint64_t>(trace_ring_capacity));
+  }
   w.Field("two_pc_coordinator", static_cast<int64_t>(two_pc_coordinator));
   w.Field("uniform_dcs", static_cast<int64_t>(uniform_dcs));
   w.Field("uniform_rtt_ms", uniform_rtt_ms);
@@ -371,6 +379,12 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
       st = json::ReadUint64(key, v, &spec.seed);
     } else if (key == "topology") {
       st = json::ReadString(key, v, &spec.topology);
+    } else if (key == "trace") {
+      st = json::ReadBool(key, v, &spec.trace_enabled);
+    } else if (key == "trace_ring_capacity") {
+      uint64_t cap = 0;
+      st = json::ReadUint64(key, v, &cap);
+      if (st.ok()) spec.trace_ring_capacity = static_cast<size_t>(cap);
     } else if (key == "two_pc_coordinator") {
       st = json::ReadInt(key, v, &spec.two_pc_coordinator);
     } else if (key == "uniform_dcs") {
@@ -429,7 +443,9 @@ bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
          a.check_serializability == b.check_serializability &&
          a.fault_plan == b.fault_plan && a.reliable == b.reliable &&
          a.client_timeout == b.client_timeout &&
-         a.client_retries == b.client_retries && estimates_equal();
+         a.client_retries == b.client_retries &&
+         a.trace_enabled == b.trace_enabled &&
+         a.trace_ring_capacity == b.trace_ring_capacity && estimates_equal();
 }
 
 }  // namespace helios::harness

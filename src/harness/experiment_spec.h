@@ -99,6 +99,12 @@ struct ExperimentSpec {
   Duration client_timeout = 0;
   int client_retries = 3;
 
+  /// Lifecycle tracing (obs::TraceRecorder). Off by default — tracing is
+  /// for single diagnostic runs, not sweeps. 0 capacity = recorder
+  /// default ring size.
+  bool trace_enabled = false;
+  size_t trace_ring_capacity = 0;
+
   // --- Fluent builder -----------------------------------------------------
   ExperimentSpec& WithLabel(std::string v) { label = std::move(v); return *this; }
   ExperimentSpec& WithProtocol(Protocol v) { protocol = v; return *this; }
@@ -156,6 +162,11 @@ struct ExperimentSpec {
   ExperimentSpec& WithClientTimeout(Duration timeout, int retries = 3) {
     client_timeout = timeout;
     client_retries = retries;
+    return *this;
+  }
+  ExperimentSpec& WithTrace(bool enabled = true, size_t ring_capacity = 0) {
+    trace_enabled = enabled;
+    trace_ring_capacity = ring_capacity;
     return *this;
   }
 

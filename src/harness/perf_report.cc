@@ -1,0 +1,158 @@
+#include "harness/perf_report.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace helios::harness {
+
+const double* PerfEntry::Find(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+PerfEntry& PerfReport::Add(std::string id) {
+  entries.emplace_back();
+  entries.back().id = std::move(id);
+  return entries.back();
+}
+
+const PerfEntry* PerfReport::Find(const std::string& id) const {
+  for (const PerfEntry& e : entries) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::string PerfReport::ToJson() const {
+  std::string entries_json = "[";
+  bool first_entry = true;
+  for (const PerfEntry& e : entries) {
+    if (!first_entry) entries_json += ',';
+    first_entry = false;
+
+    std::vector<std::pair<std::string, double>> sorted = e.metrics;
+    std::sort(sorted.begin(), sorted.end());
+    std::string metrics_json;
+    json::ObjectWriter mw(&metrics_json);
+    for (const auto& [name, value] : sorted) mw.Field(name.c_str(), value);
+    mw.Close();
+
+    std::string entry_json;
+    json::ObjectWriter ew(&entry_json);
+    ew.Field("id", e.id);
+    ew.Raw("metrics", metrics_json);
+    ew.Close();
+    entries_json += entry_json;
+  }
+  entries_json += ']';
+
+  std::string out;
+  json::ObjectWriter w(&out);
+  w.Raw("entries", entries_json);
+  w.Field("schema", std::string(kPerfReportSchema));
+  w.Close();
+  return out;
+}
+
+Result<PerfReport> PerfReport::FromJson(const std::string& text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const json::Value& root = parsed.value();
+  if (root.kind != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("perf report must be a JSON object");
+  }
+
+  PerfReport report;
+  bool saw_schema = false;
+  bool saw_entries = false;
+  for (const auto& [key, value] : root.members) {
+    if (key == "schema") {
+      std::string schema;
+      if (const Status s = json::ReadString(key, value, &schema); !s.ok()) {
+        return s;
+      }
+      if (schema != kPerfReportSchema) {
+        return Status::InvalidArgument("unsupported perf schema '" + schema +
+                                       "' (want " + kPerfReportSchema + ")");
+      }
+      saw_schema = true;
+    } else if (key == "entries") {
+      if (value.kind != json::Value::Kind::kArray) {
+        return json::WrongType(key, "an array");
+      }
+      for (const json::Value& item : value.items) {
+        if (item.kind != json::Value::Kind::kObject) {
+          return Status::InvalidArgument("every entry must be an object");
+        }
+        PerfEntry entry;
+        for (const auto& [ekey, evalue] : item.members) {
+          if (ekey == "id") {
+            if (const Status s = json::ReadString(ekey, evalue, &entry.id);
+                !s.ok()) {
+              return s;
+            }
+          } else if (ekey == "metrics") {
+            if (evalue.kind != json::Value::Kind::kObject) {
+              return json::WrongType(ekey, "an object");
+            }
+            for (const auto& [name, num] : evalue.members) {
+              double v = 0.0;
+              if (const Status s = json::ReadDouble(name, num, &v); !s.ok()) {
+                return s;
+              }
+              entry.metrics.emplace_back(name, v);
+            }
+          } else {
+            return Status::InvalidArgument("unknown entry key '" + ekey + "'");
+          }
+        }
+        if (entry.id.empty()) {
+          return Status::InvalidArgument("every entry needs a non-empty id");
+        }
+        report.entries.push_back(std::move(entry));
+      }
+      saw_entries = true;
+    } else {
+      return Status::InvalidArgument("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_schema) return Status::InvalidArgument("missing 'schema'");
+  if (!saw_entries) return Status::InvalidArgument("missing 'entries'");
+  return report;
+}
+
+bool MetricLowerIsBetter(const std::string& name) {
+  const auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::string(suffix).size();
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_us") || ends_with("_ms") || ends_with("_s");
+}
+
+std::vector<PerfRegression> ComparePerfReports(const PerfReport& baseline,
+                                               const PerfReport& current,
+                                               double tolerance) {
+  std::vector<PerfRegression> out;
+  for (const PerfEntry& base_entry : baseline.entries) {
+    const PerfEntry* cur_entry = current.Find(base_entry.id);
+    if (cur_entry == nullptr) continue;
+    for (const auto& [name, base_value] : base_entry.metrics) {
+      const double* cur_value = cur_entry->Find(name);
+      if (cur_value == nullptr) continue;
+      if (!(base_value > 0.0) || !(*cur_value > 0.0)) continue;
+      const double worse_by = MetricLowerIsBetter(name)
+                                  ? *cur_value / base_value
+                                  : base_value / *cur_value;
+      if (worse_by > 1.0 + tolerance) {
+        out.push_back(PerfRegression{base_entry.id, name, base_value,
+                                     *cur_value, worse_by});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace helios::harness

@@ -1,0 +1,85 @@
+// PerfReport: the machine-readable performance document emitted by
+// bench_perf (BENCH_*.json at the repo root) and consumed by the CI
+// regression gate (tools/bench_compare) and by json_verify --schema=bench.
+//
+// Schema "helios-bench-perf-v1": one flat object
+//   {"entries":[{"id":"...","metrics":{"name":number,...}},...],
+//    "schema":"helios-bench-perf-v1"}
+// Entries keep their emission order (the bench's execution order); metric
+// keys are alphabetical. Everything else about the document follows the
+// deterministic-JSON rules of common/json (the *values* are wall-clock
+// measurements and of course differ run to run — the shape does not).
+//
+// Regression direction is encoded in the metric name: names ending in
+// "_us", "_ms", or "_s" are latencies (lower is better); everything else
+// is a rate (higher is better). bench_compare flags a metric when the
+// current value is worse than baseline by more than the tolerance band.
+
+#ifndef HELIOS_HARNESS_PERF_REPORT_H_
+#define HELIOS_HARNESS_PERF_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace helios::harness {
+
+inline constexpr char kPerfReportSchema[] = "helios-bench-perf-v1";
+
+struct PerfEntry {
+  std::string id;
+  /// Metric name -> value; sorted by name on emission.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void Set(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  const double* Find(const std::string& name) const;
+};
+
+struct PerfReport {
+  std::vector<PerfEntry> entries;
+
+  PerfEntry& Add(std::string id);
+  const PerfEntry* Find(const std::string& id) const;
+
+  /// Deterministic shape: schema key, entries in insertion order, metric
+  /// keys alphabetical within each entry.
+  std::string ToJson() const;
+
+  /// Parses and validates: the schema tag must match, every entry needs a
+  /// non-empty string id and a metrics object of numbers, and unknown
+  /// top-level or entry keys are errors.
+  static Result<PerfReport> FromJson(const std::string& json);
+};
+
+/// True for latency-style metrics ("..._us", "..._ms", "..._s") where a
+/// larger value is a regression.
+bool MetricLowerIsBetter(const std::string& name);
+
+/// One metric that got worse beyond the tolerance band.
+struct PerfRegression {
+  std::string entry;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// current/baseline for lower-is-better, baseline/current otherwise:
+  /// always >1 for a regression, and the factor by which it is worse.
+  double worse_by = 0.0;
+};
+
+/// Compares every metric present in BOTH reports (entries or metrics only
+/// one side has are skipped — benches may gain entries over time).
+/// `tolerance` is the allowed relative slowdown: 0.5 passes anything less
+/// than 1.5x worse than baseline. Shared-machine CI timing is noisy, so
+/// the default band is wide; the gate exists to catch step-function
+/// regressions (an accidental O(n^2), a lost fast path), not 5% drift.
+std::vector<PerfRegression> ComparePerfReports(const PerfReport& baseline,
+                                               const PerfReport& current,
+                                               double tolerance = 0.5);
+
+}  // namespace helios::harness
+
+#endif  // HELIOS_HARNESS_PERF_REPORT_H_

@@ -18,8 +18,16 @@ std::string LogRecord::ToString() const {
 }
 
 ReplicatedLog::ReplicatedLog(DcId self, int n)
-    : self_(self), n_(n), table_(n) {
+    : self_(self), n_(n), table_(n), by_origin_(static_cast<size_t>(n)) {
   assert(self >= 0 && self < n);
+}
+
+bool ReplicatedLog::InsertRecord(const LogRecord& rec) {
+  const auto [it, inserted] =
+      by_origin_[static_cast<size_t>(rec.origin)].emplace(rec.ts, rec);
+  (void)it;
+  if (inserted) ++live_count_;
+  return inserted;
 }
 
 Status ReplicatedLog::AppendLocal(const LogRecord& rec) {
@@ -30,21 +38,48 @@ Status ReplicatedLog::AppendLocal(const LogRecord& rec) {
     return Status::InvalidArgument(
         "record timestamps must be strictly increasing per origin");
   }
-  records_.emplace(RecordKey{rec.ts, rec.origin}, rec);
+  InsertRecord(rec);
   table_.Set(self_, self_, rec.ts);
   ++total_appended_;
   return Status::Ok();
 }
 
+void ReplicatedLog::MergeSuffixes(
+    const std::vector<OriginLog::const_iterator>& from,
+    std::vector<LogRecord>* out) const {
+  // K-way merge by (ts, origin) — k = cluster size, so linear selection
+  // per emitted record beats a heap for realistic n. Origin index order
+  // breaks timestamp ties, matching RecordOrder.
+  std::vector<OriginLog::const_iterator> cursor = from;
+  for (;;) {
+    int best = -1;
+    for (DcId o = 0; o < n_; ++o) {
+      if (cursor[o] == by_origin_[static_cast<size_t>(o)].end()) continue;
+      if (best < 0 || cursor[o]->first < cursor[best]->first) best = o;
+    }
+    if (best < 0) return;
+    out->push_back(cursor[best]->second);
+    ++cursor[best];
+  }
+}
+
+void ReplicatedLog::BuildMessageInto(DcId peer, LogMessage* out) const {
+  out->from = self_;
+  out->table = table_;
+  out->records.clear();
+  // Per origin, the timetable proves `peer` has everything with
+  // ts <= T[peer][origin]; only the suffix above that bound is sent.
+  std::vector<OriginLog::const_iterator> from(static_cast<size_t>(n_));
+  for (DcId origin = 0; origin < n_; ++origin) {
+    from[origin] = by_origin_[static_cast<size_t>(origin)].upper_bound(
+        table_.Get(peer, origin));
+  }
+  MergeSuffixes(from, &out->records);
+}
+
 LogMessage ReplicatedLog::BuildMessageFor(DcId peer) const {
   LogMessage msg(n_);
-  msg.from = self_;
-  msg.table = table_;
-  for (const auto& [key, rec] : records_) {
-    if (!table_.HasRecord(peer, rec.origin, rec.ts)) {
-      msg.records.push_back(rec);
-    }
-  }
+  BuildMessageInto(peer, &msg);
   return msg;
 }
 
@@ -52,7 +87,7 @@ std::vector<LogRecord> ReplicatedLog::Ingest(const LogMessage& msg) {
   std::vector<LogRecord> fresh;
   for (const LogRecord& rec : msg.records) {
     if (table_.HasRecord(self_, rec.origin, rec.ts)) continue;  // Duplicate.
-    records_.emplace(RecordKey{rec.ts, rec.origin}, rec);
+    InsertRecord(rec);
     fresh.push_back(rec);
   }
   // Note: the timetable merge below absorbs the sender's row, which covers
@@ -65,10 +100,10 @@ void ReplicatedLog::RestoreRecord(const LogRecord& rec) {
   if (table_.HasRecord(self_, rec.origin, rec.ts)) {
     // Knowledge already covers it; keep the record itself if missing (it
     // may still need retransmission to peers).
-    records_.emplace(RecordKey{rec.ts, rec.origin}, rec);
+    InsertRecord(rec);
     return;
   }
-  records_.emplace(RecordKey{rec.ts, rec.origin}, rec);
+  InsertRecord(rec);
   table_.Advance(self_, rec.origin, rec.ts);
   if (rec.origin == self_) ++total_appended_;
 }
@@ -83,27 +118,28 @@ void ReplicatedLog::RestoreTimetable(const Timetable& table) {
 
 size_t ReplicatedLog::GarbageCollect() {
   size_t dropped = 0;
-  // Precompute the horizon per origin.
-  std::vector<Timestamp> horizon(static_cast<size_t>(n_));
+  // Everything at or below MinColumn(origin) is known everywhere: erase
+  // the per-origin prefix.
   for (DcId origin = 0; origin < n_; ++origin) {
-    horizon[origin] = table_.MinColumn(origin);
-  }
-  for (auto it = records_.begin(); it != records_.end();) {
-    const LogRecord& rec = it->second;
-    if (rec.ts <= horizon[rec.origin]) {
-      it = records_.erase(it);
+    OriginLog& log = by_origin_[static_cast<size_t>(origin)];
+    const auto end = log.upper_bound(table_.MinColumn(origin));
+    for (auto it = log.begin(); it != end;) {
+      it = log.erase(it);
       ++dropped;
-    } else {
-      ++it;
     }
   }
+  live_count_ -= dropped;
   return dropped;
 }
 
 std::vector<LogRecord> ReplicatedLog::Snapshot() const {
   std::vector<LogRecord> out;
-  out.reserve(records_.size());
-  for (const auto& [key, rec] : records_) out.push_back(rec);
+  out.reserve(live_count_);
+  std::vector<OriginLog::const_iterator> from(static_cast<size_t>(n_));
+  for (DcId origin = 0; origin < n_; ++origin) {
+    from[origin] = by_origin_[static_cast<size_t>(origin)].begin();
+  }
+  MergeSuffixes(from, &out);
   return out;
 }
 

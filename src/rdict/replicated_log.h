@@ -8,6 +8,14 @@
 // timetable. Receipt merges new records (including transitively relayed
 // ones) and the timetable. Records known by every datacenter can be
 // garbage-collected.
+//
+// Storage is one ordered map per origin, keyed by timestamp. Because the
+// timetable bounds what a peer has *per origin* (T[peer][origin] >= ts),
+// building a partial log is an upper_bound per origin plus a k-way merge
+// of the suffixes — proportional to the records actually sent, not to
+// every live record. Garbage collection is likewise a prefix erase per
+// origin. The merge emits records in ascending (ts, origin) order, the
+// exact order the old single-map representation produced.
 
 #ifndef HELIOS_RDICT_REPLICATED_LOG_H_
 #define HELIOS_RDICT_REPLICATED_LOG_H_
@@ -58,6 +66,12 @@ class ReplicatedLog {
   /// does not prove the peer has, plus this datacenter's timetable.
   LogMessage BuildMessageFor(DcId peer) const;
 
+  /// Reuse form of BuildMessageFor: fills `out` in place, keeping its
+  /// vector capacities, so a pooled message/envelope costs no allocation
+  /// in steady state. `out` must have been constructed for this cluster
+  /// size.
+  void BuildMessageInto(DcId peer, LogMessage* out) const;
+
   /// Ingests a message. Returns the records this datacenter had not seen
   /// before, in RecordOrder, after merging the timetable. Records the
   /// timetable already covers are ignored (duplicate delivery is harmless).
@@ -76,7 +90,7 @@ class ReplicatedLog {
   size_t GarbageCollect();
 
   /// Records currently retained (pre-GC).
-  size_t live_records() const { return records_.size(); }
+  size_t live_records() const { return live_count_; }
   uint64_t total_appended() const { return total_appended_; }
 
   /// Direct-knowledge convenience: T[self][origin].
@@ -86,12 +100,22 @@ class ReplicatedLog {
   std::vector<LogRecord> Snapshot() const;
 
  private:
-  using RecordKey = std::pair<Timestamp, DcId>;  // (ts, origin)
+  using OriginLog = std::map<Timestamp, LogRecord>;
+
+  /// Appends every record from per-origin suffixes starting at `from[o]`
+  /// to `out` in ascending (ts, origin) order.
+  void MergeSuffixes(const std::vector<OriginLog::const_iterator>& from,
+                     std::vector<LogRecord>* out) const;
+
+  /// Inserts unless a record with that (origin, ts) already exists.
+  /// Returns whether it inserted.
+  bool InsertRecord(const LogRecord& rec);
 
   DcId self_;
   int n_;
   Timetable table_;
-  std::map<RecordKey, LogRecord> records_;
+  std::vector<OriginLog> by_origin_;
+  size_t live_count_ = 0;
   uint64_t total_appended_ = 0;
 };
 

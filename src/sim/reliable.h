@@ -72,6 +72,11 @@ class ReliableMesh {
   uint64_t gave_up() const { return gave_up_; }
 
  private:
+  /// One in-flight message. `deliver` and `size_bytes` are captured once
+  /// at Send time and reused verbatim by every retransmission: the
+  /// payload is a shared immutable EnvelopePtr inside the closure and the
+  /// size was computed by the sender's sizer on the first transmission,
+  /// so retries never re-encode or re-measure the message.
   struct Packet {
     std::function<void()> deliver;
     size_t size_bytes = 0;

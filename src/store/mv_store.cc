@@ -48,10 +48,13 @@ Timestamp MvStore::MaxVersionTsOf(const TxnBody& txn) const {
 
 void MvStore::ApplyWrite(const Key& key, const Value& value,
                          Timestamp commit_ts, TxnId writer) {
-  auto [it, inserted] =
-      data_[key].emplace(std::make_pair(commit_ts, writer), value);
+  Chain& chain = data_[key];
+  auto [it, inserted] = chain.emplace(std::make_pair(commit_ts, writer), value);
   (void)it;
-  if (inserted) ++version_count_;
+  if (inserted) {
+    ++version_count_;
+    if (chain.size() == 2) multi_version_chains_.insert(&chain);
+  }
   ++writes_applied_;
 }
 
@@ -71,16 +74,27 @@ void MvStore::ForEachLatest(
 }
 
 size_t MvStore::TruncateVersionsBefore(Timestamp horizon) {
+  // Only chains that ever grew past one version can have anything to drop,
+  // so GC walks the multi-version registry instead of every key in the
+  // store (with preloaded key pools, single-version keys are the vast
+  // majority and a full scan dominated simulator profiles).
   size_t dropped = 0;
-  for (auto& [key, chain] : data_) {
-    if (chain.size() <= 1) continue;
+  for (auto it = multi_version_chains_.begin();
+       it != multi_version_chains_.end();) {
+    Chain& chain = **it;
     // Keep the newest version below the horizon (it is still the visible
     // version for snapshots at the horizon) and everything above.
     auto cut = chain.lower_bound({horizon, TxnId{kInvalidDc, 0}});
-    if (cut == chain.begin()) continue;
-    --cut;  // newest version strictly below horizon: keep it.
-    dropped += static_cast<size_t>(std::distance(chain.begin(), cut));
-    chain.erase(chain.begin(), cut);
+    if (cut != chain.begin()) {
+      --cut;  // newest version strictly below horizon: keep it.
+      dropped += static_cast<size_t>(std::distance(chain.begin(), cut));
+      chain.erase(chain.begin(), cut);
+    }
+    if (chain.size() <= 1) {
+      it = multi_version_chains_.erase(it);
+    } else {
+      ++it;
+    }
   }
   version_count_ -= dropped;
   return dropped;

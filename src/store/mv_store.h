@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -83,6 +84,7 @@ class MvStore {
   /// Drops every version and resets the counters — the amnesia half of a
   /// crash restart (recovery then replays the WAL journal back in).
   void Clear() {
+    multi_version_chains_.clear();
     data_.clear();
     version_count_ = 0;
     writes_applied_ = 0;
@@ -100,6 +102,12 @@ class MvStore {
   using Chain = std::map<std::pair<Timestamp, TxnId>, Value, VersionKeyLess>;
 
   std::unordered_map<Key, Chain> data_;
+  /// Chains that currently hold more than one version — the only ones
+  /// TruncateVersionsBefore can shrink, so GC visits just these instead of
+  /// scanning the full key space. Pointers stay valid across data_
+  /// rehashes (node-based container; keys are never erased), and iteration
+  /// order does not affect results (per-chain truncation is independent).
+  std::unordered_set<Chain*> multi_version_chains_;
   uint64_t version_count_ = 0;
   uint64_t writes_applied_ = 0;
 };

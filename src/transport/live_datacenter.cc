@@ -22,11 +22,12 @@ LiveDatacenter::LiveDatacenter(DcId id, core::HeliosConfig config,
       });
   node_ = std::make_unique<core::HeliosNode>(
       id_, config_, kind, &loop_.scheduler(), clock_.get(),
-      [this](DcId to, const core::Envelope& env) {
+      [this](DcId to, const core::EnvelopePtr& env) {
         // Serialize on the loop thread; the socket write is brief
-        // (localhost / kernel buffers) so it runs inline.
-        const std::vector<uint8_t> frame = wire::FrameEnvelope(env);
-        (void)transport_->Send(to, frame);
+        // (localhost / kernel buffers) so it runs inline. The framer's
+        // buffers are reused across sends — zero steady-state allocation.
+        const wire::Buffer& frame = framer_.Frame(*env);
+        (void)transport_->Send(to, frame.data(), frame.size());
       });
 }
 

@@ -20,6 +20,7 @@
 #include "transport/realtime_loop.h"
 #include "transport/tcp_transport.h"
 #include "wal/wal.h"
+#include "wire/serialization.h"
 
 namespace helios::transport {
 
@@ -83,6 +84,8 @@ class LiveDatacenter {
   std::unique_ptr<TcpTransport> transport_;
   std::unique_ptr<core::HeliosNode> node_;
   std::unique_ptr<wal::WalWriter> wal_;
+  /// Reusable outbound framing buffers; only touched on the loop thread.
+  wire::Framer framer_;
   bool started_ = false;
 };
 

@@ -139,12 +139,12 @@ Status TcpTransport::Connect(DcId to, uint16_t port) {
                              std::to_string(to));
 }
 
-Status TcpTransport::SendOnce(DcId to, const std::vector<uint8_t>& payload) {
+Status TcpTransport::SendOnce(DcId to, const uint8_t* data, size_t len) {
   uint8_t header[4] = {
-      static_cast<uint8_t>(payload.size() & 0xFF),
-      static_cast<uint8_t>((payload.size() >> 8) & 0xFF),
-      static_cast<uint8_t>((payload.size() >> 16) & 0xFF),
-      static_cast<uint8_t>((payload.size() >> 24) & 0xFF),
+      static_cast<uint8_t>(len & 0xFF),
+      static_cast<uint8_t>((len >> 8) & 0xFF),
+      static_cast<uint8_t>((len >> 16) & 0xFF),
+      static_cast<uint8_t>((len >> 24) & 0xFF),
   };
   std::lock_guard<std::mutex> lock(mu_);  // One writer at a time per fd.
   Peer* peer = nullptr;
@@ -159,7 +159,7 @@ Status TcpTransport::SendOnce(DcId to, const std::vector<uint8_t>& payload) {
   }
   if (peer->fd < 0) return Status::Unavailable("peer disconnected");
   if (!WriteFully(peer->fd, header, 4) ||
-      !WriteFully(peer->fd, payload.data(), payload.size())) {
+      !WriteFully(peer->fd, data, len)) {
     // The connection is dead (peer restarted or reset the socket): close
     // it so Send() redials on a fresh fd instead of writing into a pipe
     // that will never drain.
@@ -171,8 +171,8 @@ Status TcpTransport::SendOnce(DcId to, const std::vector<uint8_t>& payload) {
   return Status::Ok();
 }
 
-Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
-  Status s = SendOnce(to, payload);
+Status TcpTransport::Send(DcId to, const uint8_t* data, size_t len) {
+  Status s = SendOnce(to, data, len);
   if (s.ok() || s.code() == StatusCode::kFailedPrecondition) return s;
 
   // The connection died. Redial with bounded exponential backoff and
@@ -203,7 +203,7 @@ Status TcpTransport::Send(DcId to, const std::vector<uint8_t>& payload) {
       }
       if (!installed) ::close(fd);  // Another sender already reconnected.
       ++reconnects_;
-      s = SendOnce(to, payload);
+      s = SendOnce(to, data, len);
       if (s.ok()) return s;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));

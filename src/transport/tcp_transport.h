@@ -53,7 +53,14 @@ class TcpTransport {
   /// and redials with bounded exponential backoff (10 ms doubling to
   /// 160 ms, 5 attempts) before giving up, so a transient peer outage
   /// costs retries instead of a permanently wedged link.
-  Status Send(DcId to, const std::vector<uint8_t>& payload);
+  ///
+  /// The span form borrows the caller's bytes for the duration of the
+  /// call (pair it with a reused wire::Buffer for a copy-free send path);
+  /// the vector overload simply forwards.
+  Status Send(DcId to, const uint8_t* data, size_t len);
+  Status Send(DcId to, const std::vector<uint8_t>& payload) {
+    return Send(to, payload.data(), payload.size());
+  }
 
   /// Closes everything and joins the background threads.
   void Shutdown();
@@ -76,7 +83,7 @@ class TcpTransport {
   /// One dial attempt to 127.0.0.1:`port`; returns the fd or -1.
   int DialPeer(uint16_t port);
   /// One framed write on the current connection; marks it dead on failure.
-  Status SendOnce(DcId to, const std::vector<uint8_t>& payload);
+  Status SendOnce(DcId to, const uint8_t* data, size_t len);
 
   MessageHandler handler_;
   int listen_fd_ = -1;

@@ -22,34 +22,41 @@ Status WalWriter::Open(const std::string& path) {
   return Status::Ok();
 }
 
-Status WalWriter::AppendPayload(EntryType type,
-                                const std::vector<uint8_t>& payload) {
+Status WalWriter::AppendEntry(EntryType type, const EncodePayloadFn& encode) {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
-  wire::Encoder frame;
-  frame.PutFixed32(kEntryMagic);
-  frame.PutU8(static_cast<uint8_t>(type));
-  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
-  frame.PutRaw(payload.data(), payload.size());
-  frame.PutFixed32(wire::Crc32(payload));
-  const auto& bytes = frame.bytes();
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+  // Single-buffer framing: the payload is encoded in place after a
+  // fixed-width length placeholder that is patched once the size is
+  // known, so one reused buffer and one fwrite cover the whole entry.
+  scratch_.Clear();
+  wire::Writer w(&scratch_);
+  w.PutFixed32(kEntryMagic);
+  w.PutU8(static_cast<uint8_t>(type));
+  const size_t len_at = w.offset();
+  w.PutFixed32(0);  // Payload length, patched below.
+  const size_t payload_at = w.offset();
+  encode(&w);
+  const size_t payload_len = w.offset() - payload_at;
+  w.PatchFixed32(len_at, static_cast<uint32_t>(payload_len));
+  w.PutFixed32(wire::Crc32(scratch_.data() + payload_at, payload_len));
+  if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+      scratch_.size()) {
     return Status::Internal("WAL write failed");
   }
   ++entries_appended_;
-  bytes_written_ += bytes.size();
+  bytes_written_ += scratch_.size();
   return Status::Ok();
 }
 
 Status WalWriter::AppendRecord(const rdict::LogRecord& record) {
-  wire::Encoder enc;
-  wire::EncodeLogRecord(record, &enc);
-  return AppendPayload(EntryType::kLogRecord, enc.bytes());
+  return AppendEntry(EntryType::kLogRecord, [&record](wire::Writer* w) {
+    wire::EncodeLogRecord(record, w);
+  });
 }
 
 Status WalWriter::AppendTimetable(const rdict::Timetable& table) {
-  wire::Encoder enc;
-  wire::EncodeTimetable(table, &enc);
-  return AppendPayload(EntryType::kTimetable, enc.bytes());
+  return AppendEntry(EntryType::kTimetable, [&table](wire::Writer* w) {
+    wire::EncodeTimetable(table, w);
+  });
 }
 
 Status WalWriter::Sync(bool fsync_to_disk) {

@@ -27,6 +27,8 @@
 #include "rdict/record.h"
 #include "rdict/timetable.h"
 #include "wal/wal_sink.h"
+#include "wire/buffer.h"
+#include "wire/codec.h"
 
 namespace helios::wal {
 
@@ -65,9 +67,14 @@ class WalWriter : public WalSink {
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
-  Status AppendPayload(EntryType type, const std::vector<uint8_t>& payload);
+  using EncodePayloadFn = std::function<void(wire::Writer*)>;
+
+  /// Frames one entry into the reused scratch buffer (payload encoded in
+  /// place; length patched after the fact) and writes it with one fwrite.
+  Status AppendEntry(EntryType type, const EncodePayloadFn& encode);
 
   std::FILE* file_ = nullptr;
+  wire::Buffer scratch_;
   uint64_t entries_appended_ = 0;
   uint64_t bytes_written_ = 0;
 };

@@ -1,18 +1,19 @@
 #include "wire/codec.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace helios::wire {
 
-void Encoder::PutFixed32(uint32_t v) {
+void Writer::PutFixed32(uint32_t v) {
   for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
 }
 
-void Encoder::PutFixed64(uint64_t v) {
+void Writer::PutFixed64(uint64_t v) {
   for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
 }
 
-void Encoder::PutVarint(uint64_t v) {
+void Writer::PutVarint(uint64_t v) {
   while (v >= 0x80) {
     PutU8(static_cast<uint8_t>(v) | 0x80);
     v >>= 7;
@@ -20,20 +21,21 @@ void Encoder::PutVarint(uint64_t v) {
   PutU8(static_cast<uint8_t>(v));
 }
 
-void Encoder::PutSignedVarint(int64_t v) {
+void Writer::PutSignedVarint(int64_t v) {
   // ZigZag: small magnitudes (positive or negative) stay small.
   PutVarint((static_cast<uint64_t>(v) << 1) ^
             static_cast<uint64_t>(v >> 63));
 }
 
-void Encoder::PutString(const std::string& s) {
+void Writer::PutString(const std::string& s) {
   PutVarint(s.size());
   PutRaw(s.data(), s.size());
 }
 
-void Encoder::PutRaw(const void* data, size_t len) {
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  bytes_.insert(bytes_.end(), p, p + len);
+void Writer::PatchFixed32(size_t offset, uint32_t v) {
+  assert(offset + 4 <= out_->size());
+  uint8_t* p = out_->data() + offset;
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
 Status Decoder::GetU8(uint8_t* out) {

@@ -1,7 +1,15 @@
-// Low-level wire codec: a growable byte sink and a bounds-checked byte
-// source with varint/zigzag integer encodings, used by the message
-// serialization in wire/serialization.h. All decode paths return Status
-// instead of crashing on malformed input.
+// Low-level wire codec: byte sinks and a bounds-checked byte source with
+// varint/zigzag integer encodings, used by the message serialization in
+// wire/serialization.h. All decode paths return Status instead of
+// crashing on malformed input.
+//
+// Two write-side interfaces share one encoding implementation:
+//  - Writer appends into a caller-owned wire::Buffer. Holding the Buffer
+//    across messages and Clear()ing between them makes steady-state
+//    encoding allocation-free; this is the hot-path API.
+//  - Encoder is the legacy owning sink (allocates a fresh vector per
+//    instance). Kept for one-shot call sites, equivalence tests, and as
+//    the "before" leg of the wire benchmarks.
 
 #ifndef HELIOS_WIRE_CODEC_H_
 #define HELIOS_WIRE_CODEC_H_
@@ -11,13 +19,17 @@
 #include <vector>
 
 #include "common/status.h"
+#include "wire/buffer.h"
 
 namespace helios::wire {
 
-/// Append-only byte sink.
-class Encoder {
+/// Appends encoded values to a borrowed Buffer. The Buffer must outlive
+/// the Writer; several Writers may append to the same Buffer in sequence.
+class Writer {
  public:
-  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  explicit Writer(Buffer* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->PushBack(v); }
   void PutFixed32(uint32_t v);
   void PutFixed64(uint64_t v);
   /// LEB128 varint.
@@ -27,14 +39,44 @@ class Encoder {
   /// Length-prefixed byte string.
   void PutString(const std::string& s);
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
-  void PutRaw(const void* data, size_t len);
+  void PutRaw(const void* data, size_t len) { out_->Append(data, len); }
 
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
-  std::vector<uint8_t> Release() { return std::move(bytes_); }
-  size_t size() const { return bytes_.size(); }
+  /// Byte offset of the next write — pair with PatchFixed32 to backfill a
+  /// fixed-width placeholder (e.g. a length field) once it is known.
+  size_t offset() const { return out_->size(); }
+  void PatchFixed32(size_t offset, uint32_t v);
+
+  Buffer* buffer() { return out_; }
 
  private:
-  std::vector<uint8_t> bytes_;
+  Buffer* out_;
+};
+
+/// Append-only byte sink that owns its storage (legacy API; see file
+/// comment). Internally a Buffer + Writer, so both paths encode
+/// identically by construction.
+class Encoder {
+ public:
+  Encoder() : writer_(&buf_) {}
+
+  void PutU8(uint8_t v) { writer_.PutU8(v); }
+  void PutFixed32(uint32_t v) { writer_.PutFixed32(v); }
+  void PutFixed64(uint64_t v) { writer_.PutFixed64(v); }
+  void PutVarint(uint64_t v) { writer_.PutVarint(v); }
+  void PutSignedVarint(int64_t v) { writer_.PutSignedVarint(v); }
+  void PutString(const std::string& s) { writer_.PutString(s); }
+  void PutBool(bool v) { writer_.PutBool(v); }
+  void PutRaw(const void* data, size_t len) { writer_.PutRaw(data, len); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_.vec(); }
+  std::vector<uint8_t> Release() { return buf_.ReleaseVector(); }
+  size_t size() const { return buf_.size(); }
+
+  Writer* writer() { return &writer_; }
+
+ private:
+  Buffer buf_;
+  Writer writer_;
 };
 
 /// Bounds-checked byte source over a borrowed buffer.
@@ -43,6 +85,7 @@ class Decoder {
   Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit Decoder(const std::vector<uint8_t>& bytes)
       : Decoder(bytes.data(), bytes.size()) {}
+  explicit Decoder(const Buffer& buf) : Decoder(buf.data(), buf.size()) {}
 
   Status GetU8(uint8_t* out);
   Status GetFixed32(uint32_t* out);
@@ -62,10 +105,17 @@ class Decoder {
   size_t pos_ = 0;
 };
 
+/// Read-side name paired with Writer. Decoding was already copy-free
+/// (borrowed buffer), so the reader is the same class under both names.
+using Reader = Decoder;
+
 /// CRC-32 (ISO-HDLC polynomial) over a byte span.
 uint32_t Crc32(const uint8_t* data, size_t len);
 inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
   return Crc32(bytes.data(), bytes.size());
+}
+inline uint32_t Crc32(const Buffer& buf) {
+  return Crc32(buf.data(), buf.size());
 }
 
 }  // namespace helios::wire

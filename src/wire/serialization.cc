@@ -13,9 +13,9 @@ constexpr uint64_t kMaxDatacenters = 1 << 10;
 
 }  // namespace
 
-void EncodeTxnId(const TxnId& id, Encoder* enc) {
-  enc->PutSignedVarint(id.origin);
-  enc->PutVarint(id.seq);
+void EncodeTxnId(const TxnId& id, Writer* w) {
+  w->PutSignedVarint(id.origin);
+  w->PutVarint(id.seq);
 }
 
 Status DecodeTxnId(Decoder* dec, TxnId* out) {
@@ -30,18 +30,18 @@ Status DecodeTxnId(Decoder* dec, TxnId* out) {
   return Status::Ok();
 }
 
-void EncodeTxnBody(const TxnBody& body, Encoder* enc) {
-  EncodeTxnId(body.id, enc);
-  enc->PutVarint(body.read_set.size());
+void EncodeTxnBody(const TxnBody& body, Writer* w) {
+  EncodeTxnId(body.id, w);
+  w->PutVarint(body.read_set.size());
   for (const ReadEntry& r : body.read_set) {
-    enc->PutString(r.key);
-    enc->PutSignedVarint(r.version_ts);
-    EncodeTxnId(r.version_writer, enc);
+    w->PutString(r.key);
+    w->PutSignedVarint(r.version_ts);
+    EncodeTxnId(r.version_writer, w);
   }
-  enc->PutVarint(body.write_set.size());
-  for (const WriteEntry& w : body.write_set) {
-    enc->PutString(w.key);
-    enc->PutString(w.value);
+  w->PutVarint(body.write_set.size());
+  for (const WriteEntry& wr : body.write_set) {
+    w->PutString(wr.key);
+    w->PutString(wr.value);
   }
 }
 
@@ -74,25 +74,25 @@ Status DecodeTxnBody(Decoder* dec, TxnBodyPtr* out) {
   std::vector<WriteEntry> write_set;
   write_set.reserve(writes);
   for (uint64_t i = 0; i < writes; ++i) {
-    WriteEntry w;
-    s = dec->GetString(&w.key);
+    WriteEntry wr;
+    s = dec->GetString(&wr.key);
     if (!s.ok()) return s;
-    s = dec->GetString(&w.value);
+    s = dec->GetString(&wr.value);
     if (!s.ok()) return s;
-    write_set.push_back(std::move(w));
+    write_set.push_back(std::move(wr));
   }
   *out = std::make_shared<TxnBody>(
       TxnBody{id, std::move(read_set), std::move(write_set)});
   return Status::Ok();
 }
 
-void EncodeLogRecord(const rdict::LogRecord& rec, Encoder* enc) {
-  enc->PutU8(rec.type == rdict::RecordType::kPreparing ? 0 : 1);
-  enc->PutBool(rec.committed);
-  enc->PutSignedVarint(rec.ts);
-  enc->PutSignedVarint(rec.version_ts);
-  enc->PutSignedVarint(rec.origin);
-  EncodeTxnBody(*rec.body, enc);
+void EncodeLogRecord(const rdict::LogRecord& rec, Writer* w) {
+  w->PutU8(rec.type == rdict::RecordType::kPreparing ? 0 : 1);
+  w->PutBool(rec.committed);
+  w->PutSignedVarint(rec.ts);
+  w->PutSignedVarint(rec.version_ts);
+  w->PutSignedVarint(rec.origin);
+  EncodeTxnBody(*rec.body, w);
 }
 
 Status DecodeLogRecord(Decoder* dec, rdict::LogRecord* out) {
@@ -119,12 +119,12 @@ Status DecodeLogRecord(Decoder* dec, rdict::LogRecord* out) {
   return Status::Ok();
 }
 
-void EncodeTimetable(const rdict::Timetable& table, Encoder* enc) {
+void EncodeTimetable(const rdict::Timetable& table, Writer* w) {
   const int n = table.size();
-  enc->PutVarint(static_cast<uint64_t>(n));
+  w->PutVarint(static_cast<uint64_t>(n));
   for (DcId i = 0; i < n; ++i) {
     for (DcId j = 0; j < n; ++j) {
-      enc->PutSignedVarint(table.Get(i, j));
+      w->PutSignedVarint(table.Get(i, j));
     }
   }
 }
@@ -149,12 +149,12 @@ Status DecodeTimetable(Decoder* dec, rdict::Timetable* out) {
   return Status::Ok();
 }
 
-void EncodeLogMessage(const rdict::LogMessage& msg, Encoder* enc) {
-  enc->PutSignedVarint(msg.from);
-  EncodeTimetable(msg.table, enc);
-  enc->PutVarint(msg.records.size());
+void EncodeLogMessage(const rdict::LogMessage& msg, Writer* w) {
+  w->PutSignedVarint(msg.from);
+  EncodeTimetable(msg.table, w);
+  w->PutVarint(msg.records.size());
   for (const rdict::LogRecord& rec : msg.records) {
-    EncodeLogRecord(rec, enc);
+    EncodeLogRecord(rec, w);
   }
 }
 
@@ -183,23 +183,23 @@ Status DecodeLogMessage(Decoder* dec, rdict::LogMessage* out) {
   return Status::Ok();
 }
 
-void EncodeEnvelope(const core::Envelope& env, Encoder* enc) {
-  EncodeLogMessage(env.log, enc);
-  enc->PutVarint(env.refusals.size());
+void EncodeEnvelope(const core::Envelope& env, Writer* w) {
+  EncodeLogMessage(env.log, w);
+  w->PutVarint(env.refusals.size());
   for (const core::Refusal& r : env.refusals) {
-    enc->PutSignedVarint(r.refuser);
-    EncodeTxnId(r.txn, enc);
-    enc->PutSignedVarint(r.txn_ts);
+    w->PutSignedVarint(r.refuser);
+    EncodeTxnId(r.txn, w);
+    w->PutSignedVarint(r.txn_ts);
   }
-  enc->PutVarint(env.ping_id);
-  enc->PutVarint(env.pong_for);
-  enc->PutSignedVarint(env.pong_hold_us);
-  enc->PutVarint(env.rtt_row_us.size());
-  for (Duration d : env.rtt_row_us) enc->PutSignedVarint(d);
+  w->PutVarint(env.ping_id);
+  w->PutVarint(env.pong_for);
+  w->PutSignedVarint(env.pong_hold_us);
+  w->PutVarint(env.rtt_row_us.size());
+  for (Duration d : env.rtt_row_us) w->PutSignedVarint(d);
   // Trailing optional: only non-gossip envelopes (recovery catch-up)
   // carry a kind byte, so the regular gossip layout is unchanged.
   if (env.kind != core::EnvelopeKind::kGossip) {
-    enc->PutU8(static_cast<uint8_t>(env.kind));
+    w->PutU8(static_cast<uint8_t>(env.kind));
   }
 }
 
@@ -261,20 +261,29 @@ Status DecodeEnvelope(Decoder* dec, core::Envelope* out) {
   return Status::Ok();
 }
 
-std::vector<uint8_t> FrameEnvelope(const core::Envelope& env) {
-  Encoder payload;
+void FrameEnvelopeInto(const core::Envelope& env, Buffer* scratch,
+                       Buffer* out) {
+  scratch->Clear();
+  Writer payload(scratch);
   EncodeEnvelope(env, &payload);
-  Encoder frame;
+  out->Clear();
+  Writer frame(out);
   frame.PutFixed32(kFrameMagic);
   frame.PutU8(kWireVersion);
-  frame.PutVarint(payload.size());
-  frame.PutRaw(payload.bytes().data(), payload.size());
-  frame.PutFixed32(Crc32(payload.bytes()));
-  return frame.Release();
+  frame.PutVarint(scratch->size());
+  frame.PutRaw(scratch->data(), scratch->size());
+  frame.PutFixed32(Crc32(*scratch));
 }
 
-Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes) {
-  Decoder dec(bytes);
+std::vector<uint8_t> FrameEnvelope(const core::Envelope& env) {
+  Buffer scratch;
+  Buffer out;
+  FrameEnvelopeInto(env, &scratch, &out);
+  return out.ReleaseVector();
+}
+
+Result<core::Envelope> UnframeEnvelope(const uint8_t* data, size_t len) {
+  Decoder dec(data, len);
   uint32_t magic = 0;
   Status s = dec.GetFixed32(&magic);
   if (!s.ok()) return s;
@@ -292,7 +301,7 @@ Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes) {
       dec.remaining() - payload_len != 4) {
     return Status::InvalidArgument("frame length mismatch");
   }
-  const uint8_t* payload = bytes.data() + dec.position();
+  const uint8_t* payload = data + dec.position();
   const uint32_t computed =
       Crc32(payload, static_cast<size_t>(payload_len));
   Decoder tail(payload + payload_len, 4);
@@ -313,9 +322,13 @@ Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes) {
 }
 
 size_t EncodedEnvelopeSize(const core::Envelope& env) {
-  Encoder enc;
-  EncodeEnvelope(env, &enc);
-  return enc.size();
+  // Bandwidth accounting runs once per simulated send; the thread-local
+  // scratch keeps that from allocating a fresh vector every message.
+  thread_local Buffer scratch;
+  scratch.Clear();
+  Writer w(&scratch);
+  EncodeEnvelope(env, &w);
+  return scratch.size();
 }
 
 }  // namespace helios::wire

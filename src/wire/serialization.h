@@ -12,6 +12,13 @@
 // length-prefixed. A framed message is
 //   magic(4) | version(1) | payload_len(varint) | payload | crc32(4)
 // where the CRC covers the payload only.
+//
+// Encoding API: every Encode* takes a wire::Writer, which appends into a
+// caller-owned reusable Buffer — a send loop that keeps its Buffer (or a
+// Framer) across messages does zero steady-state allocation. The Encoder
+// overloads and the vector-returning FrameEnvelope are the legacy
+// allocate-per-call surface, kept for one-shot call sites, equivalence
+// tests, and the "before" leg of bench_perf's wire benchmarks.
 
 #ifndef HELIOS_WIRE_SERIALIZATION_H_
 #define HELIOS_WIRE_SERIALIZATION_H_
@@ -24,6 +31,7 @@
 #include "rdict/replicated_log.h"
 #include "rdict/timetable.h"
 #include "txn/transaction.h"
+#include "wire/buffer.h"
 #include "wire/codec.h"
 
 namespace helios::wire {
@@ -33,34 +41,85 @@ inline constexpr uint8_t kWireVersion = 1;
 
 // --- Component encoders/decoders -------------------------------------------
 
-void EncodeTxnId(const TxnId& id, Encoder* enc);
+void EncodeTxnId(const TxnId& id, Writer* w);
 Status DecodeTxnId(Decoder* dec, TxnId* out);
 
-void EncodeTxnBody(const TxnBody& body, Encoder* enc);
+void EncodeTxnBody(const TxnBody& body, Writer* w);
 Status DecodeTxnBody(Decoder* dec, TxnBodyPtr* out);
 
-void EncodeLogRecord(const rdict::LogRecord& rec, Encoder* enc);
+void EncodeLogRecord(const rdict::LogRecord& rec, Writer* w);
 Status DecodeLogRecord(Decoder* dec, rdict::LogRecord* out);
 
-void EncodeTimetable(const rdict::Timetable& table, Encoder* enc);
+void EncodeTimetable(const rdict::Timetable& table, Writer* w);
 Status DecodeTimetable(Decoder* dec, rdict::Timetable* out);
 
-void EncodeLogMessage(const rdict::LogMessage& msg, Encoder* enc);
+void EncodeLogMessage(const rdict::LogMessage& msg, Writer* w);
 Status DecodeLogMessage(Decoder* dec, rdict::LogMessage* out);
 
-void EncodeEnvelope(const core::Envelope& env, Encoder* enc);
+void EncodeEnvelope(const core::Envelope& env, Writer* w);
 Status DecodeEnvelope(Decoder* dec, core::Envelope* out);
+
+// Legacy Encoder overloads (same bytes; Encoder wraps a Writer).
+inline void EncodeTxnId(const TxnId& id, Encoder* enc) {
+  EncodeTxnId(id, enc->writer());
+}
+inline void EncodeTxnBody(const TxnBody& body, Encoder* enc) {
+  EncodeTxnBody(body, enc->writer());
+}
+inline void EncodeLogRecord(const rdict::LogRecord& rec, Encoder* enc) {
+  EncodeLogRecord(rec, enc->writer());
+}
+inline void EncodeTimetable(const rdict::Timetable& table, Encoder* enc) {
+  EncodeTimetable(table, enc->writer());
+}
+inline void EncodeLogMessage(const rdict::LogMessage& msg, Encoder* enc) {
+  EncodeLogMessage(msg, enc->writer());
+}
+inline void EncodeEnvelope(const core::Envelope& env, Encoder* enc) {
+  EncodeEnvelope(env, enc->writer());
+}
 
 // --- Framing ----------------------------------------------------------------
 
-/// Serializes an envelope into a framed, checksummed byte string.
+/// Encodes `env` framed + checksummed into `out` (appended after Clear;
+/// `out` is cleared first). Reusing `out` across calls is the copy-free
+/// path. `scratch` holds the unframed payload and is likewise reused.
+void FrameEnvelopeInto(const core::Envelope& env, Buffer* scratch,
+                       Buffer* out);
+
+/// Reusable two-buffer framing scratch: the convenient form of
+/// FrameEnvelopeInto for send loops.
+class Framer {
+ public:
+  /// Returns the framed bytes for `env`; the reference is valid until the
+  /// next Frame() call or the Framer dies.
+  const Buffer& Frame(const core::Envelope& env) {
+    FrameEnvelopeInto(env, &payload_, &frame_);
+    return frame_;
+  }
+
+ private:
+  Buffer payload_;
+  Buffer frame_;
+};
+
+/// Legacy one-shot framing: serializes an envelope into a fresh framed,
+/// checksummed byte string (allocates per call).
 std::vector<uint8_t> FrameEnvelope(const core::Envelope& env);
 
 /// Parses a framed envelope; verifies magic, version, and CRC.
-Result<core::Envelope> UnframeEnvelope(const std::vector<uint8_t>& bytes);
+Result<core::Envelope> UnframeEnvelope(const uint8_t* data, size_t len);
+inline Result<core::Envelope> UnframeEnvelope(
+    const std::vector<uint8_t>& bytes) {
+  return UnframeEnvelope(bytes.data(), bytes.size());
+}
+inline Result<core::Envelope> UnframeEnvelope(const Buffer& buf) {
+  return UnframeEnvelope(buf.data(), buf.size());
+}
 
 /// Encoded (unframed) size of an envelope in bytes — what a deployment
-/// would put on the wire; used for bandwidth accounting.
+/// would put on the wire; used for bandwidth accounting. Encodes into a
+/// thread-local scratch buffer, so it does not allocate in steady state.
 size_t EncodedEnvelopeSize(const core::Envelope& env);
 
 }  // namespace helios::wire

@@ -1,0 +1,153 @@
+// Tests for the helios-bench-perf-v1 performance document: deterministic
+// JSON shape, strict parsing (the same validation json_verify
+// --schema=bench applies to committed BENCH_*.json files), regression
+// direction rules, and the tolerance-band comparison bench_compare runs
+// in CI.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/perf_report.h"
+
+namespace helios::harness {
+namespace {
+
+PerfReport SampleReport() {
+  PerfReport report;
+  PerfEntry& sim = report.Add("sim.events.helios0");
+  sim.Set("events_per_sec", 150000.0);
+  sim.Set("wall_s", 1.25);
+  PerfEntry& live = report.Add("live.tcp");
+  live.Set("p99_us", 40.0);
+  live.Set("ops_per_sec", 50000.0);
+  return report;
+}
+
+TEST(PerfReportTest, ToJsonIsDeterministicAndSorted) {
+  // Entries keep emission order; metric keys are alphabetized (ops before
+  // p99 even though Set() ran the other way); schema tag is present.
+  const std::string json = SampleReport().ToJson();
+  EXPECT_EQ(json,
+            "{\"entries\":[{\"id\":\"sim.events.helios0\",\"metrics\":"
+            "{\"events_per_sec\":150000,\"wall_s\":1.25}},"
+            "{\"id\":\"live.tcp\",\"metrics\":"
+            "{\"ops_per_sec\":50000,\"p99_us\":40}}],"
+            "\"schema\":\"helios-bench-perf-v1\"}");
+}
+
+TEST(PerfReportTest, RoundTripPreservesEverything) {
+  const PerfReport report = SampleReport();
+  auto parsed = PerfReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().entries.size(), 2u);
+  const PerfEntry* sim = parsed.value().Find("sim.events.helios0");
+  ASSERT_NE(sim, nullptr);
+  const double* wall = sim->Find("wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(*wall, 1.25);
+  // Re-serializing the parse yields the identical document.
+  EXPECT_EQ(parsed.value().ToJson(), report.ToJson());
+}
+
+TEST(PerfReportTest, FromJsonRejectsMalformedDocuments) {
+  // Wrong schema tag.
+  EXPECT_FALSE(
+      PerfReport::FromJson("{\"entries\":[],\"schema\":\"v0\"}").ok());
+  // Missing schema.
+  EXPECT_FALSE(PerfReport::FromJson("{\"entries\":[]}").ok());
+  // Unknown top-level key.
+  EXPECT_FALSE(PerfReport::FromJson(
+                   "{\"entries\":[],\"extra\":1,"
+                   "\"schema\":\"helios-bench-perf-v1\"}")
+                   .ok());
+  // Unknown entry key.
+  EXPECT_FALSE(PerfReport::FromJson(
+                   "{\"entries\":[{\"id\":\"x\",\"metrics\":{},\"note\":1}],"
+                   "\"schema\":\"helios-bench-perf-v1\"}")
+                   .ok());
+  // Empty id.
+  EXPECT_FALSE(PerfReport::FromJson(
+                   "{\"entries\":[{\"id\":\"\",\"metrics\":{}}],"
+                   "\"schema\":\"helios-bench-perf-v1\"}")
+                   .ok());
+  // Non-numeric metric value.
+  EXPECT_FALSE(PerfReport::FromJson(
+                   "{\"entries\":[{\"id\":\"x\",\"metrics\":{\"m\":\"hi\"}}],"
+                   "\"schema\":\"helios-bench-perf-v1\"}")
+                   .ok());
+  // Not JSON at all.
+  EXPECT_FALSE(PerfReport::FromJson("not json").ok());
+}
+
+TEST(PerfReportTest, MetricDirectionFollowsNameSuffix) {
+  EXPECT_TRUE(MetricLowerIsBetter("p99_us"));
+  EXPECT_TRUE(MetricLowerIsBetter("latency_ms"));
+  EXPECT_TRUE(MetricLowerIsBetter("wall_s"));
+  EXPECT_FALSE(MetricLowerIsBetter("ops_per_sec"));
+  EXPECT_FALSE(MetricLowerIsBetter("events_per_sec"));
+  EXPECT_FALSE(MetricLowerIsBetter("speedup_vs_legacy"));
+  EXPECT_FALSE(MetricLowerIsBetter("us"));  // Suffix needs the underscore.
+}
+
+TEST(ComparePerfReportsTest, FlagsOnlyChangesBeyondTolerance) {
+  PerfReport base;
+  base.Add("bench").Set("ops_per_sec", 1000.0);
+  base.Find("bench");
+
+  // 1.4x slower with 0.5 tolerance: inside the band.
+  PerfReport ok;
+  ok.Add("bench").Set("ops_per_sec", 714.0);
+  EXPECT_TRUE(ComparePerfReports(base, ok, 0.5).empty());
+
+  // 2x slower: flagged, with direction-aware worse_by (base/cur for a
+  // higher-is-better rate).
+  PerfReport bad;
+  bad.Add("bench").Set("ops_per_sec", 500.0);
+  auto regressions = ComparePerfReports(base, bad, 0.5);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].entry, "bench");
+  EXPECT_EQ(regressions[0].metric, "ops_per_sec");
+  EXPECT_DOUBLE_EQ(regressions[0].worse_by, 2.0);
+
+  // Tighter tolerance flags the 1.4x case too.
+  EXPECT_EQ(ComparePerfReports(base, ok, 0.1).size(), 1u);
+}
+
+TEST(ComparePerfReportsTest, LatencyMetricsRegressUpward) {
+  PerfReport base;
+  base.Add("live").Set("p99_us", 40.0);
+
+  PerfReport faster;
+  faster.Add("live").Set("p99_us", 10.0);  // Improvement: never flagged.
+  EXPECT_TRUE(ComparePerfReports(base, faster, 0.5).empty());
+
+  PerfReport slower;
+  slower.Add("live").Set("p99_us", 100.0);  // 2.5x worse.
+  auto regressions = ComparePerfReports(base, slower, 0.5);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regressions[0].worse_by, 2.5);
+}
+
+TEST(ComparePerfReportsTest, SkipsMetricsPresentOnOneSideOnly) {
+  // Benches gain entries and metrics over time; the gate only compares
+  // what both reports measured.
+  PerfReport base;
+  base.Add("old_bench").Set("ops_per_sec", 1000.0);
+  PerfReport current;
+  current.Add("new_bench").Set("ops_per_sec", 1.0);
+  PerfEntry& shared = current.Add("old_bench");
+  shared.Set("brand_new_metric", 0.001);
+  EXPECT_TRUE(ComparePerfReports(base, current, 0.5).empty());
+}
+
+TEST(ComparePerfReportsTest, SkipsNonPositiveValues) {
+  PerfReport base;
+  base.Add("bench").Set("ops_per_sec", 0.0);
+  PerfReport current;
+  current.Add("bench").Set("ops_per_sec", -5.0);
+  EXPECT_TRUE(ComparePerfReports(base, current, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace helios::harness

@@ -1,0 +1,94 @@
+// bench_compare: the CI perf regression gate (docs/PERFORMANCE.md).
+//
+// Compares a freshly measured bench_perf report against the committed
+// baseline and exits nonzero if any metric present in both is worse than
+// baseline by more than the tolerance band. Direction comes from the
+// metric name (harness::MetricLowerIsBetter): "_us"/"_ms"/"_s" suffixes
+// are latencies, everything else is a rate.
+//
+//   bench_compare --baseline=BENCH_1.json --current=bench_now.json
+//   bench_compare --baseline=... --current=... --tolerance=0.5
+//
+// The band is deliberately wide (default 0.5 = anything under 1.5x worse
+// passes): CI machines are noisy and shared, and the gate is for
+// step-function regressions, not percent-level drift.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "harness/cli.h"
+#include "harness/perf_report.h"
+
+using namespace helios;
+namespace hns = helios::harness;
+namespace cli = helios::harness::cli;
+
+namespace {
+
+Result<hns::PerfReport> LoadReport(const std::string& path) {
+  auto text = cli::ReadWholeFile(path);
+  if (!text.ok()) return text.status();
+  auto report = hns::PerfReport::FromJson(text.value());
+  if (!report.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   report.status().ToString());
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.DefineString("baseline", "", "committed baseline BENCH_*.json");
+  flags.DefineString("current", "", "freshly measured report to check");
+  flags.DefineDouble("tolerance", 0.5,
+                     "allowed relative slowdown per metric "
+                     "(0.5 = fail only when >1.5x worse than baseline)");
+  flags.DefineBool("help", false, "show this help");
+  cli::ParseOrExit(&flags, argc, argv);
+
+  if (flags.GetString("baseline").empty() ||
+      flags.GetString("current").empty()) {
+    std::fprintf(stderr, "--baseline and --current are required\n");
+    return cli::kExitUsage;
+  }
+
+  auto baseline = LoadReport(flags.GetString("baseline"));
+  if (!baseline.ok()) {
+    return cli::FailWith(baseline.status(), cli::kExitUsage);
+  }
+  auto current = LoadReport(flags.GetString("current"));
+  if (!current.ok()) {
+    return cli::FailWith(current.status(), cli::kExitUsage);
+  }
+
+  const double tolerance = flags.GetDouble("tolerance");
+  const auto regressions =
+      hns::ComparePerfReports(baseline.value(), current.value(), tolerance);
+
+  size_t compared = 0;
+  for (const hns::PerfEntry& entry : baseline.value().entries) {
+    const hns::PerfEntry* cur = current.value().Find(entry.id);
+    if (cur == nullptr) continue;
+    for (const auto& [name, _] : entry.metrics) {
+      if (cur->Find(name) != nullptr) ++compared;
+    }
+  }
+  std::fprintf(stderr, "compared %zu metrics (tolerance %.0f%%)\n", compared,
+               tolerance * 100.0);
+
+  if (regressions.empty()) {
+    std::fprintf(stderr, "no regressions beyond the tolerance band\n");
+    return cli::kExitOk;
+  }
+  for (const hns::PerfRegression& r : regressions) {
+    std::fprintf(stderr,
+                 "REGRESSION %s %s: baseline %.2f -> current %.2f "
+                 "(%.2fx worse)\n",
+                 r.entry.c_str(), r.metric.c_str(), r.baseline, r.current,
+                 r.worse_by);
+  }
+  return cli::kExitFailure;
+}

@@ -19,10 +19,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <map>
 #include <mutex>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,21 +29,15 @@
 #include "check/scenario_gen.h"
 #include "check/shrink.h"
 #include "common/flags.h"
+#include "harness/cli.h"
 #include "harness/job_pool.h"
 #include "harness/sweep.h"
 
 using namespace helios;
 namespace hns = helios::harness;
+namespace cli = helios::harness::cli;
 
 namespace {
-
-std::vector<std::string> SplitCsv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(item);
-  return out;
-}
 
 /// "120s", "2m" or plain seconds; 0 / empty = unlimited.
 Result<double> ParseTimeBudget(const std::string& text) {
@@ -63,33 +55,21 @@ Result<double> ParseTimeBudget(const std::string& text) {
   return Status::InvalidArgument("bad --time_budget suffix '" + suffix + "'");
 }
 
-Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out << content << "\n";
-  out.flush();
-  if (!out) return Status::Internal("failed writing " + path);
-  return Status::Ok();
-}
-
 int ReplayOne(const std::string& path, const check::OracleOptions& oracles) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 2;
+  auto text = cli::ReadWholeFile(path);
+  if (!text.ok()) {
+    return cli::FailWith(text.status(), cli::kExitUsage);
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  auto spec = hns::ExperimentSpec::FromJson(ss.str());
+  auto spec = hns::ExperimentSpec::FromJson(text.value());
   if (!spec.ok()) {
     std::fprintf(stderr, "bad repro %s: %s\n", path.c_str(),
                  spec.status().ToString().c_str());
-    return 2;
+    return cli::kExitUsage;
   }
   if (const Status v = spec.value().Validate(); !v.ok()) {
     std::fprintf(stderr, "invalid repro %s: %s\n", path.c_str(),
                  v.ToString().c_str());
-    return 2;
+    return cli::kExitUsage;
   }
   std::fprintf(stderr, "replaying %s...\n",
                spec.value().DisplayName().c_str());
@@ -115,7 +95,8 @@ int main(int argc, char** argv) {
   flags.DefineInt("start_index", 0, "first scenario index");
   flags.DefineString("protocols", "helios1,helios2,rc,2pc",
                      "comma-separated protocols to draw scenarios from");
-  flags.DefineInt("jobs", 0, "concurrent scenarios (0 = one per core)");
+  flags.DefineInt("jobs", 0,
+                  "concurrent jobs (0 = one per hardware thread)");
   flags.DefineString("time_budget", "",
                      "stop exploring after this much wall-clock "
                      "(e.g. 120s, 2m; empty = run all scenarios)");
@@ -133,14 +114,7 @@ int main(int argc, char** argv) {
                    "explore message loss/duplication/reordering/delay");
   flags.DefineBool("clock_skew", true, "explore clock-skew vectors");
   flags.DefineBool("help", false, "show this help");
-
-  const Status parsed = flags.Parse(argc, argv);
-  if (!parsed.ok() || flags.GetBool("help")) {
-    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
-    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
-                 flags.Help().c_str());
-    return parsed.ok() ? 0 : 2;
-  }
+  cli::ParseOrExit(&flags, argc, argv);
 
   const check::OracleOptions oracles;
   if (!flags.GetString("replay").empty()) {
@@ -149,8 +123,7 @@ int main(int argc, char** argv) {
 
   auto budget = ParseTimeBudget(flags.GetString("time_budget"));
   if (!budget.ok()) {
-    std::fprintf(stderr, "%s\n", budget.status().ToString().c_str());
-    return 2;
+    return cli::FailWith(budget.status(), cli::kExitUsage);
   }
 
   check::GeneratorOptions gen_options;
@@ -159,19 +132,11 @@ int main(int argc, char** argv) {
   gen_options.partitions = flags.GetBool("partitions");
   gen_options.message_faults = flags.GetBool("message_faults");
   gen_options.clock_skew = flags.GetBool("clock_skew");
-  gen_options.protocols.clear();
-  for (const std::string& token : SplitCsv(flags.GetString("protocols"))) {
-    auto p = hns::ParseProtocolToken(token);
-    if (!p.ok()) {
-      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
-      return 2;
-    }
-    gen_options.protocols.push_back(p.value());
+  auto protocols = cli::ParseProtocolList(flags.GetString("protocols"));
+  if (!protocols.ok()) {
+    return cli::FailWith(protocols.status(), cli::kExitUsage);
   }
-  if (gen_options.protocols.empty()) {
-    std::fprintf(stderr, "--protocols must name at least one protocol\n");
-    return 2;
-  }
+  gen_options.protocols = std::move(protocols).value();
   const check::ScenarioGenerator generator(gen_options);
 
   const int total = static_cast<int>(flags.GetInt("scenarios"));
@@ -297,7 +262,8 @@ int main(int argc, char** argv) {
   }
 
   const std::string repro_out = flags.GetString("repro_out");
-  if (const Status s = WriteFile(repro_out, repro.ToJson()); !s.ok()) {
+  if (const Status s = cli::WriteWholeFile(repro_out, repro.ToJson() + "\n");
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
   } else {
     std::fprintf(stderr, "repro written to %s (replay with --replay=%s)\n",

@@ -18,12 +18,11 @@
 // experiment's timeline) and bypass the sweep engine.
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness/cli.h"
 #include "harness/experiment.h"
 #include "harness/experiment_spec.h"
 #include "harness/job_pool.h"
@@ -32,32 +31,9 @@
 
 using namespace helios;
 namespace hns = helios::harness;
+namespace cli = helios::harness::cli;
 
 namespace {
-
-std::vector<std::string> SplitCsv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(item);
-  return out;
-}
-
-Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-std::vector<Duration> ParseSkewList(const std::string& csv) {
-  std::vector<Duration> out;
-  for (const std::string& item : SplitCsv(csv)) {
-    out.push_back(Millis(std::atoll(item.c_str())));
-  }
-  return out;
-}
 
 void PrintDetail(const hns::ExperimentResult& r) {
   TablePrinter table({"DC", "latency ms (sd)", "p50", "p99", "ops/s",
@@ -139,11 +115,7 @@ int main(int argc, char** argv) {
                      "reliable-delivery session layer: auto|on|off "
                      "(auto = on exactly when the fault plan can drop or "
                      "duplicate messages)");
-  flags.DefineInt("jobs", 1,
-                  "concurrent experiments for grid runs (0 = one per core)");
-  flags.DefineString("json_out", "",
-                     "write the aggregated sweep JSON here (deterministic: "
-                     "identical whatever --jobs is)");
+  cli::AddCommonFlags(&flags, /*default_jobs=*/1);
   flags.DefineString("trace_out", "",
                      "write a Chrome trace_event JSON of the run here "
                      "(load in chrome://tracing or Perfetto); single run only");
@@ -152,15 +124,7 @@ int main(int argc, char** argv) {
                      "anything else for JSON); single run only");
   flags.DefineInt("trace_capacity", 0,
                   "trace ring-buffer capacity in events (0 = default)");
-  flags.DefineBool("help", false, "show this help");
-
-  const Status parsed = flags.Parse(argc, argv);
-  if (!parsed.ok() || flags.GetBool("help")) {
-    if (!parsed.ok()) std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
-    std::fprintf(stderr, "usage: %s [flags]\n%s", argv[0],
-                 flags.Help().c_str());
-    return parsed.ok() ? 0 : 2;
-  }
+  cli::ParseOrExit(&flags, argc, argv);
 
   // The base spec every grid cell starts from.
   hns::ExperimentSpec base;
@@ -179,26 +143,29 @@ int main(int argc, char** argv) {
                              flags.GetDouble("rtt"));
   }
   if (!flags.GetString("skew_ms").empty()) {
-    base.WithClockOffsets(ParseSkewList(flags.GetString("skew_ms")));
+    auto skew = cli::ParseMillisList(flags.GetString("skew_ms"));
+    if (!skew.ok()) {
+      return cli::FailWith(skew.status(), cli::kExitUsage);
+    }
+    base.WithClockOffsets(std::move(skew).value());
   }
   if (!flags.GetString("fault_plan").empty()) {
-    auto text = ReadWholeFile(flags.GetString("fault_plan"));
+    auto text = cli::ReadWholeFile(flags.GetString("fault_plan"));
     if (!text.ok()) {
-      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-      return 2;
+      return cli::FailWith(text.status(), cli::kExitUsage);
     }
     auto plan = sim::FaultPlan::FromJson(text.value());
     if (!plan.ok()) {
       std::fprintf(stderr, "bad --fault_plan: %s\n",
                    plan.status().ToString().c_str());
-      return 2;
+      return cli::kExitUsage;
     }
     base.WithFaultPlan(std::move(plan).value());
   }
   if (!flags.GetString("crash").empty()) {
     // Each entry is <dc>:<t_down_ms>:<t_up_ms>; the fault plan executes
     // the pair as a true amnesia crash followed by WAL recovery.
-    for (const std::string& entry : SplitCsv(flags.GetString("crash"))) {
+    for (const std::string& entry : cli::SplitCsv(flags.GetString("crash"))) {
       int dc = -1;
       long long down_ms = -1;
       long long up_ms = -1;
@@ -226,34 +193,35 @@ int main(int argc, char** argv) {
   base.WithReliable(flags.GetString("reliable"));
 
   // Grid axes: protocols x seeds (each defaults to a single value).
-  std::vector<hns::Protocol> protocols;
   const std::string protocols_csv = flags.GetString("protocols").empty()
                                         ? flags.GetString("protocol")
                                         : flags.GetString("protocols");
-  for (const std::string& token : SplitCsv(protocols_csv)) {
-    auto p = hns::ParseProtocolToken(token);
-    if (!p.ok()) {
-      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
-      return 2;
-    }
-    protocols.push_back(p.value());
+  auto protocols_or = cli::ParseProtocolList(protocols_csv);
+  if (!protocols_or.ok()) {
+    return cli::FailWith(protocols_or.status(), cli::kExitUsage);
   }
+  const std::vector<hns::Protocol> protocols = std::move(protocols_or).value();
+
   std::vector<uint64_t> seeds;
   if (flags.GetString("seeds").empty()) {
     seeds.push_back(base.seed);
   } else {
-    for (const std::string& s : SplitCsv(flags.GetString("seeds"))) {
-      seeds.push_back(static_cast<uint64_t>(std::atoll(s.c_str())));
+    auto seeds_or = cli::ParseSeedList(flags.GetString("seeds"));
+    if (!seeds_or.ok()) {
+      return cli::FailWith(seeds_or.status(), cli::kExitUsage);
     }
+    seeds = std::move(seeds_or).value();
   }
 
   std::vector<double> losses;
   if (flags.GetString("losses").empty()) {
     losses.push_back(flags.GetDouble("loss"));
   } else {
-    for (const std::string& l : SplitCsv(flags.GetString("losses"))) {
-      losses.push_back(std::atof(l.c_str()));
+    auto losses_or = cli::ParseDoubleList(flags.GetString("losses"));
+    if (!losses_or.ok()) {
+      return cli::FailWith(losses_or.status(), cli::kExitUsage);
     }
+    losses = std::move(losses_or).value();
   }
 
   std::vector<hns::ExperimentSpec> specs;
@@ -298,17 +266,15 @@ int main(int argc, char** argv) {
                    specs.size());
       return 2;
     }
+    specs[0].WithTrace(
+        true, flags.GetInt("trace_capacity") > 0
+                  ? static_cast<size_t>(flags.GetInt("trace_capacity"))
+                  : 0);
     auto cfg_or = specs[0].ToConfig();
     if (!cfg_or.ok()) {
-      std::fprintf(stderr, "%s\n", cfg_or.status().ToString().c_str());
-      return 2;
+      return cli::FailWith(cfg_or.status(), cli::kExitUsage);
     }
-    hns::ExperimentConfig cfg = std::move(cfg_or).value();
-    cfg.trace.enabled = true;
-    if (flags.GetInt("trace_capacity") > 0) {
-      cfg.trace.ring_capacity =
-          static_cast<size_t>(flags.GetInt("trace_capacity"));
-    }
+    const hns::ExperimentConfig cfg = std::move(cfg_or).value();
     std::fprintf(stderr, "running %s...\n", specs[0].DisplayName().c_str());
     const hns::ExperimentResult r = hns::RunExperiment(cfg);
     PrintDetail(r);
