@@ -1,0 +1,175 @@
+#include "transport/cluster_spec.h"
+
+#include <set>
+
+#include "common/json.h"
+
+namespace helios::transport {
+
+std::vector<uint16_t> ClusterSpec::ports() const {
+  std::vector<uint16_t> out;
+  out.reserve(datacenters.size());
+  for (const DatacenterSpec& dc : datacenters) out.push_back(dc.port);
+  return out;
+}
+
+core::HeliosConfig ClusterSpec::MakeConfig() const {
+  core::HeliosConfig config;
+  config.num_datacenters = num_datacenters();
+  config.fault_tolerance = fault_tolerance;
+  config.grace_time = grace_time;
+  config.log_interval = log_interval;
+  return config;
+}
+
+Status ClusterSpec::Validate() const {
+  if (datacenters.empty()) {
+    return Status::InvalidArgument("cluster spec has no datacenters");
+  }
+  std::set<uint16_t> seen;
+  for (size_t i = 0; i < datacenters.size(); ++i) {
+    const DatacenterSpec& dc = datacenters[i];
+    if (dc.port == 0) {
+      return Status::InvalidArgument("datacenter " + std::to_string(i) +
+                                     ": port must be nonzero");
+    }
+    if (!seen.insert(dc.port).second) {
+      return Status::InvalidArgument("datacenter " + std::to_string(i) +
+                                     ": duplicate port " +
+                                     std::to_string(dc.port));
+    }
+  }
+  if (fault_tolerance < 0 ||
+      fault_tolerance >= static_cast<int>(datacenters.size())) {
+    return Status::InvalidArgument("fault_tolerance out of range");
+  }
+  if (grace_time <= 0) {
+    return Status::InvalidArgument("grace_time_ms must be positive");
+  }
+  if (log_interval <= 0) {
+    return Status::InvalidArgument("log_interval_ms must be positive");
+  }
+  if (inbound_delay < 0) {
+    return Status::InvalidArgument("inbound_delay_ms must be non-negative");
+  }
+  if (wal_options.group_commit_interval.count() < 0) {
+    return Status::InvalidArgument("group_commit_us must be non-negative");
+  }
+  return Status::Ok();
+}
+
+std::string ClusterSpec::ToJson() const {
+  std::string dcs = "[";
+  for (size_t i = 0; i < datacenters.size(); ++i) {
+    if (i > 0) dcs += ',';
+    std::string row;
+    json::ObjectWriter w(&row);
+    w.Field("port", static_cast<uint64_t>(datacenters[i].port));
+    w.Field("wal", datacenters[i].wal_path);
+    w.Close();
+    dcs += row;
+  }
+  dcs += ']';
+
+  std::string out;
+  json::ObjectWriter w(&out);
+  w.Raw("datacenters", dcs);
+  w.Field("fault_tolerance", static_cast<int64_t>(fault_tolerance));
+  w.Field("fsync", std::string(wal::SyncPolicyName(wal_options.policy)));
+  w.Field("grace_time_ms", static_cast<int64_t>(grace_time / 1000));
+  w.Field("group_commit_us",
+          static_cast<int64_t>(wal_options.group_commit_interval.count()));
+  w.Field("inbound_delay_ms", static_cast<int64_t>(inbound_delay / 1000));
+  w.Field("log_interval_ms", static_cast<int64_t>(log_interval / 1000));
+  w.Close();
+  return out;
+}
+
+namespace {
+
+Status ParseDatacenter(const json::Value& v, DatacenterSpec* out) {
+  if (v.kind != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("datacenters entries must be objects");
+  }
+  for (const auto& [key, value] : v.members) {
+    if (key == "port") {
+      int64_t port = 0;
+      Status s = json::ReadInt64(key, value, &port);
+      if (!s.ok()) return s;
+      if (port <= 0 || port > 65535) {
+        return Status::InvalidArgument("port out of range");
+      }
+      out->port = static_cast<uint16_t>(port);
+    } else if (key == "wal") {
+      Status s = json::ReadString(key, value, &out->wal_path);
+      if (!s.ok()) return s;
+    } else {
+      return Status::InvalidArgument("unknown datacenter key '" + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReadMillis(const std::string& key, const json::Value& v,
+                  Duration* out) {
+  int64_t ms = 0;
+  Status s = json::ReadInt64(key, v, &ms);
+  if (!s.ok()) return s;
+  *out = Millis(ms);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ClusterSpec> ClusterSpec::FromJson(const std::string& text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const json::Value& root = parsed.value();
+  if (root.kind != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("cluster spec must be a JSON object");
+  }
+  ClusterSpec spec;
+  for (const auto& [key, value] : root.members) {
+    if (key == "datacenters") {
+      if (value.kind != json::Value::Kind::kArray) {
+        return json::WrongType(key, "array");
+      }
+      for (const json::Value& item : value.items) {
+        DatacenterSpec dc;
+        Status s = ParseDatacenter(item, &dc);
+        if (!s.ok()) return s;
+        spec.datacenters.push_back(std::move(dc));
+      }
+    } else if (key == "fault_tolerance") {
+      Status s = json::ReadInt(key, value, &spec.fault_tolerance);
+      if (!s.ok()) return s;
+    } else if (key == "fsync") {
+      std::string name;
+      Status s = json::ReadString(key, value, &name);
+      if (!s.ok()) return s;
+      auto policy = wal::ParseSyncPolicy(name);
+      if (!policy.ok()) return policy.status();
+      spec.wal_options.policy = policy.value();
+    } else if (key == "grace_time_ms") {
+      Status s = ReadMillis(key, value, &spec.grace_time);
+      if (!s.ok()) return s;
+    } else if (key == "group_commit_us") {
+      int64_t us = 0;
+      Status s = json::ReadInt64(key, value, &us);
+      if (!s.ok()) return s;
+      spec.wal_options.group_commit_interval = std::chrono::microseconds(us);
+    } else if (key == "inbound_delay_ms") {
+      Status s = ReadMillis(key, value, &spec.inbound_delay);
+      if (!s.ok()) return s;
+    } else if (key == "log_interval_ms") {
+      Status s = ReadMillis(key, value, &spec.log_interval);
+      if (!s.ok()) return s;
+    } else {
+      return Status::InvalidArgument("unknown cluster spec key '" + key +
+                                     "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace helios::transport

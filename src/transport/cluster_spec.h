@@ -1,0 +1,81 @@
+// ClusterSpec: the JSON deployment description a live Helios cluster is
+// launched from — the operator-facing counterpart of the in-process
+// core::HeliosConfig.
+//
+// One document describes the whole deployment; every heliosd process
+// (tools/heliosd.cc) loads the same file and picks out its own row by the
+// --dc index, so the peers agree on ports, protocol timing, and
+// durability policy by construction. The supervisor
+// (tools/helios_supervisor.cc) loads it too, to know what to launch and
+// where to reconnect after a kill.
+//
+// Schema (deterministic JSON, alphabetical keys; see docs/OPERATIONS.md):
+//
+//   {
+//     "datacenters": [{"port": 7101, "wal": "/var/lib/helios/dc0.wal"}, ...],
+//     "fault_tolerance": 0,
+//     "fsync": "group",            // os | every | group (wal::SyncPolicy)
+//     "grace_time_ms": 1000,
+//     "group_commit_us": 5000,     // fsync batching window under "group"
+//     "inbound_delay_ms": 0,       // emulated one-way WAN latency
+//     "log_interval_ms": 10
+//   }
+//
+// Unknown keys are an error (operator typos must not silently become
+// defaults), and every tool validates before launching.
+
+#ifndef HELIOS_TRANSPORT_CLUSTER_SPEC_H_
+#define HELIOS_TRANSPORT_CLUSTER_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/helios_config.h"
+#include "wal/file_wal.h"
+
+namespace helios::transport {
+
+/// One datacenter's row: where it listens and where it journals.
+struct DatacenterSpec {
+  uint16_t port = 0;
+  std::string wal_path;  ///< Empty: run without a WAL (no durability).
+};
+
+struct ClusterSpec {
+  std::vector<DatacenterSpec> datacenters;
+  int fault_tolerance = 0;
+  Duration grace_time = Millis(1000);
+  Duration log_interval = Millis(10);
+  Duration inbound_delay = 0;
+  wal::FileWalOptions wal_options;
+
+  int num_datacenters() const {
+    return static_cast<int>(datacenters.size());
+  }
+
+  /// Ports indexed by DC id (the shape LiveDatacenter::ConnectPeers wants).
+  std::vector<uint16_t> ports() const;
+
+  /// The protocol config every heliosd derives from this spec. Commit
+  /// offsets stay empty (Helios-B): a live deployment replans them online
+  /// from RTT estimates rather than baking guesses into the file.
+  core::HeliosConfig MakeConfig() const;
+
+  /// At least one datacenter, every port nonzero and unique, timing
+  /// strictly positive, delay non-negative.
+  Status Validate() const;
+
+  /// Deterministic JSON (stable alphabetical keys).
+  std::string ToJson() const;
+
+  /// Parses ToJson() output or hand-written specs; unknown keys are an
+  /// error. Run Validate() before using.
+  static Result<ClusterSpec> FromJson(const std::string& text);
+};
+
+}  // namespace helios::transport
+
+#endif  // HELIOS_TRANSPORT_CLUSTER_SPEC_H_

@@ -1,0 +1,75 @@
+// Robust byte-level socket I/O shared by the live transport stack
+// (TcpTransport, heliosd's control channel): full-length reads and writes
+// that survive the partial transfers POSIX permits.
+//
+// A blocking send() may still transfer fewer bytes than requested (signal
+// delivery mid-copy), return EINTR without transferring anything, or — on
+// a non-blocking socket — return EAGAIN when the kernel buffer is full.
+// Naive loops that treat any short return as a dead connection turn those
+// recoverable conditions into spurious link failures; under load (small
+// SO_SNDBUF, saturated peer) that looks like a flaky network. These
+// helpers retry EINTR, continue after partial transfers, and poll() the
+// descriptor through EAGAIN/EWOULDBLOCK, so the only failures they report
+// are real ones (peer closed, ECONNRESET, EPIPE).
+
+#ifndef HELIOS_TRANSPORT_IO_UTIL_H_
+#define HELIOS_TRANSPORT_IO_UTIL_H_
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace helios::transport {
+
+/// Reads exactly `len` bytes from `fd`. Returns false on EOF or a
+/// non-recoverable error; EINTR and short reads are retried, EAGAIN waits
+/// for readability.
+inline bool ReadFull(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // Orderly shutdown by the peer.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Writes exactly `len` bytes to `fd`. Short writes continue where they
+/// left off, EINTR retries, EAGAIN polls for writability; MSG_NOSIGNAL
+/// turns a dead peer into EPIPE instead of SIGPIPE. Returns false only on
+/// a non-recoverable error.
+inline bool WriteFull(int fd, const uint8_t* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) return false;
+      continue;
+    }
+    return false;  // EPIPE, ECONNRESET, or another hard failure.
+  }
+  return true;
+}
+
+}  // namespace helios::transport
+
+#endif  // HELIOS_TRANSPORT_IO_UTIL_H_

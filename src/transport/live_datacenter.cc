@@ -1,7 +1,10 @@
 #include "transport/live_datacenter.h"
 
+#include <algorithm>
 #include <cassert>
 #include <future>
+#include <map>
+#include <sstream>
 
 #include "wire/serialization.h"
 
@@ -34,31 +37,33 @@ LiveDatacenter::LiveDatacenter(DcId id, core::HeliosConfig config,
 LiveDatacenter::~LiveDatacenter() { Stop(); }
 
 Status LiveDatacenter::EnableWal(const std::string& path,
-                                 bool fsync_each_record) {
+                                 const wal::FileWalOptions& opts) {
   assert(!started_);
-  auto contents = wal::ReplayWal(path);
-  if (!contents.ok()) return contents.status();
-  if (!contents.value().records.empty()) {
+  auto recovered = wal::RecoverFileWal(path);
+  if (!recovered.ok()) return recovered.status();
+  const wal::WalContents& contents = recovered.value().contents;
+  if (!contents.records.empty()) {
     const Status restored = node_->Restore(
-        contents.value().records,
-        contents.value().has_timetable ? &contents.value().timetable
-                                       : nullptr);
+        contents.records,
+        contents.has_timetable ? &contents.timetable : nullptr);
     if (!restored.ok()) return restored;
+    recovered_ = true;
+    {
+      std::lock_guard<std::mutex> lock(recovery_mu_);
+      recovery_.records_replayed += contents.records.size();
+    }
   }
-  wal_ = std::make_unique<wal::WalWriter>();
-  Status opened = wal_->Open(path);
+  wal_ = std::make_unique<wal::FileWal>();
+  Status opened = wal_->Open(path, opts);
   if (!opened.ok()) return opened;
-  node_->set_record_sink(
-      [this, fsync_each_record](const rdict::LogRecord& rec) {
-        (void)wal_->AppendRecord(rec);
-        (void)wal_->Sync(fsync_each_record);
-      });
+  node_->set_record_sink([this](const rdict::LogRecord& rec) {
+    (void)wal_->AppendRecord(rec);
+  });
   // Periodic knowledge checkpoint (the node emits one per GC tick): lets
   // Restore resume catch-up from the snapshot instead of replaying the
   // timetable from zero.
-  node_->set_timetable_sink([this, fsync_each_record](const rdict::Timetable& t) {
+  node_->set_timetable_sink([this](const rdict::Timetable& t) {
     (void)wal_->AppendTimetable(t);
-    (void)wal_->Sync(fsync_each_record);
   });
   return Status::Ok();
 }
@@ -81,7 +86,22 @@ void LiveDatacenter::Start() {
   assert(!started_);
   started_ = true;
   loop_.Start();
-  loop_.Post([this]() { node_->Start(); });
+  loop_.Post([this]() {
+    node_->Start();
+    if (recovered_) {
+      // The WAL restored everything this node logged before the crash;
+      // anti-entropy pulls the suffix the peers committed while it was
+      // down. Until the catch-up completes the node answers clients with
+      // "recovering" instead of serving stale state.
+      node_->BeginCatchup([this](const core::RecoveryOutcome& out) {
+        std::lock_guard<std::mutex> lock(recovery_mu_);
+        ++recovery_.recoveries;
+        recovery_.catchup_records += out.catchup_records;
+        recovery_.duration_us +=
+            static_cast<uint64_t>(out.finished_sim - out.started_sim);
+      });
+    }
+  });
 }
 
 void LiveDatacenter::Stop() {
@@ -93,6 +113,11 @@ void LiveDatacenter::Stop() {
   // Stop the transport first so no reader thread posts into a dead loop.
   transport_->Shutdown();
   loop_.Stop();
+  SyncWal();
+}
+
+void LiveDatacenter::SyncWal() {
+  if (wal_ != nullptr && wal_->is_open()) (void)wal_->SyncToDisk();
 }
 
 void LiveDatacenter::OnWirePayload(std::vector<uint8_t> payload) {
@@ -119,6 +144,34 @@ void LiveDatacenter::Read(const Key& key, ReadCallback done) {
 void LiveDatacenter::Commit(std::vector<ReadEntry> reads,
                             std::vector<WriteEntry> writes,
                             CommitCallback done) {
+  if (admission_.enabled()) {
+    const bool budget_full =
+        admission_.max_inflight > 0 &&
+        inflight_.load(std::memory_order_relaxed) >= admission_.max_inflight;
+    const bool backlogged =
+        admission_.queue_watermark > 0 &&
+        loop_.queue_depth() >= admission_.queue_watermark;
+    if (budget_full || backlogged) {
+      // Shed at the door, on the caller's thread: the whole point is to
+      // keep overload work off the loop. Clients recognize "busy" and
+      // back off (workload::kBusyAbortReason).
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      done(CommitOutcome{TxnId{}, false, "busy"});
+      return;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    loop_.Post([this, reads = std::move(reads), writes = std::move(writes),
+                done = std::move(done)]() mutable {
+      node_->HandleCommitRequest(
+          std::move(reads), std::move(writes),
+          [this, done = std::move(done)](const CommitOutcome& o) {
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
+            done(o);
+          });
+    });
+    return;
+  }
   loop_.Post([this, reads = std::move(reads), writes = std::move(writes),
               done = std::move(done)]() mutable {
     node_->HandleCommitRequest(std::move(reads), std::move(writes),
@@ -159,6 +212,41 @@ core::NodeCounters LiveDatacenter::CountersSnapshot() {
   if (!started_) return node_->counters();
   loop_.PostAndWait([this, &out]() { out = node_->counters(); });
   return out;
+}
+
+std::string LiveDatacenter::DumpStore() {
+  std::map<Key, VersionedValue> latest;
+  const auto collect = [this, &latest]() {
+    node_->store().ForEachLatest(
+        [&latest](const Key& key, const VersionedValue& vv) {
+          latest[key] = vv;
+        });
+  };
+  if (started_) {
+    loop_.PostAndWait(collect);
+  } else {
+    collect();
+  }
+  std::ostringstream out;
+  for (const auto& [key, vv] : latest) {
+    out << key << '\t' << vv.value << '\t' << vv.ts << '\t'
+        << static_cast<int>(vv.writer.origin) << ':' << vv.writer.seq << '\n';
+  }
+  return out.str();
+}
+
+OverloadStats LiveDatacenter::overload_snapshot() const {
+  OverloadStats out;
+  out.admitted = admitted_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.inflight = inflight_.load(std::memory_order_relaxed);
+  out.queue_depth = loop_.queue_depth();
+  return out;
+}
+
+RecoveryStats LiveDatacenter::recovery_snapshot() const {
+  std::lock_guard<std::mutex> lock(recovery_mu_);
+  return recovery_;
 }
 
 }  // namespace helios::transport

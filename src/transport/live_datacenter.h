@@ -1,16 +1,31 @@
 // A live (non-simulated) Helios datacenter: the HeliosNode engine on a
 // real-time event loop, exchanging wire-serialized envelopes with peers
 // over TCP. This is the deployment shape a real multi-datacenter install
-// would use — one process per datacenter — demonstrated over localhost by
-// examples/live_demo.cpp and tests/transport_test.cc.
+// would use — one process per datacenter (tools/heliosd.cc) — demonstrated
+// over localhost by examples/live_demo.cpp and tests/transport_test.cc.
 //
 // An optional inbound delay emulates WAN latency when every "datacenter"
 // actually lives on one machine.
+//
+// Live-mode hardening on top of the bare engine:
+//  * Durability: EnableWal(path, FileWalOptions) journals through a
+//    wal::FileWal (configurable fsync policy) and recovers crash-
+//    consistently on restart — torn tails are truncated, and after
+//    Start() the node pulls the log suffix it missed from peers
+//    (anti-entropy catch-up) before serving commits.
+//  * Overload protection: SetAdmissionControl bounds the in-flight
+//    transaction budget and the event-loop backlog; commits beyond the
+//    budget are rejected immediately with the BUSY outcome instead of
+//    queueing without bound, so admitted transactions keep a bounded
+//    latency and clients back off (workload::kBusyAbortReason).
 
 #ifndef HELIOS_TRANSPORT_LIVE_DATACENTER_H_
 #define HELIOS_TRANSPORT_LIVE_DATACENTER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "api/protocol.h"
@@ -19,10 +34,30 @@
 #include "sim/clock.h"
 #include "transport/realtime_loop.h"
 #include "transport/tcp_transport.h"
+#include "wal/file_wal.h"
 #include "wal/wal.h"
 #include "wire/serialization.h"
 
 namespace helios::transport {
+
+/// Admission-control thresholds; zero disables that check. See
+/// LiveDatacenter::SetAdmissionControl.
+struct AdmissionConfig {
+  /// Maximum commit requests admitted but not yet decided.
+  uint64_t max_inflight = 0;
+  /// Maximum event-loop backlog (RealtimeLoop::queue_depth) at admission.
+  uint64_t queue_watermark = 0;
+
+  bool enabled() const { return max_inflight > 0 || queue_watermark > 0; }
+};
+
+/// Overload counters (exported as overload.* metrics by heliosd).
+struct OverloadStats {
+  uint64_t admitted = 0;  ///< Commit requests accepted into the node.
+  uint64_t shed = 0;      ///< Commit requests rejected with BUSY.
+  uint64_t inflight = 0;  ///< Currently admitted, undecided.
+  uint64_t queue_depth = 0;  ///< Loop backlog at snapshot time.
+};
 
 class LiveDatacenter {
  public:
@@ -36,10 +71,28 @@ class LiveDatacenter {
   LiveDatacenter(const LiveDatacenter&) = delete;
   LiveDatacenter& operator=(const LiveDatacenter&) = delete;
 
-  /// Enables write-ahead logging at `path` and, if the file already has
-  /// contents, recovers the node's state from it. Call before Start.
-  /// `fsync_each_record` trades throughput for strict durability.
-  Status EnableWal(const std::string& path, bool fsync_each_record = false);
+  /// Enables write-ahead logging at `path` with the given durability
+  /// policy and, if the file already has contents, recovers the node's
+  /// state from it (truncating a torn tail). Call before Start; after
+  /// Start() a recovered node additionally catches up from its peers.
+  Status EnableWal(const std::string& path, const wal::FileWalOptions& opts);
+
+  /// Back-compat convenience: fsync_each_record maps onto
+  /// SyncPolicy::{kEveryRecord,kOsBuffered}.
+  Status EnableWal(const std::string& path, bool fsync_each_record = false) {
+    wal::FileWalOptions opts;
+    opts.policy = fsync_each_record ? wal::SyncPolicy::kEveryRecord
+                                    : wal::SyncPolicy::kOsBuffered;
+    return EnableWal(path, opts);
+  }
+
+  /// Arms overload protection for Commit(). With a full in-flight budget
+  /// or a loop backlog past the watermark, Commit rejects synchronously
+  /// with outcome.abort_reason == "busy" instead of queueing. Call before
+  /// Start.
+  void SetAdmissionControl(const AdmissionConfig& admission) {
+    admission_ = admission;
+  }
 
   /// Binds the listening socket (0 = ephemeral). Call before Start.
   Status Listen(uint16_t port = 0);
@@ -48,11 +101,13 @@ class LiveDatacenter {
   /// Dials every peer; `ports[dc]` is peer dc's port (own entry ignored).
   Status ConnectPeers(const std::vector<uint16_t>& ports);
 
-  /// Starts the event loop and the node's periodic work.
+  /// Starts the event loop and the node's periodic work. If EnableWal
+  /// recovered state, also begins anti-entropy catch-up from peers.
   void Start();
   void Stop();
 
-  // --- Client API (callbacks run on the loop thread) ----------------------
+  // --- Client API (callbacks run on the loop thread, except a BUSY
+  // rejection, which runs synchronously on the caller's thread) -----------
 
   void Read(const Key& key, ReadCallback done);
   void Commit(std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
@@ -70,8 +125,31 @@ class LiveDatacenter {
   /// Snapshot of the node's counters (synchronized through the loop).
   core::NodeCounters CountersSnapshot();
 
+  /// Deterministic dump of the latest version of every key, one
+  /// "key\tvalue\tts\twriter" line per key sorted by key — the store
+  /// fingerprint the supervisor diffs across datacenters for convergence.
+  /// Synchronized through the loop.
+  std::string DumpStore();
+
+  /// Overload counters (thread-safe; queue_depth sampled at call time).
+  OverloadStats overload_snapshot() const;
+
+  /// Crash-recovery totals: what EnableWal replayed plus what catch-up
+  /// pulled from peers (thread-safe).
+  RecoveryStats recovery_snapshot() const;
+
+  /// Partition control (chaos-in-production): administratively refuse the
+  /// connection to `peer` / lift the refusal. Thread-safe.
+  void BlockPeer(DcId peer, bool blocked) {
+    transport_->SetPeerBlocked(peer, blocked);
+  }
+
+  /// Forces the WAL to disk (clean shutdown barrier). No-op without WAL.
+  void SyncWal();
+
   DcId id() const { return id_; }
   RealtimeLoop& loop() { return loop_; }
+  TcpTransport& transport() { return *transport_; }
 
  private:
   void OnWirePayload(std::vector<uint8_t> payload);
@@ -83,10 +161,19 @@ class LiveDatacenter {
   std::unique_ptr<sim::Clock> clock_;
   std::unique_ptr<TcpTransport> transport_;
   std::unique_ptr<core::HeliosNode> node_;
-  std::unique_ptr<wal::WalWriter> wal_;
+  std::unique_ptr<wal::FileWal> wal_;
   /// Reusable outbound framing buffers; only touched on the loop thread.
   wire::Framer framer_;
   bool started_ = false;
+  bool recovered_ = false;  ///< EnableWal replayed a non-empty journal.
+
+  AdmissionConfig admission_;
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+
+  mutable std::mutex recovery_mu_;
+  RecoveryStats recovery_;
 };
 
 }  // namespace helios::transport

@@ -52,6 +52,15 @@ class RealtimeLoop {
 
   bool running() const { return running_; }
 
+  /// Number of posted-but-not-yet-drained callbacks: the backlog the loop
+  /// thread has not absorbed. The admission controller uses this as its
+  /// overload watermark — a growing queue means the loop can no longer
+  /// keep up with arrivals. Thread-safe.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return posted_.size();
+  }
+
  private:
   void Run();
   /// Wall-clock microseconds since Start().
@@ -59,7 +68,7 @@ class RealtimeLoop {
 
   sim::Scheduler scheduler_;
   std::thread thread_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> posted_;
   bool stop_requested_ = false;

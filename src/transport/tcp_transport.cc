@@ -10,31 +10,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "transport/io_util.h"
+
 namespace helios::transport {
-
-namespace {
-
-bool ReadFully(int fd, uint8_t* buf, size_t len) {
-  size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
-    if (n <= 0) return false;
-    got += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool WriteFully(int fd, const uint8_t* buf, size_t len) {
-  size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 TcpTransport::TcpTransport(MessageHandler handler)
     : handler_(std::move(handler)) {}
@@ -94,14 +72,14 @@ void TcpTransport::SpawnReader(int fd) {
 void TcpTransport::ReadLoop(int fd) {
   for (;;) {
     uint8_t header[4];
-    if (!ReadFully(fd, header, 4)) break;
+    if (!ReadFull(fd, header, 4)) break;
     const uint32_t len = static_cast<uint32_t>(header[0]) |
                          static_cast<uint32_t>(header[1]) << 8 |
                          static_cast<uint32_t>(header[2]) << 16 |
                          static_cast<uint32_t>(header[3]) << 24;
     if (len > (64u << 20)) break;  // 64 MiB sanity cap.
     std::vector<uint8_t> payload(len);
-    if (len > 0 && !ReadFully(fd, payload.data(), len)) break;
+    if (len > 0 && !ReadFull(fd, payload.data(), len)) break;
     ++messages_received_;
     if (handler_) handler_(std::move(payload));
   }
@@ -125,18 +103,63 @@ int TcpTransport::DialPeer(uint16_t port) {
 }
 
 Status TcpTransport::Connect(DcId to, uint16_t port) {
+  {
+    // A peer blocked before it was ever dialed (supervisor partition at
+    // startup): remember the port, refuse the connection.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Peer& p : peers_) {
+      if (p.id == to && p.blocked) {
+        p.port = port;
+        return Status::Ok();
+      }
+    }
+  }
   // Retry briefly: peers may still be binding.
   for (int attempt = 0; attempt < 100; ++attempt) {
     const int fd = DialPeer(port);
     if (fd >= 0) {
       std::lock_guard<std::mutex> lock(mu_);
-      peers_.push_back(Peer{to, fd, port});
+      for (Peer& p : peers_) {
+        if (p.id != to) continue;
+        if (p.fd >= 0) ::close(p.fd);
+        p.fd = p.blocked ? -1 : fd;
+        if (p.blocked) ::close(fd);
+        p.port = port;
+        return Status::Ok();
+      }
+      Peer p{};
+      p.id = to;
+      p.fd = fd;
+      p.port = port;
+      peers_.push_back(p);
       return Status::Ok();
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   return Status::Unavailable("could not connect to peer " +
                              std::to_string(to));
+}
+
+void TcpTransport::SetPeerBlocked(DcId to, bool blocked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Peer& p : peers_) {
+    if (p.id != to) continue;
+    p.blocked = blocked;
+    // Cut the live connection so in-flight kernel buffers drain to
+    // nowhere; healing redials a fresh socket on the next send.
+    if (blocked && p.fd >= 0) {
+      ::close(p.fd);
+      p.fd = -1;
+    }
+    return;
+  }
+  // No connection yet: remember the decision for a future Connect().
+  Peer p{};
+  p.id = to;
+  p.fd = -1;
+  p.port = 0;
+  p.blocked = blocked;
+  peers_.push_back(p);
 }
 
 Status TcpTransport::SendOnce(DcId to, const uint8_t* data, size_t len) {
@@ -157,9 +180,12 @@ Status TcpTransport::SendOnce(DcId to, const uint8_t* data, size_t len) {
   if (peer == nullptr) {
     return Status::FailedPrecondition("no connection to peer");
   }
+  if (peer->blocked) {
+    ++sends_blocked_;
+    return Status::Unavailable("peer blocked");
+  }
   if (peer->fd < 0) return Status::Unavailable("peer disconnected");
-  if (!WriteFully(peer->fd, header, 4) ||
-      !WriteFully(peer->fd, data, len)) {
+  if (!WriteFull(peer->fd, header, 4) || !WriteFull(peer->fd, data, len)) {
     // The connection is dead (peer restarted or reset the socket): close
     // it so Send() redials on a fresh fd instead of writing into a pipe
     // that will never drain.
@@ -175,41 +201,49 @@ Status TcpTransport::Send(DcId to, const uint8_t* data, size_t len) {
   Status s = SendOnce(to, data, len);
   if (s.ok() || s.code() == StatusCode::kFailedPrecondition) return s;
 
-  // The connection died. Redial with bounded exponential backoff and
-  // retry; the backoff sleeps happen outside mu_ so other peers' sends
-  // keep flowing while this link recovers.
-  int backoff_ms = 10;
-  for (int attempt = 0; attempt < 5 && !shutdown_.load(); ++attempt) {
-    uint16_t port = 0;
+  // The connection died (or never existed). Redial once — never sleep:
+  // Send() runs on the datacenter's event-loop thread, and a peer that
+  // stays down for seconds must cost a fast ECONNREFUSED per log tick,
+  // not a blocking backoff that stalls every other timer and client.
+  // A per-peer cooldown keeps a long outage from turning every tick into
+  // a dial attempt.
+  if (shutdown_.load()) return s;
+  const auto now = std::chrono::steady_clock::now();
+  uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Peer& p : peers_) {
+      if (p.id != to) continue;
+      if (p.blocked || p.port == 0) return s;
+      if (p.fd >= 0) break;  // Another sender already reconnected.
+      if (now < p.next_redial) return s;  // Still cooling down.
+      p.next_redial = now + std::chrono::milliseconds(kRedialCooldownMs);
+      port = p.port;
+      break;
+    }
+  }
+  if (port != 0) {
+    const int fd = DialPeer(port);
+    if (fd < 0) return Status::Unavailable("send failed; redial refused");
+    bool installed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const Peer& p : peers_) {
-        if (p.id == to) port = p.port;
-      }
-    }
-    if (port == 0) break;
-    const int fd = DialPeer(port);
-    if (fd >= 0) {
-      bool installed = false;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (Peer& p : peers_) {
-          if (p.id == to && p.fd < 0) {
-            p.fd = fd;
-            installed = true;
-            break;
-          }
+      for (Peer& p : peers_) {
+        if (p.id == to && p.fd < 0 && !p.blocked) {
+          p.fd = fd;
+          p.next_redial = {};  // Healthy again: no cooldown.
+          installed = true;
+          break;
         }
       }
-      if (!installed) ::close(fd);  // Another sender already reconnected.
-      ++reconnects_;
-      s = SendOnce(to, data, len);
-      if (s.ok()) return s;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms *= 2;  // 10, 20, 40, 80, 160 ms.
+    if (!installed) {
+      ::close(fd);  // Another sender already reconnected (or blocked).
+    } else {
+      ++reconnects_;
+    }
   }
-  return Status::Unavailable("send failed; reconnect attempts exhausted");
+  return SendOnce(to, data, len);
 }
 
 void TcpTransport::Shutdown() {

@@ -15,6 +15,7 @@
 #define HELIOS_TRANSPORT_TCP_TRANSPORT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -50,9 +51,11 @@ class TcpTransport {
 
   /// Sends one framed message to `to`. Requires a prior Connect(to, ...).
   /// If the connection has died (peer restarted, socket reset), closes it
-  /// and redials with bounded exponential backoff (10 ms doubling to
-  /// 160 ms, 5 attempts) before giving up, so a transient peer outage
-  /// costs retries instead of a permanently wedged link.
+  /// and redials once — never sleeping, since sends run on the owner's
+  /// event-loop thread — before giving up; a per-peer cooldown (50 ms)
+  /// keeps a long outage from dialing on every log tick. Callers retry
+  /// naturally (the next tick resends), so a transient peer outage costs
+  /// fast failures instead of a stalled loop.
   ///
   /// The span form borrows the caller's bytes for the duration of the
   /// call (pair it with a reused wire::Buffer for a copy-free send path);
@@ -62,6 +65,12 @@ class TcpTransport {
     return Send(to, payload.data(), payload.size());
   }
 
+  /// Administratively refuses the connection to `to` (chaos partition):
+  /// the live socket is closed, sends fail fast with "peer blocked", and
+  /// no redial happens until the block is lifted. Blocking is one-
+  /// directional; a bidirectional cut blocks at both endpoints.
+  void SetPeerBlocked(DcId to, bool blocked);
+
   /// Closes everything and joins the background threads.
   void Shutdown();
 
@@ -69,12 +78,20 @@ class TcpTransport {
   uint64_t messages_sent() const { return messages_sent_; }
   /// Successful redials performed inside Send() after a dead connection.
   uint64_t reconnects() const { return reconnects_; }
+  /// Sends refused because the peer was administratively blocked.
+  uint64_t sends_blocked() const { return sends_blocked_; }
 
  private:
+  /// Minimum spacing between redial attempts to a dead peer.
+  static constexpr int kRedialCooldownMs = 50;
+
   struct Peer {
     DcId id;
     int fd;         // -1 while disconnected.
-    uint16_t port;  // Remembered so Send() can redial.
+    uint16_t port;  // Remembered so Send() can redial (0 = never dialed).
+    bool blocked = false;  // Administratively partitioned.
+    /// Earliest time Send() may redial this peer after a failure.
+    std::chrono::steady_clock::time_point next_redial{};
   };
 
   void AcceptLoop();
@@ -97,6 +114,7 @@ class TcpTransport {
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> sends_blocked_{0};
 };
 
 }  // namespace helios::transport

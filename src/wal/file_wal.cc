@@ -1,0 +1,197 @@
+#include "wal/file_wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "wire/codec.h"
+#include "wire/serialization.h"
+
+namespace helios::wal {
+
+Result<SyncPolicy> ParseSyncPolicy(const std::string& name) {
+  if (name == "os") return SyncPolicy::kOsBuffered;
+  if (name == "every") return SyncPolicy::kEveryRecord;
+  if (name == "group") return SyncPolicy::kGroupCommit;
+  return Status::InvalidArgument("unknown sync policy '" + name +
+                                 "' (want os|every|group)");
+}
+
+const char* SyncPolicyName(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::kOsBuffered:
+      return "os";
+    case SyncPolicy::kEveryRecord:
+      return "every";
+    case SyncPolicy::kGroupCommit:
+      return "group";
+  }
+  return "?";
+}
+
+FileWal::~FileWal() { Close(); }
+
+Status FileWal::Open(const std::string& path, const FileWalOptions& options) {
+  options_ = options;
+  dirty_ = false;
+  last_fsync_ = std::chrono::steady_clock::now();
+  return writer_.Open(path);
+}
+
+Status FileWal::AfterAppend() {
+  switch (options_.policy) {
+    case SyncPolicy::kEveryRecord: {
+      Status s = writer_.Sync(/*fsync_to_disk=*/true);
+      if (s.ok()) ++fsyncs_;
+      return s;
+    }
+    case SyncPolicy::kGroupCommit: {
+      dirty_ = true;
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_fsync_ < options_.group_commit_interval) {
+        // Flush to the OS so the bytes survive *process* death; the disk
+        // flush waits for the group-commit tick.
+        return writer_.Sync(/*fsync_to_disk=*/false);
+      }
+      Status s = writer_.Sync(/*fsync_to_disk=*/true);
+      if (s.ok()) {
+        ++fsyncs_;
+        dirty_ = false;
+        last_fsync_ = now;
+      }
+      return s;
+    }
+    case SyncPolicy::kOsBuffered:
+      return writer_.Sync(/*fsync_to_disk=*/false);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FileWal::AppendRecord(const rdict::LogRecord& record) {
+  Status s = writer_.AppendRecord(record);
+  if (!s.ok()) return s;
+  return AfterAppend();
+}
+
+Status FileWal::AppendTimetable(const rdict::Timetable& table) {
+  Status s = writer_.AppendTimetable(table);
+  if (!s.ok()) return s;
+  return AfterAppend();
+}
+
+Status FileWal::SyncToDisk() {
+  if (!writer_.is_open()) return Status::FailedPrecondition("WAL not open");
+  Status s = writer_.Sync(/*fsync_to_disk=*/true);
+  if (s.ok()) {
+    ++fsyncs_;
+    dirty_ = false;
+    last_fsync_ = std::chrono::steady_clock::now();
+  }
+  return s;
+}
+
+void FileWal::Close() {
+  if (writer_.is_open() && dirty_) (void)SyncToDisk();
+  writer_.Close();
+}
+
+namespace {
+
+Status CorruptAt(size_t offset, const char* what) {
+  return Status::Internal("WAL corrupt at offset " + std::to_string(offset) +
+                          ": " + what);
+}
+
+}  // namespace
+
+Result<FileWalRecovery> RecoverFileWal(const std::string& path) {
+  FileWalRecovery out;
+  std::vector<uint8_t> bytes;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return out;  // Fresh node: nothing to replay.
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    if (size > 0) {
+      bytes.resize(static_cast<size_t>(size));
+      if (std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+        std::fclose(file);
+        return Status::Internal("WAL read failed: " + path);
+      }
+    }
+    std::fclose(file);
+  }
+
+  // Walk the frame stream. A frame whose declared extent runs past EOF is
+  // a torn tail (the append that died with the process); any defect inside
+  // a frame that is fully present is interior corruption and fails
+  // recovery outright — truncating it would silently drop acknowledged
+  // history.
+  size_t off = 0;
+  const size_t kHeader = 4 + 1 + 4;  // magic + type + length.
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeader) break;  // Torn: partial header.
+    wire::Decoder head(bytes.data() + off, kHeader);
+    uint32_t magic = 0;
+    uint8_t type = 0;
+    uint32_t len = 0;
+    (void)head.GetFixed32(&magic);
+    (void)head.GetU8(&type);
+    (void)head.GetFixed32(&len);
+    if (magic != kEntryMagic) {
+      // A full header's worth of bytes with the wrong magic cannot be a
+      // partial append of a valid frame: frames are written front-first,
+      // so a torn frame keeps its magic prefix.
+      return CorruptAt(off, "bad entry magic");
+    }
+    if (bytes.size() - off - kHeader < static_cast<size_t>(len) + 4) {
+      break;  // Torn: payload + CRC run past EOF.
+    }
+    const uint8_t* payload = bytes.data() + off + kHeader;
+    wire::Decoder crc_dec(payload + len, 4);
+    uint32_t stored = 0;
+    (void)crc_dec.GetFixed32(&stored);
+    if (stored != wire::Crc32(payload, len)) {
+      return CorruptAt(off, "CRC mismatch");
+    }
+
+    wire::Decoder entry(payload, len);
+    if (type == static_cast<uint8_t>(EntryType::kLogRecord)) {
+      rdict::LogRecord rec;
+      if (!wire::DecodeLogRecord(&entry, &rec).ok()) {
+        return CorruptAt(off, "undecodable log record");
+      }
+      out.contents.records.push_back(std::move(rec));
+    } else if (type == static_cast<uint8_t>(EntryType::kTimetable)) {
+      rdict::Timetable table(1);
+      if (!wire::DecodeTimetable(&entry, &table).ok()) {
+        return CorruptAt(off, "undecodable timetable");
+      }
+      out.contents.timetable = table;
+      out.contents.has_timetable = true;
+    } else {
+      return CorruptAt(off, "unknown entry type");
+    }
+    ++out.contents.entries;
+    off += kHeader + len + 4;
+  }
+
+  out.valid_bytes = off;
+  if (off < bytes.size()) {
+    // Torn tail: chop the partial frame so the next Open() appends onto a
+    // clean frame boundary.
+    out.contents.truncated_tail = true;
+    out.truncated_bytes = bytes.size() - off;
+    if (::truncate(path.c_str(), static_cast<off_t>(off)) != 0) {
+      return Status::Internal("WAL torn-tail truncate failed: " + path +
+                              ": " + std::strerror(errno));
+    }
+  }
+  return out;
+}
+
+}  // namespace helios::wal

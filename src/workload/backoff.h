@@ -1,0 +1,54 @@
+// Client-side reaction to server load shedding.
+//
+// A datacenter under admission control rejects commit requests immediately
+// with the "busy" outcome (and a restarting one with "recovering") instead
+// of queueing them. Those rejections are retryable by construction — the
+// transaction never entered the commit path — but naive clients retrying
+// in lockstep just re-deliver the same spike. BackoffPolicy is the shared
+// jittered-exponential schedule the workload clients use to spread
+// retries: doubling per attempt (capped) with a uniform [0.5, 1.0) jitter
+// factor so synchronized rejections desynchronize within a round or two.
+
+#ifndef HELIOS_WORKLOAD_BACKOFF_H_
+#define HELIOS_WORKLOAD_BACKOFF_H_
+
+#include "api/protocol.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace helios::workload {
+
+/// Abort reason a load-shedding datacenter returns without admitting the
+/// transaction (transport::LiveDatacenter's admission controller).
+inline constexpr const char* kBusyAbortReason = "busy";
+/// Abort reason a node returns while replaying its WAL / catching up.
+inline constexpr const char* kRecoveringAbortReason = "recovering";
+
+/// True for rejections that never entered the commit path and are safe to
+/// retry verbatim after backing off.
+inline bool IsRetryableRejection(const CommitOutcome& outcome) {
+  return !outcome.committed && (outcome.abort_reason == kBusyAbortReason ||
+                                outcome.abort_reason == kRecoveringAbortReason);
+}
+
+/// Jittered exponential backoff: delay for retry attempt `attempt`
+/// (0-based) is `min(base * 2^attempt, cap)` scaled by a uniform factor in
+/// [0.5, 1.0). `max_retries == 0` disables retrying entirely.
+struct BackoffPolicy {
+  Duration base = Millis(2);
+  Duration cap = Millis(200);
+  int max_retries = 0;
+
+  Duration NextDelay(int attempt, Rng* rng) const {
+    const int shift = attempt < 0 ? 0 : (attempt < 20 ? attempt : 20);
+    Duration delay = base * (Duration{1} << shift);
+    if (delay > cap || delay <= 0) delay = cap;
+    delay = static_cast<Duration>(static_cast<double>(delay) *
+                                  (0.5 + 0.5 * rng->NextDouble()));
+    return delay > 0 ? delay : 1;
+  }
+};
+
+}  // namespace helios::workload
+
+#endif  // HELIOS_WORKLOAD_BACKOFF_H_

@@ -14,6 +14,7 @@ void ClientMetrics::Merge(const ClientMetrics& other) {
   read_only_done += other.read_only_done;
   timeouts += other.timeouts;
   retries += other.retries;
+  busy_rejections += other.busy_rejections;
 }
 
 ClosedLoopClient::ClosedLoopClient(uint64_t id, DcId home,
@@ -55,6 +56,12 @@ void ClosedLoopClient::SetCommitTimeout(Duration timeout, int max_retries,
   commit_timeout_ = timeout;
   max_retries_ = max_retries;
   retry_backoff_ = backoff;
+}
+
+void ClosedLoopClient::SetBusyBackoff(const BackoffPolicy& policy,
+                                      uint64_t seed) {
+  busy_policy_ = policy;
+  busy_rng_ = Rng(seed ^ (id_ * 0xD1B54A32D192ED03ULL));
 }
 
 void ClosedLoopClient::NextTxn() {
@@ -171,8 +178,28 @@ void ClosedLoopClient::CommitPhase(std::shared_ptr<InFlight> txn) {
 
 void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
                                  const CommitOutcome& outcome) {
-  txn->done = true;
   const sim::SimTime now = scheduler_->Now();
+  if (busy_policy_.max_retries > 0 && IsRetryableRejection(outcome)) {
+    ++metrics_.busy_rejections;
+    // Same superseding dance as a timeout: bump the attempt so late
+    // callbacks from this rejected attempt are dropped, then re-run the
+    // plan after a jittered delay. The server never admitted the
+    // transaction, so retrying it verbatim is safe.
+    ++txn->attempt;
+    if (txn->attempt <= busy_policy_.max_retries && now < stop_at_) {
+      ++metrics_.retries;
+      const Duration delay =
+          busy_policy_.NextDelay(txn->attempt - 1, &busy_rng_);
+      scheduler_->After(delay, [this, txn]() {
+        if (txn->done) return;
+        StartAttempt(txn);
+      });
+      return;
+    }
+    // Retry budget exhausted: fall through and account the rejection as
+    // an abort.
+  }
+  txn->done = true;
   if (session_ != nullptr) {
     SessionEvent ev;
     ev.kind = SessionEvent::Kind::kCommit;

@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/scheduler.h"
+#include "workload/backoff.h"
 #include "workload/tycsb.h"
 
 namespace helios::workload {
@@ -33,7 +34,8 @@ struct ClientMetrics {
   uint64_t ops_committed = 0;
   uint64_t read_only_done = 0;
   uint64_t timeouts = 0;  ///< Attempts abandoned by the commit timeout.
-  uint64_t retries = 0;   ///< Attempts re-issued after a timeout.
+  uint64_t retries = 0;   ///< Attempts re-issued after a timeout or BUSY.
+  uint64_t busy_rejections = 0;  ///< busy/recovering outcomes observed.
 
   void Merge(const ClientMetrics& other);
   double abort_rate() const {
@@ -104,6 +106,16 @@ class ClosedLoopClient {
   /// timer at all — crash-free runs stay bit-identical.
   void SetCommitTimeout(Duration timeout, int max_retries, Duration backoff);
 
+  /// Arms jittered exponential backoff for load-shed outcomes ("busy" from
+  /// an admission controller, "recovering" from a restarting node): the
+  /// same plan retries after `policy.NextDelay` instead of counting as
+  /// aborted, up to `policy.max_retries` retries. Off by default — the
+  /// jitter draws from an RNG, and crash-free simulation runs must stay
+  /// bit-identical; live-mode harnesses (heliosd, the overload tests) turn
+  /// it on. The RNG is seeded deterministically from `seed`, so simulated
+  /// runs that do enable it remain reproducible.
+  void SetBusyBackoff(const BackoffPolicy& policy, uint64_t seed);
+
   /// Starts recording every observed read and commit decision into a
   /// SessionLog (for the src/check oracles). Off by default: recording
   /// allocates per event, so measurement runs leave it disabled.
@@ -153,6 +165,8 @@ class ClosedLoopClient {
   Duration commit_timeout_ = 0;  ///< 0: no timeout, never retries.
   int max_retries_ = 0;
   Duration retry_backoff_ = Millis(50);
+  BackoffPolicy busy_policy_;  ///< max_retries == 0: busy outcomes abort.
+  Rng busy_rng_;               ///< Drawn only on busy retries.
   uint64_t txns_issued_ = 0;
   std::unique_ptr<SessionLog> session_;
   obs::TraceRecorder* trace_ = nullptr;

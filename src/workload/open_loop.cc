@@ -1,0 +1,163 @@
+#include "workload/open_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace helios::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ToMs(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
+}
+
+}  // namespace
+
+OpenLoopLoadGen::OpenLoopLoadGen(OpenLoopOptions options, CommitFn commit)
+    : options_(std::move(options)),
+      commit_(std::move(commit)),
+      generator_(options_.workload, options_.seed),
+      rng_(options_.seed ^ 0xA5A5A5A5A5A5A5A5ULL) {}
+
+void OpenLoopLoadGen::Issue(std::vector<WriteEntry> writes, int attempt) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.issued;
+    ++inflight_;
+  }
+  const Clock::time_point issued_at = Clock::now();
+  // Keep a copy of the write set: a busy rejection re-offers the same
+  // transaction after backing off.
+  std::vector<WriteEntry> retained = writes;
+  commit_(std::move(writes),
+          [this, issued_at, attempt,
+           retained = std::move(retained)](const CommitOutcome& o) mutable {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inflight_;
+            if (o.committed) {
+              ++stats_.committed;
+              stats_.commit_latency_ms.Add(ToMs(Clock::now() - issued_at));
+            } else if (IsRetryableRejection(o)) {
+              ++stats_.busy_rejected;
+              if (attempt < options_.backoff.max_retries) {
+                ++stats_.retries;
+                retry_ready_.push_back(
+                    Pending{std::move(retained), attempt + 1});
+              } else {
+                ++stats_.dropped;
+              }
+            } else {
+              ++stats_.aborted;
+            }
+            cv_.notify_all();
+          });
+}
+
+OpenLoopStats OpenLoopLoadGen::Run() {
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point load_end = start + options_.duration;
+  const double rate =
+      options_.rate_per_sec > 0 ? options_.rate_per_sec : 1.0;
+
+  // Draws the next Poisson gap (exponential inter-arrival). Only the loop
+  // thread touches rng_ / generator_.
+  const auto next_gap = [this, rate]() {
+    const double seconds = -std::log(1.0 - rng_.NextDouble()) / rate;
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  };
+  const auto make_writes = [this]() {
+    TxnPlan plan = generator_.NextTxn();
+    std::vector<WriteEntry> writes;
+    // Blind writes over the whole plan: the open loop measures admission
+    // and commit behavior, not read latency, and blind writes keep every
+    // arrival a single request.
+    writes.reserve(plan.reads.size() + plan.writes.size());
+    for (const Key& key : plan.reads) {
+      writes.push_back({key, generator_.NextValue()});
+    }
+    for (const Key& key : plan.writes) {
+      writes.push_back({key, generator_.NextValue()});
+    }
+    return writes;
+  };
+
+  // Retries scheduled for a future due time, min-first.
+  struct Scheduled {
+    Clock::time_point due;
+    Pending pending;
+  };
+  std::vector<Scheduled> scheduled;
+  const auto due_after = [](const Scheduled& a, const Scheduled& b) {
+    return a.due > b.due;
+  };
+
+  Clock::time_point next_arrival = start + next_gap();
+  const Clock::time_point drain_deadline =
+      load_end + options_.drain_timeout;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    const bool offering = now < load_end;
+
+    // Promote freshly rejected transactions into timed retries (the
+    // backoff clock starts when the loop learns of the rejection).
+    while (!retry_ready_.empty()) {
+      Pending p = std::move(retry_ready_.front());
+      retry_ready_.pop_front();
+      const Duration delay_us =
+          options_.backoff.NextDelay(p.attempt - 1, &rng_);
+      scheduled.push_back(
+          Scheduled{now + std::chrono::microseconds(delay_us), std::move(p)});
+      std::push_heap(scheduled.begin(), scheduled.end(), due_after);
+    }
+
+    if (offering && next_arrival <= now) {
+      ++stats_.arrivals;
+      std::vector<WriteEntry> writes = make_writes();
+      next_arrival += next_gap();
+      lock.unlock();
+      Issue(std::move(writes), /*attempt=*/0);
+      lock.lock();
+      continue;
+    }
+    if (!scheduled.empty() && scheduled.front().due <= now) {
+      std::pop_heap(scheduled.begin(), scheduled.end(), due_after);
+      Pending p = std::move(scheduled.back().pending);
+      scheduled.pop_back();
+      lock.unlock();
+      Issue(std::move(p.writes), p.attempt);
+      lock.lock();
+      continue;
+    }
+
+    if (!offering && inflight_ == 0 && scheduled.empty() &&
+        retry_ready_.empty()) {
+      break;  // Fully drained.
+    }
+    if (!offering && now >= drain_deadline) {
+      stats_.undrained = inflight_ + scheduled.size() + retry_ready_.size();
+      break;
+    }
+
+    Clock::time_point wake = offering ? next_arrival : drain_deadline;
+    if (!scheduled.empty() && scheduled.front().due < wake) {
+      wake = scheduled.front().due;
+    }
+    if (offering && load_end < wake) wake = load_end;
+    cv_.wait_until(lock, wake);
+  }
+  stats_.elapsed_s =
+      std::chrono::duration<double>(std::min(Clock::now(), load_end) - start)
+          .count();
+  OpenLoopStats out = stats_;
+  return out;
+}
+
+}  // namespace helios::workload

@@ -1,0 +1,110 @@
+// Open-loop load generator for live deployments.
+//
+// The simulator's ClosedLoopClient matches the paper's client model (one
+// outstanding transaction, issue as fast as decisions arrive) — but a
+// closed loop can never overload a server, because its arrival rate is
+// throttled by the server's own completions. Measuring overload behavior
+// (the knee of the throughput curve, shed rates, admitted-latency bounds)
+// needs an *open* loop: arrivals follow a Poisson process at a configured
+// rate regardless of how many requests are still in flight, exactly like
+// independent real-world clients.
+//
+// OpenLoopLoadGen runs against wall time on the calling thread: it draws
+// exponential inter-arrival gaps, fires one blind-write transaction per
+// arrival through a caller-supplied CommitFn (typically
+// LiveDatacenter::Commit), and reacts to "busy"/"recovering" rejections
+// with the shared jittered-exponential BackoffPolicy so retry storms stay
+// bounded. It is deliberately transport-agnostic — tests drive it against
+// an in-process fake to assert the retry arithmetic without sockets.
+
+#ifndef HELIOS_WORKLOAD_OPEN_LOOP_H_
+#define HELIOS_WORKLOAD_OPEN_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "api/protocol.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "workload/backoff.h"
+#include "workload/tycsb.h"
+
+namespace helios::workload {
+
+struct OpenLoopOptions {
+  /// Target offered load, transactions per second (Poisson arrivals).
+  double rate_per_sec = 500.0;
+  /// How long to keep offering load.
+  std::chrono::milliseconds duration{1000};
+  /// After the offered-load window, how long to wait for in-flight
+  /// transactions (and scheduled retries) to drain before giving up.
+  std::chrono::milliseconds drain_timeout{2000};
+  /// Key space / write count / value size for the blind-write txns.
+  WorkloadConfig workload;
+  uint64_t seed = 1;
+  /// Retry schedule for busy/recovering rejections (max_retries == 0:
+  /// rejections are terminal).
+  BackoffPolicy backoff;
+};
+
+/// Everything one Run() observed. `committed + aborted + dropped` accounts
+/// for every arrival that reached a terminal state.
+struct OpenLoopStats {
+  uint64_t issued = 0;      ///< Commit attempts sent (arrivals + retries).
+  uint64_t arrivals = 0;    ///< Poisson arrivals offered.
+  uint64_t committed = 0;
+  uint64_t aborted = 0;     ///< Terminal non-retryable rejections.
+  uint64_t busy_rejected = 0;  ///< busy/recovering outcomes observed.
+  uint64_t retries = 0;     ///< Re-issues scheduled after a rejection.
+  uint64_t dropped = 0;     ///< Gave up: retry budget exhausted.
+  uint64_t undrained = 0;   ///< Still in flight when drain timed out.
+  Distribution commit_latency_ms;  ///< Per committed attempt, issue→decision.
+  double elapsed_s = 0.0;   ///< Offered-load window actually run.
+
+  double goodput_per_sec() const {
+    return elapsed_s <= 0 ? 0.0 : static_cast<double>(committed) / elapsed_s;
+  }
+};
+
+class OpenLoopLoadGen {
+ public:
+  /// The commit transport: must invoke `done` exactly once, from any
+  /// thread (LiveDatacenter calls it on the loop thread, or synchronously
+  /// for a BUSY rejection).
+  using CommitFn = std::function<void(std::vector<WriteEntry>,
+                                      CommitCallback)>;
+
+  OpenLoopLoadGen(OpenLoopOptions options, CommitFn commit);
+
+  /// Offers load for `options.duration`, drains, and returns the stats.
+  /// Blocking; call from a plain thread (never from the server's loop).
+  OpenLoopStats Run();
+
+ private:
+  struct Pending {
+    std::vector<WriteEntry> writes;
+    int attempt = 0;  ///< Retries already consumed.
+  };
+
+  void Issue(std::vector<WriteEntry> writes, int attempt);
+
+  const OpenLoopOptions options_;
+  const CommitFn commit_;
+  TYcsbGenerator generator_;
+  Rng rng_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> retry_ready_;  ///< Rejections awaiting re-issue.
+  uint64_t inflight_ = 0;
+  OpenLoopStats stats_;
+};
+
+}  // namespace helios::workload
+
+#endif  // HELIOS_WORKLOAD_OPEN_LOOP_H_

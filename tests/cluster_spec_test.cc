@@ -1,0 +1,98 @@
+// Tests for the live-deployment cluster spec: JSON round trip, strict
+// unknown-key rejection, and validation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "transport/cluster_spec.h"
+
+namespace helios::transport {
+namespace {
+
+ClusterSpec MakeSpec() {
+  ClusterSpec spec;
+  spec.datacenters = {{7101, "/tmp/dc0.wal"}, {7102, ""}, {7103, "/t/2.wal"}};
+  spec.fault_tolerance = 1;
+  spec.grace_time = Millis(500);
+  spec.log_interval = Millis(5);
+  spec.inbound_delay = Millis(12);
+  spec.wal_options.policy = wal::SyncPolicy::kEveryRecord;
+  spec.wal_options.group_commit_interval = std::chrono::microseconds(2500);
+  return spec;
+}
+
+TEST(ClusterSpecTest, JsonRoundTrip) {
+  const ClusterSpec spec = MakeSpec();
+  ASSERT_TRUE(spec.Validate().ok());
+  const std::string json = spec.ToJson();
+  auto parsed = ClusterSpec::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ClusterSpec& got = parsed.value();
+  ASSERT_EQ(got.num_datacenters(), 3);
+  EXPECT_EQ(got.datacenters[0].port, 7101);
+  EXPECT_EQ(got.datacenters[0].wal_path, "/tmp/dc0.wal");
+  EXPECT_EQ(got.datacenters[1].wal_path, "");
+  EXPECT_EQ(got.fault_tolerance, 1);
+  EXPECT_EQ(got.grace_time, Millis(500));
+  EXPECT_EQ(got.log_interval, Millis(5));
+  EXPECT_EQ(got.inbound_delay, Millis(12));
+  EXPECT_EQ(got.wal_options.policy, wal::SyncPolicy::kEveryRecord);
+  EXPECT_EQ(got.wal_options.group_commit_interval.count(), 2500);
+  // Determinism: re-emission is byte-identical.
+  EXPECT_EQ(got.ToJson(), json);
+}
+
+TEST(ClusterSpecTest, MakeConfigMirrorsSpec) {
+  const core::HeliosConfig config = MakeSpec().MakeConfig();
+  EXPECT_EQ(config.num_datacenters, 3);
+  EXPECT_EQ(config.fault_tolerance, 1);
+  EXPECT_EQ(config.grace_time, Millis(500));
+  EXPECT_EQ(config.log_interval, Millis(5));
+  EXPECT_TRUE(config.commit_offsets.empty());
+}
+
+TEST(ClusterSpecTest, PortsIndexedByDc) {
+  const std::vector<uint16_t> ports = MakeSpec().ports();
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0], 7101);
+  EXPECT_EQ(ports[2], 7103);
+}
+
+TEST(ClusterSpecTest, UnknownKeysRejected) {
+  EXPECT_FALSE(ClusterSpec::FromJson("{\"datacentres\":[]}").ok());
+  EXPECT_FALSE(
+      ClusterSpec::FromJson(
+          "{\"datacenters\":[{\"port\":1,\"walpath\":\"x\"}]}")
+          .ok());
+}
+
+TEST(ClusterSpecTest, ValidationCatchesBadSpecs) {
+  ClusterSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  ClusterSpec dup = MakeSpec();
+  dup.datacenters[2].port = dup.datacenters[0].port;
+  EXPECT_FALSE(dup.Validate().ok());
+
+  ClusterSpec zero_port = MakeSpec();
+  zero_port.datacenters[1].port = 0;
+  EXPECT_FALSE(zero_port.Validate().ok());
+
+  ClusterSpec bad_f = MakeSpec();
+  bad_f.fault_tolerance = 3;
+  EXPECT_FALSE(bad_f.Validate().ok());
+
+  ClusterSpec bad_grace = MakeSpec();
+  bad_grace.grace_time = 0;
+  EXPECT_FALSE(bad_grace.Validate().ok());
+}
+
+TEST(ClusterSpecTest, BadFsyncSpellingRejected) {
+  EXPECT_FALSE(
+      ClusterSpec::FromJson("{\"datacenters\":[],\"fsync\":\"always\"}")
+          .ok());
+}
+
+}  // namespace
+}  // namespace helios::transport

@@ -3,7 +3,12 @@
 // sockets with wire-serialized envelopes.
 
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "core/history.h"
+#include "transport/io_util.h"
 #include "transport/live_datacenter.h"
 #include "transport/realtime_loop.h"
 #include "transport/tcp_transport.h"
@@ -293,6 +299,16 @@ TEST(LiveDatacenterTest, WalSurvivesRestart) {
     LiveCluster cluster(2, Millis(5));
     ASSERT_TRUE(cluster.dcs[0]->EnableWal(path).ok());
     cluster.Start();
+    // Restore triggers a real catch-up round with the peer, and the node
+    // answers "recovering" until it completes — wait for the counters.
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (cluster.dcs[0]->recovery_snapshot().recoveries == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    const RecoveryStats rec = cluster.dcs[0]->recovery_snapshot();
+    ASSERT_EQ(rec.recoveries, 1u) << "catch-up never completed";
+    EXPECT_GT(rec.records_replayed, 0u);
     auto r = cluster.dcs[0]->ReadSync("persist");
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(r.value().value, "me");
@@ -301,6 +317,211 @@ TEST(LiveDatacenterTest, WalSurvivesRestart) {
     cluster.Stop();
   }
   std::remove(path.c_str());
+}
+
+// --- io_util: partial writes, EINTR, dead peers ------------------------------
+
+// A connected stream pair whose writer has a deliberately tiny send
+// buffer, so multi-megabyte WriteFull calls are guaranteed to hit partial
+// transfers (and EAGAIN when the writer is non-blocking).
+struct TinyBufferPair {
+  int writer = -1;
+  int reader = -1;
+
+  TinyBufferPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer = fds[0];
+    reader = fds[1];
+    // The kernel clamps this upward to its floor, but the result is still
+    // a few KB — far below the payloads the tests push through.
+    int small = 1;
+    EXPECT_EQ(::setsockopt(writer, SOL_SOCKET, SO_SNDBUF, &small,
+                           sizeof(small)),
+              0);
+    EXPECT_EQ(::setsockopt(reader, SOL_SOCKET, SO_RCVBUF, &small,
+                           sizeof(small)),
+              0);
+  }
+  ~TinyBufferPair() {
+    if (writer >= 0) ::close(writer);
+    if (reader >= 0) ::close(reader);
+  }
+};
+
+std::vector<uint8_t> PatternedBytes(size_t n) {
+  std::vector<uint8_t> bytes(n);
+  for (size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<uint8_t>((i * 131) ^ (i >> 8));
+  }
+  return bytes;
+}
+
+TEST(IoUtilTest, WriteFullSurvivesTinySendBufferNonBlocking) {
+  TinyBufferPair pair;
+  ASSERT_EQ(::fcntl(pair.writer, F_SETFL,
+                    ::fcntl(pair.writer, F_GETFL) | O_NONBLOCK),
+            0);
+
+  const std::vector<uint8_t> sent = PatternedBytes(2 << 20);
+  std::atomic<bool> write_ok{false};
+  std::thread writer([&]() {
+    write_ok = WriteFull(pair.writer, sent.data(), sent.size());
+  });
+
+  // Let the writer saturate both kernel buffers and park in poll(POLLOUT)
+  // before draining — the EAGAIN path must actually run.
+  std::this_thread::sleep_for(50ms);
+  std::vector<uint8_t> got(sent.size());
+  EXPECT_TRUE(ReadFull(pair.reader, got.data(), got.size()));
+  writer.join();
+  EXPECT_TRUE(write_ok.load());
+  EXPECT_EQ(got, sent);
+}
+
+TEST(IoUtilTest, WriteFullRetriesThroughSignals) {
+  // A signal landing mid-send makes a blocking send() return EINTR or a
+  // short count; WriteFull must treat both as "keep going", not as a dead
+  // connection. Install a no-op SIGUSR1 handler WITHOUT SA_RESTART so the
+  // kernel actually interrupts the syscall.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // No SA_RESTART: let send() fail with EINTR.
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  TinyBufferPair pair;
+  const std::vector<uint8_t> sent = PatternedBytes(2 << 20);
+  std::atomic<bool> write_ok{false};
+  std::atomic<bool> done{false};
+  std::thread writer([&]() {
+    write_ok = WriteFull(pair.writer, sent.data(), sent.size());
+    done = true;
+  });
+
+  // Pepper the blocked writer with signals while slowly draining the
+  // reader side, so send() is interrupted many times mid-transfer.
+  std::vector<uint8_t> got(sent.size());
+  size_t off = 0;
+  while (off < got.size()) {
+    if (!done.load()) pthread_kill(writer.native_handle(), SIGUSR1);
+    const size_t chunk = std::min<size_t>(64 * 1024, got.size() - off);
+    ASSERT_TRUE(ReadFull(pair.reader, got.data() + off, chunk));
+    off += chunk;
+  }
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+  EXPECT_TRUE(write_ok.load());
+  EXPECT_EQ(got, sent);
+}
+
+TEST(IoUtilTest, WriteFullReportsClosedPeerWithoutSigpipe) {
+  TinyBufferPair pair;
+  ::close(pair.reader);
+  pair.reader = -1;
+  // MSG_NOSIGNAL must turn the dead peer into a clean `false` (EPIPE),
+  // not a process-killing SIGPIPE. The payload exceeds the send buffer so
+  // the failure cannot hide in the kernel buffer.
+  const std::vector<uint8_t> sent = PatternedBytes(1 << 20);
+  EXPECT_FALSE(WriteFull(pair.writer, sent.data(), sent.size()));
+}
+
+TEST(IoUtilTest, ReadFullReportsEofMidFrame) {
+  TinyBufferPair pair;
+  const std::vector<uint8_t> partial = PatternedBytes(100);
+  ASSERT_TRUE(WriteFull(pair.writer, partial.data(), partial.size()));
+  ::close(pair.writer);
+  pair.writer = -1;
+  // The peer died 100 bytes into a 200-byte frame: ReadFull must report
+  // failure, not return half a buffer as success.
+  std::vector<uint8_t> got(200);
+  EXPECT_FALSE(ReadFull(pair.reader, got.data(), got.size()));
+}
+
+TEST(TcpTransportTest, LargeFrameSurvivesPartialWrites) {
+  // A 4 MB frame dwarfs the default kernel socket buffers, so the send
+  // path must go through many partial writes; the frame has to arrive
+  // byte-identical on the other side.
+  std::promise<std::vector<uint8_t>> received;
+  TcpTransport server([&](std::vector<uint8_t> payload) {
+    received.set_value(std::move(payload));
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  TcpTransport client([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(client.Connect(0, server.port()).ok());
+
+  const std::vector<uint8_t> msg = PatternedBytes(4 << 20);
+  ASSERT_TRUE(client.Send(0, msg).ok());
+  auto future = received.get_future();
+  ASSERT_EQ(future.wait_for(30s), std::future_status::ready);
+  EXPECT_EQ(future.get(), msg);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+// --- Administrative peer blocking (live chaos partitions) --------------------
+
+TEST(TcpTransportTest, BlockedPeerShedsSendsThenHeals) {
+  std::mutex mu;
+  uint64_t delivered = 0;
+  TcpTransport server([&](std::vector<uint8_t>) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++delivered;
+  });
+  ASSERT_TRUE(server.Listen(0).ok());
+  TcpTransport client([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(client.Connect(0, server.port()).ok());
+  ASSERT_TRUE(client.Send(0, {1}).ok());
+
+  client.SetPeerBlocked(0, true);
+  // Blocked sends fail fast with Unavailable, count as sends_blocked, and
+  // never redial (a partition must not heal itself).
+  for (int i = 0; i < 5; ++i) {
+    const Status s = client.Send(0, {2});
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(client.sends_blocked(), 5u);
+  EXPECT_EQ(client.messages_sent(), 1u);
+
+  client.SetPeerBlocked(0, false);
+  // Healing does not resurrect the old socket — the block closed it — but
+  // the next sends redial and delivery resumes.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool healed = false;
+  while (!healed && std::chrono::steady_clock::now() < deadline) {
+    (void)client.Send(0, {3});
+    std::this_thread::sleep_for(20ms);
+    std::lock_guard<std::mutex> lock(mu);
+    healed = delivered >= 2;
+  }
+  EXPECT_TRUE(healed) << "sends never resumed after the block was lifted";
+  EXPECT_GE(client.reconnects(), 1u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(TcpTransportTest, BlockBeforeConnectIsRemembered) {
+  TcpTransport server([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(server.Listen(0).ok());
+  TcpTransport client([](std::vector<uint8_t>) {});
+  // Block first (the supervisor may apply a partition plan before the
+  // relaunched peer ever dialed), then connect: sends must still shed.
+  client.SetPeerBlocked(0, true);
+  ASSERT_TRUE(client.Connect(0, server.port()).ok());
+  EXPECT_FALSE(client.Send(0, {1}).ok());
+  EXPECT_GE(client.sends_blocked(), 1u);
+
+  client.SetPeerBlocked(0, false);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  bool sent = false;
+  while (!sent && std::chrono::steady_clock::now() < deadline) {
+    sent = client.Send(0, {1}).ok();
+    if (!sent) std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_TRUE(sent);
+  client.Shutdown();
+  server.Shutdown();
 }
 
 TEST(LiveDatacenterTest, InitialDataVisibleBeforeTraffic) {

@@ -11,7 +11,9 @@
 #include "harness/topology.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
+#include "workload/backoff.h"
 #include "workload/client.h"
+#include "workload/open_loop.h"
 #include "workload/tycsb.h"
 
 namespace helios::workload {
@@ -208,6 +210,270 @@ TEST_F(ClientLoopTest, ReadOnlyTransactionsCounted) {
   client.Start();
   scheduler_.RunUntil(Seconds(6));
   EXPECT_GT(client.metrics().read_only_done, 10u);
+}
+
+// --- BackoffPolicy: the jittered exponential schedule ------------------------
+
+TEST(BackoffPolicyTest, DelaysAreJitteredDoublingAndCapped) {
+  BackoffPolicy policy;
+  policy.base = Millis(2);
+  policy.cap = Millis(200);
+  policy.max_retries = 10;
+  Rng rng(123);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int shift = attempt < 20 ? attempt : 20;
+    Duration nominal = policy.base * (Duration{1} << shift);
+    if (nominal > policy.cap || nominal <= 0) nominal = policy.cap;
+    const Duration delay = policy.NextDelay(attempt, &rng);
+    EXPECT_GE(delay, nominal / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, nominal) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffPolicyTest, DelayNeverUnderflowsToZero) {
+  BackoffPolicy policy;
+  policy.base = 1;  // 1 microsecond: jitter would round to 0.
+  policy.cap = 2;
+  policy.max_retries = 1;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(policy.NextDelay(0, &rng), 1);
+  }
+}
+
+TEST(BackoffPolicyTest, RetryableRejectionsAreExactlyBusyAndRecovering) {
+  EXPECT_TRUE(IsRetryableRejection({TxnId{}, false, kBusyAbortReason}));
+  EXPECT_TRUE(IsRetryableRejection({TxnId{}, false, kRecoveringAbortReason}));
+  EXPECT_FALSE(IsRetryableRejection({TxnId{}, false, "conflict:pool"}));
+  // A committed outcome is never retryable, whatever the reason says.
+  EXPECT_FALSE(IsRetryableRejection({TxnId{}, true, kBusyAbortReason}));
+}
+
+// --- Busy backoff on the closed-loop client: bounded retry storms ------------
+
+// Stub cluster whose commits are rejected with `reason` for the first
+// `reject_first` requests and committed afterwards; every response arrives
+// after one simulated round trip.
+class SheddingStubCluster : public ProtocolCluster {
+ public:
+  SheddingStubCluster(sim::Scheduler* sched, uint64_t reject_first,
+                      std::string reason = kBusyAbortReason)
+      : sched_(sched),
+        reject_first_(reject_first),
+        reason_(std::move(reason)) {}
+
+  void Start() override {}
+  void LoadInitialAll(const Key&, const Value&) override {}
+  void ClientRead(DcId, const Key&, ReadCallback done) override {
+    sched_->After(kRtt, [done = std::move(done)]() {
+      done(VersionedValue{"v", 1, TxnId{}});
+    });
+  }
+  void ClientCommit(DcId, std::vector<ReadEntry>, std::vector<WriteEntry>,
+                    CommitCallback done) override {
+    const uint64_t n = ++commit_requests_;
+    sched_->After(kRtt, [this, n, done = std::move(done)]() {
+      CommitOutcome out;
+      out.committed = n > reject_first_;
+      if (!out.committed) out.abort_reason = reason_;
+      done(out);
+    });
+  }
+  void ClientReadOnly(DcId, std::vector<Key> keys,
+                      ReadOnlyCallback done) override {
+    sched_->After(kRtt, [keys, done = std::move(done)]() {
+      std::vector<Result<VersionedValue>> results;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        results.emplace_back(VersionedValue{"v", 1, TxnId{}});
+      }
+      done(std::move(results));
+    });
+  }
+
+  std::string name() const override { return "shedding-stub"; }
+  int num_datacenters() const override { return 1; }
+
+  uint64_t commit_requests() const { return commit_requests_; }
+
+ private:
+  static constexpr Duration kRtt = Millis(1);
+  sim::Scheduler* sched_;
+  uint64_t reject_first_;
+  std::string reason_;
+  uint64_t commit_requests_ = 0;
+};
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig workload;
+  workload.num_keys = 100;
+  return workload;
+}
+
+TEST(BusyBackoffTest, AlwaysBusyRetryStormIsBounded) {
+  sim::Scheduler sched;
+  SheddingStubCluster cluster(&sched, /*reject_first=*/~uint64_t{0});
+  const sim::SimTime stop = Millis(2000);
+  ClosedLoopClient client(1, 0, &cluster, &sched, SmallWorkload(),
+                          /*seed=*/7, 0, stop, stop);
+  BackoffPolicy policy;
+  policy.base = Millis(2);
+  policy.cap = Millis(16);
+  policy.max_retries = 3;
+  client.SetBusyBackoff(policy, /*seed=*/99);
+  client.Start();
+  sched.Run();
+
+  const ClientMetrics& m = client.metrics();
+  EXPECT_EQ(m.committed, 0u);
+  EXPECT_GT(client.txns_issued(), 10u);
+  // Every transaction abandons after at most 1 + max_retries attempts: the
+  // request count the server saw is exactly first attempts plus retries,
+  // and retries are bounded per transaction.
+  EXPECT_EQ(cluster.commit_requests(), client.txns_issued() + m.retries);
+  EXPECT_LE(m.retries,
+            client.txns_issued() * static_cast<uint64_t>(policy.max_retries));
+  // Every response was a shed and every shed was observed.
+  EXPECT_EQ(m.busy_rejections, cluster.commit_requests());
+  // All transactions end aborted (the final one may fall past the
+  // measurement window's edge).
+  EXPECT_GE(m.aborted + 1, client.txns_issued());
+  EXPECT_EQ(m.timeouts, 0u);
+}
+
+TEST(BusyBackoffTest, TransientBusySucceedsAfterBackoff) {
+  sim::Scheduler sched;
+  SheddingStubCluster cluster(&sched, /*reject_first=*/2);
+  const sim::SimTime stop = Millis(500);
+  ClosedLoopClient client(1, 0, &cluster, &sched, SmallWorkload(),
+                          /*seed=*/7, 0, stop, stop);
+  BackoffPolicy policy;
+  policy.base = Millis(2);
+  policy.cap = Millis(16);
+  policy.max_retries = 5;
+  client.SetBusyBackoff(policy, /*seed=*/99);
+  client.Start();
+  sched.Run();
+
+  const ClientMetrics& m = client.metrics();
+  // The first transaction ate both rejections, retried, and committed;
+  // everything after sailed through. No aborts anywhere.
+  EXPECT_GT(m.committed, 1u);
+  EXPECT_EQ(m.aborted, 0u);
+  EXPECT_EQ(m.busy_rejections, 2u);
+  EXPECT_EQ(m.retries, 2u);
+  EXPECT_EQ(cluster.commit_requests(), client.txns_issued() + 2);
+}
+
+TEST(BusyBackoffTest, RecoveringOutcomeIsRetriedToo) {
+  sim::Scheduler sched;
+  SheddingStubCluster cluster(&sched, /*reject_first=*/1,
+                              kRecoveringAbortReason);
+  const sim::SimTime stop = Millis(200);
+  ClosedLoopClient client(1, 0, &cluster, &sched, SmallWorkload(),
+                          /*seed=*/7, 0, stop, stop);
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  client.SetBusyBackoff(policy, /*seed=*/5);
+  client.Start();
+  sched.Run();
+
+  EXPECT_GT(client.metrics().committed, 0u);
+  EXPECT_EQ(client.metrics().aborted, 0u);
+  EXPECT_EQ(client.metrics().busy_rejections, 1u);
+  EXPECT_EQ(client.metrics().retries, 1u);
+}
+
+TEST(BusyBackoffTest, DisabledPolicyAbortsWithoutRetrying) {
+  sim::Scheduler sched;
+  SheddingStubCluster cluster(&sched, /*reject_first=*/~uint64_t{0});
+  const sim::SimTime stop = Millis(200);
+  ClosedLoopClient client(1, 0, &cluster, &sched, SmallWorkload(),
+                          /*seed=*/7, 0, stop, stop);
+  // No SetBusyBackoff: busy outcomes are plain aborts, and the default
+  // must not silently change simulation accounting.
+  client.Start();
+  sched.Run();
+
+  const ClientMetrics& m = client.metrics();
+  EXPECT_EQ(m.committed, 0u);
+  EXPECT_EQ(m.retries, 0u);
+  EXPECT_EQ(m.busy_rejections, 0u);
+  EXPECT_EQ(cluster.commit_requests(), client.txns_issued());
+}
+
+// --- Open-loop generator: retry arithmetic against an in-process fake --------
+
+TEST(OpenLoopTest, TransientBusyRetriesThenCommits) {
+  // Fake server: rejects the first five requests with BUSY, then commits
+  // everything, synchronously on the caller's thread.
+  uint64_t requests = 0;
+  OpenLoopOptions opts;
+  opts.rate_per_sec = 400;
+  opts.duration = std::chrono::milliseconds(300);
+  opts.seed = 3;
+  opts.backoff.base = Millis(1);
+  opts.backoff.cap = Millis(4);
+  // One early arrival may absorb several of the five global rejections
+  // (its quick retries race the next arrivals); a budget larger than the
+  // rejection count guarantees every arrival eventually commits.
+  opts.backoff.max_retries = 8;
+  OpenLoopLoadGen gen(opts, [&requests](std::vector<WriteEntry>,
+                                        CommitCallback done) {
+    ++requests;
+    CommitOutcome out;
+    out.committed = requests > 5;
+    if (!out.committed) out.abort_reason = kBusyAbortReason;
+    done(out);
+  });
+  const OpenLoopStats stats = gen.Run();
+
+  EXPECT_GT(stats.arrivals, 20u);
+  EXPECT_EQ(stats.busy_rejected, 5u);
+  EXPECT_EQ(stats.retries, 5u);
+  EXPECT_EQ(stats.issued, stats.arrivals + stats.retries);
+  EXPECT_EQ(stats.committed, stats.arrivals);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.undrained, 0u);
+  EXPECT_EQ(stats.committed + stats.aborted + stats.dropped, stats.arrivals);
+}
+
+TEST(OpenLoopTest, AlwaysBusyDropsAfterBoundedRetries) {
+  OpenLoopOptions opts;
+  opts.rate_per_sec = 400;
+  opts.duration = std::chrono::milliseconds(300);
+  opts.seed = 3;
+  opts.backoff.base = Millis(1);
+  opts.backoff.cap = Millis(4);
+  opts.backoff.max_retries = 2;
+  OpenLoopLoadGen gen(opts, [](std::vector<WriteEntry>, CommitCallback done) {
+    done(CommitOutcome{TxnId{}, false, kBusyAbortReason});
+  });
+  const OpenLoopStats stats = gen.Run();
+
+  // Exactly 1 + max_retries attempts per arrival, then the arrival is
+  // dropped — the retry storm is bounded and fully drains.
+  EXPECT_GT(stats.arrivals, 20u);
+  EXPECT_EQ(stats.issued, stats.arrivals * 3);
+  EXPECT_EQ(stats.retries, stats.arrivals * 2);
+  EXPECT_EQ(stats.busy_rejected, stats.issued);
+  EXPECT_EQ(stats.dropped, stats.arrivals);
+  EXPECT_EQ(stats.committed, 0u);
+  EXPECT_EQ(stats.undrained, 0u);
+}
+
+TEST(OpenLoopTest, NonRetryableAbortIsTerminal) {
+  OpenLoopOptions opts;
+  opts.rate_per_sec = 400;
+  opts.duration = std::chrono::milliseconds(200);
+  opts.backoff.max_retries = 4;
+  OpenLoopLoadGen gen(opts, [](std::vector<WriteEntry>, CommitCallback done) {
+    done(CommitOutcome{TxnId{}, false, "conflict:pool"});
+  });
+  const OpenLoopStats stats = gen.Run();
+  EXPECT_EQ(stats.aborted, stats.arrivals);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.busy_rejected, 0u);
+  EXPECT_EQ(stats.issued, stats.arrivals);
 }
 
 }  // namespace
