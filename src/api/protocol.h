@@ -154,6 +154,18 @@ class ProtocolCluster {
   /// (the network-level drop already models the outage).
   virtual void SetDatacenterDown(DcId /*dc*/, bool /*down*/) {}
 
+  /// Gray faults (FaultPlan's process-stall / fsync-stall kinds): freezes
+  /// datacenter `dc`'s server process for `pause` without killing it (GC
+  /// pause, VM migration, SIGSTOP) — the process stays up but does no work
+  /// until the pause elapses. Default: no-op for deployments that cannot
+  /// model it (the fault then simply has no effect on that protocol).
+  virtual void InjectStall(DcId /*dc*/, Duration /*pause*/) {}
+
+  /// Makes datacenter `dc`'s record persistence cost an extra `per_record`
+  /// of service time for `window` (a sick disk). Default: no-op.
+  virtual void InjectFsyncStall(DcId /*dc*/, Duration /*per_record*/,
+                                Duration /*window*/) {}
+
   // --- Checker observation points (src/check) ------------------------------
   //
   // Read-only end-of-run surfaces the invariant oracles inspect: the

@@ -376,9 +376,14 @@ void ReplicatedCommitCluster::TxnCommit(DcId client_dc, const TxnId& txn,
 
 void ReplicatedCommitCluster::LoadInitialAll(const Key& key,
                                              const Value& value) {
+  // kMinTimestamp, not 0: skewed client clocks can stamp early commits
+  // with negative timestamps, and the initial version must never shadow a
+  // committed write in the (ts, writer) version order.
   const TxnId loader{-2, next_load_seq_++};
   initial_loads_.emplace_back(key, value);
-  for (auto& dc : dcs_) dc->store.ApplyWrite(key, value, 0, loader);
+  for (auto& dc : dcs_) {
+    dc->store.ApplyWrite(key, value, kMinTimestamp, loader);
+  }
 }
 
 void ReplicatedCommitCluster::TxnAbandon(DcId client_dc, const TxnId& txn) {
@@ -489,7 +494,7 @@ void ReplicatedCommitCluster::SetDatacenterDown(DcId dc, bool down) {
   Datacenter& d = *dcs_[static_cast<size_t>(dc)];
   uint64_t load_seq = 1;
   for (const auto& [key, value] : initial_loads_) {
-    d.store.ApplyWrite(key, value, 0, TxnId{-2, load_seq++});
+    d.store.ApplyWrite(key, value, kMinTimestamp, TxnId{-2, load_seq++});
   }
   const auto& journal = wals_[static_cast<size_t>(dc)]->contents().records;
   for (const auto& rec : journal) {

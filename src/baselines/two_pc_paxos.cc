@@ -397,9 +397,14 @@ void TwoPcPaxosCluster::TxnCommit(DcId client_dc, const TxnId& txn,
 }
 
 void TwoPcPaxosCluster::LoadInitialAll(const Key& key, const Value& value) {
+  // kMinTimestamp, not 0: skewed client clocks can stamp early commits
+  // with negative timestamps, and the initial version must never shadow a
+  // committed write in the (ts, writer) version order.
   const TxnId loader{-2, next_load_seq_++};
   initial_loads_.emplace_back(key, value);
-  for (auto& store : stores_) store.ApplyWrite(key, value, 0, loader);
+  for (auto& store : stores_) {
+    store.ApplyWrite(key, value, kMinTimestamp, loader);
+  }
 }
 
 void TwoPcPaxosCluster::TxnAbandon(DcId client_dc, const TxnId& txn) {
@@ -525,7 +530,7 @@ void TwoPcPaxosCluster::SetDatacenterDown(DcId dc, bool down) {
   MvStore& store = stores_[static_cast<size_t>(dc)];
   uint64_t load_seq = 1;
   for (const auto& [key, value] : initial_loads_) {
-    store.ApplyWrite(key, value, 0, TxnId{-2, load_seq++});
+    store.ApplyWrite(key, value, kMinTimestamp, TxnId{-2, load_seq++});
   }
   const auto& journal = wals_[static_cast<size_t>(dc)]->contents().records;
   for (const auto& rec : journal) {

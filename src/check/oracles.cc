@@ -352,6 +352,18 @@ Status CheckMetricsOracle(const ExperimentSpec& spec,
               "message faults");
   }
 
+  // Same gating contract for the deterministic gray-fault counters.
+  const bool has_gray_link = spec.fault_plan.HasGrayLinkFaults();
+  const bool has_gray_counters = m.FindCounter("net.gray_slowed") != nullptr;
+  if (has_gray_link != has_gray_counters) {
+    return Status::FailedPrecondition(
+        has_gray_link
+            ? "metrics mismatch: gray link faults scheduled but net.gray_* "
+              "counters absent"
+            : "metrics mismatch: net.gray_* counters exported without gray "
+              "link faults");
+  }
+
   uint64_t committed = 0;
   for (const harness::DcResult& dc : result.per_dc) committed += dc.committed;
   const auto* committed_counter = m.FindCounter("client.committed");
@@ -365,7 +377,8 @@ Status CheckMetricsOracle(const ExperimentSpec& spec,
   // unless the plan can wedge clients (crashes/partitions) while no
   // timeout is armed to unwedge them.
   const bool can_wedge = !spec.fault_plan.node_events.empty() ||
-                         !spec.fault_plan.partition_events.empty();
+                         !spec.fault_plan.partition_events.empty() ||
+                         !spec.fault_plan.gray_faults.empty();
   if (spec.measure >= Seconds(1) && (!can_wedge || spec.client_timeout > 0) &&
       committed == 0) {
     return Status::FailedPrecondition(

@@ -84,11 +84,13 @@ harness::ExperimentSpec ScenarioGenerator::Scenario(uint64_t index) const {
     const bool with_crash = options_.crashes && rng.Bernoulli(0.4);
     const bool with_partition = options_.partitions && rng.Bernoulli(0.3);
     const bool with_messages = options_.message_faults && rng.Bernoulli(0.5);
+    const bool with_gray = options_.gray_faults && rng.Bernoulli(0.35);
 
     spec.warmup = UniformDuration(rng, Millis(200), Millis(500));
     spec.measure = with_crash ? UniformDuration(rng, Millis(4000), Millis(6000))
                               : UniformDuration(rng, Millis(2000), Millis(5000));
-    const bool any_fault = with_crash || with_partition || with_messages;
+    const bool any_fault =
+        with_crash || with_partition || with_messages || with_gray;
     spec.drain = any_fault ? UniformDuration(rng, Millis(2000), Millis(3000))
                            : UniformDuration(rng, Millis(1000), Millis(3000));
 
@@ -159,6 +161,44 @@ harness::ExperimentSpec ScenarioGenerator::Scenario(uint64_t index) const {
       if (heal_at > cut_at) {
         spec.fault_plan.AddPartition(cut_at, a, b);
         spec.fault_plan.AddHeal(heal_at, a, b);
+      }
+    }
+
+    if (with_gray && n >= 2) {
+      // One gray fault, plus the health subsystem so the sweep exercises
+      // suspicion, degraded commit, and re-admission (not just injection).
+      spec.WithHealth(true);
+      const sim::SimTime gray_from =
+          spec.warmup + Millis(300) + UniformDuration(rng, 0, spec.measure / 3);
+      sim::SimTime gray_until = gray_from + Millis(400) +
+                                UniformDuration(rng, 0, spec.measure / 3);
+      gray_until = std::min(gray_until, quiet_from);
+      const int ga = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      int gb;
+      do {
+        gb = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+      } while (gb == ga);
+      const double factor = 2.0 + rng.NextDouble() * 10.0;
+      const Duration extra =
+          rng.Bernoulli(0.5) ? UniformDuration(rng, 0, Millis(10)) : 0;
+      const Duration per_record = UniformDuration(rng, Millis(1), Millis(8));
+      if (gray_until > gray_from) {
+        switch (rng.Uniform(4)) {
+          case 0:
+            spec.fault_plan.AddSlowLink(gray_from, gray_until, ga, gb, factor,
+                                        extra);
+            break;
+          case 1:
+            spec.fault_plan.AddAsymPartition(gray_from, gray_until, ga, gb);
+            break;
+          case 2:
+            spec.fault_plan.AddProcessStall(gray_from, gray_until, ga);
+            break;
+          default:
+            spec.fault_plan.AddFsyncStall(gray_from, gray_until, ga,
+                                          per_record);
+            break;
+        }
       }
     }
 

@@ -39,6 +39,11 @@ struct GeneratorOptions {
   bool partitions = true;
   bool message_faults = true;
   bool clock_skew = true;
+  /// Gray faults (slow links, asymmetric partitions, process/fsync stalls,
+  /// docs/FAULTS.md). Scenarios that draw one also enable the health
+  /// subsystem, so the sweep exercises suspicion, degraded commit, and
+  /// re-admission under every oracle.
+  bool gray_faults = true;
 
   // Contention range. The defaults keep scenarios small enough that a
   // fuzz run completes hundreds of them, while contended enough that

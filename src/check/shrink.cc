@@ -52,7 +52,22 @@ std::vector<Edit> EditsFor(const ExperimentSpec& spec) {
         return true;
       });
     }
+    for (size_t i = 0; i < spec.fault_plan.gray_faults.size(); ++i) {
+      edits.push_back([i](ExperimentSpec* s) {
+        auto& v = s->fault_plan.gray_faults;
+        if (i >= v.size()) return false;
+        v.erase(v.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+      });
+    }
   }
+  // Health reaction off (detection alone rarely reproduces a failure that
+  // degraded commit caused).
+  edits.push_back([](ExperimentSpec* s) {
+    if (!s->health_enabled) return false;
+    s->health_enabled = false;
+    return true;
+  });
   edits.push_back([](ExperimentSpec* s) {
     if (s->clients <= 2) return false;
     s->clients = std::max(2, s->clients / 2);
@@ -100,6 +115,7 @@ std::vector<Edit> EditsFor(const ExperimentSpec& spec) {
 
 int CountFaultEvents(const ExperimentSpec& spec) {
   return static_cast<int>(spec.fault_plan.link_faults.size() +
+                          spec.fault_plan.gray_faults.size() +
                           spec.fault_plan.node_events.size() +
                           spec.fault_plan.partition_events.size());
 }

@@ -29,6 +29,25 @@ struct Refusal {
   }
 };
 
+/// A datacenter's declaration that it currently suspects `target` of a
+/// gray failure (phi-accrual threshold crossed, src/health). Suspicions
+/// gossip on every envelope while held; absence from an envelope means the
+/// sender no longer suspects. Receivers use them to assemble the
+/// suspicion quorum that licenses degraded commit: because they ride the
+/// same envelope as the sender's partial log, a receiver that processes a
+/// suspicion has — by Replicated Dictionary causality — already ingested
+/// every record of the suspect the sender acknowledged before suspecting.
+struct Suspicion {
+  DcId target = kInvalidDc;
+  /// The sender's clock when suspicion began (diagnostic; the commit-wait
+  /// math uses the timetable, not this field).
+  Timestamp since = kMinTimestamp;
+
+  friend bool operator==(const Suspicion& a, const Suspicion& b) {
+    return a.target == b.target && a.since == b.since;
+  }
+};
+
 /// What an envelope is for. Regular gossip carries the periodic partial
 /// log; the catch-up kinds implement the anti-entropy phase a recovering
 /// datacenter runs after rebuilding from its WAL (it sends its restored
@@ -67,6 +86,11 @@ struct Envelope {
   /// traffic's byte layout (and measured message sizes) are unchanged.
   EnvelopeKind kind = EnvelopeKind::kGossip;
 
+  /// Gray-failure suspicions the sender currently holds (src/health).
+  /// Also a trailing optional on the wire — empty (the overwhelmingly
+  /// common case) costs zero bytes, keeping healthy traffic unchanged.
+  std::vector<Suspicion> suspicions;
+
   explicit Envelope(int n) : log(n) {}
 
   /// Returns a recycled envelope (common::ObjectPool) to a blank gossip
@@ -83,6 +107,7 @@ struct Envelope {
     pong_hold_us = 0;
     rtt_row_us.clear();
     kind = EnvelopeKind::kGossip;
+    suspicions.clear();
   }
 };
 

@@ -204,6 +204,27 @@ void HeliosCluster::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->gauge(prefix + ".service_busy_us")
         .Set(static_cast<double>(node(dc).service_queue().total_busy()));
   }
+  // Gated on the health config so runs without the subsystem keep their
+  // pre-existing metrics key set byte for byte.
+  if (config_.health.enabled) {
+    registry->counter("health.suspicions").Set(total.suspicions);
+    registry->counter("health.readmissions").Set(total.readmissions);
+    registry->counter("health.suspicion_refusals")
+        .Set(total.suspicion_refusals);
+    registry->counter("health.degraded_commits").Set(total.degraded_commits);
+    registry->counter("health.hedged_pulls").Set(total.hedged_pulls);
+    for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+      const std::string prefix = "health.dc" + std::to_string(dc);
+      double suspected = 0.0;
+      for (DcId peer = 0; peer < config_.num_datacenters; ++peer) {
+        if (peer == dc) continue;
+        registry->gauge(prefix + ".phi.dc" + std::to_string(peer))
+            .Set(node(dc).HealthPhi(peer));
+        if (node(dc).Suspects(peer)) suspected += 1.0;
+      }
+      registry->gauge(prefix + ".suspected").Set(suspected);
+    }
+  }
 }
 
 NodeCounters HeliosCluster::AggregateCounters() const {
@@ -220,6 +241,11 @@ NodeCounters HeliosCluster::AggregateCounters() const {
     total.envelopes_sent += c.envelopes_sent;
     total.refusals_issued += c.refusals_issued;
     total.read_only_txns += c.read_only_txns;
+    total.suspicions += c.suspicions;
+    total.readmissions += c.readmissions;
+    total.suspicion_refusals += c.suspicion_refusals;
+    total.degraded_commits += c.degraded_commits;
+    total.hedged_pulls += c.hedged_pulls;
   }
   return total;
 }
@@ -247,6 +273,41 @@ Result<double> HeliosCluster::ReplanOffsetsFromEstimates(DcId reference) {
     node(dc).SetCommitOffsetRow(std::move(row));
   }
   return lp::AverageLatency(mao.value());
+}
+
+Result<double> HeliosCluster::ReplanOffsetsExcluding(DcId suspect,
+                                                     DcId reference) {
+  if (suspect < 0 || suspect >= config_.num_datacenters) {
+    return Status::InvalidArgument("suspect out of range");
+  }
+  const RttEstimator* estimator = node(reference).rtt_estimator();
+  if (estimator == nullptr) {
+    return Status::FailedPrecondition("estimate_rtts is not enabled");
+  }
+  if (!estimator->MatrixComplete()) {
+    return Status::Unavailable("RTT matrix not yet complete");
+  }
+  const lp::RttMatrix matrix = estimator->MatrixMs();
+  auto mao = lp::SolveMaoExcluding(matrix, suspect);
+  if (!mao.ok()) return mao.status();
+  const auto offsets_ms = lp::CommitOffsetsFromLatencies(matrix, mao.value());
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    std::vector<Duration> row(static_cast<size_t>(config_.num_datacenters), 0);
+    for (DcId x = 0; x < config_.num_datacenters; ++x) {
+      if (x != dc) {
+        row[static_cast<size_t>(x)] =
+            static_cast<Duration>(offsets_ms[dc][x] * 1000.0);
+      }
+    }
+    node(dc).SetCommitOffsetRow(std::move(row));
+  }
+  // Average over the healthy quorum: the suspect's (feasibility-floor)
+  // latency is not a promise anyone is waiting on.
+  double sum = 0.0;
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    if (dc != suspect) sum += mao.value()[static_cast<size_t>(dc)];
+  }
+  return sum / static_cast<double>(config_.num_datacenters - 1);
 }
 
 std::unique_ptr<HeliosCluster> MakeMessageFuturesCluster(

@@ -68,6 +68,16 @@ class HeliosCluster : public ProtocolCluster {
   /// the WAL through Restore() and begins catch-up.
   void SetDatacenterDown(DcId dc, bool down) override;
 
+  /// Gray-fault injection points (forwarded to the node's event loop /
+  /// persistence path).
+  void InjectStall(DcId dc, Duration pause) override {
+    node(dc).InjectStall(pause);
+  }
+  void InjectFsyncStall(DcId dc, Duration per_record,
+                        Duration window) override {
+    node(dc).InjectFsyncStall(per_record, window);
+  }
+
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
   /// The per-datacenter in-memory WAL (the simulated durable disk).
@@ -106,6 +116,13 @@ class HeliosCluster : public ProtocolCluster {
   /// (raise-offsets first, then lower). Returns the estimated matrix's
   /// MAO average latency (ms).
   Result<double> ReplanOffsetsFromEstimates(DcId reference = 0);
+
+  /// Variant for a suspected gray-failed datacenter: replans with the
+  /// suspect's RTT constraints dropped (lp::SolveMaoExcluding), so the
+  /// healthy quorum's offsets stop pricing in the straggler while every
+  /// pair — suspect included — still satisfies Rule 1. Returns the MAO
+  /// average latency (ms) over the healthy datacenters.
+  Result<double> ReplanOffsetsExcluding(DcId suspect, DcId reference = 0);
 
   /// Installs a function that computes an envelope's on-wire size (see
   /// wire::EncodedEnvelopeSize). When set, peer messages go through

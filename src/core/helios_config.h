@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "health/phi_detector.h"
 
 namespace helios::core {
 
@@ -22,6 +23,25 @@ struct ServiceModel {
   Duration lock_op = Micros(150);          ///< One lock-table operation
                                            ///< (acquire/validate) in the
                                            ///< 2PL baselines.
+};
+
+/// Gray-failure health machinery (src/health + the suspicion-driven
+/// degraded commit in HeliosNode). Off by default: detection feeds from
+/// envelope arrivals and evaluation piggybacks on the gossip tick, so
+/// enabling it schedules no new events, but suspicion reactions do change
+/// protocol behavior under crashes — experiments opt in explicitly.
+struct HealthConfig {
+  bool enabled = false;
+  /// phi-accrual tuning (threshold, window, floors).
+  health::PhiOptions phi;
+  /// When a suspicion quorum forms, commit without waiting on the suspect
+  /// (safe: the quorum's standing refusals doom every conflicting
+  /// transaction the suspect could still commit). Requires f >= 1 and the
+  /// Helios rule; silently inert otherwise.
+  bool degraded_commit = true;
+  /// Minimum spacing of hedged catch-up pulls to the best-informed healthy
+  /// peer while any datacenter is suspected.
+  Duration hedge_interval = Millis(100);
 };
 
 struct HeliosConfig {
@@ -70,6 +90,9 @@ struct HeliosConfig {
   /// which commit offsets can be replanned at runtime
   /// (HeliosCluster::ReplanOffsetsFromEstimates).
   bool estimate_rtts = false;
+
+  /// Gray-failure detection and reaction (src/health).
+  HealthConfig health;
 
   Duration commit_offset(DcId a, DcId b) const {
     if (commit_offsets.empty()) return 0;

@@ -50,6 +50,15 @@ HeliosNode::HeliosNode(DcId id, const HeliosConfig& config,
     rtt_estimator_ =
         std::make_unique<RttEstimator>(id_, config_.num_datacenters);
   }
+  if (config_.health.enabled) {
+    peer_health_ = std::make_unique<health::PeerHealth>(
+        config_.num_datacenters, id_, config_.health.phi);
+    remote_suspects_.resize(static_cast<size_t>(config_.num_datacenters));
+    suspect_watermark_.assign(static_cast<size_t>(config_.num_datacenters),
+                              kMinTimestamp);
+    fence_.assign(static_cast<size_t>(config_.num_datacenters),
+                  kMinTimestamp);
+  }
 }
 
 void HeliosNode::SetCommitOffsetRow(std::vector<Duration> row) {
@@ -161,6 +170,11 @@ void HeliosNode::HandleEnvelope(EnvelopePtr env) {
     // Sample at arrival time (scheduler basis, immune to clock offsets).
     rtt_estimator_->OnIncoming(env->log.from, scheduler_->Now(), *env);
   }
+  if (peer_health_ != nullptr) {
+    // Every envelope is a heartbeat. Fed at arrival (not processing) time
+    // so a backlog in our own service queue never indicts a healthy peer.
+    peer_health_->OnArrival(env->log.from, scheduler_->Now());
+  }
   // Only the fixed per-message cost is known up front; per-record work is
   // charged inside ProcessEnvelope for *fresh* records only (recognizing a
   // retransmitted record is a constant-time timetable lookup).
@@ -171,7 +185,10 @@ void HeliosNode::HandleEnvelope(EnvelopePtr env) {
 }
 
 void HeliosNode::LoadInitial(const Key& key, const Value& value) {
-  store_.ApplyWrite(key, value, /*commit_ts=*/0,
+  // kMinTimestamp, not 0: skewed client clocks can stamp early commits
+  // with negative timestamps, and the initial version must never shadow a
+  // committed write in the (ts, writer) version order.
+  store_.ApplyWrite(key, value, /*commit_ts=*/kMinTimestamp,
                     TxnId{kLoaderOrigin, next_load_seq_++});
 }
 
@@ -256,6 +273,7 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   const Status append = log_.AppendLocal(rec);
   assert(append.ok());
   (void)append;
+  if (const Duration p = FsyncPenalty(); p > 0) service_queue_.Charge(p);
   if (record_sink_) record_sink_(rec);
   if (trace_ != nullptr) {
     trace_->Instant(obs::EventKind::kTxnAppend, id_, id, scheduler_->Now());
@@ -285,8 +303,28 @@ void HeliosNode::ProcessEnvelope(const Envelope& env) {
   std::vector<rdict::LogRecord> fresh = log_.Ingest(env.log);
   counters_.records_ingested += fresh.size();
   if (recovering_) catchup_records_ += fresh.size();
-  service_queue_.Charge(config_.service.log_record *
+  service_queue_.Charge((config_.service.log_record + FsyncPenalty()) *
                         static_cast<Duration>(fresh.size()));
+
+  if (ReactionEnabled() && env.log.from >= 0 &&
+      env.log.from < config_.num_datacenters) {
+    // The sender's whole current suspicion set rides every envelope;
+    // absence is retraction. The sender-clock watermark keeps a reordered
+    // (fault-injected) old envelope from reviving retracted suspicions.
+    const DcId from = env.log.from;
+    const Timestamp sender_clock = env.log.table.Get(from, from);
+    if (sender_clock >= suspect_watermark_[static_cast<size_t>(from)]) {
+      suspect_watermark_[static_cast<size_t>(from)] = sender_clock;
+      std::set<DcId>& targets = remote_suspects_[static_cast<size_t>(from)];
+      targets.clear();
+      for (const Suspicion& susp : env.suspicions) {
+        if (susp.target >= 0 && susp.target < config_.num_datacenters &&
+            susp.target != from) {
+          targets.insert(susp.target);
+        }
+      }
+    }
+  }
   if (record_sink_) {
     for (const rdict::LogRecord& rec : fresh) record_sink_(rec);
   }
@@ -307,23 +345,41 @@ void HeliosNode::ProcessEnvelope(const Envelope& env) {
       if (config_.fault_tolerance > 0) {
         // Grace-time acknowledgment (Section 4.4): refuse to acknowledge a
         // record that arrived later than q(t) + GT on our clock.
-        if (clock_->Now() > rec.ts + config_.grace_time) {
+        bool refuse = clock_->Now() > rec.ts + config_.grace_time;
+        bool by_suspicion = false;
+        if (ReactionEnabled() && rec.origin >= 0 &&
+            rec.origin < config_.num_datacenters) {
+          ept_prepare_ts_[rec.body->id] = rec.ts;
+          // While suspecting the origin, refuse everything it prepares —
+          // the standing refusal is what makes skipping its knowledge in
+          // the commit wait serializable. After re-admission, the fence
+          // keeps refusing records the origin timestamped during its gray
+          // episode but only managed to push out afterwards.
+          if (suspected_.count(rec.origin) > 0 ||
+              rec.ts < fence_[static_cast<size_t>(rec.origin)]) {
+            refuse = true;
+            by_suspicion = true;
+          }
+        }
+        if (refuse) {
           RefusalState& state = refusals_[rec.body->id];
           state.txn_ts = rec.ts;
           if (state.refusers.insert(id_).second) {
             ++counters_.refusals_issued;
+            if (by_suspicion) ++counters_.suspicion_refusals;
           }
         }
       }
     } else {
       // Lines 9-13.
       if (rec.committed) {
-        service_queue_.Charge(config_.service.write_apply *
+        service_queue_.Charge((config_.service.write_apply + FsyncPenalty()) *
                               static_cast<Duration>(rec.body->write_set.size()));
         store_.ApplyTxn(*rec.body, rec.version_ts);
       }
       ept_pool_.Remove(rec.body->id);
       refusals_.erase(rec.body->id);
+      ept_prepare_ts_.erase(rec.body->id);
     }
   }
 
@@ -380,7 +436,8 @@ Timestamp HeliosNode::EffectiveKnowledge(DcId peer) const {
   return std::max(direct, EtaBound(peer));  // Eq. 2.
 }
 
-bool HeliosNode::CommitWaitSatisfied(const PendingTxn& t) const {
+bool HeliosNode::CommitWaitSatisfied(const PendingTxn& t,
+                                     bool* degraded) const {
   const int n = config_.num_datacenters;
   if (kind_ == LogProtocolKind::kMessageFutures) {
     // Message Futures: every peer has acknowledged our log up to q(t),
@@ -395,9 +452,44 @@ bool HeliosNode::CommitWaitSatisfied(const PendingTxn& t) const {
   if (MutationSkipCommitWait()) return true;
   for (DcId b = 0; b < n; ++b) {
     if (b == id_) continue;
-    if (EffectiveKnowledge(b) < t.kts[static_cast<size_t>(b)]) return false;
+    if (EffectiveKnowledge(b) < t.kts[static_cast<size_t>(b)]) {
+      if (!DegradedSkipAllowed(b, t.kts[static_cast<size_t>(b)])) {
+        return false;
+      }
+      if (degraded != nullptr) *degraded = true;
+    }
   }
   return true;
+}
+
+bool HeliosNode::DegradedSkipAllowed(DcId s, Timestamp deadline) const {
+  if (!ReactionEnabled() || !config_.health.degraded_commit) return false;
+  if (suspected_.count(s) == 0) return false;
+  // Safety argument: a skip is licensed only by >= n-f datacenters (this
+  // one included, the suspect excluded) that (a) currently suspect s and
+  // (b) have clocks past the deadline. Each quorum member refuses every
+  // preparing record from s while suspecting (plus retroactively refused
+  // s's pooled records at onset, and fences records below its clock after
+  // re-admission), so any conflicting transaction of s with q < deadline
+  // faces n-f standing refusers — more than the (n-1)-f Rule 3 tolerates —
+  // and is doomed. Skipping s's knowledge therefore cannot let a
+  // conflicting commit of s slip past this transaction. A member's
+  // suspicion arrived on an envelope that, by Replicated Dictionary
+  // causality, carried every s-record the member had acknowledged before
+  // suspecting, so knowledge of s below the member's clock is already
+  // folded into our table.
+  const int n = config_.num_datacenters;
+  const int f = config_.fault_tolerance;
+  int quorum = 0;
+  if (clock_->Now() >= deadline) ++quorum;  // This node.
+  for (DcId c = 0; c < n; ++c) {
+    if (c == id_ || c == s) continue;
+    if (remote_suspects_[static_cast<size_t>(c)].count(s) > 0 &&
+        log_.table().Get(c, c) >= deadline) {
+      ++quorum;
+    }
+  }
+  return quorum >= n - f;
 }
 
 bool HeliosNode::AckQuorumSatisfied(const PendingTxn& t, bool* doomed) const {
@@ -431,7 +523,7 @@ bool HeliosNode::AckQuorumSatisfied(const PendingTxn& t, bool* doomed) const {
 void HeliosNode::TryCommitAll() {
   // Oldest-first; collect decisions before acting because commit/abort
   // mutate the pending maps.
-  std::vector<TxnId> to_commit;
+  std::vector<std::pair<TxnId, bool>> to_commit;  // (txn, degraded?)
   std::vector<TxnId> to_doom;
   for (const auto& [key, id] : pending_by_ts_) {
     const PendingTxn& t = pending_.at(id);
@@ -441,14 +533,16 @@ void HeliosNode::TryCommitAll() {
       to_doom.push_back(id);
       continue;
     }
-    if (!CommitWaitSatisfied(t)) continue;
+    bool degraded = false;
+    if (!CommitWaitSatisfied(t, &degraded)) continue;
     if (!acks) continue;
-    to_commit.push_back(id);
+    to_commit.emplace_back(id, degraded);
   }
   for (const TxnId& id : to_doom) {
     AbortPending(id, "liveness:refused", &NodeCounters::aborts_liveness);
   }
-  for (const TxnId& id : to_commit) {
+  for (const auto& [id, degraded] : to_commit) {
+    if (degraded) ++counters_.degraded_commits;
     CommitPending(id);
   }
 }
@@ -520,6 +614,7 @@ void HeliosNode::CommitPending(const TxnId& id) {
   const Status append = log_.AppendLocal(rec);
   assert(append.ok());
   (void)append;
+  if (const Duration p = FsyncPenalty(); p > 0) service_queue_.Charge(p);
   if (record_sink_) record_sink_(rec);
 
   ++counters_.commits;
@@ -553,6 +648,7 @@ void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
   const Status append = log_.AppendLocal(rec);
   assert(append.ok());
   (void)append;
+  if (const Duration p = FsyncPenalty(); p > 0) service_queue_.Charge(p);
   if (record_sink_) record_sink_(rec);
 
   counters_.*counter += 1;
@@ -615,6 +711,7 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
       ++counters_.aborts_liveness;
     } else {
       ept_pool_.Add(rec.body);
+      if (ReactionEnabled()) ept_prepare_ts_[id] = rec.ts;
     }
   }
   return Status::Ok();
@@ -623,7 +720,11 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
 // --- Background tasks ---------------------------------------------------------
 
 void HeliosNode::SendToAllPeers() {
-  if (!down_) {
+  if (!down_ && !Stalled()) {
+    // Suspicion state is (re)evaluated on the gossip tick: detection feeds
+    // passively from envelope arrivals, so piggybacking the evaluation here
+    // adds no scheduled events (bit-identity of healthy runs).
+    EvaluateHealth();
     // Every record this node creates from here on will carry a timestamp
     // greater than this clock reading, so peers may treat our history as
     // complete up to it (essential when we are idle).
@@ -634,6 +735,7 @@ void HeliosNode::SendToAllPeers() {
       auto env = AcquireEnvelope();
       log_.BuildMessageInto(peer, &env->log);
       env->refusals = refusals;
+      StampSuspicions(env.get());
       if (rtt_estimator_ != nullptr) {
         rtt_estimator_->StampOutgoing(peer, scheduler_->Now(), env.get());
       }
@@ -651,7 +753,7 @@ void HeliosNode::SendToAllPeers() {
 }
 
 void HeliosNode::RunGc() {
-  if (!down_) {
+  if (!down_ && !Stalled()) {
     log_.GarbageCollect();
     store_.TruncateVersionsBefore(clock_->Now() - Seconds(10));
     // Drop refusal state for transactions that are long decided.
@@ -679,6 +781,122 @@ void HeliosNode::MergeRefusals(const std::vector<Refusal>& refusals) {
     state.txn_ts = std::max(state.txn_ts, r.txn_ts);
     state.refusers.insert(r.refuser);
   }
+}
+
+// --- Gray-failure health (config.health) --------------------------------------
+
+void HeliosNode::EvaluateHealth() {
+  if (peer_health_ == nullptr) return;
+  const sim::SimTime now = scheduler_->Now();
+  for (DcId peer = 0; peer < config_.num_datacenters; ++peer) {
+    if (peer == id_) continue;
+    const bool suspect_now = peer_health_->Suspected(peer, now);
+    const bool held = suspected_.count(peer) > 0;
+    if (suspect_now && !held) {
+      suspected_.emplace(peer, clock_->Now());
+      ++counters_.suspicions;
+      if (ReactionEnabled()) OnSuspicionOnset(peer);
+    } else if (!suspect_now && held) {
+      suspected_.erase(peer);
+      ++counters_.readmissions;
+      if (ReactionEnabled()) {
+        // Re-admission fence: records the peer timestamped during its gray
+        // episode but only pushes out afterwards stay refused, so degraded
+        // skips already taken against it remain justified.
+        fence_[static_cast<size_t>(peer)] = clock_->Now();
+      }
+    }
+  }
+  if (ReactionEnabled() && !suspected_.empty()) MaybeSendHedgedPulls();
+}
+
+void HeliosNode::OnSuspicionOnset(DcId peer) {
+  // Retroactively refuse the suspect's still-preparing transactions: a
+  // degraded skip is safe only while every quorum member stands refusing
+  // everything the suspect could still commit below the skipped deadline.
+  // (New preparing records from it are refused on ingest.)
+  for (const TxnBodyPtr& body : ept_pool_.All()) {
+    if (body->id.origin != peer) continue;
+    const auto ts_it = ept_prepare_ts_.find(body->id);
+    if (ts_it == ept_prepare_ts_.end()) continue;
+    RefusalState& state = refusals_[body->id];
+    state.txn_ts = ts_it->second;
+    if (state.refusers.insert(id_).second) {
+      ++counters_.refusals_issued;
+      ++counters_.suspicion_refusals;
+    }
+  }
+  last_hedge_ = 0;  // Hedge immediately, not a hedge_interval from now.
+}
+
+void HeliosNode::MaybeSendHedgedPulls() {
+  const sim::SimTime now = scheduler_->Now();
+  if (last_hedge_ > 0 && now < last_hedge_ + config_.health.hedge_interval) {
+    return;
+  }
+  bool sent = false;
+  for (const auto& [suspect, since] : suspected_) {
+    (void)since;
+    // Pull from the healthy peer whose timetable column for the suspect is
+    // furthest along: a plain catch-up exchange drains whatever knowledge
+    // of the suspect escaped before the gray episode, without waiting out
+    // gossip ticks the slow path may be delaying.
+    DcId best = kInvalidDc;
+    Timestamp best_know = kMinTimestamp;
+    for (DcId c = 0; c < config_.num_datacenters; ++c) {
+      if (c == id_ || c == suspect) continue;
+      if (suspected_.count(c) > 0) continue;
+      const Timestamp know = log_.table().Get(c, suspect);
+      if (best == kInvalidDc || know > best_know) {
+        best = c;
+        best_know = know;
+      }
+    }
+    if (best == kInvalidDc) continue;
+    if (best_know <= log_.table().Get(id_, suspect)) continue;  // Nothing new.
+    auto env = AcquireEnvelope();
+    log_.BuildMessageInto(best, &env->log);
+    env->kind = EnvelopeKind::kCatchupRequest;
+    StampSuspicions(env.get());
+    service_queue_.Charge(config_.service.log_message);
+    ++counters_.envelopes_sent;
+    ++counters_.hedged_pulls;
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::EventKind::kEnvelopeSend, id_, TxnId{},
+                      scheduler_->Now(), best);
+    }
+    send_(best, env);
+    sent = true;
+  }
+  if (sent) last_hedge_ = now;
+}
+
+void HeliosNode::StampSuspicions(Envelope* env) const {
+  if (!ReactionEnabled() || suspected_.empty()) return;
+  env->suspicions.reserve(suspected_.size());
+  for (const auto& [target, since] : suspected_) {
+    env->suspicions.push_back(Suspicion{target, since});
+  }
+}
+
+void HeliosNode::InjectStall(Duration pause) {
+  if (down_ || pause <= 0) return;
+  stalled_until_ = std::max(stalled_until_, scheduler_->Now() + pause);
+  // The single server is wedged for the whole pause: everything already
+  // queued or arriving during the stall waits it out.
+  service_queue_.Charge(pause);
+}
+
+void HeliosNode::InjectFsyncStall(Duration per_record, Duration window) {
+  if (down_ || per_record <= 0 || window <= 0) return;
+  fsync_stall_until_ =
+      std::max(fsync_stall_until_, scheduler_->Now() + window);
+  fsync_penalty_ = per_record;
+}
+
+double HeliosNode::HealthPhi(DcId peer) const {
+  if (peer_health_ == nullptr || peer == id_) return 0.0;
+  return peer_health_->Phi(peer, scheduler_->Now());
 }
 
 // --- Recovery catch-up --------------------------------------------------------

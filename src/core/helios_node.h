@@ -34,6 +34,7 @@
 #include "core/helios_config.h"
 #include "core/history.h"
 #include "core/rtt_estimator.h"
+#include "health/phi_detector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdict/replicated_log.h"
@@ -63,6 +64,14 @@ struct NodeCounters {
   uint64_t envelopes_sent = 0;
   uint64_t refusals_issued = 0;
   uint64_t read_only_txns = 0;
+  // Gray-failure health machinery (config.health).
+  uint64_t suspicions = 0;           ///< Suspicion onsets (phi crossings).
+  uint64_t readmissions = 0;         ///< Suspects welcomed back.
+  uint64_t suspicion_refusals = 0;   ///< Refusals issued because of suspicion
+                                     ///< or the re-admission fence.
+  uint64_t degraded_commits = 0;     ///< Commits that skipped a suspect's
+                                     ///< knowledge via the suspicion quorum.
+  uint64_t hedged_pulls = 0;         ///< Catch-up pulls sent while suspecting.
 
   uint64_t total_aborts() const {
     return aborts_on_request + aborts_by_remote + aborts_liveness;
@@ -207,6 +216,22 @@ class HeliosNode {
   /// The currently effective offset co[self][x].
   Duration OffsetTo(DcId x) const;
 
+  // --- Gray-failure health (config.health) --------------------------------
+
+  /// Freezes this node's event loop for `pause`: everything already queued
+  /// or arriving waits out the pause, and the node neither gossips nor
+  /// GCs until it ends (a GC pause / VM migration / scheduler stall).
+  void InjectStall(Duration pause);
+
+  /// Makes record persistence syrup-slow for `window`: every record
+  /// appended or ingested costs an extra `per_record` of service time.
+  void InjectFsyncStall(Duration per_record, Duration window);
+
+  /// Current suspicion level of `peer` (0 when health is disabled).
+  double HealthPhi(DcId peer) const;
+  /// True if this node currently suspects `peer`.
+  bool Suspects(DcId peer) const { return suspected_.count(peer) > 0; }
+
  private:
   struct PendingTxn {
     TxnBodyPtr body;
@@ -234,8 +259,11 @@ class HeliosNode {
   /// are now satisfied; aborts the provably unreplicable ones.
   void TryCommitAll();
 
-  /// Rule 2 condition (1) — or the Message Futures wait.
-  bool CommitWaitSatisfied(const PendingTxn& t) const;
+  /// Rule 2 condition (1) — or the Message Futures wait. Sets `*degraded`
+  /// (when non-null) if satisfaction required skipping a suspect via
+  /// DegradedSkipAllowed.
+  bool CommitWaitSatisfied(const PendingTxn& t,
+                           bool* degraded = nullptr) const;
 
   /// Rule 3 conditions (2) and (3): f peers acknowledged t's record within
   /// the grace time. Sets `*doomed` when too many peers refused for the
@@ -270,6 +298,40 @@ class HeliosNode {
   void RunGc();
   void MergeRefusals(const std::vector<Refusal>& refusals);
   std::vector<Refusal> RefusalsSnapshot() const;
+
+  // --- Gray-failure health internals --------------------------------------
+
+  /// True when the suspicion *reaction* layer (refusals, degraded commit,
+  /// fences) is armed: health on, f >= 1 (the machinery leans on Rule 3's
+  /// refusal quorum), and the Helios rule (Message Futures waits on the
+  /// suspect's own acknowledgment, which no quorum can stand in for).
+  bool ReactionEnabled() const {
+    return config_.health.enabled && config_.fault_tolerance > 0 &&
+           kind_ == LogProtocolKind::kHelios;
+  }
+
+  /// Walks every peer's phi on the gossip tick: records suspicion onsets
+  /// (retroactive refusals + an immediate hedged pull) and re-admissions
+  /// (the timestamp fence), then paces periodic hedged pulls.
+  void EvaluateHealth();
+  void OnSuspicionOnset(DcId peer);
+  void MaybeSendHedgedPulls();
+  /// Copies the current suspicion set into an outgoing envelope.
+  void StampSuspicions(Envelope* env) const;
+
+  /// Whether txn deadline `deadline` may be satisfied WITHOUT the
+  /// suspect `s`'s knowledge: at least n-f datacenters (self included,
+  /// `s` excluded) currently suspect `s` with clocks past the deadline.
+  /// Their standing refusals then doom every conflicting transaction `s`
+  /// could still be preparing below the deadline, so skipping is safe.
+  bool DegradedSkipAllowed(DcId s, Timestamp deadline) const;
+
+  /// True while an injected process stall is pausing this node.
+  bool Stalled() const { return scheduler_->Now() < stalled_until_; }
+  /// Per-record persistence penalty of an active fsync stall (else 0).
+  Duration FsyncPenalty() const {
+    return scheduler_->Now() < fsync_stall_until_ ? fsync_penalty_ : 0;
+  }
 
   void SendCatchupRequests();
   void FinishCatchup();
@@ -345,6 +407,31 @@ class HeliosNode {
   std::unique_ptr<RttEstimator> rtt_estimator_;
   /// Runtime override of co[self][*]; empty = use the config's offsets.
   std::vector<Duration> offset_row_override_;
+
+  // --- Gray-failure health state (null/empty unless config.health.enabled;
+  // the zero-fault hot path only ever pays pointer/empty checks) ----------
+  /// phi-accrual detectors fed from envelope arrivals (scheduler basis).
+  std::unique_ptr<health::PeerHealth> peer_health_;
+  /// Peers this node currently suspects, with the clock at onset.
+  std::map<DcId, Timestamp> suspected_;
+  /// Per peer: targets that peer's latest envelope declared suspected.
+  std::vector<std::set<DcId>> remote_suspects_;
+  /// Sender-clock watermark guarding remote_suspects_ against reordered
+  /// envelopes overwriting newer suspicion state with older.
+  std::vector<Timestamp> suspect_watermark_;
+  /// Re-admission fences: refuse preparing records from peer p with
+  /// ts < fence_[p] forever after p's re-admission, so records delayed
+  /// inside p during its gray episode cannot undermine the degraded
+  /// commits made while it was suspected.
+  std::vector<Timestamp> fence_;
+  /// q(t) of each still-preparing remote transaction (reaction mode only),
+  /// so onset-time retroactive refusals carry the right timestamp.
+  std::map<TxnId, Timestamp> ept_prepare_ts_;
+  sim::SimTime last_hedge_ = 0;
+  /// Injected gray degradations (sim::FaultPlan process/fsync stalls).
+  sim::SimTime stalled_until_ = 0;
+  sim::SimTime fsync_stall_until_ = 0;
+  Duration fsync_penalty_ = 0;
 };
 
 }  // namespace helios::core

@@ -98,6 +98,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     assert(st.ok());
     (void)st;
   }
+  // Gray link faults (slow-link, asymmetric partition) live in the
+  // network; they are deterministic, so they neither consume randomness
+  // nor engage the reliable session layer.
+  const bool has_gray_link_faults = config.fault_plan.HasGrayLinkFaults();
+  if (has_gray_link_faults) {
+    const Status st = network.InstallGrayFaults(config.fault_plan);
+    assert(st.ok());
+    (void)st;
+  }
   const bool reliable_on =
       config.reliable == ReliableDelivery::kOn ||
       (config.reliable == ReliableDelivery::kAuto && has_message_faults);
@@ -126,6 +135,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     hc.client_link_one_way = config.client_link_one_way;
     hc.service = config.service;
     hc.clock_offsets = config.clock_offsets;
+    hc.health = config.health;
     if (config.protocol != Protocol::kHeliosB &&
         config.protocol != Protocol::kMessageFutures) {
       hc.commit_offsets = PlanCommitOffsets(config.topology,
@@ -190,6 +200,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     scheduler.At(e.at, [&network, e]() {
       (void)network.SetPartitioned(e.a, e.b, e.partitioned);
     });
+  }
+  // Gray node faults: a stall is delivered to the process when it begins;
+  // the node models the rest of the window itself (link kinds were
+  // installed into the network above).
+  for (const sim::GrayFault& g : config.fault_plan.gray_faults) {
+    if (g.kind == sim::GrayFaultKind::kProcessStall) {
+      scheduler.At(g.active_from, [cluster = cluster.get(), g]() {
+        cluster->InjectStall(g.a, g.active_until - g.active_from);
+      });
+    } else if (g.kind == sim::GrayFaultKind::kFsyncStall) {
+      scheduler.At(g.active_from, [cluster = cluster.get(), g]() {
+        cluster->InjectFsyncStall(g.a, g.extra_delay,
+                                  g.active_until - g.active_from);
+      });
+    }
   }
 
   const sim::SimTime measure_from = config.warmup;
@@ -306,6 +331,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       reg->counter("net.fault_drops").Set(network.fault_drops());
       reg->counter("net.fault_duplicates").Set(network.fault_duplicates());
       reg->counter("net.fault_reorders").Set(network.fault_reorders());
+    }
+    if (has_gray_link_faults) {
+      reg->counter("net.gray_slowed").Set(network.gray_slowed());
+      reg->counter("net.gray_asym_drops").Set(network.gray_asym_drops());
     }
     if (reliable_on) {
       reg->counter("reliable.retransmits").Set(mesh.retransmits());

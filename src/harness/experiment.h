@@ -113,6 +113,12 @@ struct ExperimentConfig {
   sim::FaultPlan fault_plan;
   ReliableDelivery reliable = ReliableDelivery::kAuto;
 
+  /// Gray-failure detection/reaction for the Helios-family protocols
+  /// (docs/FAULTS.md "Gray failures and suspicion"). Disabled by default:
+  /// the detector then never exists and runs stay bit-identical to builds
+  /// without the subsystem. Baselines ignore it.
+  core::HealthConfig health;
+
   /// Client-side commit timeout (docs/RECOVERY.md): a transaction attempt
   /// exceeding this is abandoned and retried with exponential backoff, up
   /// to `client_max_retries` retries. 0 (the default) arms no timer, so

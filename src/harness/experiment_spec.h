@@ -105,6 +105,14 @@ struct ExperimentSpec {
   bool trace_enabled = false;
   size_t trace_ring_capacity = 0;
 
+  /// Gray-failure detection and reaction (docs/FAULTS.md "Gray failures
+  /// and suspicion"). Off by default — the remaining knobs only matter
+  /// when enabled, and only the Helios-family protocols honor them.
+  bool health_enabled = false;
+  double health_phi_threshold = 8.0;
+  bool health_degraded_commit = true;
+  Duration health_hedge_interval = Millis(100);
+
   // --- Fluent builder -----------------------------------------------------
   ExperimentSpec& WithLabel(std::string v) { label = std::move(v); return *this; }
   ExperimentSpec& WithProtocol(Protocol v) { protocol = v; return *this; }
@@ -167,6 +175,22 @@ struct ExperimentSpec {
   ExperimentSpec& WithTrace(bool enabled = true, size_t ring_capacity = 0) {
     trace_enabled = enabled;
     trace_ring_capacity = ring_capacity;
+    return *this;
+  }
+  ExperimentSpec& WithHealth(bool enabled = true) {
+    health_enabled = enabled;
+    return *this;
+  }
+  ExperimentSpec& WithHealthPhiThreshold(double v) {
+    health_phi_threshold = v;
+    return *this;
+  }
+  ExperimentSpec& WithDegradedCommit(bool v) {
+    health_degraded_commit = v;
+    return *this;
+  }
+  ExperimentSpec& WithHedgeInterval(Duration v) {
+    health_hedge_interval = v;
     return *this;
   }
 

@@ -29,9 +29,105 @@ Status CheckNode(const char* where, int node, int n, bool allow_any) {
 
 }  // namespace
 
+const char* GrayFaultKindName(GrayFaultKind kind) {
+  switch (kind) {
+    case GrayFaultKind::kSlowLink:
+      return "slow_link";
+    case GrayFaultKind::kAsymPartition:
+      return "asym_partition";
+    case GrayFaultKind::kProcessStall:
+      return "process_stall";
+    case GrayFaultKind::kFsyncStall:
+      return "fsync_stall";
+  }
+  return "?";
+}
+
+namespace {
+
+Status ValidateGrayFault(const GrayFault& g, int n, size_t index) {
+  const std::string where = "gray_faults[" + std::to_string(index) + "]";
+  if (g.active_from < 0 || g.active_until < g.active_from) {
+    return Status::InvalidArgument(
+        where + ": active window must satisfy 0 <= from <= until");
+  }
+  if (g.IsLinkKind()) {
+    if (Status s = CheckNode((where + ".a").c_str(), g.a, n, true); !s.ok()) {
+      return s;
+    }
+    if (Status s = CheckNode((where + ".b").c_str(), g.b, n, true); !s.ok()) {
+      return s;
+    }
+    if (g.a != kAnyDc && g.a == g.b) {
+      return Status::InvalidArgument(where + " targets the self-link " +
+                                     std::to_string(g.a) + "->" +
+                                     std::to_string(g.b) +
+                                     "; links connect distinct datacenters");
+    }
+  } else {
+    // Node kinds act on `a` alone; a wildcard node stall would freeze the
+    // whole deployment, which is a different experiment entirely.
+    if (Status s = CheckNode((where + ".a").c_str(), g.a, n, false); !s.ok()) {
+      return s;
+    }
+    if (g.b != kAnyDc) {
+      return Status::InvalidArgument(
+          where + ": " + std::string(GrayFaultKindName(g.kind)) +
+          " acts on one datacenter; leave b unset");
+    }
+    if (g.active_until == kMaxSimTime) {
+      return Status::InvalidArgument(
+          where + ": " + std::string(GrayFaultKindName(g.kind)) +
+          " needs a bounded active window (the stall must end)");
+    }
+  }
+  switch (g.kind) {
+    case GrayFaultKind::kSlowLink:
+      if (g.slow_factor < 1.0) {
+        return Status::InvalidArgument(
+            where + ".slow_factor is " + std::to_string(g.slow_factor) +
+            "; a slowdown multiplies latency and must be >= 1");
+      }
+      if (g.extra_delay < 0) {
+        return Status::InvalidArgument(where + ".extra_delay must be >= 0");
+      }
+      if (g.slow_factor == 1.0 && g.extra_delay == 0) {
+        return Status::InvalidArgument(
+            where + ": slow_link with slow_factor 1 and extra_delay 0 "
+                    "has no effect");
+      }
+      break;
+    case GrayFaultKind::kAsymPartition:
+    case GrayFaultKind::kProcessStall:
+      if (g.slow_factor != 1.0 || g.extra_delay != 0) {
+        return Status::InvalidArgument(
+            where + ": " + std::string(GrayFaultKindName(g.kind)) +
+            " takes no slow_factor or extra_delay");
+      }
+      break;
+    case GrayFaultKind::kFsyncStall:
+      if (g.slow_factor != 1.0) {
+        return Status::InvalidArgument(where +
+                                       ": fsync_stall takes no slow_factor");
+      }
+      if (g.extra_delay <= 0) {
+        return Status::InvalidArgument(
+            where + ": fsync_stall needs extra_delay > 0 (the per-record "
+                    "service-time penalty)");
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status FaultPlan::Validate(int num_datacenters) const {
   const int n = num_datacenters;
   if (n <= 0) return Status::InvalidArgument("deployment size must be > 0");
+  for (size_t i = 0; i < gray_faults.size(); ++i) {
+    if (Status s = ValidateGrayFault(gray_faults[i], n, i); !s.ok()) return s;
+  }
   for (size_t i = 0; i < link_faults.size(); ++i) {
     const LinkFault& f = link_faults[i];
     const std::string where = "link_faults[" + std::to_string(i) + "]";
@@ -99,6 +195,24 @@ Status FaultPlan::Validate(int num_datacenters) const {
 std::string FaultPlan::ToJson() const {
   std::string out;
   json::ObjectWriter w(&out);
+  if (!gray_faults.empty()) {
+    w.Key("gray_faults");
+    out += '[';
+    for (size_t i = 0; i < gray_faults.size(); ++i) {
+      const GrayFault& g = gray_faults[i];
+      if (i > 0) out += ',';
+      json::ObjectWriter gf(&out);
+      gf.Field("a", static_cast<int64_t>(g.a));
+      gf.Field("active_from_us", static_cast<int64_t>(g.active_from));
+      gf.Field("active_until_us", static_cast<int64_t>(g.active_until));
+      gf.Field("b", static_cast<int64_t>(g.b));
+      gf.Field("extra_delay_us", static_cast<int64_t>(g.extra_delay));
+      gf.Field("kind", std::string(GrayFaultKindName(g.kind)));
+      gf.Field("slow_factor", g.slow_factor);
+      gf.Close();
+    }
+    out += ']';
+  }
   if (!link_faults.empty()) {
     w.Key("link_faults");
     out += '[';
@@ -153,6 +267,54 @@ std::string FaultPlan::ToJson() const {
 }
 
 namespace {
+
+Result<GrayFault> ParseGrayFault(const json::Value& v, size_t index) {
+  const std::string where = "gray_faults[" + std::to_string(index) + "]";
+  if (v.kind != json::Value::Kind::kObject) {
+    return json::WrongType(where, "an object");
+  }
+  GrayFault g;
+  for (const auto& [key, item] : v.members) {
+    Status st;
+    if (key == "a") {
+      st = json::ReadInt(where + "." + key, item, &g.a);
+    } else if (key == "active_from_us") {
+      st = json::ReadInt64(where + "." + key, item, &g.active_from);
+    } else if (key == "active_until_us") {
+      st = json::ReadInt64(where + "." + key, item, &g.active_until);
+    } else if (key == "b") {
+      st = json::ReadInt(where + "." + key, item, &g.b);
+    } else if (key == "extra_delay_us") {
+      st = json::ReadInt64(where + "." + key, item, &g.extra_delay);
+    } else if (key == "kind") {
+      std::string name;
+      st = json::ReadString(where + "." + key, item, &name);
+      if (st.ok()) {
+        if (name == "slow_link") {
+          g.kind = GrayFaultKind::kSlowLink;
+        } else if (name == "asym_partition") {
+          g.kind = GrayFaultKind::kAsymPartition;
+        } else if (name == "process_stall") {
+          g.kind = GrayFaultKind::kProcessStall;
+        } else if (name == "fsync_stall") {
+          g.kind = GrayFaultKind::kFsyncStall;
+        } else {
+          return Status::InvalidArgument(
+              where + ".kind is '" + name +
+              "'; expected slow_link, asym_partition, process_stall, or "
+              "fsync_stall");
+        }
+      }
+    } else if (key == "slow_factor") {
+      st = json::ReadDouble(where + "." + key, item, &g.slow_factor);
+    } else {
+      return Status::InvalidArgument("unknown fault-plan field '" + where +
+                                     "." + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  return g;
+}
 
 Result<LinkFault> ParseLinkFault(const json::Value& v, size_t index) {
   const std::string where = "link_faults[" + std::to_string(index) + "]";
@@ -249,7 +411,13 @@ Result<FaultPlan> FaultPlan::FromJsonValue(const json::Value& root) {
     if (v.kind != json::Value::Kind::kArray) {
       return json::WrongType(key, "an array");
     }
-    if (key == "link_faults") {
+    if (key == "gray_faults") {
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        auto g = ParseGrayFault(v.items[i], i);
+        if (!g.ok()) return g.status();
+        plan.gray_faults.push_back(std::move(g).value());
+      }
+    } else if (key == "link_faults") {
       for (size_t i = 0; i < v.items.size(); ++i) {
         auto f = ParseLinkFault(v.items[i], i);
         if (!f.ok()) return f.status();

@@ -13,6 +13,10 @@
 //     deterministic delay spike.
 //   - NodeEvent: timed crash / recover of a datacenter.
 //   - PartitionEvent: timed cut / heal of a (bidirectional) link.
+//   - GrayFault: a deterministic slow-but-alive degradation — sustained
+//     link slowdown, one-directional (asymmetric) partition, process
+//     stall, or fsync stall — the gray-failure modes that fail-stop
+//     machinery never notices because nothing actually dies.
 //
 // Message-level faults are applied inside sim::Network deliveries, drawn
 // from a dedicated RNG seeded from the experiment seed, so every chaos run
@@ -75,6 +79,62 @@ struct LinkFault {
   }
 };
 
+/// Kinds of gray (slow-but-alive) faults. Unlike LinkFault's probabilistic
+/// processes these are *deterministic* degradations: no RNG draw is ever
+/// made for them, so adding a gray fault to a plan perturbs neither the
+/// latency sampling stream nor the message-fault stream.
+enum class GrayFaultKind {
+  /// Every message on the directed link a->b takes slow_factor times its
+  /// sampled latency plus extra_delay. FIFO order is preserved — the link
+  /// is slow, not lossy or reordering.
+  kSlowLink,
+  /// Messages a->b silently vanish while b->a still flows: a half-open
+  /// link, the classic gray partition that binary PartitionEvent cannot
+  /// express.
+  kAsymPartition,
+  /// Datacenter `a`'s event loop freezes for the window (GC pause, VM
+  /// migration, scheduler starvation): it receives but processes nothing
+  /// and sends nothing until the window ends.
+  kProcessStall,
+  /// Datacenter `a`'s storage turns syrup-slow: every record it persists
+  /// costs an extra `extra_delay` of service time while active.
+  kFsyncStall,
+};
+
+/// One deterministic gray degradation, active over [active_from,
+/// active_until). Link kinds use the directed pair (a, b) with kAnyDc
+/// wildcards; node kinds use `a` only.
+struct GrayFault {
+  GrayFaultKind kind = GrayFaultKind::kSlowLink;
+  int a = kAnyDc;
+  int b = kAnyDc;
+  /// kSlowLink: multiplier on the sampled one-way latency (>= 1).
+  double slow_factor = 1.0;
+  /// kSlowLink: additive per-message latency. kFsyncStall: per-record
+  /// extra service time. Unused otherwise.
+  Duration extra_delay = 0;
+  SimTime active_from = 0;
+  SimTime active_until = kMaxSimTime;
+
+  bool ActiveOn(int f, int t, SimTime now) const {
+    return (a == kAnyDc || a == f) && (b == kAnyDc || b == t) &&
+           now >= active_from && now < active_until;
+  }
+  bool IsLinkKind() const {
+    return kind == GrayFaultKind::kSlowLink ||
+           kind == GrayFaultKind::kAsymPartition;
+  }
+
+  friend bool operator==(const GrayFault& x, const GrayFault& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b &&
+           x.slow_factor == y.slow_factor && x.extra_delay == y.extra_delay &&
+           x.active_from == y.active_from && x.active_until == y.active_until;
+  }
+};
+
+/// Round-trips GrayFaultKind to the JSON spelling ("slow_link", ...).
+const char* GrayFaultKindName(GrayFaultKind kind);
+
 /// Timed crash (up = false) or recovery (up = true) of one datacenter.
 struct NodeEvent {
   SimTime at = 0;
@@ -100,13 +160,14 @@ struct PartitionEvent {
 };
 
 struct FaultPlan {
+  std::vector<GrayFault> gray_faults;
   std::vector<LinkFault> link_faults;
   std::vector<NodeEvent> node_events;
   std::vector<PartitionEvent> partition_events;
 
   bool empty() const {
-    return link_faults.empty() && node_events.empty() &&
-           partition_events.empty();
+    return gray_faults.empty() && link_faults.empty() &&
+           node_events.empty() && partition_events.empty();
   }
 
   /// True if any link fault can ever drop/duplicate/reorder/delay a
@@ -116,6 +177,22 @@ struct FaultPlan {
   bool HasMessageFaults() const {
     for (const LinkFault& f : link_faults) {
       if (f.HasEffect()) return true;
+    }
+    return false;
+  }
+
+  /// True if the plan contains any gray (slow-but-alive) degradation.
+  /// Deliberately NOT part of HasMessageFaults(): gray faults are
+  /// deterministic, engage no fault RNG, and must not flip auto-mode
+  /// reliable delivery on.
+  bool HasGrayFaults() const { return !gray_faults.empty(); }
+
+  /// True if any gray fault acts on the message path (slow link or
+  /// asymmetric partition, as opposed to node stalls); decides whether the
+  /// network exports its gray counters.
+  bool HasGrayLinkFaults() const {
+    for (const GrayFault& g : gray_faults) {
+      if (g.IsLinkKind()) return true;
     }
     return false;
   }
@@ -158,6 +235,49 @@ struct FaultPlan {
     partition_events.push_back(PartitionEvent{at, a, b, false});
     return *this;
   }
+  FaultPlan& AddSlowLink(SimTime from, SimTime until, int a, int b,
+                         double factor, Duration extra_delay = 0) {
+    GrayFault g;
+    g.kind = GrayFaultKind::kSlowLink;
+    g.a = a;
+    g.b = b;
+    g.slow_factor = factor;
+    g.extra_delay = extra_delay;
+    g.active_from = from;
+    g.active_until = until;
+    gray_faults.push_back(g);
+    return *this;
+  }
+  FaultPlan& AddAsymPartition(SimTime from, SimTime until, int a, int b) {
+    GrayFault g;
+    g.kind = GrayFaultKind::kAsymPartition;
+    g.a = a;
+    g.b = b;
+    g.active_from = from;
+    g.active_until = until;
+    gray_faults.push_back(g);
+    return *this;
+  }
+  FaultPlan& AddProcessStall(SimTime from, SimTime until, int node) {
+    GrayFault g;
+    g.kind = GrayFaultKind::kProcessStall;
+    g.a = node;
+    g.active_from = from;
+    g.active_until = until;
+    gray_faults.push_back(g);
+    return *this;
+  }
+  FaultPlan& AddFsyncStall(SimTime from, SimTime until, int node,
+                           Duration per_record) {
+    GrayFault g;
+    g.kind = GrayFaultKind::kFsyncStall;
+    g.a = node;
+    g.extra_delay = per_record;
+    g.active_from = from;
+    g.active_until = until;
+    gray_faults.push_back(g);
+    return *this;
+  }
 
   /// Deterministic JSON: stable alphabetical keys, empty sections omitted.
   /// An empty plan renders as "{}".
@@ -170,7 +290,8 @@ struct FaultPlan {
   static Result<FaultPlan> FromJsonValue(const json::Value& root);
 
   friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
-    return a.link_faults == b.link_faults && a.node_events == b.node_events &&
+    return a.gray_faults == b.gray_faults && a.link_faults == b.link_faults &&
+           a.node_events == b.node_events &&
            a.partition_events == b.partition_events;
   }
 };

@@ -95,6 +95,26 @@ void Network::SendSized(int from, int to, size_t size_bytes,
     return;
   }
 
+  // Gray degradations first: deterministic, so they consume no randomness
+  // wherever they sit, but dropping before the fault block keeps the fault
+  // RNG stream identical whether or not an asymmetric partition is also
+  // configured on other links.
+  if (!gray_faults_.empty()) {
+    const SimTime now = scheduler_->Now();
+    for (const GrayFault& g : gray_faults_) {
+      if (g.kind == GrayFaultKind::kAsymPartition &&
+          g.ActiveOn(from, to, now)) {
+        ++messages_dropped_;
+        ++gray_asym_drops_;
+        if (trace_ != nullptr) {
+          trace_->Instant(obs::EventKind::kNetDrop, from, TxnId{}, now, to,
+                          "gray:asym");
+        }
+        return;
+      }
+    }
+  }
+
   // Message faults, drawn in fixed order per matching fault so every run
   // with the same fault seed makes identical decisions. With no installed
   // message faults this whole block is a vector-empty check.
@@ -133,8 +153,10 @@ void Network::SendSized(int from, int to, size_t size_bytes,
         static_cast<double>(size_bytes) * 1e6 /
         static_cast<double>(bandwidth_bps_));
   }
-  SimTime arrive =
-      scheduler_->Now() + transmission + SampleOneWay(from, to) + fault_delay;
+  const SimTime send_now = scheduler_->Now();
+  SimTime arrive = send_now + transmission +
+                   ApplyGraySlow(from, to, send_now, SampleOneWay(from, to)) +
+                   fault_delay;
   if (reordered) {
     // A reordered message is exempt from the FIFO clamp and leaves the
     // watermark alone — it may overtake or be overtaken, and later traffic
@@ -152,12 +174,40 @@ void Network::SendSized(int from, int to, size_t size_bytes,
     // The copy takes its own independently sampled path and also skips the
     // FIFO machinery, like a stray retransmission on a real network.
     ++fault_duplicates_;
-    const SimTime copy_arrive = scheduler_->Now() + transmission +
-                                SampleOneWayWith(fault_rng_, from, to) +
-                                fault_delay;
+    const SimTime copy_arrive =
+        send_now + transmission +
+        ApplyGraySlow(from, to, send_now,
+                      SampleOneWayWith(fault_rng_, from, to)) +
+        fault_delay;
     ScheduleDelivery(from, to, copy_arrive, deliver);
   }
   ScheduleDelivery(from, to, arrive, std::move(deliver));
+}
+
+Duration Network::ApplyGraySlow(int from, int to, SimTime now,
+                                Duration one_way) {
+  if (gray_faults_.empty()) return one_way;
+  bool slowed = false;
+  for (const GrayFault& g : gray_faults_) {
+    if (g.kind != GrayFaultKind::kSlowLink || !g.ActiveOn(from, to, now)) {
+      continue;
+    }
+    one_way = static_cast<Duration>(static_cast<double>(one_way) *
+                                    g.slow_factor) +
+              g.extra_delay;
+    slowed = true;
+  }
+  if (slowed) ++gray_slowed_;
+  return one_way;
+}
+
+Status Network::InstallGrayFaults(const FaultPlan& plan) {
+  if (Status s = plan.Validate(n_); !s.ok()) return s;
+  gray_faults_.clear();
+  for (const GrayFault& g : plan.gray_faults) {
+    if (g.IsLinkKind()) gray_faults_.push_back(g);
+  }
+  return Status::Ok();
 }
 
 Status Network::InstallMessageFaults(const FaultPlan& plan,

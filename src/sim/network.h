@@ -103,11 +103,22 @@ class Network {
   /// delivery path byte-identical to an uninstalled one.
   Status InstallMessageFaults(const FaultPlan& plan, uint64_t fault_seed);
 
+  /// Activates `plan`'s gray link degradations (slow_link, asym_partition)
+  /// on every subsequent delivery. Deterministic: an asymmetric partition
+  /// drops every matching message, a slow link multiplies the sampled
+  /// latency by slow_factor and adds extra_delay (FIFO preserved — the
+  /// link is slow, not reordering). No RNG is consumed, so a plan without
+  /// gray link faults leaves every delivery bit-identical. Node-level gray
+  /// kinds (process/fsync stall) are the harness's job, not the network's.
+  Status InstallGrayFaults(const FaultPlan& plan);
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t fault_drops() const { return fault_drops_; }
   uint64_t fault_duplicates() const { return fault_duplicates_; }
   uint64_t fault_reorders() const { return fault_reorders_; }
+  uint64_t gray_asym_drops() const { return gray_asym_drops_; }
+  uint64_t gray_slowed() const { return gray_slowed_; }
 
   /// Optional message-hop tracing (src/obs): every delivery becomes a
   /// net.hop span from send to receive; drops become net.drop instants.
@@ -118,6 +129,8 @@ class Network {
   int ChannelIndex(int from, int to) const { return from * n_ + to; }
   Duration SampleOneWay(int from, int to);
   Duration SampleOneWayWith(Rng& rng, int from, int to);
+  /// Applies active slow_link gray faults to a sampled one-way latency.
+  Duration ApplyGraySlow(int from, int to, SimTime now, Duration one_way);
   void ScheduleDelivery(int from, int to, SimTime arrive,
                         std::function<void()> deliver);
 
@@ -141,6 +154,11 @@ class Network {
   uint64_t fault_drops_ = 0;
   uint64_t fault_duplicates_ = 0;
   uint64_t fault_reorders_ = 0;
+
+  // Gray link degradations (InstallGrayFaults); only link kinds are kept.
+  std::vector<GrayFault> gray_faults_;
+  uint64_t gray_asym_drops_ = 0;
+  uint64_t gray_slowed_ = 0;
 };
 
 }  // namespace helios::sim

@@ -19,6 +19,7 @@ core::HeliosConfig ClusterSpec::MakeConfig() const {
   config.fault_tolerance = fault_tolerance;
   config.grace_time = grace_time;
   config.log_interval = log_interval;
+  config.health.enabled = health_enabled;
   return config;
 }
 
@@ -79,6 +80,7 @@ std::string ClusterSpec::ToJson() const {
   w.Field("grace_time_ms", static_cast<int64_t>(grace_time / 1000));
   w.Field("group_commit_us",
           static_cast<int64_t>(wal_options.group_commit_interval.count()));
+  if (health_enabled) w.Field("health_enabled", true);
   w.Field("inbound_delay_ms", static_cast<int64_t>(inbound_delay / 1000));
   w.Field("log_interval_ms", static_cast<int64_t>(log_interval / 1000));
   w.Close();
@@ -158,6 +160,9 @@ Result<ClusterSpec> ClusterSpec::FromJson(const std::string& text) {
       Status s = json::ReadInt64(key, value, &us);
       if (!s.ok()) return s;
       spec.wal_options.group_commit_interval = std::chrono::microseconds(us);
+    } else if (key == "health_enabled") {
+      Status s = json::ReadBool(key, value, &spec.health_enabled);
+      if (!s.ok()) return s;
     } else if (key == "inbound_delay_ms") {
       Status s = ReadMillis(key, value, &spec.inbound_delay);
       if (!s.ok()) return s;

@@ -17,9 +17,14 @@
 //     "fsync": "group",            // os | every | group (wal::SyncPolicy)
 //     "grace_time_ms": 1000,
 //     "group_commit_us": 5000,     // fsync batching window under "group"
+//     "health_enabled": true,      // phi-accrual gray-failure detection
 //     "inbound_delay_ms": 0,       // emulated one-way WAN latency
 //     "log_interval_ms": 10
 //   }
+//
+// `health_enabled` (omitted when false, the default) arms the phi-accrual
+// failure detector and suspicion-driven degraded commit in every daemon;
+// the resulting health.* gauges land in the heliosd metrics JSON.
 //
 // Unknown keys are an error (operator typos must not silently become
 // defaults), and every tool validates before launching.
@@ -51,6 +56,8 @@ struct ClusterSpec {
   Duration log_interval = Millis(10);
   Duration inbound_delay = 0;
   wal::FileWalOptions wal_options;
+  /// Arms the health subsystem (failure detection + degraded commit).
+  bool health_enabled = false;
 
   int num_datacenters() const {
     return static_cast<int>(datacenters.size());

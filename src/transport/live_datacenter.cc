@@ -244,6 +244,28 @@ OverloadStats LiveDatacenter::overload_snapshot() const {
   return out;
 }
 
+HealthSnapshot LiveDatacenter::health_snapshot() {
+  HealthSnapshot out;
+  if (!config_.health.enabled) return out;
+  out.enabled = true;
+  const size_t n = static_cast<size_t>(config_.num_datacenters);
+  out.phi.assign(n, 0.0);
+  out.suspected.assign(n, false);
+  const auto collect = [this, &out]() {
+    for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+      if (dc == id_) continue;
+      out.phi[static_cast<size_t>(dc)] = node_->HealthPhi(dc);
+      out.suspected[static_cast<size_t>(dc)] = node_->Suspects(dc);
+    }
+  };
+  if (started_) {
+    loop_.PostAndWait(collect);
+  } else {
+    collect();
+  }
+  return out;
+}
+
 RecoveryStats LiveDatacenter::recovery_snapshot() const {
   std::lock_guard<std::mutex> lock(recovery_mu_);
   return recovery_;

@@ -51,6 +51,16 @@ struct AdmissionConfig {
   bool enabled() const { return max_inflight > 0 || queue_watermark > 0; }
 };
 
+/// Failure-detector snapshot (exported as health.* metrics by heliosd).
+/// Vectors are indexed by peer DC id; the entry for this node itself is
+/// 0 / false. Empty (enabled = false) when the cluster runs without the
+/// health subsystem.
+struct HealthSnapshot {
+  bool enabled = false;
+  std::vector<double> phi;        ///< Accrual suspicion level per peer.
+  std::vector<bool> suspected;    ///< Currently past the phi threshold.
+};
+
 /// Overload counters (exported as overload.* metrics by heliosd).
 struct OverloadStats {
   uint64_t admitted = 0;  ///< Commit requests accepted into the node.
@@ -133,6 +143,9 @@ class LiveDatacenter {
 
   /// Overload counters (thread-safe; queue_depth sampled at call time).
   OverloadStats overload_snapshot() const;
+
+  /// Per-peer phi / suspicion state (synchronized through the loop).
+  HealthSnapshot health_snapshot();
 
   /// Crash-recovery totals: what EnableWal replayed plus what catch-up
   /// pulled from peers (thread-safe).

@@ -246,6 +246,19 @@ Status TcpTransport::Send(DcId to, const uint8_t* data, size_t len) {
   return SendOnce(to, data, len);
 }
 
+int64_t TcpTransport::redial_cooldown_remaining_ms() const {
+  const auto now = std::chrono::steady_clock::now();
+  int64_t worst = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Peer& p : peers_) {
+    if (p.fd >= 0 || p.blocked) continue;  // Connected / administratively cut.
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        p.next_redial - now);
+    if (left.count() > worst) worst = left.count();
+  }
+  return worst;
+}
+
 void TcpTransport::Shutdown() {
   if (shutdown_.exchange(true)) return;
   if (listen_fd_ >= 0) {

@@ -77,9 +77,17 @@ class TcpTransport {
   uint64_t messages_received() const { return messages_received_; }
   uint64_t messages_sent() const { return messages_sent_; }
   /// Successful redials performed inside Send() after a dead connection.
+  /// Counts exactly one per installed reconnection: a dial that fails, or
+  /// whose socket loses the install race (another sender reconnected, or
+  /// the peer was blocked meanwhile), does not increment.
   uint64_t reconnects() const { return reconnects_; }
   /// Sends refused because the peer was administratively blocked.
   uint64_t sends_blocked() const { return sends_blocked_; }
+  /// Longest remaining redial cooldown across disconnected peers, in
+  /// milliseconds (0 when every peer is connected or may redial now).
+  /// Exported by heliosd so an operator can tell "outage, backing off"
+  /// from "healthy but idle" in the transport metrics.
+  int64_t redial_cooldown_remaining_ms() const;
 
  private:
   /// Minimum spacing between redial attempts to a dead peer.
@@ -107,7 +115,7 @@ class TcpTransport {
   uint16_t port_ = 0;
   std::atomic<bool> shutdown_{false};
   std::thread accept_thread_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<Peer> peers_;       // Outbound connections.
   std::vector<int> inbound_fds_;  // Accepted connections.
   std::vector<std::thread> readers_;

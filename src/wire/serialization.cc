@@ -196,10 +196,21 @@ void EncodeEnvelope(const core::Envelope& env, Writer* w) {
   w->PutSignedVarint(env.pong_hold_us);
   w->PutVarint(env.rtt_row_us.size());
   for (Duration d : env.rtt_row_us) w->PutSignedVarint(d);
-  // Trailing optional: only non-gossip envelopes (recovery catch-up)
-  // carry a kind byte, so the regular gossip layout is unchanged.
-  if (env.kind != core::EnvelopeKind::kGossip) {
+  // Trailing optionals: a kind byte only for non-gossip envelopes, then a
+  // suspicion section only when suspicions are held. A healthy gossip
+  // envelope carries neither, so its byte layout (and measured message
+  // sizes) are unchanged; an envelope with suspicions spells out the kind
+  // byte even for kGossip so the decoder can tell the sections apart.
+  const bool has_suspicions = !env.suspicions.empty();
+  if (env.kind != core::EnvelopeKind::kGossip || has_suspicions) {
     w->PutU8(static_cast<uint8_t>(env.kind));
+  }
+  if (has_suspicions) {
+    w->PutVarint(env.suspicions.size());
+    for (const core::Suspicion& s : env.suspicions) {
+      w->PutSignedVarint(s.target);
+      w->PutSignedVarint(s.since);
+    }
   }
 }
 
@@ -251,11 +262,30 @@ Status DecodeEnvelope(Decoder* dec, core::Envelope* out) {
     uint8_t kind = 0;
     s = dec->GetU8(&kind);
     if (!s.ok()) return s;
-    if (kind == 0 ||
-        kind > static_cast<uint8_t>(core::EnvelopeKind::kCatchupResponse)) {
+    // kind 0 (kGossip) is spelled out when a suspicion section follows.
+    if (kind > static_cast<uint8_t>(core::EnvelopeKind::kCatchupResponse)) {
       return Status::InvalidArgument("bad envelope kind");
     }
     env.kind = static_cast<core::EnvelopeKind>(kind);
+  }
+  if (dec->remaining() > 0) {
+    uint64_t suspicions = 0;
+    s = dec->GetVarint(&suspicions);
+    if (!s.ok()) return s;
+    if (suspicions == 0 || suspicions > kMaxDatacenters) {
+      return Status::InvalidArgument("bad suspicion count");
+    }
+    env.suspicions.reserve(suspicions);
+    for (uint64_t i = 0; i < suspicions; ++i) {
+      core::Suspicion susp;
+      int64_t target = 0;
+      s = dec->GetSignedVarint(&target);
+      if (!s.ok()) return s;
+      susp.target = static_cast<DcId>(target);
+      s = dec->GetSignedVarint(&susp.since);
+      if (!s.ok()) return s;
+      env.suspicions.push_back(susp);
+    }
   }
   *out = std::move(env);
   return Status::Ok();

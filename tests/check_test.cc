@@ -69,6 +69,7 @@ TEST(ScenarioGenerator, RespectsOptions) {
   options.partitions = false;
   options.message_faults = false;
   options.clock_skew = false;
+  options.gray_faults = false;
   options.min_clients = 3;
   options.max_clients = 5;
   const ScenarioGenerator gen(options);
@@ -80,6 +81,27 @@ TEST(ScenarioGenerator, RespectsOptions) {
     EXPECT_GE(spec.clients, 3);
     EXPECT_LE(spec.clients, 5);
   }
+}
+
+TEST(ScenarioGenerator, SamplesGrayFaultsWithHealthEnabled) {
+  GeneratorOptions options;
+  options.crashes = false;
+  options.partitions = false;
+  options.message_faults = false;
+  const ScenarioGenerator gen(options);
+  int with_gray = 0;
+  for (uint64_t i = 0; i < 40; ++i) {
+    const hns::ExperimentSpec spec = gen.Scenario(i);
+    if (spec.fault_plan.gray_faults.empty()) continue;
+    ++with_gray;
+    // A gray scenario always brings the detector (so the reaction path is
+    // exercised, not just the injection) and the client timeout (so a
+    // stalled datacenter cannot wedge its closed-loop clients).
+    EXPECT_TRUE(spec.health_enabled) << "scenario " << i;
+    EXPECT_GT(spec.client_timeout, 0) << "scenario " << i;
+    EXPECT_TRUE(spec.Validate().ok()) << "scenario " << i;
+  }
+  EXPECT_GT(with_gray, 0);
 }
 
 // --- oracle fixtures --------------------------------------------------------

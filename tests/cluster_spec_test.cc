@@ -52,6 +52,23 @@ TEST(ClusterSpecTest, MakeConfigMirrorsSpec) {
   EXPECT_TRUE(config.commit_offsets.empty());
 }
 
+TEST(ClusterSpecTest, HealthEnabledRoundTripsAndReachesConfig) {
+  // Default off: the key is omitted, old spec files stay byte-identical.
+  const ClusterSpec plain = MakeSpec();
+  EXPECT_EQ(plain.ToJson().find("health_enabled"), std::string::npos);
+  EXPECT_FALSE(plain.MakeConfig().health.enabled);
+
+  ClusterSpec armed = MakeSpec();
+  armed.health_enabled = true;
+  const std::string json = armed.ToJson();
+  EXPECT_NE(json.find("\"health_enabled\":true"), std::string::npos);
+  auto parsed = ClusterSpec::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().health_enabled);
+  EXPECT_TRUE(parsed.value().MakeConfig().health.enabled);
+  EXPECT_EQ(parsed.value().ToJson(), json);
+}
+
 TEST(ClusterSpecTest, PortsIndexedByDc) {
   const std::vector<uint16_t> ports = MakeSpec().ports();
   ASSERT_EQ(ports.size(), 3u);

@@ -121,13 +121,169 @@ TEST(FaultPlanTest, HasMessageFaultsIgnoresTimedEvents) {
   EXPECT_TRUE(plan.HasMessageFaults());
 }
 
-// --- Network fault injection --------------------------------------------------
-
 Network MakePair(Scheduler* scheduler, uint64_t seed = 7) {
   Network network(scheduler, 2, seed);
   network.SetLink(0, 1, LinkSpec{Millis(10), 0});
   return network;
 }
+
+// --- Gray faults --------------------------------------------------------------
+
+TEST(GrayFaultTest, JsonRoundTripPreservesEveryKind) {
+  FaultPlan plan;
+  plan.AddSlowLink(Seconds(1), Seconds(5), 0, 2, 4.0, Millis(3))
+      .AddAsymPartition(Seconds(2), Seconds(6), 1, 0)
+      .AddProcessStall(Seconds(3), Seconds(4), 2)
+      .AddFsyncStall(Seconds(1), Seconds(7), 0, Millis(20));
+  ASSERT_TRUE(plan.Validate(3).ok()) << plan.Validate(3).ToString();
+  const std::string json = plan.ToJson();
+  auto parsed = FaultPlan::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value() == plan);
+  EXPECT_EQ(parsed.value().ToJson(), json);
+}
+
+TEST(GrayFaultTest, GrayFaultsDoNotCountAsMessageFaults) {
+  // Gray degradations are deterministic: they must neither engage the
+  // fault RNG nor flip auto-mode reliable delivery on.
+  FaultPlan plan;
+  plan.AddSlowLink(0, kMaxSimTime, 0, 1, 10.0);
+  EXPECT_FALSE(plan.HasMessageFaults());
+  EXPECT_TRUE(plan.HasGrayFaults());
+  EXPECT_TRUE(plan.HasGrayLinkFaults());
+  FaultPlan stalls;
+  stalls.AddProcessStall(Seconds(1), Seconds(2), 0);
+  EXPECT_TRUE(stalls.HasGrayFaults());
+  EXPECT_FALSE(stalls.HasGrayLinkFaults());
+  EXPECT_FALSE(stalls.empty());
+}
+
+TEST(GrayFaultTest, ValidateChecksKindSpecificFields) {
+  {
+    FaultPlan plan;
+    plan.AddSlowLink(0, Seconds(1), 0, 1, 0.5);  // Factor < 1.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddSlowLink(0, Seconds(1), 0, 1, 1.0);  // No effect at all.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddSlowLink(0, Seconds(1), 2, 2, 3.0);  // Self-link.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddProcessStall(0, kMaxSimTime, 1);  // Unbounded stall.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddFsyncStall(0, Seconds(1), 1, 0);  // No penalty.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddProcessStall(0, Seconds(1), 9);  // Bad node index.
+    EXPECT_FALSE(plan.Validate(3).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.AddAsymPartition(0, Seconds(1), 0, 1)
+        .AddProcessStall(Seconds(1), Seconds(2), 2)
+        .AddFsyncStall(0, Seconds(3), 1, Millis(5))
+        .AddSlowLink(0, Seconds(4), kAnyDc, 2, 2.0);
+    EXPECT_TRUE(plan.Validate(3).ok()) << plan.Validate(3).ToString();
+  }
+}
+
+TEST(GrayNetworkTest, SlowLinkMultipliesLatencyAndPreservesFifo) {
+  Scheduler scheduler;
+  Network network = MakePair(&scheduler);
+  FaultPlan plan;
+  plan.AddSlowLink(0, kMaxSimTime, 0, 1, 5.0, Millis(2));
+  ASSERT_TRUE(network.InstallGrayFaults(plan).ok());
+  std::vector<SimTime> arrivals;
+  network.Send(0, 1, [&] { arrivals.push_back(scheduler.Now()); });
+  network.Send(1, 0, [&] { arrivals.push_back(scheduler.Now()); });
+  scheduler.RunUntil(Seconds(1));
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Reverse direction is untouched (10 ms); forward is 10*5 + 2 = 52 ms.
+  EXPECT_EQ(arrivals[0], Millis(10));
+  EXPECT_EQ(arrivals[1], Millis(52));
+  EXPECT_EQ(network.gray_slowed(), 1u);
+}
+
+TEST(GrayNetworkTest, AsymPartitionDropsOneDirectionOnly) {
+  Scheduler scheduler;
+  Network network = MakePair(&scheduler);
+  FaultPlan plan;
+  plan.AddAsymPartition(0, kMaxSimTime, 0, 1);
+  ASSERT_TRUE(network.InstallGrayFaults(plan).ok());
+  int forward = 0;
+  int backward = 0;
+  for (int i = 0; i < 10; ++i) {
+    network.Send(0, 1, [&] { ++forward; });
+    network.Send(1, 0, [&] { ++backward; });
+  }
+  scheduler.RunUntil(Seconds(1));
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(backward, 10);
+  EXPECT_EQ(network.gray_asym_drops(), 10u);
+}
+
+TEST(GrayNetworkTest, WindowedSlowLinkRelents) {
+  Scheduler scheduler;
+  Network network = MakePair(&scheduler);
+  FaultPlan plan;
+  plan.AddSlowLink(Seconds(1), Seconds(2), 0, 1, 10.0);
+  ASSERT_TRUE(network.InstallGrayFaults(plan).ok());
+  std::vector<SimTime> arrivals;
+  auto probe = [&](SimTime at) {
+    scheduler.At(at, [&] {
+      network.Send(0, 1, [&] { arrivals.push_back(scheduler.Now()); });
+    });
+  };
+  probe(Millis(500));   // Before: 10 ms.
+  probe(Millis(1500));  // During: 100 ms.
+  probe(Millis(2500));  // After: 10 ms again.
+  scheduler.RunUntil(Seconds(10));
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], Millis(510));
+  EXPECT_EQ(arrivals[1], Millis(1600));
+  EXPECT_EQ(arrivals[2], Millis(2510));
+}
+
+TEST(GrayNetworkTest, InstallingGrayFaultsConsumesNoRandomness) {
+  // The latency stream must be bit-identical with and without an installed
+  // (but inactive-window) gray plan, and identical on unaffected links even
+  // while one is active.
+  std::vector<SimTime> bare;
+  std::vector<SimTime> gray;
+  for (int run = 0; run < 2; ++run) {
+    Scheduler scheduler;
+    Network network(&scheduler, 3, 7);
+    network.SetLink(0, 1, LinkSpec{Millis(10), Millis(2)});
+    network.SetLink(0, 2, LinkSpec{Millis(10), Millis(2)});
+    network.SetLink(1, 2, LinkSpec{Millis(10), Millis(2)});
+    if (run == 1) {
+      FaultPlan plan;
+      plan.AddSlowLink(0, kMaxSimTime, 0, 1, 3.0);
+      ASSERT_TRUE(network.InstallGrayFaults(plan).ok());
+    }
+    auto& out = run == 0 ? bare : gray;
+    for (int i = 0; i < 50; ++i) {
+      network.Send(1, 2, [&] { out.push_back(scheduler.Now()); });
+      network.Send(0, 1, [] {});  // Affected link: keeps the RNG in step.
+    }
+    scheduler.RunUntil(Seconds(10));
+  }
+  EXPECT_EQ(bare, gray);
+}
+
+// --- Network fault injection --------------------------------------------------
 
 TEST(NetworkFaultTest, FullLossDropsEverything) {
   Scheduler scheduler;

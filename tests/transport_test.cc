@@ -184,6 +184,61 @@ TEST(TcpTransportTest, SendReconnectsAfterPeerRestart) {
   server2.Shutdown();
 }
 
+TEST(TcpTransportTest, RedialCooldownIsReportedAndReconnectCountsOnce) {
+  auto server1 =
+      std::make_unique<TcpTransport>([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(server1->Listen(0).ok());
+  const uint16_t port = server1->port();
+
+  TcpTransport client([](std::vector<uint8_t>) {});
+  ASSERT_TRUE(client.Connect(0, port).ok());
+  EXPECT_EQ(client.redial_cooldown_remaining_ms(), 0);
+  ASSERT_TRUE(client.Send(0, {1}).ok());
+
+  // Kill the peer; nothing re-listens, so every redial is refused.
+  server1->Shutdown();
+  server1.reset();
+
+  // The first failing Send marks the connection dead and arms the
+  // cooldown; its own dial attempt fails before any socket is
+  // registered, which must NOT count as a reconnect.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (client.Send(0, {2}).ok() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(client.reconnects(), 0u);
+  const int64_t remaining = client.redial_cooldown_remaining_ms();
+  EXPECT_GT(remaining, 0);
+  EXPECT_LE(remaining, 50);
+
+  // Inside the cooldown the next failure returns without redialing.
+  EXPECT_FALSE(client.Send(0, {3}).ok());
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Bring the peer back and let the cooldown lapse: exactly one
+  // reconnect is recorded, for the redial that actually installs.
+  std::promise<void> got;
+  std::atomic<bool> got_set{false};
+  TcpTransport server2([&](std::vector<uint8_t>) {
+    if (!got_set.exchange(true)) got.set_value();
+  });
+  ASSERT_TRUE(server2.Listen(port).ok());
+  auto delivered = got.get_future();
+  const auto deadline2 = std::chrono::steady_clock::now() + 10s;
+  while (delivered.wait_for(0s) != std::future_status::ready &&
+         std::chrono::steady_clock::now() < deadline2) {
+    (void)client.Send(0, {4});
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ(delivered.wait_for(0s), std::future_status::ready)
+      << "send never reached the restarted peer";
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.redial_cooldown_remaining_ms(), 0);
+  client.Shutdown();
+  server2.Shutdown();
+}
+
 // --- Live clusters over real sockets -----------------------------------------
 
 struct LiveCluster {

@@ -113,6 +113,9 @@ int main(int argc, char** argv) {
   flags.DefineBool("message_faults", true,
                    "explore message loss/duplication/reordering/delay");
   flags.DefineBool("clock_skew", true, "explore clock-skew vectors");
+  flags.DefineBool("gray", true,
+                   "explore gray faults (slow links, asymmetric partitions, "
+                   "process/fsync stalls) with the health subsystem armed");
   flags.DefineBool("help", false, "show this help");
   cli::ParseOrExit(&flags, argc, argv);
 
@@ -132,6 +135,7 @@ int main(int argc, char** argv) {
   gen_options.partitions = flags.GetBool("partitions");
   gen_options.message_faults = flags.GetBool("message_faults");
   gen_options.clock_skew = flags.GetBool("clock_skew");
+  gen_options.gray_faults = flags.GetBool("gray");
   auto protocols = cli::ParseProtocolList(flags.GetString("protocols"));
   if (!protocols.ok()) {
     return cli::FailWith(protocols.status(), cli::kExitUsage);

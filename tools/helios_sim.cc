@@ -97,6 +97,17 @@ int main(int argc, char** argv) {
                      "(sugar for a fault-plan crash+recover pair; "
                      "see docs/RECOVERY.md). Repeatable via commas: "
                      "1:5000:9000,2:6000:10000");
+  flags.DefineString("stall", "",
+                     "gray process stall: <dc>:<t_from_ms>:<t_until_ms> "
+                     "(sugar for a fault-plan process_stall; repeatable "
+                     "via commas; see docs/FAULTS.md)");
+  flags.DefineString("slow", "",
+                     "gray slow link: <a>:<b>:<factor>:<t_from_ms>:<t_until_ms> "
+                     "(sugar for a fault-plan slow_link; repeatable via "
+                     "commas)");
+  flags.DefineBool("health", false,
+                   "arm the phi-accrual failure detector and "
+                   "suspicion-driven degraded commit");
   flags.DefineInt("client_timeout_us", 0,
                   "client commit timeout per attempt, microseconds "
                   "(0 = no timeout; crash runs need one so clients homed "
@@ -182,6 +193,46 @@ int main(int argc, char** argv) {
       base.fault_plan.AddRecover(Millis(up_ms), dc);
     }
   }
+  if (!flags.GetString("stall").empty()) {
+    for (const std::string& entry : cli::SplitCsv(flags.GetString("stall"))) {
+      int dc = -1;
+      long long from_ms = -1;
+      long long until_ms = -1;
+      if (std::sscanf(entry.c_str(), "%d:%lld:%lld", &dc, &from_ms,
+                      &until_ms) != 3 ||
+          dc < 0 || from_ms < 0 || until_ms <= from_ms) {
+        std::fprintf(stderr,
+                     "bad --stall entry '%s' (want <dc>:<t_from_ms>:"
+                     "<t_until_ms> with t_until > t_from)\n",
+                     entry.c_str());
+        return 2;
+      }
+      base.fault_plan.AddProcessStall(Millis(from_ms), Millis(until_ms), dc);
+    }
+  }
+  if (!flags.GetString("slow").empty()) {
+    for (const std::string& entry : cli::SplitCsv(flags.GetString("slow"))) {
+      int a = -1;
+      int b = -1;
+      double factor = 0.0;
+      long long from_ms = -1;
+      long long until_ms = -1;
+      if (std::sscanf(entry.c_str(), "%d:%d:%lf:%lld:%lld", &a, &b, &factor,
+                      &from_ms, &until_ms) != 5 ||
+          a < 0 || b < 0 || a == b || factor < 1.0 || from_ms < 0 ||
+          until_ms <= from_ms) {
+        std::fprintf(stderr,
+                     "bad --slow entry '%s' (want <a>:<b>:<factor>:"
+                     "<t_from_ms>:<t_until_ms> with factor >= 1 and "
+                     "t_until > t_from)\n",
+                     entry.c_str());
+        return 2;
+      }
+      base.fault_plan.AddSlowLink(Millis(from_ms), Millis(until_ms), a, b,
+                                  factor);
+    }
+  }
+  if (flags.GetBool("health")) base.WithHealth(true);
   if (flags.GetInt("client_timeout_us") > 0) {
     base.WithClientTimeout(
         static_cast<Duration>(flags.GetInt("client_timeout_us")),

@@ -12,6 +12,15 @@
 //   partition_events: administratively refuse the TCP connection in both
 //                     directions, via the `partition`/`heal` stdin
 //                     commands of both endpoint daemons.
+//   gray_faults:      process_stall -> SIGSTOP the child for the window,
+//                     SIGCONT at its end (a real "alive but frozen" fault:
+//                     the kernel keeps its sockets open, peers see silence,
+//                     not a reset). asym_partition -> the `partition` stdin
+//                     command at the *a* endpoint only, so a->b dies while
+//                     b->a keeps flowing (the half-open link). slow_link /
+//                     fsync_stall cannot be modeled from outside a process
+//                     and are rejected at load time, as are wildcard
+//                     endpoints and unbounded windows.
 //   link_faults:      not supported live (a kernel can't be asked to lose
 //                     5% of loopback packets per-flow from here); rejected
 //                     at load time.
@@ -94,8 +103,32 @@ bool ReadLine(Child* child, int timeout_ms, std::string* line) {
   }
 }
 
+void CloseChildFds(Child* child) {
+  if (child->stdin_fd >= 0) ::close(child->stdin_fd);
+  if (child->stdout_fd >= 0) ::close(child->stdout_fd);
+  child->stdin_fd = -1;
+  child->stdout_fd = -1;
+}
+
 void SendCommand(Child* child, const std::string& cmd) {
   if (!child->running || child->stdin_fd < 0) return;
+  // A child that died behind our back (crash, OOM kill) leaves a pipe
+  // that would take the write and drop it on the floor — or SIGPIPE a
+  // supervisor that forgot to ignore it. Reap-check first so the failure
+  // is a crisp message instead of a silently ignored command. WNOHANG
+  // returns 0 for a merely SIGSTOPped child, so stalled daemons still
+  // queue commands for when they thaw.
+  int status = 0;
+  const pid_t reaped = ::waitpid(child->pid, &status, WNOHANG);
+  if (reaped == child->pid) {
+    std::fprintf(stderr,
+                 "supervisor: child pid %d died unexpectedly (status %d); "
+                 "dropping command '%s'\n",
+                 static_cast<int>(child->pid), status, cmd.c_str());
+    CloseChildFds(child);
+    child->running = false;
+    return;
+  }
   const std::string line = cmd + "\n";
   (void)!::write(child->stdin_fd, line.data(), line.size());
 }
@@ -165,13 +198,6 @@ bool Launch(const LaunchOptions& opts, int dc, bool with_load,
     return false;
   }
   return true;
-}
-
-void CloseChildFds(Child* child) {
-  if (child->stdin_fd >= 0) ::close(child->stdin_fd);
-  if (child->stdout_fd >= 0) ::close(child->stdout_fd);
-  child->stdin_fd = -1;
-  child->stdout_fd = -1;
 }
 
 void KillChild(Child* child) {
@@ -301,28 +327,75 @@ int main(int argc, char** argv) {
               "node_events / partition_events"),
           cli::kExitUsage);
     }
+    for (const helios::sim::GrayFault& g : plan.gray_faults) {
+      // Stalls and half-open links map onto real processes (SIGSTOP /
+      // one-sided refusal); in-flight latency scaling and storage
+      // slowness do not — they live inside the victim, which this
+      // supervisor only controls from outside.
+      if (g.kind == helios::sim::GrayFaultKind::kSlowLink ||
+          g.kind == helios::sim::GrayFaultKind::kFsyncStall) {
+        return cli::FailWith(
+            Status::InvalidArgument(
+                std::string("gray fault kind '") +
+                helios::sim::GrayFaultKindName(g.kind) +
+                "' is not supported against live processes; use "
+                "process_stall / asym_partition"),
+            cli::kExitUsage);
+      }
+      if (g.a == helios::sim::kAnyDc ||
+          (g.kind == helios::sim::GrayFaultKind::kAsymPartition &&
+           g.b == helios::sim::kAnyDc)) {
+        return cli::FailWith(
+            Status::InvalidArgument(
+                "gray faults need concrete endpoints live (no wildcards)"),
+            cli::kExitUsage);
+      }
+      if (g.active_until >= helios::sim::kMaxSimTime) {
+        return cli::FailWith(
+            Status::InvalidArgument(
+                "gray faults need a finite window live (a daemon left "
+                "SIGSTOPped forever would wedge the convergence check)"),
+            cli::kExitUsage);
+      }
+    }
   }
 
-  // One time-ordered stream of plan events.
+  // One time-ordered stream of plan events. Window-shaped gray faults
+  // unroll into a start and an end edge.
+  enum class EventKind { kNode, kPartition, kGrayStart, kGrayEnd };
   struct TimedEvent {
     helios::sim::SimTime at = 0;
-    bool is_node = false;
+    EventKind kind = EventKind::kNode;
     helios::sim::NodeEvent node;
     helios::sim::PartitionEvent partition;
+    helios::sim::GrayFault gray;
   };
   std::vector<TimedEvent> events;
   for (const auto& e : plan.node_events) {
     TimedEvent t;
     t.at = e.at;
-    t.is_node = true;
+    t.kind = EventKind::kNode;
     t.node = e;
     events.push_back(t);
   }
   for (const auto& e : plan.partition_events) {
     TimedEvent t;
     t.at = e.at;
+    t.kind = EventKind::kPartition;
     t.partition = e;
     events.push_back(t);
+  }
+  for (const auto& g : plan.gray_faults) {
+    TimedEvent start;
+    start.at = g.active_from;
+    start.kind = EventKind::kGrayStart;
+    start.gray = g;
+    events.push_back(start);
+    TimedEvent end;
+    end.at = g.active_until;
+    end.kind = EventKind::kGrayEnd;
+    end.gray = g;
+    events.push_back(end);
   }
   std::stable_sort(events.begin(), events.end(),
                    [](const TimedEvent& a, const TimedEvent& b) {
@@ -358,7 +431,7 @@ int main(int argc, char** argv) {
   const Clock::time_point t0 = Clock::now();
   for (const TimedEvent& event : events) {
     std::this_thread::sleep_until(t0 + std::chrono::microseconds(event.at));
-    if (event.is_node) {
+    if (event.kind == EventKind::kNode) {
       Child& child = children[static_cast<size_t>(event.node.node)];
       if (!event.node.up) {
         std::printf("supervisor: SIGKILL dc %d at t=%.2fs\n",
@@ -377,7 +450,7 @@ int main(int argc, char** argv) {
         }
         child.was_relaunched = true;
       }
-    } else {
+    } else if (event.kind == EventKind::kPartition) {
       const int a = event.partition.a;
       const int b = event.partition.b;
       const char* verb = event.partition.partitioned ? "partition" : "heal";
@@ -388,6 +461,30 @@ int main(int argc, char** argv) {
                   std::string(verb) + " " + std::to_string(b));
       SendCommand(&children[static_cast<size_t>(b)],
                   std::string(verb) + " " + std::to_string(a));
+    } else if (event.gray.kind ==
+               helios::sim::GrayFaultKind::kProcessStall) {
+      const bool start = event.kind == EventKind::kGrayStart;
+      Child& child = children[static_cast<size_t>(event.gray.a)];
+      std::printf("supervisor: %s dc %d at t=%.2fs\n",
+                  start ? "SIGSTOP" : "SIGCONT", event.gray.a,
+                  static_cast<double>(event.at) / 1e6);
+      // A frozen-not-dead process: the kernel keeps its listening socket
+      // and peer connections open, so from outside the daemon is silent
+      // yet every probe still connects — the textbook gray failure.
+      if (child.running) {
+        ::kill(child.pid, start ? SIGSTOP : SIGCONT);
+      }
+    } else if (event.gray.kind ==
+               helios::sim::GrayFaultKind::kAsymPartition) {
+      const bool start = event.kind == EventKind::kGrayStart;
+      const char* verb = start ? "partition" : "heal";
+      std::printf("supervisor: %s %d -> %d (one-way) at t=%.2fs\n", verb,
+                  event.gray.a, event.gray.b,
+                  static_cast<double>(event.at) / 1e6);
+      // Refusal at the *a* endpoint only: a->b messages die while b->a
+      // still flows, the half-open link a bidirectional cut can't model.
+      SendCommand(&children[static_cast<size_t>(event.gray.a)],
+                  std::string(verb) + " " + std::to_string(event.gray.b));
     }
   }
 

@@ -110,13 +110,29 @@ std::string MetricsJson(int dc, LiveDatacenter& node,
     w.Field("messages_received", node.transport().messages_received());
     w.Field("messages_sent", node.transport().messages_sent());
     w.Field("reconnects", node.transport().reconnects());
+    w.Field("redial_cooldown_remaining_ms",
+            node.transport().redial_cooldown_remaining_ms());
     w.Field("sends_blocked", node.transport().sends_blocked());
+    w.Close();
+  }
+  const helios::transport::HealthSnapshot health = node.health_snapshot();
+  std::string health_doc;
+  if (health.enabled) {
+    json::ObjectWriter w(&health_doc);
+    int64_t suspected = 0;
+    for (size_t p = 0; p < health.phi.size(); ++p) {
+      if (static_cast<int>(p) == dc) continue;
+      w.Field(("phi_dc" + std::to_string(p)).c_str(), health.phi[p]);
+      suspected += health.suspected[p] ? 1 : 0;
+    }
+    w.Field("suspected", suspected);
     w.Close();
   }
 
   std::string out;
   json::ObjectWriter w(&out);
   w.Field("dc", static_cast<int64_t>(dc));
+  if (health.enabled) w.Raw("health", health_doc);
   if (load.ran && load.done.load()) {
     std::string load_doc;
     json::ObjectWriter lw(&load_doc);
