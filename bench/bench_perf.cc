@@ -6,6 +6,9 @@
 //
 //   sim.events.<protocol>  full-simulator throughput: simulated events and
 //                          committed transactions per wall-clock second
+//   sim.shard.scaling      disjoint-key workload, 1 shard vs 2 range-aligned
+//                          shards, in simulated txns/s; gates the sharding
+//                          capacity win (docs/SHARDING.md)
 //   wire.encode.legacy     allocate-per-call envelope framing (the old
 //                          Encoder/FrameEnvelope API, kept as the "before"
 //                          leg of the redesign)
@@ -155,6 +158,59 @@ void BenchSim(const std::vector<hns::Protocol>& protocols,
                  static_cast<int>(specs.size()),
                  specs.size() == 1 ? "" : "s");
   }
+}
+
+/// Shard-scaling leg: the same disjoint-key workload (key_partitions=2,
+/// so every transaction stays inside one contiguous half of the
+/// keyspace) run unsharded and with 2 range-aligned shards. Reported in
+/// *simulated* txns/s — committed transactions per simulated second —
+/// which is deterministic and machine-independent: it measures the
+/// modeled capacity win of a second independent log/apply plane
+/// (docs/SHARDING.md), not host speed. `speedup_2shard` is the gated
+/// headline: sharding must keep scaling disjoint-key write throughput.
+void BenchShardScaling(int measure_s, int jobs, hns::PerfReport* report) {
+  const Duration measure = bench::Scaled(Seconds(measure_s));
+  const hns::ExperimentSpec base =
+      hns::ExperimentSpec()
+          .WithProtocol(hns::Protocol::kHelios1)
+          .WithClients(300)
+          .WithNumKeys(20000)
+          .WithKeyPartitions(2)
+          .WithWarmup(bench::Scaled(Seconds(1)))
+          .WithMeasure(measure)
+          .WithSeed(42);
+  std::vector<hns::ExperimentSpec> specs = {
+      hns::ExperimentSpec(base).WithLabel("shard scaling: 1 shard"),
+      hns::ExperimentSpec(base)
+          .WithShards(2)
+          .WithShardBy("range")
+          .WithLabel("shard scaling: 2 shards"),
+  };
+  hns::SweepOptions options;
+  options.jobs = jobs;
+  hns::SweepRunner runner(options);
+  const hns::SweepResult sweep = runner.Run(specs);
+  if (!sweep.status().ok()) {
+    std::fprintf(stderr, "shard bench failed: %s\n",
+                 sweep.status().ToString().c_str());
+    std::exit(cli::kExitFailure);
+  }
+  const double sim_seconds = static_cast<double>(measure) / 1e6;
+  std::vector<double> txns_per_sim_s;
+  for (const hns::SweepJobResult& job : sweep.jobs) {
+    uint64_t committed = 0;
+    for (const auto& dc : job.result.per_dc) committed += dc.committed;
+    txns_per_sim_s.push_back(static_cast<double>(committed) / sim_seconds);
+  }
+  hns::PerfEntry& entry = report->Add("sim.shard.scaling");
+  entry.Set("txns_per_sec_1shard", txns_per_sim_s[0]);
+  entry.Set("txns_per_sec_2shard", txns_per_sim_s[1]);
+  entry.Set("speedup_2shard", txns_per_sim_s[1] / txns_per_sim_s[0]);
+  std::fprintf(stderr,
+               "sim.shard.scaling: 1 shard %.0f txns/sim-s, 2 shards %.0f "
+               "txns/sim-s (%.2fx)\n",
+               txns_per_sim_s[0], txns_per_sim_s[1],
+               txns_per_sim_s[1] / txns_per_sim_s[0]);
 }
 
 /// One corpus, three legs: legacy allocate-per-call framing (the old
@@ -389,6 +445,8 @@ int main(int argc, char** argv) {
              static_cast<int>(flags.GetInt("sim_clients")),
              static_cast<int>(flags.GetInt("sim_seconds")),
              static_cast<int>(flags.GetInt("jobs")), &report);
+    BenchShardScaling(static_cast<int>(flags.GetInt("sim_seconds")),
+                      static_cast<int>(flags.GetInt("jobs")), &report);
   }
   BenchWire(static_cast<int>(flags.GetInt("wire_iters")), &report);
   BenchWal(static_cast<int>(flags.GetInt("wal_entries")), &report);

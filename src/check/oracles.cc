@@ -10,6 +10,7 @@
 
 #include "core/history.h"
 #include "rdict/record.h"
+#include "shard/txn_status_store.h"
 #include "wal/wal_sink.h"
 #include "workload/client.h"
 
@@ -145,11 +146,186 @@ Status CheckSessionsOracle(const ExperimentSpec& spec,
   return Status::Ok();
 }
 
+// --- shard_atomicity / staged_resolution ------------------------------------
+
+/// Finalize outcomes observed for one TxnId: which shard (1-based, 0 =
+/// none yet) journaled a committed and an aborted finished record.
+struct ShardOutcome {
+  int committed_shard = 0;
+  int aborted_shard = 0;
+};
+
+Status CheckShardAtomicityOracle(const ExperimentResult& result) {
+  const RunCapture* cap = Capture(result);
+  if (cap == nullptr) {
+    return Status::FailedPrecondition("no captured WAL journals");
+  }
+  if (cap->shards <= 1) return Status::Ok();
+
+  // Within one datacenter, every shard that finalizes a transaction must
+  // finalize it the same way. Single-shard transactions can only appear
+  // in one shard's journal (the TxnId residue scheme keeps id spaces
+  // disjoint), so any id seen by two shards is a cross-shard commit.
+  const int n = static_cast<int>(cap->stores.size());
+  for (int dc = 0; dc < n; ++dc) {
+    std::unordered_map<TxnId, ShardOutcome, TxnIdHash> outcomes;
+    for (int s = 0; s < cap->shards; ++s) {
+      const size_t j = static_cast<size_t>(dc * cap->shards + s);
+      if (j >= cap->shard_wals.size() || !cap->shard_wal_present[j]) continue;
+      for (const rdict::LogRecord& r : cap->shard_wals[j].records) {
+        if (r.type != rdict::RecordType::kFinished || r.body == nullptr) {
+          continue;
+        }
+        ShardOutcome& o = outcomes[r.body->id];
+        if (r.committed) {
+          if (o.aborted_shard != 0) {
+            return Status::FailedPrecondition(
+                "shard-atomicity violation: txn " + r.body->id.ToString() +
+                " committed on shard " + std::to_string(s) +
+                " but aborted on shard " +
+                std::to_string(o.aborted_shard - 1) + " at datacenter " +
+                std::to_string(dc));
+          }
+          o.committed_shard = s + 1;
+        } else {
+          if (o.committed_shard != 0) {
+            return Status::FailedPrecondition(
+                "shard-atomicity violation: txn " + r.body->id.ToString() +
+                " aborted on shard " + std::to_string(s) +
+                " but committed on shard " +
+                std::to_string(o.committed_shard - 1) + " at datacenter " +
+                std::to_string(dc));
+          }
+          o.aborted_shard = s + 1;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckStagedResolutionOracle(const ExperimentResult& result) {
+  const RunCapture* cap = Capture(result);
+  if (cap == nullptr) {
+    return Status::FailedPrecondition("no captured coordinator status");
+  }
+  if (cap->shards <= 1) return Status::Ok();
+
+  // Global view of finalize outcomes across every (datacenter, shard)
+  // journal — slice records replicate, and a remote replica finalizing
+  // against the coordinator's durable decision is just as much a bug.
+  std::unordered_map<TxnId, ShardOutcome, TxnIdHash> outcomes;
+  const int n = static_cast<int>(cap->stores.size());
+  for (int dc = 0; dc < n; ++dc) {
+    for (int s = 0; s < cap->shards; ++s) {
+      const size_t j = static_cast<size_t>(dc * cap->shards + s);
+      if (j >= cap->shard_wals.size() || !cap->shard_wal_present[j]) continue;
+      for (const rdict::LogRecord& r : cap->shard_wals[j].records) {
+        if (r.type != rdict::RecordType::kFinished || r.body == nullptr) {
+          continue;
+        }
+        ShardOutcome& o = outcomes[r.body->id];
+        if (r.committed) {
+          o.committed_shard = s + 1;
+        } else {
+          o.aborted_shard = s + 1;
+        }
+      }
+    }
+  }
+
+  // The durable status table is the source of truth for parallel commits.
+  for (size_t dc = 0; dc < cap->txn_status.size(); ++dc) {
+    for (const auto& [id, rec] : cap->txn_status[dc]) {
+      const auto it = outcomes.find(id);
+      const bool committed =
+          it != outcomes.end() && it->second.committed_shard != 0;
+      const bool aborted =
+          it != outcomes.end() && it->second.aborted_shard != 0;
+      switch (rec.status) {
+        case shard::TxnStatus::kCommitted:
+          if (aborted) {
+            return Status::FailedPrecondition(
+                "staged-resolution violation: txn " + id.ToString() +
+                " is COMMITTED in datacenter " + std::to_string(dc) +
+                "'s status table but a shard journaled an aborted finalize");
+          }
+          break;
+        case shard::TxnStatus::kAborted:
+          if (committed) {
+            return Status::FailedPrecondition(
+                "staged-resolution violation: txn " + id.ToString() +
+                " is ABORTED in datacenter " + std::to_string(dc) +
+                "'s status table but a shard journaled a committed "
+                "finalize");
+          }
+          break;
+        case shard::TxnStatus::kStaged:
+          // Still undecided at end of run: a committed finalize without
+          // the durable COMMITTED flip is exactly the bug the
+          // skip_staged_resolution mutation seeds.
+          if (committed) {
+            return Status::FailedPrecondition(
+                "staged-resolution violation: txn " + id.ToString() +
+                " never left STAGED in datacenter " + std::to_string(dc) +
+                "'s status table yet a shard journaled a committed "
+                "finalize");
+          }
+          break;
+      }
+    }
+  }
+
+  // Every client-observed cross-shard commit (TxnId residue 0 in the
+  // seq-partition scheme) must have reached COMMITTED at its origin — the
+  // durable flip happens before the client reply.
+  const uint64_t stride = static_cast<uint64_t>(cap->shards) + 1;
+  for (const SessionLog& session : cap->sessions) {
+    for (const SessionEvent& ev : session.events) {
+      if (ev.kind != SessionEvent::Kind::kCommit || !ev.committed) continue;
+      if (ev.txn.seq % stride != 0) continue;  // Single-shard fast path.
+      const size_t origin = static_cast<size_t>(ev.txn.origin);
+      if (origin >= cap->txn_status.size()) continue;
+      const auto& table = cap->txn_status[origin];
+      const auto it = table.find(ev.txn);
+      if (it == table.end() ||
+          it->second.status != shard::TxnStatus::kCommitted) {
+        return Status::FailedPrecondition(
+            "staged-resolution violation: client " +
+            std::to_string(session.client_id) + " observed cross-shard txn " +
+            ev.txn.ToString() +
+            " as committed but its origin's status table says " +
+            (it == table.end() ? "nothing"
+                               : shard::TxnStatusName(it->second.status)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 // --- exactly_once -----------------------------------------------------------
 
 bool IsCommittedFinished(const rdict::LogRecord& r) {
   return r.type == rdict::RecordType::kFinished && r.committed &&
          r.body != nullptr;
+}
+
+/// The durable journals of one datacenter: the flat per-DC journal for
+/// unsharded captures, or the datacenter's per-shard journals (indexed
+/// dc * shards + s) for sharded ones. Exactly one of the two sources is
+/// populated per capture, so no journal is ever double-counted.
+std::vector<const wal::WalContents*> JournalsFor(const RunCapture& cap,
+                                                 int dc) {
+  std::vector<const wal::WalContents*> out;
+  const size_t i = static_cast<size_t>(dc);
+  if (i < cap.wals.size() && cap.wal_present[i]) out.push_back(&cap.wals[i]);
+  for (int s = 0; s < cap.shards; ++s) {
+    const size_t j = static_cast<size_t>(dc * cap.shards + s);
+    if (j < cap.shard_wals.size() && cap.shard_wal_present[j]) {
+      out.push_back(&cap.shard_wals[j]);
+    }
+  }
+  return out;
 }
 
 Status CheckExactlyOnceOracle(const ExperimentSpec& spec,
@@ -159,34 +335,42 @@ Status CheckExactlyOnceOracle(const ExperimentSpec& spec,
     return Status::FailedPrecondition("no captured WAL journals");
   }
 
-  // Per-datacenter: every committed transaction journaled at most once
-  // (PR 4's journal-then-apply dedup is what makes redelivery of the same
-  // decision idempotent).
+  // Per-journal: every committed transaction journaled at most once (PR
+  // 4's journal-then-apply dedup is what makes redelivery of the same
+  // decision idempotent). The dedup scope is one journal, not one
+  // datacenter: a cross-shard transaction legitimately has one committed
+  // slice record in each participating shard's journal, always with the
+  // same version_ts — which the cross-journal agreement check enforces.
   const int n = static_cast<int>(cap->wals.size());
-  std::vector<std::unordered_map<TxnId, Timestamp, TxnIdHash>> journaled(
+  std::vector<std::vector<const wal::WalContents*>> journals(
+      static_cast<size_t>(n));
+  std::vector<std::unordered_set<TxnId, TxnIdHash>> journaled(
       static_cast<size_t>(n));
   std::unordered_map<TxnId, std::pair<Timestamp, int>, TxnIdHash> agreed;
   for (int dc = 0; dc < n; ++dc) {
     const size_t i = static_cast<size_t>(dc);
-    if (!cap->wal_present[i]) continue;
-    for (const rdict::LogRecord& r : cap->wals[i].records) {
-      if (!IsCommittedFinished(r)) continue;
-      auto [it, inserted] = journaled[i].emplace(r.body->id, r.version_ts);
-      if (!inserted) {
-        return Status::FailedPrecondition(
-            "exactly-once violation: txn " + r.body->id.ToString() +
-            " has two committed records in datacenter " + std::to_string(dc) +
-            "'s journal");
-      }
-      auto [ait, fresh] = agreed.emplace(r.body->id,
-                                         std::make_pair(r.version_ts, dc));
-      if (!fresh && ait->second.first != r.version_ts) {
-        return Status::FailedPrecondition(
-            "divergence: txn " + r.body->id.ToString() +
-            " journaled with version_ts " + std::to_string(r.version_ts) +
-            " at datacenter " + std::to_string(dc) + " but " +
-            std::to_string(ait->second.first) + " at datacenter " +
-            std::to_string(ait->second.second));
+    journals[i] = JournalsFor(*cap, dc);
+    for (const wal::WalContents* wal : journals[i]) {
+      std::unordered_set<TxnId, TxnIdHash> in_this_journal;
+      for (const rdict::LogRecord& r : wal->records) {
+        if (!IsCommittedFinished(r)) continue;
+        if (!in_this_journal.insert(r.body->id).second) {
+          return Status::FailedPrecondition(
+              "exactly-once violation: txn " + r.body->id.ToString() +
+              " has two committed records in one of datacenter " +
+              std::to_string(dc) + "'s journals");
+        }
+        journaled[i].insert(r.body->id);
+        auto [ait, fresh] = agreed.emplace(r.body->id,
+                                           std::make_pair(r.version_ts, dc));
+        if (!fresh && ait->second.first != r.version_ts) {
+          return Status::FailedPrecondition(
+              "divergence: txn " + r.body->id.ToString() +
+              " journaled with version_ts " + std::to_string(r.version_ts) +
+              " at datacenter " + std::to_string(dc) + " but " +
+              std::to_string(ait->second.first) + " at datacenter " +
+              std::to_string(ait->second.second));
+        }
       }
     }
   }
@@ -219,7 +403,7 @@ Status CheckExactlyOnceOracle(const ExperimentSpec& spec,
       const DcId authority =
           two_pc ? spec.two_pc_coordinator : ev.txn.origin;
       const size_t ai = static_cast<size_t>(authority);
-      if (authority < 0 || authority >= n || !cap->wal_present[ai]) continue;
+      if (authority < 0 || authority >= n || journals[ai].empty()) continue;
       if (journaled[ai].count(ev.txn) == 0) {
         return Status::FailedPrecondition(
             "durability violation: committed txn " + ev.txn.ToString() +
@@ -241,23 +425,29 @@ Status CheckWalReplayOracle(const ExperimentResult& result) {
   const int n = static_cast<int>(cap->wals.size());
   for (int dc = 0; dc < n; ++dc) {
     const size_t i = static_cast<size_t>(dc);
-    if (!cap->wal_present[i]) continue;
+    const std::vector<const wal::WalContents*> journals =
+        JournalsFor(*cap, dc);
+    if (journals.empty()) continue;
     if (cap->dc_down[i]) continue;  // Crashed at end: store is amnesiac.
 
-    // Replay: the latest journaled version of every key.
+    // Replay: the latest journaled version of every key, merged across
+    // the datacenter's journals. Shard key partitions are disjoint, so
+    // for sharded captures the merge is a plain union.
     struct Latest {
       Version version{kMinTimestamp, TxnId{}};
       const Value* value = nullptr;
     };
     std::map<Key, Latest> replay;
-    for (const rdict::LogRecord& r : cap->wals[i].records) {
-      if (!IsCommittedFinished(r)) continue;
-      const Version v{r.version_ts, r.body->id};
-      for (const WriteEntry& w : r.body->write_set) {
-        Latest& slot = replay[w.key];
-        if (slot.value == nullptr || VersionLess(slot.version, v)) {
-          slot.version = v;
-          slot.value = &w.value;
+    for (const wal::WalContents* wal : journals) {
+      for (const rdict::LogRecord& r : wal->records) {
+        if (!IsCommittedFinished(r)) continue;
+        const Version v{r.version_ts, r.body->id};
+        for (const WriteEntry& w : r.body->write_set) {
+          Latest& slot = replay[w.key];
+          if (slot.value == nullptr || VersionLess(slot.version, v)) {
+            slot.version = v;
+            slot.value = &w.value;
+          }
         }
       }
     }
@@ -379,8 +569,20 @@ Status CheckMetricsOracle(const ExperimentSpec& spec,
   const bool can_wedge = !spec.fault_plan.node_events.empty() ||
                          !spec.fault_plan.partition_events.empty() ||
                          !spec.fault_plan.gray_faults.empty();
+  // Message faults can blank a window without any protocol bug: every
+  // swallowed reply parks its client for a full commit timeout. The
+  // scenario generator keeps crash/partition/gray faults quiet for the
+  // last 2s of the window precisely so this check stays sound, but link
+  // faults are allowed to run to the end of time; when one does, only
+  // claim liveness if the window dwarfs the per-client parking budget —
+  // below 4x the timeout the check would be flagging bad luck.
+  const sim::SimTime lossy_quiet_from =
+      spec.warmup + spec.measure - Millis(2000);
+  const bool lossy_thin_window =
+      spec.fault_plan.HasMessageFaultsActiveAfter(lossy_quiet_from) &&
+      spec.client_timeout > 0 && spec.measure < 4 * spec.client_timeout;
   if (spec.measure >= Seconds(1) && (!can_wedge || spec.client_timeout > 0) &&
-      committed == 0) {
+      !lossy_thin_window && committed == 0) {
     return Status::FailedPrecondition(
         "liveness violation: nothing committed in a " +
         std::to_string(spec.measure / 1000) + "ms measurement window");
@@ -440,6 +642,14 @@ OracleReport RunOracles(const ExperimentSpec& spec,
   }
   if (options.sessions) {
     report.verdicts.push_back({"sessions", CheckSessionsOracle(spec, result)});
+  }
+  if (options.shard_atomicity) {
+    report.verdicts.push_back(
+        {"shard_atomicity", CheckShardAtomicityOracle(result)});
+  }
+  if (options.staged_resolution) {
+    report.verdicts.push_back(
+        {"staged_resolution", CheckStagedResolutionOracle(result)});
   }
   if (options.exactly_once) {
     report.verdicts.push_back(

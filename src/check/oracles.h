@@ -24,6 +24,16 @@
 //    still down at the end). This is the durability half of crash
 //    recovery: the store must never hold a committed version the journal
 //    cannot rebuild, and vice versa.
+//  * "shard_atomicity" — sharded runs only (src/shard): a cross-shard
+//    transaction must finalize the same way on every shard. Within one
+//    datacenter, no TxnId may have a committed finished record in one
+//    shard's journal and an aborted one in another's.
+//  * "staged_resolution" — sharded runs only: the durable coordinator
+//    status table is the single source of truth for parallel commits. A
+//    COMMITTED entry forbids aborted finalizes, an ABORTED or
+//    still-STAGED entry forbids committed finalizes, and every
+//    client-observed cross-shard commit must have a COMMITTED entry at
+//    its origin.
 //  * "metrics" — exported counters match the scenario: recovery.recoveries
 //    is nonzero iff a crash/recover pair was scheduled, fault counters are
 //    exported iff the plan has message faults, and runs whose fault plan
@@ -48,6 +58,9 @@ namespace helios::check {
 struct OracleOptions {
   bool serializability = true;
   bool sessions = true;
+  /// Sharded captures only; pass trivially when capture->shards == 1.
+  bool shard_atomicity = true;
+  bool staged_resolution = true;
   bool exactly_once = true;
   bool wal_replay = true;
   bool metrics = true;

@@ -79,6 +79,26 @@ harness::ExperimentSpec ScenarioGenerator::Scenario(uint64_t index) const {
         static_cast<uint64_t>(n)));
     spec.check_serializability = true;
 
+    // Sharding (src/shard). The draw happens ONLY when shard_counts can
+    // produce something other than 1 — the default options consume zero
+    // RNG values here, which is what keeps pre-sharding scenario streams
+    // bit-identical. Baselines cannot shard (spec validation rejects it),
+    // so their scenarios stay at 1 without consuming draws either.
+    const bool shards_enabled =
+        options_.shard_counts.size() > 1 || (!options_.shard_counts.empty() &&
+                                             options_.shard_counts[0] != 1);
+    const bool helios_family =
+        spec.protocol != harness::Protocol::kMessageFutures &&
+        spec.protocol != harness::Protocol::kReplicatedCommit &&
+        spec.protocol != harness::Protocol::kTwoPcPaxos;
+    if (shards_enabled && helios_family) {
+      spec.shards =
+          options_.shard_counts[rng.Uniform(options_.shard_counts.size())];
+      if (spec.shards > 1) {
+        spec.shard_by = rng.Bernoulli(0.5) ? "range" : "hash";
+      }
+    }
+
     // Decide the fault classes first: a crash needs a longer measurement
     // window (commits before the crash, a recovery, and a quiet tail).
     const bool with_crash = options_.crashes && rng.Bernoulli(0.4);

@@ -45,6 +45,13 @@ struct GeneratorOptions {
   /// re-admission under every oracle.
   bool gray_faults = true;
 
+  /// Shard counts to draw from (src/shard). The default {1} draws no RNG
+  /// values at all, so pre-sharding scenario streams replay byte for
+  /// byte. Counts > 1 are applied only to Helios-family protocols (the
+  /// cross-shard commit leans on Rule 2); a draw landing on a baseline
+  /// protocol keeps shards = 1.
+  std::vector<int> shard_counts = {1};
+
   // Contention range. The defaults keep scenarios small enough that a
   // fuzz run completes hundreds of them, while contended enough that
   // ordering bugs (see HELIOS_CHECK_MUTATION) actually manifest.

@@ -61,6 +61,14 @@ std::vector<Edit> EditsFor(const ExperimentSpec& spec) {
       });
     }
   }
+  // Unshard: if the failure reproduces on the plain single-deployment
+  // cluster, the cross-shard machinery is not part of the story.
+  edits.push_back([](ExperimentSpec* s) {
+    if (s->shards <= 1) return false;
+    s->shards = 1;
+    s->shard_by = "hash";
+    return true;
+  });
   // Health reaction off (detection alone rarely reproduces a failure that
   // degraded commit caused).
   edits.push_back([](ExperimentSpec* s) {

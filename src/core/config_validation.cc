@@ -35,6 +35,11 @@ Status ValidateHeliosConfig(const HeliosConfig& config) {
         "fault_tolerance > 0 requires a positive grace_time (the "
         "acknowledgment bound of Section 4.4)");
   }
+  if (config.txn_seq_start < 1 || config.txn_seq_stride < 1) {
+    return Status::InvalidArgument(
+        "txn_seq_start and txn_seq_stride must be >= 1 (sequence 0 is the "
+        "invalid TxnId)");
+  }
   if (!config.clock_offsets.empty() &&
       static_cast<int>(config.clock_offsets.size()) != n) {
     return Status::InvalidArgument(

@@ -47,8 +47,13 @@ std::unique_ptr<HeliosNode> HeliosCluster::MakeNode(DcId dc) {
           network_->SendSized(dc, to, size, std::move(deliver));
         }
       });
-  node->set_history_recorder(&history_);
+  node->set_history_recorder(history_override_ != nullptr ? history_override_
+                                                          : &history_);
   node->SetObservability(trace_, metrics_);
+  if (staged_resolver_) {
+    node->set_staged_resolver(
+        [this, dc](const TxnId& id) { return staged_resolver_(dc, id); });
+  }
   // Durability is always on: every append/ingest and every GC-tick
   // timetable snapshot lands in the per-datacenter MemoryWal. The sink is
   // a pure memory side effect — no scheduler events, no RNG — so
@@ -159,6 +164,25 @@ void HeliosCluster::SetDatacenterDown(DcId dc, bool down) {
   });
 }
 
+void HeliosCluster::SetHistoryRecorder(HistoryRecorder* recorder) {
+  history_override_ = recorder;
+  for (auto& node : nodes_) {
+    node->set_history_recorder(recorder != nullptr ? recorder : &history_);
+  }
+}
+
+void HeliosCluster::SetStagedResolver(StagedResolverFn resolver) {
+  staged_resolver_ = std::move(resolver);
+  for (DcId dc = 0; dc < config_.num_datacenters; ++dc) {
+    if (staged_resolver_) {
+      node(dc).set_staged_resolver(
+          [this, dc](const TxnId& id) { return staged_resolver_(dc, id); });
+    } else {
+      node(dc).set_staged_resolver(nullptr);
+    }
+  }
+}
+
 void HeliosCluster::SetObservability(obs::TraceRecorder* trace,
                                      obs::MetricsRegistry* metrics) {
   trace_ = trace;
@@ -246,6 +270,12 @@ NodeCounters HeliosCluster::AggregateCounters() const {
     total.suspicion_refusals += c.suspicion_refusals;
     total.degraded_commits += c.degraded_commits;
     total.hedged_pulls += c.hedged_pulls;
+    total.staged_requests += c.staged_requests;
+    total.staged_waits += c.staged_waits;
+    total.staged_prepared += c.staged_prepared;
+    total.staged_commits += c.staged_commits;
+    total.staged_aborts += c.staged_aborts;
+    total.staged_resolved += c.staged_resolved;
   }
   return total;
 }

@@ -132,6 +132,21 @@ class HeliosCluster : public ProtocolCluster {
     envelope_sizer_ = std::move(sizer);
   }
 
+  // --- Sharded-deployment hooks (src/shard) -------------------------------
+
+  /// Redirects commit recording to a shared recorder so a ShardedCluster's
+  /// S inner clusters contribute to one serialization history. Applies to
+  /// current nodes and every node built later (amnesia restarts). Null
+  /// restores the cluster-owned recorder.
+  void SetHistoryRecorder(HistoryRecorder* recorder);
+
+  /// Installs the durable staged-transaction status lookup consulted by a
+  /// recovering node (see HeliosNode::set_staged_resolver); the DcId names
+  /// the datacenter whose node is asking. Survives amnesia restarts.
+  using StagedResolverFn =
+      std::function<StagedResolution(DcId, const TxnId&)>;
+  void SetStagedResolver(StagedResolverFn resolver);
+
  private:
   /// Builds a fresh node for `dc` with all cluster wiring (WAN send, WAL
   /// sinks, history, observability). Used at construction and for the
@@ -155,6 +170,9 @@ class HeliosCluster : public ProtocolCluster {
   std::vector<std::pair<Key, Value>> initial_loads_;
   bool started_ = false;
   RecoveryStats recovery_stats_;
+  /// Shared-history override for sharded deployments (null = history_).
+  HistoryRecorder* history_override_ = nullptr;
+  StagedResolverFn staged_resolver_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   EnvelopeSizer envelope_sizer_;

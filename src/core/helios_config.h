@@ -94,6 +94,14 @@ struct HeliosConfig {
   /// Gray-failure detection and reaction (src/health).
   HealthConfig health;
 
+  /// Transaction-sequence interleaving for sharded deployments (src/shard):
+  /// a node mints TxnId sequence numbers start, start+stride, ... so the S
+  /// per-shard logs of one datacenter (shard s uses start = s+1, stride =
+  /// S+1) and the cross-shard coordinator (residue 0) never collide. The
+  /// defaults reproduce the unsharded stream 1, 2, 3, ... exactly.
+  uint64_t txn_seq_start = 1;
+  uint64_t txn_seq_stride = 1;
+
   Duration commit_offset(DcId a, DcId b) const {
     if (commit_offsets.empty()) return 0;
     return commit_offsets[static_cast<size_t>(a)][static_cast<size_t>(b)];

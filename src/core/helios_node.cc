@@ -44,6 +44,7 @@ HeliosNode::HeliosNode(DcId id, const HeliosConfig& config,
       service_queue_(scheduler),
       log_(id, config.num_datacenters) {
   assert(id >= 0 && id < config.num_datacenters);
+  next_txn_seq_ = config_.txn_seq_start;
   assert(kind_ != LogProtocolKind::kMessageFutures ||
          config_.fault_tolerance == 0);
   if (config_.estimate_rtts) {
@@ -160,6 +161,42 @@ void HeliosNode::HandleCommitRequest(std::vector<ReadEntry> reads,
                         }));
 }
 
+void HeliosNode::HandleStagedCommit(const TxnId& id,
+                                    std::vector<ReadEntry> reads,
+                                    std::vector<WriteEntry> writes,
+                                    StagedAdmitCallback admitted,
+                                    StagedCommitCallback prepared) {
+  const sim::SimTime arrived = scheduler_->Now();
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::EventKind::kTxnRequest, id_, id, arrived);
+  }
+  service_queue_.Submit(config_.service.commit_request,
+                        Guarded([this, id, arrived, reads = std::move(reads),
+                                 writes = std::move(writes),
+                                 admitted = std::move(admitted),
+                                 prepared = std::move(prepared)]() mutable {
+                          ProcessStagedCommit(id, std::move(reads),
+                                              std::move(writes),
+                                              std::move(admitted),
+                                              std::move(prepared), arrived);
+                        }));
+}
+
+void HeliosNode::HandleRaiseStagedWait(const TxnId& id, Timestamp wait_base) {
+  service_queue_.Submit(config_.service.log_record,
+                        Guarded([this, id, wait_base]() {
+                          ProcessRaiseStagedWait(id, wait_base);
+                        }));
+}
+
+void HeliosNode::HandleFinalizeStaged(const TxnId& id, bool commit,
+                                      Timestamp commit_ts) {
+  service_queue_.Submit(config_.service.log_record,
+                        Guarded([this, id, commit, commit_ts]() {
+                          ProcessFinalizeStaged(id, commit, commit_ts);
+                        }));
+}
+
 void HeliosNode::HandleEnvelope(EnvelopePtr env) {
   if (down_) return;  // A crashed datacenter drops everything.
   if (trace_ != nullptr) {
@@ -216,10 +253,161 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
     return;
   }
   ++counters_.commit_requests;
-  const TxnId id{id_, next_txn_seq_++};
+  const TxnId id{id_, next_txn_seq_};
+  next_txn_seq_ += config_.txn_seq_stride;
   TxnBodyPtr body = MakeTxnBody(id, std::move(reads), std::move(writes));
 
+  PendingTxn pending;
+  pending.arrived_sim = arrived_sim;
+  pending.reply = std::move(reply);
+  std::string abort_reason;
+  if (!AdmitPreparing(id, body, &pending, &abort_reason)) {
+    ++counters_.aborts_on_request;
+    pending.reply(CommitOutcome{id, false, abort_reason});
+    return;
+  }
+
+  // With sufficiently negative commit offsets the wait may already be
+  // satisfied (the paper's Figure 2 scenario for co < 0).
+  TryCommitAll();
+}
+
+namespace {
+
+/// Wait-die retry schedule for staged admissions: poll the pools every
+/// interval, give up (die) after the budget. The budget must outlast a
+/// younger blocker's whole prepared-hold window — commit wait plus the
+/// coordinator finalize round — or the oldest transaction aborts right
+/// before its blocker would have released.
+constexpr Duration kStagedRetryInterval = Micros(500);
+constexpr int kStagedRetryBudget = 400;  // x interval = 200ms of patience.
+
+/// Age order for wait-die: coordinator sequence numbers grow over time at
+/// every datacenter, so (seq, origin) is a total order that roughly tracks
+/// start order; the origin tie-break only arbitrates cross-datacenter ties.
+bool MintedAfter(const TxnId& a, const TxnId& b) {
+  if (a.seq != b.seq) return a.seq > b.seq;
+  return a.origin > b.origin;
+}
+
+}  // namespace
+
+void HeliosNode::ProcessStagedCommit(const TxnId& id,
+                                     std::vector<ReadEntry> reads,
+                                     std::vector<WriteEntry> writes,
+                                     StagedAdmitCallback admitted,
+                                     StagedCommitCallback prepared,
+                                     sim::SimTime arrived_sim) {
+  if (down_) return;
+  ++counters_.staged_requests;
+  TryStagedAdmission(id, MakeTxnBody(id, std::move(reads), std::move(writes)),
+                     std::move(admitted), std::move(prepared), arrived_sim,
+                     kStagedRetryBudget);
+}
+
+bool HeliosNode::StagedConflictsAllYoungerStaged(const TxnId& id,
+                                                 const TxnBody& body) const {
+  std::vector<TxnBodyPtr> blockers = pt_pool_.ConflictingWriters(body);
+  const std::vector<TxnBodyPtr> remote = ept_pool_.ConflictingWriters(body);
+  blockers.insert(blockers.end(), remote.begin(), remote.end());
+  if (blockers.empty()) return false;  // Overwritten read: waiting can't help.
+  for (const TxnBodyPtr& b : blockers) {
+    // Every blocker's fate resolves in bounded time — a local pending
+    // transaction commits or aborts at decision time, a remote preparing
+    // record is cleared by its origin's committed/aborted record within
+    // about one RTT — so waiting is safe whenever age order permits it.
+    if (!MintedAfter(b->id, id)) return false;
+  }
+  return true;
+}
+
+bool HeliosNode::OlderWaiterConflicts(const TxnId& id,
+                                      const TxnBody& body) const {
+  for (const auto& [wid, wbody] : staged_waiting_) {
+    if (MintedAfter(wid, id)) continue;  // Younger waiters never fence.
+    for (const WriteEntry& w : wbody->write_set) {
+      if (body.ReadsKey(w.key) || body.WritesKey(w.key)) return true;
+    }
+    for (const WriteEntry& w : body.write_set) {
+      if (wbody->ReadsKey(w.key)) return true;
+    }
+  }
+  return false;
+}
+
+void HeliosNode::TryStagedAdmission(const TxnId& id, TxnBodyPtr body,
+                                    StagedAdmitCallback admitted,
+                                    StagedCommitCallback prepared,
+                                    sim::SimTime arrived_sim,
+                                    int retries_left) {
+  staged_waiting_.erase(id);  // Re-registered below if it parks again.
+  if (down_) return;
+  if (recovering_) {
+    ++counters_.staged_aborts;
+    admitted(StagedAdmitOutcome{id, false, "recovering", kMinTimestamp});
+    return;
+  }
+  if (OlderWaiterConflicts(id, *body)) {
+    ++counters_.staged_aborts;
+    admitted(StagedAdmitOutcome{id, false, "conflict:waiting", kMinTimestamp});
+    return;
+  }
+  PendingTxn pending;
+  pending.arrived_sim = arrived_sim;
+  pending.staged = true;
+  pending.wait_armed = false;
+  pending.staged_reply = std::move(prepared);
+  std::string abort_reason;
+  if (!AdmitPreparing(id, body, &pending, &abort_reason)) {
+    if (retries_left > 0 && StagedConflictsAllYoungerStaged(id, *body)) {
+      // Wait arm of wait-die (see TryStagedAdmission's declaration). The
+      // recheck runs off the scheduler, not the service queue: it is a
+      // local pool probe, and queueing it would serialize behind the very
+      // admissions it yields to.
+      ++counters_.staged_waits;
+      staged_waiting_[id] = body;
+      scheduler_->After(
+          kStagedRetryInterval,
+          Guarded([this, id, body = std::move(body),
+                   admitted = std::move(admitted),
+                   prepared = std::move(pending.staged_reply),
+                   arrived_sim, retries_left]() mutable {
+            TryStagedAdmission(id, std::move(body), std::move(admitted),
+                               std::move(prepared), arrived_sim,
+                               retries_left - 1);
+          }));
+      return;
+    }
+    ++counters_.staged_aborts;
+    admitted(StagedAdmitOutcome{id, false, abort_reason, kMinTimestamp});
+    return;
+  }
+  // No TryCommitAll here: the slice cannot prepare before the coordinator
+  // raises its wait base, and nothing else changed for other transactions.
+  admitted(StagedAdmitOutcome{id, true, "", pending_.at(id).request_ts});
+}
+
+void HeliosNode::ProcessRaiseStagedWait(const TxnId& id, Timestamp wait_base) {
+  if (down_) return;
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // Already aborted (victim / doomed).
+  PendingTxn& t = it->second;
+  if (!t.staged || t.wait_armed) return;
+  for (DcId x = 0; x < config_.num_datacenters; ++x) {
+    if (x == id_) continue;
+    t.kts[static_cast<size_t>(x)] =
+        std::max(t.kts[static_cast<size_t>(x)], wait_base + OffsetTo(x));
+  }
+  t.wait_armed = true;
+  TryCommitAll();
+}
+
+bool HeliosNode::AdmitPreparing(const TxnId& id, const TxnBodyPtr& body,
+                                PendingTxn* pending,
+                                std::string* abort_reason) {
+  const sim::SimTime arrived_sim = pending->arrived_sim;
   const sim::SimTime processed_sim = scheduler_->Now();
+  pending->processed_sim = processed_sim;
   if (trace_ != nullptr) {
     trace_->Span(obs::EventKind::kTxnQueue, id_, id, arrived_sim,
                  processed_sim);
@@ -232,37 +420,30 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   // Lines 2-3: conflict with any preparing transaction, local or remote.
   if (!pt_pool_.ConflictingWriters(*body).empty() ||
       !ept_pool_.ConflictingWriters(*body).empty()) {
-    ++counters_.aborts_on_request;
-    RecordDecisionTrace(id, false, "conflict:preparing", arrived_sim,
-                        processed_sim);
-    reply(CommitOutcome{id, false, "conflict:preparing"});
-    return;
+    *abort_reason = "conflict:preparing";
+    RecordDecisionTrace(id, false, *abort_reason, arrived_sim, processed_sim);
+    return false;
   }
   // Lines 4-6: has anything in the read set been overwritten?
   for (const ReadEntry& r : body->read_set) {
     if (!ReadStillValid(r)) {
-      ++counters_.aborts_on_request;
-      RecordDecisionTrace(id, false, "overwritten:" + r.key, arrived_sim,
+      *abort_reason = "overwritten:" + r.key;
+      RecordDecisionTrace(id, false, *abort_reason, arrived_sim,
                           processed_sim);
-      reply(CommitOutcome{id, false, "overwritten:" + r.key});
-      return;
+      return false;
     }
   }
 
   // Lines 7-9: timestamp and knowledge timestamps (Eq. 1).
   const Timestamp q = clock_->NowUnique();
-  PendingTxn pending;
-  pending.body = body;
-  pending.request_ts = q;
-  pending.arrived_sim = arrived_sim;
-  pending.processed_sim = processed_sim;
-  pending.kts.assign(static_cast<size_t>(config_.num_datacenters),
-                     kMinTimestamp);
+  pending->body = body;
+  pending->request_ts = q;
+  pending->kts.assign(static_cast<size_t>(config_.num_datacenters),
+                      kMinTimestamp);
   for (DcId x = 0; x < config_.num_datacenters; ++x) {
     if (x == id_) continue;
-    pending.kts[static_cast<size_t>(x)] = q + OffsetTo(x);
+    pending->kts[static_cast<size_t>(x)] = q + OffsetTo(x);
   }
-  pending.reply = std::move(reply);
 
   // Line 10: append the preparing record and pool the transaction.
   rdict::LogRecord rec;
@@ -281,11 +462,8 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
 
   pt_pool_.Add(body);
   pending_by_ts_.emplace(std::make_pair(q, id), id);
-  pending_.emplace(id, std::move(pending));
-
-  // With sufficiently negative commit offsets the wait may already be
-  // satisfied (the paper's Figure 2 scenario for co < 0).
-  TryCommitAll();
+  pending_.emplace(id, std::move(*pending));
+  return true;
 }
 
 // --- Algorithm 2: log processing ---------------------------------------------
@@ -333,8 +511,15 @@ void HeliosNode::ProcessEnvelope(const Envelope& env) {
     if (rec.origin == id_) continue;  // Lines 2-3: skip local records.
 
     // Lines 4-6: the incoming write set aborts conflicting local
-    // preparing transactions.
+    // preparing transactions. Held cross-shard intents are exempt: they
+    // already passed their commit wait, so by Rule 1 a conflicting record
+    // ordered before their knowledge point would have arrived while they
+    // were still pending (and killed them then); this conflicter is later
+    // and aborts at its own origin when our preparing record lands there —
+    // the same immunity a plain transaction gains by committing at the
+    // instant its wait is satisfied.
     for (const TxnBodyPtr& victim : pt_pool_.Victims(*rec.body)) {
+      if (staged_holds_.count(victim->id) > 0) continue;
       AbortPending(victim->id, "conflict:remote",
                    &NodeCounters::aborts_by_remote);
     }
@@ -527,6 +712,9 @@ void HeliosNode::TryCommitAll() {
   std::vector<TxnId> to_doom;
   for (const auto& [key, id] : pending_by_ts_) {
     const PendingTxn& t = pending_.at(id);
+    // A staged slice waits for the coordinator's transaction-wide base
+    // before its commit wait means anything (HandleRaiseStagedWait).
+    if (t.staged && !t.wait_armed) continue;
     bool doomed = false;
     const bool acks = AckQuorumSatisfied(t, &doomed);
     if (doomed) {
@@ -588,9 +776,81 @@ Timestamp HeliosNode::DependencyBumpedVersionTs(const TxnBody& body) {
   return std::max(clock_->Now(), store_.MaxVersionTsOf(body) + 1);
 }
 
+void HeliosNode::PrepareStaged(const TxnId& id) {
+  auto it = pending_.find(id);
+  assert(it != pending_.end());
+  PendingTxn pending = std::move(it->second);
+  // Out of the pending maps (Algorithm 3 is done with it) but NOT out of
+  // pt_pool_: the held intent keeps blocking conflicting admissions until
+  // the coordinator's decision arrives.
+  pending_by_ts_.erase(std::make_pair(pending.request_ts, id));
+  refusals_.erase(id);
+  pending_.erase(it);
+
+  StagedHold hold;
+  hold.body = pending.body;
+  hold.proposed_ts = DependencyBumpedVersionTs(*pending.body);
+  hold.arrived_sim = pending.arrived_sim;
+  hold.processed_sim = pending.processed_sim;
+  const Timestamp proposed = hold.proposed_ts;
+  staged_holds_.emplace(id, std::move(hold));
+  ++counters_.staged_prepared;
+  pending.staged_reply(StagedCommitOutcome{id, true, "", proposed});
+}
+
+void HeliosNode::ProcessFinalizeStaged(const TxnId& id, bool commit,
+                                       Timestamp commit_ts) {
+  if (down_) return;
+  if (!commit) {
+    // The coordinator may abort a slice that is still pending (a sibling
+    // shard failed admission before this slice ever prepared).
+    auto pit = pending_.find(id);
+    if (pit != pending_.end() && pit->second.staged) {
+      AbortPending(id, "xshard:abort", &NodeCounters::aborts_liveness);
+      return;
+    }
+  }
+  auto it = staged_holds_.find(id);
+  if (it == staged_holds_.end()) return;  // Slice already self-aborted.
+  StagedHold hold = std::move(it->second);
+  staged_holds_.erase(it);
+  pt_pool_.Remove(id);
+
+  rdict::LogRecord rec;
+  rec.type = rdict::RecordType::kFinished;
+  rec.committed = commit;
+  rec.origin = id_;
+  rec.body = hold.body;
+  if (commit) {
+    service_queue_.Charge((config_.service.write_apply + FsyncPenalty()) *
+                          static_cast<Duration>(hold.body->write_set.size()));
+    store_.ApplyTxn(*hold.body, commit_ts);
+    rec.version_ts = commit_ts;
+    ++counters_.staged_commits;
+  } else {
+    ++counters_.staged_aborts;
+  }
+  rec.ts = clock_->NowUnique();
+  const Status append = log_.AppendLocal(rec);
+  assert(append.ok());
+  (void)append;
+  if (const Duration p = FsyncPenalty(); p > 0) service_queue_.Charge(p);
+  if (record_sink_) record_sink_(rec);
+  // No history recording here: the coordinator records the whole
+  // cross-shard transaction once, with the full body, at decision time.
+  RecordDecisionTrace(id, commit, commit ? std::string() : "xshard:abort",
+                      hold.arrived_sim, hold.processed_sim);
+}
+
 void HeliosNode::CommitPending(const TxnId& id) {
   auto it = pending_.find(id);
   assert(it != pending_.end());
+  if (it->second.staged) {
+    // A cross-shard slice does not commit unilaterally: hold the prepared
+    // intent and let the coordinator finalize once every shard acked.
+    PrepareStaged(id);
+    return;
+  }
   TxnBodyPtr body = it->second.body;
   CommitCallback reply = std::move(it->second.reply);
   RecordDecisionTrace(id, /*committed=*/true, "", it->second.arrived_sim,
@@ -634,7 +894,9 @@ void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
   auto it = pending_.find(id);
   assert(it != pending_.end());
   TxnBodyPtr body = it->second.body;
+  const bool staged = it->second.staged;
   CommitCallback reply = std::move(it->second.reply);
+  StagedCommitCallback staged_reply = std::move(it->second.staged_reply);
   RecordDecisionTrace(id, /*committed=*/false, reason,
                       it->second.arrived_sim, it->second.processed_sim);
   FinishTxn(id);
@@ -651,13 +913,21 @@ void HeliosNode::AbortPending(const TxnId& id, const std::string& reason,
   if (const Duration p = FsyncPenalty(); p > 0) service_queue_.Charge(p);
   if (record_sink_) record_sink_(rec);
 
+  if (staged) {
+    // A pre-prepare slice may still abort unilaterally (the coordinator
+    // has not committed anything until every shard acks).
+    ++counters_.staged_aborts;
+    staged_reply(StagedCommitOutcome{id, false, reason, kMinTimestamp});
+    return;
+  }
   counters_.*counter += 1;
   reply(CommitOutcome{id, false, reason});
 }
 
 Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
                            const rdict::Timetable* timetable) {
-  if (counters_.commit_requests != 0 || log_.total_appended() != 0) {
+  if (counters_.commit_requests != 0 || counters_.staged_requests != 0 ||
+      log_.total_appended() != 0) {
     return Status::FailedPrecondition("Restore must run on a fresh node");
   }
   // Pass 1: rebuild the log and track which transactions finished.
@@ -672,8 +942,14 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
         store_.ApplyTxn(*rec.body, rec.version_ts);
       }
     }
-    if (rec.origin == id_ && rec.body->id.seq >= next_txn_seq_) {
-      next_txn_seq_ = rec.body->id.seq + 1;
+    // Only records in this node's own residue class advance the sequence:
+    // a sharded deployment's coordinator-minted ids (residue 0) pass
+    // through this log too and must not derail the local stream.
+    if (rec.origin == id_ &&
+        rec.body->id.seq % config_.txn_seq_stride ==
+            config_.txn_seq_start % config_.txn_seq_stride &&
+        rec.body->id.seq >= next_txn_seq_) {
+      next_txn_seq_ = rec.body->id.seq + config_.txn_seq_stride;
     }
   }
   if (timetable != nullptr) {
@@ -696,9 +972,32 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
   // EPTPool (their decisions will arrive through the log exchange). Our
   // own are presumed aborted: with a WAL, the finished record is durable
   // before the client sees "committed", so an unfinished own transaction
-  // was never acknowledged and may abort safely.
+  // was never acknowledged and may abort safely — EXCEPT a cross-shard
+  // intent whose coordinator durably recorded COMMITTED. The coordinator
+  // replies to its client only after that durable status write, so a
+  // COMMITTED verdict means the client may have observed the commit and
+  // the intent must be re-finalized as committed; everything else
+  // (STAGED, ABORTED, or no verdict) stays presumed-abort.
   for (const auto& [id, rec] : preparing) {
     if (rec.origin == id_) {
+      StagedResolution res;
+      if (staged_resolver_) res = staged_resolver_(id);
+      if (res.status == StagedStatus::kCommitted) {
+        store_.ApplyTxn(*rec.body, res.commit_ts);
+        rdict::LogRecord commit_rec;
+        commit_rec.type = rdict::RecordType::kFinished;
+        commit_rec.committed = true;
+        commit_rec.ts = clock_->NowUnique();
+        commit_rec.version_ts = res.commit_ts;
+        commit_rec.origin = id_;
+        commit_rec.body = rec.body;
+        const Status append = log_.AppendLocal(commit_rec);
+        if (!append.ok()) return append;
+        if (record_sink_) record_sink_(commit_rec);
+        ++counters_.staged_commits;
+        ++counters_.staged_resolved;
+        continue;
+      }
       rdict::LogRecord abort_rec;
       abort_rec.type = rdict::RecordType::kFinished;
       abort_rec.committed = false;
@@ -708,7 +1007,12 @@ Status HeliosNode::Restore(const std::vector<rdict::LogRecord>& records,
       const Status append = log_.AppendLocal(abort_rec);
       if (!append.ok()) return append;
       if (record_sink_) record_sink_(abort_rec);
-      ++counters_.aborts_liveness;
+      if (res.status != StagedStatus::kNone) {
+        ++counters_.staged_aborts;
+        ++counters_.staged_resolved;
+      } else {
+        ++counters_.aborts_liveness;
+      }
     } else {
       ept_pool_.Add(rec.body);
       if (ReactionEnabled()) ept_prepare_ts_[id] = rec.ts;

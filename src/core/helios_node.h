@@ -72,6 +72,17 @@ struct NodeCounters {
   uint64_t degraded_commits = 0;     ///< Commits that skipped a suspect's
                                      ///< knowledge via the suspicion quorum.
   uint64_t hedged_pulls = 0;         ///< Catch-up pulls sent while suspecting.
+  // Cross-shard parallel commit (src/shard). Staged sub-transactions are
+  // NOT counted in commits/aborts_*: the coordinator owns the client-facing
+  // outcome, these track the shard-local intent lifecycle.
+  uint64_t staged_requests = 0;      ///< HandleStagedCommit admissions tried.
+  uint64_t staged_waits = 0;         ///< Admissions deferred behind younger
+                                     ///< staged conflicts (wait-die).
+  uint64_t staged_prepared = 0;      ///< Intents whose commit wait passed.
+  uint64_t staged_commits = 0;       ///< Finalized as committed.
+  uint64_t staged_aborts = 0;        ///< Aborted (admission, victim, doomed,
+                                     ///< or coordinator finalize-abort).
+  uint64_t staged_resolved = 0;      ///< Decided by the recovery resolver.
 
   uint64_t total_aborts() const {
     return aborts_on_request + aborts_by_remote + aborts_liveness;
@@ -87,6 +98,53 @@ struct RecoveryOutcome {
   uint64_t catchup_records = 0;   ///< Fresh records pulled from peers.
   sim::SimTime started_sim = 0;
   sim::SimTime finished_sim = 0;
+};
+
+// --- Cross-shard parallel commit (src/shard) --------------------------------
+//
+// A cross-shard transaction is driven by a per-datacenter coordinator
+// (shard::ShardedCluster): it splits the read/write sets by shard, injects
+// one globally unique TxnId, and asks every participant shard's node to
+// *stage* its slice. Staging runs the full Algorithm 1 admission and commit
+// wait; instead of committing at decision time the node holds the prepared
+// intent (it keeps blocking conflicting admissions) and acks the
+// coordinator, which finalizes everywhere once all shards prepared —
+// CockroachDB's parallel-commit shape on top of the Helios wait.
+
+/// Immediate answer to HandleStagedCommit: did Algorithm 1 admit the
+/// slice, and at which request timestamp. The coordinator collects every
+/// participant's timestamp and raises all slices' commit-wait base to the
+/// maximum (HandleRaiseStagedWait) before any slice may prepare: slices of
+/// one transaction are timestamped by different per-shard service queues,
+/// and without the shared base two conflicting cross-shard transactions
+/// could each escape the other's wait window (the Rule 1 algebra needs
+/// wait base >= record timestamp for every slice in a shard's log).
+struct StagedAdmitOutcome {
+  TxnId id;
+  bool admitted = false;
+  std::string abort_reason;
+  Timestamp request_ts = kMinTimestamp;  ///< q of the slice iff admitted.
+};
+using StagedAdmitCallback = std::function<void(const StagedAdmitOutcome&)>;
+
+/// A shard node's prepared/aborted answer for a staged slice.
+struct StagedCommitOutcome {
+  TxnId id;
+  bool prepared = false;
+  std::string abort_reason;
+  /// Dependency-bumped version timestamp this shard proposes; the
+  /// coordinator's commit timestamp is the max over participants.
+  Timestamp proposed_ts = kMinTimestamp;
+};
+using StagedCommitCallback = std::function<void(const StagedCommitOutcome&)>;
+
+/// Durable coordinator verdict consulted while restoring a crashed node:
+/// what happened to a staged transaction this node still holds an intent
+/// for. kNone means "not a staged transaction" (plain presumed abort).
+enum class StagedStatus { kNone, kStaged, kCommitted, kAborted };
+struct StagedResolution {
+  StagedStatus status = StagedStatus::kNone;
+  Timestamp commit_ts = kMinTimestamp;  ///< Valid iff kCommitted.
 };
 
 class HeliosNode {
@@ -121,6 +179,46 @@ class HeliosNode {
                            std::vector<WriteEntry> writes,
                            CommitCallback reply);
 
+  /// Stages one shard's slice of a cross-shard transaction under the
+  /// coordinator-minted `id` (its sequence number lives in a residue class
+  /// no local transaction uses, see HeliosConfig::txn_seq_start). Runs the
+  /// normal Algorithm 1 admission and answers `admitted` with the slice's
+  /// request timestamp; the commit wait stays unarmed until the
+  /// coordinator calls HandleRaiseStagedWait with the transaction-wide
+  /// maximum. Once the (raised) wait passes, the intent is *held* — it
+  /// stays in the preparing pool, immune to remote victims by the same
+  /// Rule 1 argument that protects a transaction at the instant its wait
+  /// is satisfied — and `prepared` acks the coordinator, which decides via
+  /// HandleFinalizeStaged.
+  void HandleStagedCommit(const TxnId& id, std::vector<ReadEntry> reads,
+                          std::vector<WriteEntry> writes,
+                          StagedAdmitCallback admitted,
+                          StagedCommitCallback prepared);
+
+  /// Arms a staged slice's commit wait with the shared base `wait_base`
+  /// (the max request timestamp across the transaction's slices): each
+  /// kts[x] is raised to max(kts[x], wait_base + co[self][x]). Waiting on
+  /// a base >= the record's own timestamp is always safe, and the shared
+  /// base restores the pairwise Rule 1 argument across slices that were
+  /// timestamped by different per-shard service queues. A no-op for ids
+  /// no longer pending (the slice already aborted).
+  void HandleRaiseStagedWait(const TxnId& id, Timestamp wait_base);
+
+  /// Coordinator decision for a held intent: apply + append the standard
+  /// finished record (commit) or append an abort record. A no-op for ids
+  /// this node no longer holds (e.g. the slice already self-aborted).
+  void HandleFinalizeStaged(const TxnId& id, bool commit,
+                            Timestamp commit_ts);
+
+  /// Installs the durable-status lookup Restore() consults before
+  /// presuming its own still-preparing transactions aborted: a staged
+  /// transaction whose coordinator durably committed must be re-finalized
+  /// as committed, never aborted (the client may have seen the commit).
+  using StagedResolver = std::function<StagedResolution(const TxnId&)>;
+  void set_staged_resolver(StagedResolver resolver) {
+    staged_resolver_ = std::move(resolver);
+  }
+
   /// Algorithm 2 (+ Algorithm 3 afterwards): processes a peer's envelope.
   void HandleEnvelope(EnvelopePtr env);
 
@@ -148,6 +246,7 @@ class HeliosNode {
   const NodeCounters& counters() const { return counters_; }
   size_t pt_pool_size() const { return pt_pool_.size(); }
   size_t ept_pool_size() const { return ept_pool_.size(); }
+  size_t staged_hold_count() const { return staged_holds_.size(); }
   sim::ServiceQueue& service_queue() { return service_queue_; }
   const sim::ServiceQueue& service_queue() const { return service_queue_; }
 
@@ -242,6 +341,24 @@ class HeliosNode {
     /// node and when Algorithm 1 processed it (= commit wait start).
     sim::SimTime arrived_sim = 0;
     sim::SimTime processed_sim = 0;
+    /// Cross-shard slice: at decision time the transaction is held and
+    /// `staged_reply` acked instead of committing (see HandleStagedCommit).
+    /// Algorithm 3 skips a staged slice until the coordinator arms its
+    /// wait with the transaction-wide base (HandleRaiseStagedWait).
+    bool staged = false;
+    bool wait_armed = true;
+    StagedCommitCallback staged_reply;
+  };
+
+  /// A prepared cross-shard intent awaiting the coordinator's decision.
+  /// Still in pt_pool_ (it must keep blocking conflicting admissions —
+  /// dropping it would let a later local transaction read around the
+  /// not-yet-applied writes) but out of the pending maps.
+  struct StagedHold {
+    TxnBodyPtr body;
+    Timestamp proposed_ts = kMinTimestamp;
+    sim::SimTime arrived_sim = 0;
+    sim::SimTime processed_sim = 0;
   };
 
   // Algorithm bodies (run inside the service queue). `arrived_sim` is the
@@ -249,7 +366,54 @@ class HeliosNode {
   void ProcessCommitRequest(std::vector<ReadEntry> reads,
                             std::vector<WriteEntry> writes,
                             CommitCallback reply, sim::SimTime arrived_sim);
+  void ProcessStagedCommit(const TxnId& id, std::vector<ReadEntry> reads,
+                           std::vector<WriteEntry> writes,
+                           StagedAdmitCallback admitted,
+                           StagedCommitCallback prepared,
+                           sim::SimTime arrived_sim);
+
+  /// Staged admission with wait-die liveness: on a conflict where every
+  /// blocker — local pending or replicated remote preparing — was minted
+  /// *after* this transaction (sequence numbers give the age order), the
+  /// slice polls the pools again after a short delay instead of aborting.
+  /// Two cross-shard transactions that stage their slices in opposite
+  /// shard orders would otherwise abort each other symmetrically, and
+  /// under contention NO interleaving commits (livelock). Younger slices
+  /// still die immediately, so age order is acyclic and the globally
+  /// oldest staged transaction always makes progress. Plain (non-staged)
+  /// admissions keep Algorithm 1's abort-on-conflict unchanged.
+  void TryStagedAdmission(const TxnId& id, TxnBodyPtr body,
+                          StagedAdmitCallback admitted,
+                          StagedCommitCallback prepared,
+                          sim::SimTime arrived_sim, int retries_left);
+
+  /// True iff every pooled transaction conflicting with `body` was minted
+  /// after `id` — the wait arm of wait-die.
+  bool StagedConflictsAllYoungerStaged(const TxnId& id,
+                                       const TxnBody& body) const;
+
+  /// True iff an *older* staged transaction is parked in staged_waiting_
+  /// with a read/write overlap against `body`. Waiters hold no pool entry,
+  /// so without this fence a stream of younger admissions would occupy the
+  /// pools at every poll and starve the waiter forever.
+  bool OlderWaiterConflicts(const TxnId& id, const TxnBody& body) const;
+  void ProcessRaiseStagedWait(const TxnId& id, Timestamp wait_base);
+  void ProcessFinalizeStaged(const TxnId& id, bool commit,
+                             Timestamp commit_ts);
   void ProcessEnvelope(const Envelope& env);
+
+  /// Shared tail of Algorithm 1 (lines 2-10) for both the local and the
+  /// staged admission path: conflict/overwritten checks, timestamping, the
+  /// preparing append, and pooling. The caller pre-fills `pending`'s reply
+  /// and arrival fields; on success the transaction is pending (`*pending`
+  /// moved-from), on failure it is returned untouched with `*abort_reason`
+  /// set so the caller can still answer through it.
+  bool AdmitPreparing(const TxnId& id, const TxnBodyPtr& body,
+                      PendingTxn* pending, std::string* abort_reason);
+
+  /// Decision-time transition of a staged pending transaction: moves it
+  /// from the pending maps into staged_holds_ and acks the coordinator.
+  void PrepareStaged(const TxnId& id);
 
   /// Pool-backed envelope for the send paths: recycled storage, reset to
   /// blank gossip state.
@@ -374,6 +538,13 @@ class HeliosNode {
     std::set<DcId> refusers;
   };
   std::map<TxnId, RefusalState> refusals_;
+
+  /// Prepared cross-shard intents awaiting finalize (see StagedHold).
+  std::map<TxnId, StagedHold> staged_holds_;
+  /// Staged slices parked by wait-die, by id; their bodies fence younger
+  /// overlapping staged admissions (OlderWaiterConflicts).
+  std::map<TxnId, TxnBodyPtr> staged_waiting_;
+  StagedResolver staged_resolver_;
 
   uint64_t next_txn_seq_ = 1;
   uint64_t next_load_seq_ = 1;

@@ -9,6 +9,8 @@
 #include "core/helios_cluster.h"
 #include "core/history.h"
 #include "harness/experiment_spec.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_cluster.h"
 #include "sim/network.h"
 #include "sim/reliable.h"
 #include "sim/scheduler.h"
@@ -125,6 +127,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   std::unique_ptr<ProtocolCluster> cluster;
   core::HistoryRecorder* history = nullptr;
+  shard::ShardedCluster* sharded = nullptr;
+  const bool want_shards =
+      config.shards > 1 && IsHeliosFamily(config.protocol) &&
+      config.protocol != Protocol::kMessageFutures;
+  assert(config.shards == 1 || want_shards);
 
   if (IsHeliosFamily(config.protocol)) {
     core::HeliosConfig hc;
@@ -144,12 +151,25 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     if (config.protocol == Protocol::kMessageFutures) {
       cluster = core::MakeMessageFuturesCluster(&scheduler, &network,
                                                 std::move(hc));
+      history = &static_cast<core::HeliosCluster*>(cluster.get())->history();
+    } else if (want_shards) {
+      const shard::ShardMap map =
+          config.shard_by == "range"
+              ? shard::ShardMap::RangeOverWorkloadKeys(
+                    config.shards, config.workload.num_keys)
+              : shard::ShardMap::Hash(config.shards);
+      auto sc = std::make_unique<shard::ShardedCluster>(
+          &scheduler, &network, std::move(hc), map,
+          core::LogProtocolKind::kHelios, ProtocolName(config.protocol));
+      sharded = sc.get();
+      history = &sc->history();
+      cluster = std::move(sc);
     } else {
       cluster = std::make_unique<core::HeliosCluster>(
           &scheduler, &network, std::move(hc), core::LogProtocolKind::kHelios,
           ProtocolName(config.protocol));
+      history = &static_cast<core::HeliosCluster*>(cluster.get())->history();
     }
-    history = &static_cast<core::HeliosCluster*>(cluster.get())->history();
   } else if (config.protocol == Protocol::kReplicatedCommit) {
     baselines::ReplicatedCommitConfig rc;
     rc.num_datacenters = n;
@@ -234,6 +254,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                                        config.client_max_retries,
                                        config.client_retry_backoff);
     }
+    if (config.shards > 1) {
+      // Cross-shard parallel commit livelocks under synchronized
+      // contention without client pacing (see SetAbortBackoff); the seed
+      // derivation keeps sharded runs deterministic.
+      workload::BackoffPolicy abort_backoff;
+      abort_backoff.base = Millis(2);
+      abort_backoff.cap = Millis(100);
+      abort_backoff.max_retries = 6;
+      clients.back()->SetAbortBackoff(abort_backoff, config.seed + 2000003);
+    }
     if (config.capture_artifacts) clients.back()->EnableSessionLog();
     // Stagger client start a little to avoid a synchronized burst.
     scheduler.At(Micros(37) * c,
@@ -317,6 +347,24 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       cap->dc_down[i] = cluster->datacenter_down(dc);
     }
     cap->recovery = cluster->recovery_snapshot();
+    if (sharded != nullptr) {
+      const int shards = config.shards;
+      cap->shards = shards;
+      cap->shard_wals.resize(static_cast<size_t>(n * shards));
+      cap->shard_wal_present.assign(static_cast<size_t>(n * shards), false);
+      cap->txn_status.resize(static_cast<size_t>(n));
+      for (DcId dc = 0; dc < n; ++dc) {
+        for (int s = 0; s < shards; ++s) {
+          const size_t i = static_cast<size_t>(dc * shards + s);
+          if (const wal::MemoryWal* w = sharded->shard_wal_journal(dc, s)) {
+            cap->shard_wals[i] = w->contents();
+            cap->shard_wal_present[i] = true;
+          }
+        }
+        cap->txn_status[static_cast<size_t>(dc)] =
+            sharded->txn_status(dc).entries();
+      }
+    }
     result.capture = std::move(cap);
   }
 

@@ -25,6 +25,7 @@
 #include "lp/mao.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/txn_status_store.h"
 #include "sim/fault_plan.h"
 #include "wal/wal_sink.h"
 #include "workload/client.h"
@@ -93,6 +94,14 @@ struct ExperimentConfig {
   /// 2PC/Paxos coordinator (the paper uses Virginia = index 0).
   DcId two_pc_coordinator = 0;
 
+  /// Horizontal sharding (src/shard): number of independent Helios
+  /// deployments per datacenter and the key-partition kind ("hash" or
+  /// "range" over the workload keyspace). shards == 1 constructs the
+  /// plain unsharded cluster exactly as before; shards > 1 is only valid
+  /// for the Helios protocols (not Message Futures or the baselines).
+  int shards = 1;
+  std::string shard_by = "hash";
+
   /// Pre-populate all workload keys before the run.
   bool preload = true;
 
@@ -149,6 +158,19 @@ struct RunCapture {
   std::vector<std::map<Key, VersionedValue>> stores;
   std::vector<bool> dc_down;  ///< Crashed at end of run.
   RecoveryStats recovery;
+
+  // Sharded deployments (src/shard). With shards == 1 everything below
+  // stays empty and the oracles read the flat per-DC fields above.
+  int shards = 1;
+  /// Per-(datacenter, shard) journals, indexed dc * shards + s. A shard's
+  /// journal carries only its slice of the traffic; the oracles check
+  /// each (dc, shard) journal independently and merge a datacenter's
+  /// journals for store replay (shard key sets are disjoint).
+  std::vector<wal::WalContents> shard_wals;
+  std::vector<bool> shard_wal_present;
+  /// Per-datacenter durable coordinator status tables (the parallel-commit
+  /// STAGED/COMMITTED/ABORTED records), for the staged-resolution oracle.
+  std::vector<std::map<TxnId, shard::TxnStatusRecord>> txn_status;
 };
 
 struct DcResult {

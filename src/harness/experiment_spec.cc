@@ -102,6 +102,17 @@ Status ExperimentSpec::Validate() const {
     return Status::InvalidArgument(
         "ops_per_txn exceeds num_keys: transactions need distinct keys");
   }
+  if (key_partitions < 1) {
+    return Status::InvalidArgument("key_partitions must be >= 1 (got " +
+                                   std::to_string(key_partitions) + ")");
+  }
+  if (static_cast<uint64_t>(ops_per_txn) * static_cast<uint64_t>(key_partitions) >
+      num_keys) {
+    return Status::InvalidArgument(
+        "key_partitions too fine: each of the " +
+        std::to_string(key_partitions) + " partitions must hold at least "
+        "ops_per_txn distinct keys");
+  }
   if (write_fraction < 0.0 || write_fraction > 1.0 ||
       read_only_fraction < 0.0 || read_only_fraction > 1.0) {
     return Status::InvalidArgument(
@@ -124,6 +135,22 @@ Status ExperimentSpec::Validate() const {
   }
   if (two_pc_coordinator < 0 || two_pc_coordinator >= n) {
     return Status::InvalidArgument("two_pc_coordinator out of range");
+  }
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1 (got " +
+                                   std::to_string(shards) + ")");
+  }
+  if (shard_by != "hash" && shard_by != "range") {
+    return Status::InvalidArgument("shard_by must be hash|range (got '" +
+                                   shard_by + "')");
+  }
+  if (shards > 1 &&
+      (protocol == Protocol::kMessageFutures ||
+       protocol == Protocol::kReplicatedCommit ||
+       protocol == Protocol::kTwoPcPaxos)) {
+    return Status::InvalidArgument(
+        "shards > 1 requires a Helios protocol (helios0|helios1|helios2|"
+        "heliosb): the cross-shard wait-base coupling leans on Rule 2");
   }
   if (reliable != "auto" && reliable != "on" && reliable != "off") {
     return Status::InvalidArgument("reliable must be auto|on|off (got '" +
@@ -197,12 +224,15 @@ Result<ExperimentConfig> ExperimentSpec::ToConfig() const {
   cfg.workload.zipf_theta = zipf_theta;
   cfg.workload.value_size = value_size;
   cfg.workload.read_only_fraction = read_only_fraction;
+  cfg.workload.key_partitions = key_partitions;
   cfg.log_interval = log_interval;
   cfg.grace_time = grace_time;
   cfg.client_link_one_way = client_link_one_way;
   cfg.clock_offsets = clock_offsets;
   cfg.rtt_estimate_ms = rtt_estimate_ms;
   cfg.two_pc_coordinator = two_pc_coordinator;
+  cfg.shards = shards;
+  cfg.shard_by = shard_by;
   cfg.preload = preload;
   cfg.check_serializability = check_serializability;
   cfg.fault_plan = fault_plan;
@@ -261,6 +291,10 @@ std::string ExperimentSpec::ToJson() const {
   if (health_phi_threshold != 8.0) {
     w.Field("health_phi_threshold", health_phi_threshold);
   }
+  // Omitted at its default so pre-partitioning specs stay byte-identical.
+  if (key_partitions != 1) {
+    w.Field("key_partitions", static_cast<int64_t>(key_partitions));
+  }
   if (!label.empty()) w.Field("label", label);
   w.Field("log_interval_us", static_cast<int64_t>(log_interval));
   w.Field("measure_us", static_cast<int64_t>(measure));
@@ -286,6 +320,9 @@ std::string ExperimentSpec::ToJson() const {
     out += ']';
   }
   w.Field("seed", seed);
+  // Omitted at their defaults so pre-sharding specs stay byte-identical.
+  if (shard_by != "hash") w.Field("shard_by", shard_by);
+  if (shards != 1) w.Field("shards", static_cast<int64_t>(shards));
   w.Field("topology", topology);
   // Omitted at their defaults so pre-tracing specs stay byte-identical.
   if (trace_enabled) w.Field("trace", trace_enabled);
@@ -354,6 +391,8 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
       st = json::ReadInt64(key, v, &spec.health_hedge_interval);
     } else if (key == "health_phi_threshold") {
       st = json::ReadDouble(key, v, &spec.health_phi_threshold);
+    } else if (key == "key_partitions") {
+      st = json::ReadInt(key, v, &spec.key_partitions);
     } else if (key == "label") {
       st = json::ReadString(key, v, &spec.label);
     } else if (key == "log_interval_us") {
@@ -407,6 +446,10 @@ Result<ExperimentSpec> ExperimentSpec::FromJson(const std::string& json) {
       }
     } else if (key == "seed") {
       st = json::ReadUint64(key, v, &spec.seed);
+    } else if (key == "shard_by") {
+      st = json::ReadString(key, v, &spec.shard_by);
+    } else if (key == "shards") {
+      st = json::ReadInt(key, v, &spec.shards);
     } else if (key == "topology") {
       st = json::ReadString(key, v, &spec.topology);
     } else if (key == "trace") {
@@ -469,6 +512,7 @@ bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
          a.client_link_one_way == b.client_link_one_way &&
          a.clock_offsets == b.clock_offsets &&
          a.two_pc_coordinator == b.two_pc_coordinator &&
+         a.shards == b.shards && a.shard_by == b.shard_by &&
          a.preload == b.preload &&
          a.check_serializability == b.check_serializability &&
          a.fault_plan == b.fault_plan && a.reliable == b.reliable &&

@@ -68,6 +68,10 @@ struct ExperimentSpec {
   double zipf_theta = 0.2;
   int value_size = 16;
   double read_only_fraction = 0.0;
+  /// Confine each transaction's keys to one of P contiguous key-range
+  /// partitions (workload::WorkloadConfig::key_partitions); aligned with
+  /// range sharding it makes every transaction single-shard. 1 = off.
+  int key_partitions = 1;
 
   Duration log_interval = Millis(10);
   Duration grace_time = Millis(500);
@@ -82,6 +86,14 @@ struct ExperimentSpec {
   DcId two_pc_coordinator = 0;
   bool preload = true;
   bool check_serializability = false;
+
+  /// Horizontal sharding (src/shard): number of independent Helios
+  /// logs+timetables per datacenter, and how keys are partitioned across
+  /// them ("hash" or "range" over the workload keyspace). shards == 1 (the
+  /// default) constructs the plain unsharded deployment, byte for byte;
+  /// shards > 1 is only valid for the Helios-family protocols (not mf).
+  int shards = 1;
+  std::string shard_by = "hash";
 
   /// Chaos: declarative fault schedule executed during the run (message
   /// loss/duplication/reordering/delay plus timed crash and partition
@@ -135,6 +147,7 @@ struct ExperimentSpec {
   ExperimentSpec& WithZipfTheta(double v) { zipf_theta = v; return *this; }
   ExperimentSpec& WithValueSize(int v) { value_size = v; return *this; }
   ExperimentSpec& WithReadOnlyFraction(double v) { read_only_fraction = v; return *this; }
+  ExperimentSpec& WithKeyPartitions(int v) { key_partitions = v; return *this; }
   ExperimentSpec& WithLogInterval(Duration v) { log_interval = v; return *this; }
   ExperimentSpec& WithGraceTime(Duration v) { grace_time = v; return *this; }
   ExperimentSpec& WithClientLinkOneWay(Duration v) { client_link_one_way = v; return *this; }
@@ -147,6 +160,8 @@ struct ExperimentSpec {
     return *this;
   }
   ExperimentSpec& WithTwoPcCoordinator(DcId v) { two_pc_coordinator = v; return *this; }
+  ExperimentSpec& WithShards(int v) { shards = v; return *this; }
+  ExperimentSpec& WithShardBy(std::string v) { shard_by = std::move(v); return *this; }
   ExperimentSpec& WithPreload(bool v) { preload = v; return *this; }
   ExperimentSpec& WithSerializabilityCheck(bool v = true) {
     check_serializability = v;

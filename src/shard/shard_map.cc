@@ -1,0 +1,178 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace helios::shard {
+namespace {
+
+const char* KindToken(ShardMap::Kind kind) {
+  return kind == ShardMap::Kind::kHash ? "hash" : "range";
+}
+
+uint64_t Fnv1a64(const Key& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardMap ShardMap::Hash(int num_shards) {
+  ShardMap map;
+  map.kind_ = Kind::kHash;
+  map.num_shards_ = num_shards;
+  return map;
+}
+
+ShardMap ShardMap::Range(std::vector<Key> boundaries) {
+  ShardMap map;
+  map.kind_ = Kind::kRange;
+  map.num_shards_ = static_cast<int>(boundaries.size()) + 1;
+  map.boundaries_ = std::move(boundaries);
+  return map;
+}
+
+ShardMap ShardMap::RangeOverWorkloadKeys(int num_shards, uint64_t num_keys) {
+  std::vector<Key> boundaries;
+  for (int s = 1; s < num_shards; ++s) {
+    const uint64_t split =
+        num_keys * static_cast<uint64_t>(s) / static_cast<uint64_t>(num_shards);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%08llu",
+                  static_cast<unsigned long long>(split));
+    boundaries.emplace_back(buf);
+  }
+  return Range(std::move(boundaries));
+}
+
+int ShardMap::ShardOf(const Key& key) const {
+  if (num_shards_ <= 1) return 0;
+  if (kind_ == Kind::kHash) {
+    return static_cast<int>(Fnv1a64(key) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+  // First boundary > key starts the next partition; key belongs before it.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+Status ShardMap::Validate() const {
+  if (num_shards_ < 1) {
+    return Status::InvalidArgument("shard map needs >= 1 shard (got " +
+                                   std::to_string(num_shards_) + ")");
+  }
+  if (kind_ == Kind::kHash) {
+    if (!boundaries_.empty()) {
+      return Status::InvalidArgument(
+          "hash shard map must not carry range boundaries");
+    }
+    return Status::Ok();
+  }
+  if (static_cast<int>(boundaries_.size()) != num_shards_ - 1) {
+    return Status::InvalidArgument(
+        "range shard map with " + std::to_string(num_shards_) +
+        " shards needs exactly " + std::to_string(num_shards_ - 1) +
+        " boundaries (got " + std::to_string(boundaries_.size()) + ")");
+  }
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    if (boundaries_[i].empty()) {
+      return Status::InvalidArgument(
+          "range boundary " + std::to_string(i) +
+          " is empty: shard 0 would own an empty partition");
+    }
+    if (i > 0 && boundaries_[i] <= boundaries_[i - 1]) {
+      return Status::InvalidArgument(
+          "range boundaries must be strictly ascending: boundary " +
+          std::to_string(i) + " ('" + boundaries_[i] +
+          "') does not sort after '" + boundaries_[i - 1] +
+          "' (overlapping partitions)");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ShardMap::ToJson() const {
+  std::string out;
+  json::ObjectWriter obj(&out);
+  if (kind_ == Kind::kRange) {
+    std::string arr = "[";
+    for (size_t i = 0; i < boundaries_.size(); ++i) {
+      if (i > 0) arr += ",";
+      json::AppendEscaped(&arr, boundaries_[i]);
+    }
+    arr += "]";
+    obj.Raw("boundaries", arr);
+  }
+  obj.Field("kind", std::string(KindToken(kind_)));
+  obj.Field("shards", static_cast<int64_t>(num_shards_));
+  obj.Close();
+  return out;
+}
+
+Result<ShardMap> ShardMap::FromJsonValue(const json::Value& value) {
+  if (value.kind != json::Value::Kind::kObject) {
+    return Status::InvalidArgument("shard map JSON must be an object");
+  }
+  ShardMap map;
+  bool saw_kind = false;
+  bool saw_boundaries = false;
+  for (const auto& [key, v] : value.members) {
+    Status st;
+    if (key == "boundaries") {
+      if (v.kind != json::Value::Kind::kArray) {
+        st = json::WrongType(key, "an array of strings");
+      } else {
+        saw_boundaries = true;
+        map.boundaries_.clear();
+        for (const json::Value& item : v.items) {
+          Key boundary;
+          st = json::ReadString(key, item, &boundary);
+          if (!st.ok()) break;
+          map.boundaries_.push_back(std::move(boundary));
+        }
+      }
+    } else if (key == "kind") {
+      std::string token;
+      st = json::ReadString(key, v, &token);
+      if (st.ok()) {
+        saw_kind = true;
+        if (token == "hash") {
+          map.kind_ = Kind::kHash;
+        } else if (token == "range") {
+          map.kind_ = Kind::kRange;
+        } else {
+          st = Status::InvalidArgument("unknown shard map kind '" + token +
+                                       "' (expected hash|range)");
+        }
+      }
+    } else if (key == "shards") {
+      st = json::ReadInt(key, v, &map.num_shards_);
+    } else {
+      st = Status::InvalidArgument("unknown shard map key '" + key + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  if (!saw_kind) {
+    return Status::InvalidArgument("shard map JSON is missing 'kind'");
+  }
+  if (saw_boundaries && map.kind_ == Kind::kHash) {
+    return Status::InvalidArgument(
+        "hash shard map must not carry range boundaries");
+  }
+  Status st = map.Validate();
+  if (!st.ok()) return st;
+  return map;
+}
+
+Result<ShardMap> ShardMap::FromJson(const std::string& json) {
+  auto parsed = json::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  return FromJsonValue(parsed.value());
+}
+
+}  // namespace helios::shard

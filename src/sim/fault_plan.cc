@@ -18,11 +18,18 @@ Status CheckProbability(const char* what, double p, size_t index) {
 Status CheckNode(const char* where, int node, int n, bool allow_any) {
   if (allow_any && node == kAnyDc) return Status::Ok();
   if (node < 0 || node >= n) {
+    // Name the dimension explicitly: fault-plan node indices run along
+    // the datacenter axis, never the shard axis. In a sharded deployment
+    // (src/shard) a crash/partition on datacenter d hits every one of its
+    // shards together; there is no per-shard fault addressing.
     return Status::InvalidArgument(
-        std::string(where) + " names datacenter " + std::to_string(node) +
-        " but the deployment has " + std::to_string(n) +
-        " datacenters (valid: 0.." + std::to_string(n - 1) +
-        (allow_any ? ", or -1 for any)" : ")"));
+        std::string(where) + " = " + std::to_string(node) +
+        " is out of range on the datacenter axis: the deployment has " +
+        std::to_string(n) + " datacenters (valid: 0.." +
+        std::to_string(n - 1) + (allow_any ? ", or -1 for any)" : ")") +
+        "; node indices address whole datacenters — in a sharded "
+        "deployment every shard of that datacenter is hit together, "
+        "shards are not individually addressable");
   }
   return Status::Ok();
 }

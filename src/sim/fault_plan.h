@@ -181,6 +181,15 @@ struct FaultPlan {
     return false;
   }
 
+  /// True if any effective link fault is still active after `t` — i.e. the
+  /// message-fault plan has no quiet tail from `t` onward.
+  bool HasMessageFaultsActiveAfter(SimTime t) const {
+    for (const LinkFault& f : link_faults) {
+      if (f.HasEffect() && f.active_until > t) return true;
+    }
+    return false;
+  }
+
   /// True if the plan contains any gray (slow-but-alive) degradation.
   /// Deliberately NOT part of HasMessageFaults(): gray faults are
   /// deterministic, engage no fault RNG, and must not flip auto-mode

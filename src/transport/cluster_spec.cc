@@ -6,11 +6,26 @@
 
 namespace helios::transport {
 
-std::vector<uint16_t> ClusterSpec::ports() const {
+std::vector<uint16_t> ClusterSpec::ports(int shard) const {
   std::vector<uint16_t> out;
   out.reserve(datacenters.size());
-  for (const DatacenterSpec& dc : datacenters) out.push_back(dc.port);
+  for (int dc = 0; dc < num_datacenters(); ++dc) {
+    out.push_back(PortOf(dc, shard));
+  }
   return out;
+}
+
+uint16_t ClusterSpec::PortOf(int dc, int shard) const {
+  return static_cast<uint16_t>(
+      datacenters[static_cast<size_t>(dc)].port +
+      static_cast<uint32_t>(shard) *
+          static_cast<uint32_t>(num_datacenters()));
+}
+
+std::string ClusterSpec::WalPathFor(int dc, int shard) const {
+  const std::string& base = datacenters[static_cast<size_t>(dc)].wal_path;
+  if (shards <= 1 || base.empty()) return base;
+  return base + ".s" + std::to_string(shard);
 }
 
 core::HeliosConfig ClusterSpec::MakeConfig() const {
@@ -27,17 +42,37 @@ Status ClusterSpec::Validate() const {
   if (datacenters.empty()) {
     return Status::InvalidArgument("cluster spec has no datacenters");
   }
-  std::set<uint16_t> seen;
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1 (got " +
+                                   std::to_string(shards) + ")");
+  }
+  // Every (dc, shard) cell listens on its own derived port; a collision
+  // between planes (e.g. contiguous base ports with a stride that folds
+  // shard 1 of dc 0 onto shard 0 of dc 1) must fail here, not as a
+  // mysterious bind error at launch.
+  std::set<uint32_t> seen;
   for (size_t i = 0; i < datacenters.size(); ++i) {
     const DatacenterSpec& dc = datacenters[i];
     if (dc.port == 0) {
       return Status::InvalidArgument("datacenter " + std::to_string(i) +
                                      ": port must be nonzero");
     }
-    if (!seen.insert(dc.port).second) {
-      return Status::InvalidArgument("datacenter " + std::to_string(i) +
-                                     ": duplicate port " +
-                                     std::to_string(dc.port));
+    for (int s = 0; s < shards; ++s) {
+      const uint32_t port =
+          dc.port + static_cast<uint32_t>(s) *
+                        static_cast<uint32_t>(datacenters.size());
+      if (port > 65535) {
+        return Status::InvalidArgument(
+            "datacenter " + std::to_string(i) + " shard " +
+            std::to_string(s) + ": derived port " + std::to_string(port) +
+            " exceeds 65535");
+      }
+      if (!seen.insert(port).second) {
+        return Status::InvalidArgument(
+            "datacenter " + std::to_string(i) + " shard " +
+            std::to_string(s) + ": derived port " + std::to_string(port) +
+            " collides with another (datacenter, shard) cell");
+      }
     }
   }
   if (fault_tolerance < 0 ||
@@ -83,6 +118,7 @@ std::string ClusterSpec::ToJson() const {
   if (health_enabled) w.Field("health_enabled", true);
   w.Field("inbound_delay_ms", static_cast<int64_t>(inbound_delay / 1000));
   w.Field("log_interval_ms", static_cast<int64_t>(log_interval / 1000));
+  if (shards != 1) w.Field("shards", static_cast<int64_t>(shards));
   w.Close();
   return out;
 }
@@ -168,6 +204,9 @@ Result<ClusterSpec> ClusterSpec::FromJson(const std::string& text) {
       if (!s.ok()) return s;
     } else if (key == "log_interval_ms") {
       Status s = ReadMillis(key, value, &spec.log_interval);
+      if (!s.ok()) return s;
+    } else if (key == "shards") {
+      Status s = json::ReadInt(key, value, &spec.shards);
       if (!s.ok()) return s;
     } else {
       return Status::InvalidArgument("unknown cluster spec key '" + key +

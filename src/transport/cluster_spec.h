@@ -19,12 +19,26 @@
 //     "group_commit_us": 5000,     // fsync batching window under "group"
 //     "health_enabled": true,      // phi-accrual gray-failure detection
 //     "inbound_delay_ms": 0,       // emulated one-way WAN latency
-//     "log_interval_ms": 10
+//     "log_interval_ms": 10,
+//     "shards": 2                  // horizontal shards per datacenter
 //   }
 //
 // `health_enabled` (omitted when false, the default) arms the phi-accrual
 // failure detector and suspicion-driven degraded commit in every daemon;
 // the resulting health.* gauges land in the heliosd metrics JSON.
+//
+// `shards` (omitted when 1, the default) declares S independent
+// replication planes: shard k of every datacenter forms its own live
+// Helios cluster (own log, own timetable, own WAL), mirroring the
+// simulator's shard::ShardedCluster layout. One heliosd process serves
+// one (dc, shard) cell, selected by --dc and --shard; its listen port is
+// PortOf(dc, shard) = datacenters[dc].port + shard * num_datacenters()
+// and its WAL is WalPathFor(dc, shard) (the per-DC path with ".s<k>"
+// appended when sharded, so dc0.wal becomes dc0.wal.s0 / dc0.wal.s1).
+// Validate() rejects derived-port collisions and overflow past 65535.
+// Routing keys to shards and cross-shard commit are client concerns; the
+// live layer provides the per-shard durability and replication planes
+// (see docs/SHARDING.md).
 //
 // Unknown keys are an error (operator typos must not silently become
 // defaults), and every tool validates before launching.
@@ -58,21 +72,34 @@ struct ClusterSpec {
   wal::FileWalOptions wal_options;
   /// Arms the health subsystem (failure detection + degraded commit).
   bool health_enabled = false;
+  /// Independent replication planes per datacenter (see file comment).
+  int shards = 1;
 
   int num_datacenters() const {
     return static_cast<int>(datacenters.size());
   }
 
   /// Ports indexed by DC id (the shape LiveDatacenter::ConnectPeers wants).
-  std::vector<uint16_t> ports() const;
+  /// `shard` selects the plane: every plane gets its own disjoint port set.
+  std::vector<uint16_t> ports(int shard = 0) const;
+
+  /// Listen port of shard `shard` at datacenter `dc`:
+  /// datacenters[dc].port + shard * num_datacenters().
+  uint16_t PortOf(int dc, int shard) const;
+
+  /// WAL path of shard `shard` at datacenter `dc`. Identity when the spec
+  /// is unsharded (old files keep their exact paths); with shards > 1 the
+  /// per-DC path gains a ".s<k>" suffix. Empty stays empty (no WAL).
+  std::string WalPathFor(int dc, int shard) const;
 
   /// The protocol config every heliosd derives from this spec. Commit
   /// offsets stay empty (Helios-B): a live deployment replans them online
   /// from RTT estimates rather than baking guesses into the file.
   core::HeliosConfig MakeConfig() const;
 
-  /// At least one datacenter, every port nonzero and unique, timing
-  /// strictly positive, delay non-negative.
+  /// At least one datacenter, every derived (dc, shard) port nonzero,
+  /// unique, and <= 65535; shards >= 1; timing strictly positive, delay
+  /// non-negative.
   Status Validate() const;
 
   /// Deterministic JSON (stable alphabetical keys).

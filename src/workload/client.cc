@@ -1,5 +1,6 @@
 #include "workload/client.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace helios::workload {
@@ -62,6 +63,12 @@ void ClosedLoopClient::SetBusyBackoff(const BackoffPolicy& policy,
                                       uint64_t seed) {
   busy_policy_ = policy;
   busy_rng_ = Rng(seed ^ (id_ * 0xD1B54A32D192ED03ULL));
+}
+
+void ClosedLoopClient::SetAbortBackoff(const BackoffPolicy& policy,
+                                       uint64_t seed) {
+  abort_policy_ = policy;
+  abort_rng_ = Rng(seed ^ (id_ * 0x9E3779B97F4A7C15ULL));
 }
 
 void ClosedLoopClient::NextTxn() {
@@ -229,6 +236,18 @@ void ClosedLoopClient::OnOutcome(const std::shared_ptr<InFlight>& txn,
     } else {
       ++metrics_.aborted;
     }
+  }
+  if (outcome.committed) {
+    consecutive_aborts_ = 0;
+  } else if (abort_policy_.max_retries > 0) {
+    // Conflict-abort backoff (see SetAbortBackoff): pause before the NEXT
+    // transaction so synchronized conflicters desynchronize.
+    const int exponent =
+        std::min(consecutive_aborts_, abort_policy_.max_retries);
+    ++consecutive_aborts_;
+    scheduler_->After(abort_policy_.NextDelay(exponent, &abort_rng_),
+                      [this]() { NextTxn(); });
+    return;
   }
   NextTxn();
 }

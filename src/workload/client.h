@@ -116,6 +116,17 @@ class ClosedLoopClient {
   /// runs that do enable it remain reproducible.
   void SetBusyBackoff(const BackoffPolicy& policy, uint64_t seed);
 
+  /// Arms jittered backoff between transactions after a *conflict* abort
+  /// (the next, fresh transaction is delayed — nothing is retried). Sharded
+  /// runs need this: cross-shard parallel commit keeps a transaction
+  /// vulnerable to conflicting remote records across every participant
+  /// shard for the whole staging window, and synchronized closed-loop
+  /// clients re-colliding at full rate can abort each other symmetrically
+  /// forever (no interleaving commits). The delay grows with consecutive
+  /// aborts (`policy.max_retries` caps the exponent) and resets on commit.
+  /// Off by default — unsharded runs stay bit-identical.
+  void SetAbortBackoff(const BackoffPolicy& policy, uint64_t seed);
+
   /// Starts recording every observed read and commit decision into a
   /// SessionLog (for the src/check oracles). Off by default: recording
   /// allocates per event, so measurement runs leave it disabled.
@@ -167,6 +178,9 @@ class ClosedLoopClient {
   Duration retry_backoff_ = Millis(50);
   BackoffPolicy busy_policy_;  ///< max_retries == 0: busy outcomes abort.
   Rng busy_rng_;               ///< Drawn only on busy retries.
+  BackoffPolicy abort_policy_;  ///< max_retries == 0: no abort backoff.
+  Rng abort_rng_;               ///< Drawn only on conflict-abort backoff.
+  int consecutive_aborts_ = 0;
   uint64_t txns_issued_ = 0;
   std::unique_ptr<SessionLog> session_;
   obs::TraceRecorder* trace_ = nullptr;

@@ -28,11 +28,23 @@ Value TYcsbGenerator::NextValue() {
 
 TxnPlan TYcsbGenerator::NextTxn() {
   TxnPlan plan;
+  // Partition-local draws (key_partitions > 1): pick one contiguous
+  // key-range partition for the whole transaction, then fold the zipf
+  // index into it. The P == 1 path consumes exactly the original RNG
+  // stream (base 0, span num_keys: the fold is the identity).
+  uint64_t base = 0;
+  uint64_t span = config_.num_keys;
+  if (config_.key_partitions > 1) {
+    const uint64_t parts = static_cast<uint64_t>(config_.key_partitions);
+    const uint64_t p = rng_.Uniform(parts);
+    base = config_.num_keys * p / parts;
+    span = config_.num_keys * (p + 1) / parts - base;
+  }
   // Distinct keys: each operation accesses a different record.
   std::vector<Key> keys;
   keys.reserve(static_cast<size_t>(config_.ops_per_txn));
   while (static_cast<int>(keys.size()) < config_.ops_per_txn) {
-    Key k = KeyName(zipf_.Next(rng_));
+    Key k = KeyName(base + zipf_.Next(rng_) % span);
     if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
       keys.push_back(std::move(k));
     }

@@ -33,6 +33,14 @@ struct WorkloadConfig {
   /// calibration").
   double zipf_theta = 0.2;
   int value_size = 16;
+  /// Partition-local transactions: with P > 1, each transaction first
+  /// draws one of P contiguous key-range partitions (boundaries
+  /// num_keys*p/P — the same split ShardMap::RangeOverWorkloadKeys uses)
+  /// and confines all its keys to it, so a range-sharded deployment with
+  /// S == P shards sees only single-shard transactions. P == 1 (the
+  /// default) draws no extra randomness and is byte-identical to the
+  /// un-partitioned stream.
+  int key_partitions = 1;
   /// Fraction of transactions issued as read-only snapshot transactions
   /// (Appendix B); 0 reproduces the paper's main experiments.
   double read_only_fraction = 0.0;

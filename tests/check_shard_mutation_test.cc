@@ -1,0 +1,115 @@
+// Mutation smoke test for the multi-shard oracles: proves the fuzzer
+// catches cross-shard atomicity bugs.
+//
+// HELIOS_CHECK_MUTATION=skip_staged_resolution makes the recovery-time
+// status resolver skip the durable coordinator lookup and blindly
+// re-finalize every staged intent as committed. A crash that lands while
+// cross-shard transactions are mid-STAGED then commits slices whose
+// coordinator aborted (or never decided) — exactly the bug class the
+// shard_atomicity and staged_resolution oracles exist for. This test arms
+// the mutation, fuzzes crash scenarios over a 2-shard Helios-1
+// deployment, and asserts that (a) an oracle catches the bug within a
+// bounded scenario budget and (b) the shrinker minimizes the repro while
+// the same oracle keeps failing.
+//
+// Separate binary (not part of check_test or check_mutation_test): the
+// mutation env var is latched on first use inside the shard layer, so it
+// must be set before any sharded cluster exists in the process — and it
+// must NOT leak into the other suites' processes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/runner.h"
+#include "check/scenario_gen.h"
+#include "check/shrink.h"
+#include "harness/experiment_spec.h"
+
+namespace helios::check {
+namespace {
+
+namespace hns = helios::harness;
+
+class MutationEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    ASSERT_EQ(setenv("HELIOS_CHECK_MUTATION", "skip_staged_resolution", 1),
+              0);
+  }
+};
+
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new MutationEnv);
+
+/// Crash-heavy 2-shard Helios-1 scenarios: the mutation only fires on the
+/// recovery path, so every scenario class except crashes is switched off
+/// and the contention knobs keep enough cross-shard commits in flight
+/// that a crash reliably lands on STAGED intents.
+GeneratorOptions MutationHuntOptions() {
+  GeneratorOptions options;
+  options.protocols = {hns::Protocol::kHelios1};
+  options.shard_counts = {2};
+  options.crashes = true;
+  options.partitions = false;
+  options.message_faults = false;
+  options.clock_skew = false;
+  options.gray_faults = false;
+  options.min_clients = 4;
+  options.max_clients = 8;
+  options.min_keys = 16;
+  options.max_keys = 64;
+  options.min_write_fraction = 0.7;
+  options.max_write_fraction = 0.9;
+  return options;
+}
+
+TEST(CheckShardMutation, FuzzerCatchesSkippedStagedResolutionAndShrinksIt) {
+  const ScenarioGenerator generator(MutationHuntOptions());
+
+  constexpr uint64_t kBudget = 30;  // Only ~40% of scenarios draw a crash.
+  hns::ExperimentSpec failing;
+  std::string oracle;
+  for (uint64_t i = 0; i < kBudget; ++i) {
+    const hns::ExperimentSpec spec = generator.Scenario(i);
+    if (spec.fault_plan.node_events.empty()) continue;  // No crash, no bug.
+    const ScenarioVerdict verdict = RunScenario(spec);
+    if (!verdict.ok()) {
+      failing = spec;
+      oracle = verdict.report.FirstFailureName();
+      break;
+    }
+  }
+  ASSERT_FALSE(oracle.empty())
+      << "the skip_staged_resolution mutation survived " << kBudget
+      << " crash scenarios — the multi-shard oracles are blind to it";
+  // Either multi-shard oracle may see it first: a blindly committed slice
+  // next to an aborted sibling trips shard_atomicity, one next to a
+  // STAGED/ABORTED status record trips staged_resolution.
+  EXPECT_TRUE(oracle == "shard_atomicity" || oracle == "staged_resolution")
+      << "unexpected first failure: " << oracle;
+
+  ShrinkOptions options;
+  options.max_runs = 60;
+  const ShrinkResult shrunk = Shrink(failing, options);
+  ASSERT_EQ(shrunk.oracle, oracle);
+  EXPECT_LE(shrunk.runs, options.max_runs);
+  // The crash/recover pair is load-bearing; everything else should boil
+  // away. Two node events + maybe a leftover is an acceptable floor.
+  EXPECT_LE(shrunk.fault_events, 3);
+  EXPECT_GT(shrunk.spec.shards, 1)
+      << "the shrinker unsharded the repro yet it still failed — the "
+         "failure cannot be about cross-shard commit";
+
+  // The shrunk spec round-trips through JSON and still reproduces.
+  const auto parsed = hns::ExperimentSpec::FromJson(shrunk.spec.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value() == shrunk.spec);
+  const ScenarioVerdict replay = RunScenario(parsed.value());
+  EXPECT_EQ(replay.report.FirstFailureName(), oracle)
+      << replay.report.Summary();
+}
+
+}  // namespace
+}  // namespace helios::check

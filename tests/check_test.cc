@@ -175,7 +175,7 @@ std::string FailureOf(const OracleReport& report) {
 TEST(Oracles, MissingArtifactsFailEveryOracle) {
   const hns::ExperimentResult empty;  // No capture, no metrics, no check.
   const OracleReport report = RunOracles(BaseSpec(), empty);
-  ASSERT_EQ(report.verdicts.size(), 5u);
+  ASSERT_EQ(report.verdicts.size(), 7u);
   for (const OracleVerdict& v : report.verdicts) {
     EXPECT_FALSE(v.status.ok()) << v.name << " passed vacuously";
   }

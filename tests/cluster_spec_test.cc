@@ -105,6 +105,58 @@ TEST(ClusterSpecTest, ValidationCatchesBadSpecs) {
   EXPECT_FALSE(bad_grace.Validate().ok());
 }
 
+TEST(ClusterSpecTest, ShardedSpecDerivesPortsAndWalPaths) {
+  // Default off: the key is omitted, old spec files stay byte-identical,
+  // and derived paths/ports are the plain per-DC ones.
+  const ClusterSpec plain = MakeSpec();
+  EXPECT_EQ(plain.ToJson().find("\"shards\""), std::string::npos);
+  EXPECT_EQ(plain.PortOf(0, 0), 7101);
+  EXPECT_EQ(plain.WalPathFor(0, 0), "/tmp/dc0.wal");
+
+  ClusterSpec sharded = MakeSpec();
+  sharded.shards = 2;
+  ASSERT_TRUE(sharded.Validate().ok()) << sharded.Validate().ToString();
+  const std::string json = sharded.ToJson();
+  EXPECT_NE(json.find("\"shards\":2"), std::string::npos);
+  auto parsed = ClusterSpec::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().shards, 2);
+  EXPECT_EQ(parsed.value().ToJson(), json);
+
+  // Port plane stride is num_datacenters: 7101..7103 then 7104..7106.
+  EXPECT_EQ(sharded.PortOf(0, 1), 7104);
+  EXPECT_EQ(sharded.PortOf(2, 1), 7106);
+  const std::vector<uint16_t> plane1 = sharded.ports(1);
+  ASSERT_EQ(plane1.size(), 3u);
+  EXPECT_EQ(plane1[0], 7104);
+  EXPECT_EQ(plane1[2], 7106);
+
+  // WAL paths gain a shard suffix; an empty (WAL-less) path stays empty.
+  EXPECT_EQ(sharded.WalPathFor(0, 0), "/tmp/dc0.wal.s0");
+  EXPECT_EQ(sharded.WalPathFor(0, 1), "/tmp/dc0.wal.s1");
+  EXPECT_EQ(sharded.WalPathFor(1, 1), "");
+}
+
+TEST(ClusterSpecTest, ShardedValidationCatchesPortCollisionsAndBadCounts) {
+  ClusterSpec zero = MakeSpec();
+  zero.shards = 0;
+  EXPECT_FALSE(zero.Validate().ok());
+
+  // dc1's base port sits exactly one plane-stride above dc0's, so dc0
+  // shard 1 lands on dc1 shard 0.
+  ClusterSpec collide;
+  collide.datacenters = {{7101, ""}, {7103, ""}};
+  collide.shards = 2;
+  const Status st = collide.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("collides"), std::string::npos) << st.ToString();
+
+  ClusterSpec overflow;
+  overflow.datacenters = {{65535, ""}};
+  overflow.shards = 2;
+  EXPECT_FALSE(overflow.Validate().ok());
+}
+
 TEST(ClusterSpecTest, BadFsyncSpellingRejected) {
   EXPECT_FALSE(
       ClusterSpec::FromJson("{\"datacenters\":[],\"fsync\":\"always\"}")

@@ -95,7 +95,14 @@ TEST(FaultPlanTest, ValidateChecksRangesAndIndices) {
   {
     FaultPlan plan;
     plan.AddCrash(Seconds(1), 9);  // Bad node index.
-    EXPECT_FALSE(plan.Validate(5).ok());
+    const Status s = plan.Validate(5);
+    ASSERT_FALSE(s.ok());
+    // The message must name the dimension: node indices run along the
+    // datacenter axis, never the shard axis (src/shard deployments crash
+    // all of a datacenter's shards together).
+    EXPECT_NE(s.ToString().find("datacenter axis"), std::string::npos)
+        << s.ToString();
+    EXPECT_NE(s.ToString().find("shard"), std::string::npos) << s.ToString();
   }
   {
     FaultPlan plan;

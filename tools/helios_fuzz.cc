@@ -116,6 +116,9 @@ int main(int argc, char** argv) {
   flags.DefineBool("gray", true,
                    "explore gray faults (slow links, asymmetric partitions, "
                    "process/fsync stalls) with the health subsystem armed");
+  flags.DefineString("shards", "1",
+                     "comma-separated shard counts to draw from (src/shard); "
+                     "counts > 1 apply to Helios-family scenarios only");
   flags.DefineBool("help", false, "show this help");
   cli::ParseOrExit(&flags, argc, argv);
 
@@ -141,6 +144,30 @@ int main(int argc, char** argv) {
     return cli::FailWith(protocols.status(), cli::kExitUsage);
   }
   gen_options.protocols = std::move(protocols).value();
+  {
+    std::vector<int> shard_counts;
+    const std::string text = flags.GetString("shards");
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      const size_t comma = std::min(text.find(',', pos), text.size());
+      const std::string token = text.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (token.empty()) continue;
+      int value = 0;
+      try {
+        value = std::stoi(token);
+      } catch (...) {
+        value = 0;
+      }
+      if (value < 1) {
+        return cli::FailWith(
+            Status::InvalidArgument("bad --shards entry '" + token + "'"),
+            cli::kExitUsage);
+      }
+      shard_counts.push_back(value);
+    }
+    if (!shard_counts.empty()) gen_options.shard_counts = shard_counts;
+  }
   const check::ScenarioGenerator generator(gen_options);
 
   const int total = static_cast<int>(flags.GetInt("scenarios"));

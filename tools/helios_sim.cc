@@ -89,6 +89,11 @@ int main(int argc, char** argv) {
   flags.DefineInt("log_interval_ms", 10, "log propagation period, ms");
   flags.DefineBool("check_serializability", false,
                    "verify the committed history after the run");
+  flags.DefineInt("shards", 1,
+                  "independent Helios deployments per datacenter "
+                  "(src/shard; > 1 needs a Helios-family protocol)");
+  flags.DefineString("shard_by", "hash",
+                     "key partition across shards: hash | range");
   flags.DefineString("fault_plan", "",
                      "JSON fault-plan file applied to every run "
                      "(see docs/FAULTS.md)");
@@ -149,6 +154,10 @@ int main(int argc, char** argv) {
       .WithSeed(static_cast<uint64_t>(flags.GetInt("seed")))
       .WithLogInterval(Millis(flags.GetInt("log_interval_ms")))
       .WithSerializabilityCheck(flags.GetBool("check_serializability"));
+  if (flags.GetInt("shards") != 1 || flags.GetString("shard_by") != "hash") {
+    base.WithShards(static_cast<int>(flags.GetInt("shards")))
+        .WithShardBy(flags.GetString("shard_by"));
+  }
   if (flags.GetString("topology") == "uniform") {
     base.WithUniformTopology(static_cast<int>(flags.GetInt("dcs")),
                              flags.GetDouble("rtt"));

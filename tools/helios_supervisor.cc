@@ -1,11 +1,15 @@
 // helios_supervisor: crash-restart supervisor and chaos driver for a live
 // heliosd cluster.
 //
-// Launches one heliosd child process per datacenter in the cluster spec
-// (loopback TCP, per-DC file WALs), lets the daemons offer themselves
+// Launches one heliosd child process per (datacenter, shard) cell in the
+// cluster spec (loopback TCP, per-cell file WALs; an unsharded spec is
+// the classic one-child-per-DC layout), lets the daemons offer themselves
 // open-loop load, and executes a sim::FaultPlan's timed events against
 // real processes — the same JSON schema the deterministic simulator's
-// chaos harness runs, reinterpreted on the wall clock:
+// chaos harness runs, reinterpreted on the wall clock. Plan node indices
+// address whole datacenters: in a sharded cluster every shard child of
+// the named DC is killed / relaunched / stalled / partitioned together
+// (shards are not individually addressable, matching the simulator):
 //
 //   node_events:      up=false -> SIGKILL the child (true amnesia crash);
 //                     up=true  -> relaunch it (WAL recovery + catch-up).
@@ -27,12 +31,13 @@
 //
 // After the load window plus a settle period, every surviving daemon is
 // asked to `quit` cleanly; the supervisor then diffs the store dumps of
-// all survivors pairwise (they must be identical — the log replicates
-// values, timestamps, and writer ids deterministically) and, for every
-// datacenter that was killed and relaunched, asserts its metrics JSON
-// shows a nonzero `recovery.*` (WAL records replayed and a completed
-// catch-up). Exit 0 on convergence, 1 on any divergence, crash, or
-// missing recovery.
+// all survivors pairwise within each shard plane (the planes are
+// independent Helios clusters holding disjoint data, so only same-shard
+// dumps must be identical — the log replicates values, timestamps, and
+// writer ids deterministically) and, for every child that was killed and
+// relaunched, asserts its metrics JSON shows a nonzero `recovery.*` (WAL
+// records replayed and a completed catch-up). Exit 0 on convergence, 1
+// on any divergence, crash, or missing recovery.
 
 #include <fcntl.h>
 #include <poll.h>
@@ -142,9 +147,10 @@ struct LaunchOptions {
   int64_t max_inflight = 0;
   int64_t queue_watermark = 0;
   int64_t seed = 1;
+  int shards = 1;  ///< From the cluster spec; > 1 adds --shard per child.
 };
 
-bool Launch(const LaunchOptions& opts, int dc, bool with_load,
+bool Launch(const LaunchOptions& opts, int dc, int shard, bool with_load,
             Child* child) {
   int to_child[2];
   int from_child[2];
@@ -168,6 +174,9 @@ bool Launch(const LaunchOptions& opts, int dc, bool with_load,
         "--queue_watermark=" + std::to_string(opts.queue_watermark),
         "--seed=" + std::to_string(opts.seed),
     };
+    if (opts.shards > 1) {
+      args.push_back("--shard=" + std::to_string(shard));
+    }
     if (with_load && opts.load_rate > 0.0) {
       args.push_back("--load_rate=" + std::to_string(opts.load_rate));
       args.push_back("--load_duration_s=" +
@@ -194,7 +203,13 @@ bool Launch(const LaunchOptions& opts, int dc, bool with_load,
   std::string line;
   if (!ReadLine(child, /*timeout_ms=*/10000, &line) ||
       line.find("listening") == std::string::npos) {
-    std::fprintf(stderr, "supervisor: dc %d failed to become ready\n", dc);
+    if (opts.shards > 1) {
+      std::fprintf(stderr,
+                   "supervisor: dc %d shard %d failed to become ready\n", dc,
+                   shard);
+    } else {
+      std::fprintf(stderr, "supervisor: dc %d failed to become ready\n", dc);
+    }
     return false;
   }
   return true;
@@ -411,44 +426,63 @@ int main(int argc, char** argv) {
   opts.max_inflight = flags.GetInt("max_inflight");
   opts.queue_watermark = flags.GetInt("queue_watermark");
   opts.seed = flags.GetInt("seed");
+  opts.shards = cluster.shards;
+  const int shards = cluster.shards;
 
   ::signal(SIGPIPE, SIG_IGN);
 
-  std::vector<Child> children(static_cast<size_t>(n));
+  // One child per (dc, shard) cell, dc-major. Unsharded output file
+  // names stay exactly as before (dc0.dump, not dc0.s0.dump).
+  const auto child_index = [shards](int dc, int s) {
+    return static_cast<size_t>(dc * shards + s);
+  };
+  std::vector<Child> children(static_cast<size_t>(n * shards));
   for (int dc = 0; dc < n; ++dc) {
-    Child& child = children[static_cast<size_t>(dc)];
-    child.dump_path = opts.out_dir + "/dc" + std::to_string(dc) + ".dump";
-    child.metrics_path =
-        opts.out_dir + "/dc" + std::to_string(dc) + ".metrics.json";
-    if (!Launch(opts, dc, /*with_load=*/true, &child)) {
-      for (Child& c : children) KillChild(&c);
-      return cli::kExitFailure;
+    for (int s = 0; s < shards; ++s) {
+      Child& child = children[child_index(dc, s)];
+      const std::string stem =
+          opts.out_dir + "/dc" + std::to_string(dc) +
+          (shards > 1 ? ".s" + std::to_string(s) : "");
+      child.dump_path = stem + ".dump";
+      child.metrics_path = stem + ".metrics.json";
+      if (!Launch(opts, dc, s, /*with_load=*/true, &child)) {
+        for (Child& c : children) KillChild(&c);
+        return cli::kExitFailure;
+      }
     }
   }
-  std::printf("supervisor: %d daemons up, load %.0f txn/s for %.1fs\n", n,
-              opts.load_rate, opts.load_duration_s);
+  std::printf("supervisor: %d daemons up, load %.0f txn/s for %.1fs\n",
+              n * shards, opts.load_rate, opts.load_duration_s);
 
   const Clock::time_point t0 = Clock::now();
   for (const TimedEvent& event : events) {
     std::this_thread::sleep_until(t0 + std::chrono::microseconds(event.at));
     if (event.kind == EventKind::kNode) {
-      Child& child = children[static_cast<size_t>(event.node.node)];
+      // Plan node indices address whole datacenters; every shard child
+      // of the DC shares its fate (a machine crash takes all its
+      // colocated shard daemons with it).
       if (!event.node.up) {
         std::printf("supervisor: SIGKILL dc %d at t=%.2fs\n",
                     event.node.node,
                     static_cast<double>(event.at) / 1e6);
-        KillChild(&child);
+        for (int s = 0; s < shards; ++s) {
+          KillChild(&children[child_index(event.node.node, s)]);
+        }
       } else {
         std::printf("supervisor: relaunch dc %d at t=%.2fs\n",
                     event.node.node,
                     static_cast<double>(event.at) / 1e6);
         // Relaunched daemons offer no load of their own: the survivors
         // keep the cluster busy while this one recovers.
-        if (!Launch(opts, event.node.node, /*with_load=*/false, &child)) {
-          for (Child& c : children) KillChild(&c);
-          return cli::kExitFailure;
+        for (int s = 0; s < shards; ++s) {
+          Child& child = children[child_index(event.node.node, s)];
+          if (!Launch(opts, event.node.node, s, /*with_load=*/false,
+                      &child)) {
+            for (Child& c : children) KillChild(&c);
+            return cli::kExitFailure;
+          }
+          child.was_relaunched = true;
         }
-        child.was_relaunched = true;
       }
     } else if (event.kind == EventKind::kPartition) {
       const int a = event.partition.a;
@@ -456,23 +490,29 @@ int main(int argc, char** argv) {
       const char* verb = event.partition.partitioned ? "partition" : "heal";
       std::printf("supervisor: %s %d <-> %d at t=%.2fs\n", verb, a, b,
                   static_cast<double>(event.at) / 1e6);
-      // Outbound refusal at both endpoints = a full bidirectional cut.
-      SendCommand(&children[static_cast<size_t>(a)],
-                  std::string(verb) + " " + std::to_string(b));
-      SendCommand(&children[static_cast<size_t>(b)],
-                  std::string(verb) + " " + std::to_string(a));
+      // Outbound refusal at both endpoints = a full bidirectional cut,
+      // applied on every shard plane (the link between two sites carries
+      // all of their planes).
+      for (int s = 0; s < shards; ++s) {
+        SendCommand(&children[child_index(a, s)],
+                    std::string(verb) + " " + std::to_string(b));
+        SendCommand(&children[child_index(b, s)],
+                    std::string(verb) + " " + std::to_string(a));
+      }
     } else if (event.gray.kind ==
                helios::sim::GrayFaultKind::kProcessStall) {
       const bool start = event.kind == EventKind::kGrayStart;
-      Child& child = children[static_cast<size_t>(event.gray.a)];
       std::printf("supervisor: %s dc %d at t=%.2fs\n",
                   start ? "SIGSTOP" : "SIGCONT", event.gray.a,
                   static_cast<double>(event.at) / 1e6);
       // A frozen-not-dead process: the kernel keeps its listening socket
       // and peer connections open, so from outside the daemon is silent
       // yet every probe still connects — the textbook gray failure.
-      if (child.running) {
-        ::kill(child.pid, start ? SIGSTOP : SIGCONT);
+      for (int s = 0; s < shards; ++s) {
+        Child& child = children[child_index(event.gray.a, s)];
+        if (child.running) {
+          ::kill(child.pid, start ? SIGSTOP : SIGCONT);
+        }
       }
     } else if (event.gray.kind ==
                helios::sim::GrayFaultKind::kAsymPartition) {
@@ -483,8 +523,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(event.at) / 1e6);
       // Refusal at the *a* endpoint only: a->b messages die while b->a
       // still flows, the half-open link a bidirectional cut can't model.
-      SendCommand(&children[static_cast<size_t>(event.gray.a)],
-                  std::string(verb) + " " + std::to_string(event.gray.b));
+      for (int s = 0; s < shards; ++s) {
+        SendCommand(&children[child_index(event.gray.a, s)],
+                    std::string(verb) + " " + std::to_string(event.gray.b));
+      }
     }
   }
 
@@ -499,71 +541,86 @@ int main(int argc, char** argv) {
   std::this_thread::sleep_until(settle_end);
 
   bool ok = true;
+  for (Child& child : children) SendCommand(&child, "quit");
   for (int dc = 0; dc < n; ++dc) {
-    SendCommand(&children[static_cast<size_t>(dc)], "quit");
-  }
-  for (int dc = 0; dc < n; ++dc) {
-    if (!WaitClean(&children[static_cast<size_t>(dc)], dc)) ok = false;
-  }
-
-  // Convergence: every daemon alive at the end must dump an identical
-  // store (values, commit timestamps, and writer ids all replicate).
-  std::vector<int> survivors;
-  for (int dc = 0; dc < n; ++dc) {
-    const Child& child = children[static_cast<size_t>(dc)];
-    if (child.was_killed && !child.was_relaunched) continue;  // Still down.
-    survivors.push_back(dc);
-  }
-  std::map<int, std::string> dumps;
-  for (int dc : survivors) {
-    auto dump = cli::ReadWholeFile(children[static_cast<size_t>(dc)].dump_path);
-    if (!dump.ok()) {
-      std::fprintf(stderr, "supervisor: missing dump for dc %d\n", dc);
-      ok = false;
-      continue;
-    }
-    dumps[dc] = dump.value();
-  }
-  for (size_t i = 1; i < survivors.size(); ++i) {
-    const int a = survivors[0];
-    const int b = survivors[i];
-    if (dumps.count(a) == 0 || dumps.count(b) == 0) continue;
-    if (dumps[a] != dumps[b]) {
-      std::fprintf(stderr,
-                   "supervisor: store divergence dc %d vs dc %d: %s\n", a, b,
-                   FirstDiff(dumps[a], dumps[b]).c_str());
-      ok = false;
+    for (int s = 0; s < shards; ++s) {
+      if (!WaitClean(&children[child_index(dc, s)], dc)) ok = false;
     }
   }
 
-  // Every relaunched datacenter must show real recovery work.
+  // Convergence: within each shard plane, every daemon alive at the end
+  // must dump an identical store (values, commit timestamps, and writer
+  // ids all replicate). Planes hold disjoint data and are never compared
+  // against each other.
+  size_t total_survivors = 0;
+  for (int s = 0; s < shards; ++s) {
+    std::vector<int> survivors;
+    for (int dc = 0; dc < n; ++dc) {
+      const Child& child = children[child_index(dc, s)];
+      if (child.was_killed && !child.was_relaunched) continue;  // Down.
+      survivors.push_back(dc);
+    }
+    total_survivors += survivors.size();
+    std::map<int, std::string> dumps;
+    for (int dc : survivors) {
+      auto dump = cli::ReadWholeFile(children[child_index(dc, s)].dump_path);
+      if (!dump.ok()) {
+        std::fprintf(stderr, "supervisor: missing dump for dc %d shard %d\n",
+                     dc, s);
+        ok = false;
+        continue;
+      }
+      dumps[dc] = dump.value();
+    }
+    for (size_t i = 1; i < survivors.size(); ++i) {
+      const int a = survivors[0];
+      const int b = survivors[i];
+      if (dumps.count(a) == 0 || dumps.count(b) == 0) continue;
+      if (dumps[a] != dumps[b]) {
+        std::fprintf(
+            stderr,
+            "supervisor: store divergence dc %d vs dc %d (shard %d): %s\n",
+            a, b, s, FirstDiff(dumps[a], dumps[b]).c_str());
+        ok = false;
+      }
+    }
+  }
+
+  // Every relaunched child must show real recovery work.
   for (int dc = 0; dc < n; ++dc) {
-    const Child& child = children[static_cast<size_t>(dc)];
-    if (!child.was_relaunched) continue;
-    uint64_t recoveries = 0;
-    uint64_t replayed = 0;
-    if (!ReadRecoveryCounters(child.metrics_path, &recoveries, &replayed)) {
-      std::fprintf(stderr, "supervisor: no metrics for relaunched dc %d\n",
-                   dc);
-      ok = false;
-      continue;
+    for (int s = 0; s < shards; ++s) {
+      const Child& child = children[child_index(dc, s)];
+      if (!child.was_relaunched) continue;
+      const std::string who =
+          "dc " + std::to_string(dc) +
+          (shards > 1 ? " shard " + std::to_string(s) : "");
+      uint64_t recoveries = 0;
+      uint64_t replayed = 0;
+      if (!ReadRecoveryCounters(child.metrics_path, &recoveries,
+                                &replayed)) {
+        std::fprintf(stderr, "supervisor: no metrics for relaunched %s\n",
+                     who.c_str());
+        ok = false;
+        continue;
+      }
+      if (recoveries == 0 || replayed == 0) {
+        std::fprintf(stderr,
+                     "supervisor: %s relaunched but recovery.* empty "
+                     "(recoveries=%llu records_replayed=%llu)\n",
+                     who.c_str(),
+                     static_cast<unsigned long long>(recoveries),
+                     static_cast<unsigned long long>(replayed));
+        ok = false;
+      }
+      std::printf("supervisor: %s recovery recoveries=%llu replayed=%llu\n",
+                  who.c_str(), static_cast<unsigned long long>(recoveries),
+                  static_cast<unsigned long long>(replayed));
     }
-    if (recoveries == 0 || replayed == 0) {
-      std::fprintf(stderr,
-                   "supervisor: dc %d relaunched but recovery.* empty "
-                   "(recoveries=%llu records_replayed=%llu)\n",
-                   dc, static_cast<unsigned long long>(recoveries),
-                   static_cast<unsigned long long>(replayed));
-      ok = false;
-    }
-    std::printf("supervisor: dc %d recovery recoveries=%llu replayed=%llu\n",
-                dc, static_cast<unsigned long long>(recoveries),
-                static_cast<unsigned long long>(replayed));
   }
 
   if (ok) {
     std::printf("supervisor: converged (%zu survivors, %d datacenters)\n",
-                survivors.size(), n);
+                total_survivors, n);
     return cli::kExitOk;
   }
   std::fprintf(stderr, "supervisor: FAILED\n");

@@ -24,7 +24,11 @@
 //   quit               clean shutdown
 //
 // Readiness: "heliosd dc=<i> listening port=<p>" on stdout once the
-// socket is bound (and any WAL recovery has completed).
+// socket is bound (and any WAL recovery has completed). In a sharded
+// spec (cluster "shards" > 1) each process serves one (dc, shard) cell —
+// selected by --dc and --shard, listening on PortOf(dc, shard),
+// journaling to WalPathFor(dc, shard), and peering only with its own
+// shard plane — and the readiness line gains " shard=<k>".
 //
 // With --load_rate > 0 the daemon also offers itself open-loop Poisson
 // load (blind writes, workload::OpenLoopLoadGen) — the overload and
@@ -80,7 +84,7 @@ struct LoadResult {
   helios::workload::OpenLoopStats stats;
 };
 
-std::string MetricsJson(int dc, LiveDatacenter& node,
+std::string MetricsJson(int dc, int shard, int shards, LiveDatacenter& node,
                         const LoadResult& load) {
   namespace json = helios::json;
   const OverloadStats overload = node.overload_snapshot();
@@ -157,6 +161,7 @@ std::string MetricsJson(int dc, LiveDatacenter& node,
   }
   w.Raw("overload", overload_doc);
   w.Raw("recovery", recovery_doc);
+  if (shards > 1) w.Field("shard", static_cast<int64_t>(shard));
   w.Raw("transport", transport_doc);
   w.Close();
   return out;
@@ -164,7 +169,7 @@ std::string MetricsJson(int dc, LiveDatacenter& node,
 
 /// Parses "cmd arg" lines; returns false once the daemon should exit.
 bool HandleCommand(const std::string& line, LiveDatacenter& node, int dc,
-                   const LoadResult& load) {
+                   int shard, int shards, const LoadResult& load) {
   const size_t space = line.find(' ');
   const std::string cmd = line.substr(0, space);
   const std::string arg =
@@ -188,7 +193,8 @@ bool HandleCommand(const std::string& line, LiveDatacenter& node, int dc,
       std::printf("err dump: %s\n", s.message().c_str());
     }
   } else if (cmd == "metrics") {
-    const Status s = cli::WriteWholeFile(arg, MetricsJson(dc, node, load));
+    const Status s =
+        cli::WriteWholeFile(arg, MetricsJson(dc, shard, shards, node, load));
     if (s.ok()) {
       std::printf("ok metrics\n");
     } else {
@@ -207,6 +213,8 @@ int main(int argc, char** argv) {
   helios::FlagSet flags;
   flags.DefineString("cluster", "", "Cluster spec JSON file (required)");
   flags.DefineInt("dc", -1, "This process's datacenter index (required)");
+  flags.DefineInt("shard", 0,
+                  "This process's shard index (sharded cluster specs)");
   flags.DefineString("dump_out", "",
                      "Write the store dump here on clean shutdown");
   flags.DefineString("metrics_out", "",
@@ -243,6 +251,13 @@ int main(int argc, char** argv) {
                  dc, spec.value().num_datacenters());
     return cli::kExitUsage;
   }
+  const int shard = static_cast<int>(flags.GetInt("shard"));
+  if (shard < 0 || shard >= spec.value().shards) {
+    std::fprintf(stderr, "--shard %d out of range (spec has %d shard%s)\n",
+                 shard, spec.value().shards,
+                 spec.value().shards == 1 ? "" : "s");
+    return cli::kExitUsage;
+  }
   const ClusterSpec& cluster = spec.value();
 
   InstallSignalHandlers();
@@ -257,20 +272,27 @@ int main(int argc, char** argv) {
   node.SetAdmissionControl(admission);
 
   // Recover-then-serve: the WAL replay happens before the socket exists,
-  // so no peer or client ever observes pre-crash state.
-  const std::string wal_path =
-      cluster.datacenters[static_cast<size_t>(dc)].wal_path;
+  // so no peer or client ever observes pre-crash state. In a sharded
+  // spec each (dc, shard) cell journals to its own derived WAL path.
+  const std::string wal_path = cluster.WalPathFor(dc, shard);
   if (!wal_path.empty()) {
     const Status s = node.EnableWal(wal_path, cluster.wal_options);
     if (!s.ok()) return cli::FailWith(s, cli::kExitFailure);
   }
 
-  Status s = node.Listen(cluster.datacenters[static_cast<size_t>(dc)].port);
+  Status s = node.Listen(cluster.PortOf(dc, shard));
   if (!s.ok()) return cli::FailWith(s, cli::kExitFailure);
-  std::printf("heliosd dc=%d listening port=%u\n", dc, node.port());
+  if (cluster.shards > 1) {
+    std::printf("heliosd dc=%d listening port=%u shard=%d\n", dc,
+                node.port(), shard);
+  } else {
+    std::printf("heliosd dc=%d listening port=%u\n", dc, node.port());
+  }
   std::fflush(stdout);
 
-  s = node.ConnectPeers(cluster.ports());
+  // Peers are the same shard plane at every other datacenter: shard
+  // planes are independent live Helios clusters and never interconnect.
+  s = node.ConnectPeers(cluster.ports(shard));
   if (!s.ok()) return cli::FailWith(s, cli::kExitFailure);
   node.Start();
 
@@ -283,7 +305,8 @@ int main(int argc, char** argv) {
     opts.duration = std::chrono::milliseconds(
         static_cast<int64_t>(flags.GetDouble("load_duration_s") * 1000.0));
     opts.seed = static_cast<uint64_t>(flags.GetInt("seed")) +
-                static_cast<uint64_t>(dc) * 0x9E3779B97F4A7C15ULL;
+                static_cast<uint64_t>(dc + shard * cluster.num_datacenters()) *
+                    0x9E3779B97F4A7C15ULL;
     opts.backoff.max_retries =
         static_cast<int>(flags.GetInt("load_retries"));
     load.ran = true;
@@ -315,7 +338,9 @@ int main(int argc, char** argv) {
     while (run && (nl = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
-      if (!line.empty()) run = HandleCommand(line, node, dc, load);
+      if (!line.empty()) {
+        run = HandleCommand(line, node, dc, shard, cluster.shards, load);
+      }
     }
   }
 
@@ -327,7 +352,8 @@ int main(int argc, char** argv) {
   }
   const std::string metrics_out = flags.GetString("metrics_out");
   if (!metrics_out.empty()) {
-    (void)cli::WriteWholeFile(metrics_out, MetricsJson(dc, node, load));
+    (void)cli::WriteWholeFile(
+        metrics_out, MetricsJson(dc, shard, cluster.shards, node, load));
   }
   std::printf("heliosd dc=%d exiting\n", dc);
   return cli::kExitOk;
