@@ -260,6 +260,19 @@ void HeliosNode::ProcessCommitRequest(std::vector<ReadEntry> reads,
   PendingTxn pending;
   pending.arrived_sim = arrived_sim;
   pending.reply = std::move(reply);
+  // The waiter fence guards plain admissions too: a parked older staged
+  // slice holds no pool entry, so a stream of single-shard transactions
+  // on its keys would otherwise occupy the pools at every wait-die poll
+  // and starve it through its whole retry budget. The empty-map check
+  // keeps every unsharded or single-shard deployment on the exact
+  // pre-sharding path.
+  if (!staged_waiting_.empty() && OlderWaiterConflicts(id, *body)) {
+    ++counters_.aborts_on_request;
+    RecordDecisionTrace(id, false, "conflict:waiting", arrived_sim,
+                        scheduler_->Now());
+    pending.reply(CommitOutcome{id, false, "conflict:waiting"});
+    return;
+  }
   std::string abort_reason;
   if (!AdmitPreparing(id, body, &pending, &abort_reason)) {
     ++counters_.aborts_on_request;
@@ -341,7 +354,15 @@ void HeliosNode::TryStagedAdmission(const TxnId& id, TxnBodyPtr body,
                                     sim::SimTime arrived_sim,
                                     int retries_left) {
   staged_waiting_.erase(id);  // Re-registered below if it parks again.
+  const bool doomed = staged_doomed_.erase(id) > 0;
   if (down_) return;
+  if (doomed) {
+    // The coordinator finalize-aborted this slice while it was parked
+    // (see ProcessFinalizeStaged): abort instead of admitting.
+    ++counters_.staged_aborts;
+    admitted(StagedAdmitOutcome{id, false, "xshard:abort", kMinTimestamp});
+    return;
+  }
   if (recovering_) {
     ++counters_.staged_aborts;
     admitted(StagedAdmitOutcome{id, false, "recovering", kMinTimestamp});
@@ -807,6 +828,15 @@ void HeliosNode::ProcessFinalizeStaged(const TxnId& id, bool commit,
     auto pit = pending_.find(id);
     if (pit != pending_.end() && pit->second.staged) {
       AbortPending(id, "xshard:abort", &NodeCounters::aborts_liveness);
+      return;
+    }
+    // ... or still parked in wait-die. The retry runs off the scheduler,
+    // not this FIFO service queue, so it can fire after this finalize and
+    // admit into a transaction the coordinator has already given up on —
+    // an intent nobody is left to finalize, wedging its keys forever.
+    // Doom it instead: the retry consumes the marker and aborts.
+    if (staged_waiting_.erase(id) > 0) {
+      staged_doomed_.insert(id);
       return;
     }
   }

@@ -247,6 +247,7 @@ class HeliosNode {
   size_t pt_pool_size() const { return pt_pool_.size(); }
   size_t ept_pool_size() const { return ept_pool_.size(); }
   size_t staged_hold_count() const { return staged_holds_.size(); }
+  size_t staged_waiting_count() const { return staged_waiting_.size(); }
   sim::ServiceQueue& service_queue() { return service_queue_; }
   const sim::ServiceQueue& service_queue() const { return service_queue_; }
 
@@ -381,7 +382,9 @@ class HeliosNode {
   /// under contention NO interleaving commits (livelock). Younger slices
   /// still die immediately, so age order is acyclic and the globally
   /// oldest staged transaction always makes progress. Plain (non-staged)
-  /// admissions keep Algorithm 1's abort-on-conflict unchanged.
+  /// admissions keep Algorithm 1's abort-on-conflict unchanged, but they
+  /// die against the waiter fence like everything else (see
+  /// OlderWaiterConflicts).
   void TryStagedAdmission(const TxnId& id, TxnBodyPtr body,
                           StagedAdmitCallback admitted,
                           StagedCommitCallback prepared,
@@ -395,7 +398,10 @@ class HeliosNode {
   /// True iff an *older* staged transaction is parked in staged_waiting_
   /// with a read/write overlap against `body`. Waiters hold no pool entry,
   /// so without this fence a stream of younger admissions would occupy the
-  /// pools at every poll and starve the waiter forever.
+  /// pools at every poll and starve the waiter forever. Consulted by both
+  /// the staged and the plain admission paths: a stream of single-shard
+  /// transactions starves a parked waiter exactly as effectively as
+  /// younger staged slices do.
   bool OlderWaiterConflicts(const TxnId& id, const TxnBody& body) const;
   void ProcessRaiseStagedWait(const TxnId& id, Timestamp wait_base);
   void ProcessFinalizeStaged(const TxnId& id, bool commit,
@@ -542,8 +548,15 @@ class HeliosNode {
   /// Prepared cross-shard intents awaiting finalize (see StagedHold).
   std::map<TxnId, StagedHold> staged_holds_;
   /// Staged slices parked by wait-die, by id; their bodies fence younger
-  /// overlapping staged admissions (OlderWaiterConflicts).
+  /// overlapping admissions (OlderWaiterConflicts).
   std::map<TxnId, TxnBodyPtr> staged_waiting_;
+  /// Parked slices the coordinator finalize-aborted while they waited:
+  /// the wait-die retry runs off the scheduler, not the FIFO service
+  /// queue, so the finalize cannot intercept it — instead the retry
+  /// consumes the marker and aborts rather than admitting into a
+  /// transaction nobody is left to finalize. Each entry is consumed by
+  /// exactly one retry (or dies with the node object).
+  std::set<TxnId> staged_doomed_;
   StagedResolver staged_resolver_;
 
   uint64_t next_txn_seq_ = 1;

@@ -37,6 +37,12 @@ ShardMap ShardMap::Range(std::vector<Key> boundaries) {
 }
 
 ShardMap ShardMap::RangeOverWorkloadKeys(int num_shards, uint64_t num_keys) {
+  // Every shard must own at least one workload key: more shards than keys
+  // would emit duplicate boundary strings — an invalid (overlapping) map.
+  if (num_shards < 1) num_shards = 1;
+  if (static_cast<uint64_t>(num_shards) > num_keys) {
+    num_shards = num_keys < 1 ? 1 : static_cast<int>(num_keys);
+  }
   std::vector<Key> boundaries;
   for (int s = 1; s < num_shards; ++s) {
     const uint64_t split =

@@ -40,7 +40,9 @@ class ShardMap {
   static ShardMap Range(std::vector<Key> boundaries);
   /// Range partition splitting the harness workload keyspace
   /// ("user%08llu", see workload::TYcsbGenerator) into `num_shards`
-  /// near-equal contiguous runs of `num_keys` keys.
+  /// near-equal contiguous runs of `num_keys` keys. `num_shards` is
+  /// clamped to [1, num_keys] so every shard owns at least one key —
+  /// the result always passes Validate().
   static ShardMap RangeOverWorkloadKeys(int num_shards, uint64_t num_keys);
 
   Kind kind() const { return kind_; }

@@ -43,7 +43,14 @@ ShardedCluster::ShardedCluster(sim::Scheduler* scheduler,
       config_(std::move(config)),
       map_(std::move(map)),
       name_(std::move(name)) {
-  assert(map_.Validate().ok());
+  // Unconditional (not assert): an invalid map silently misroutes keys —
+  // overlapping or empty partitions — and an NDEBUG build would proceed
+  // with corrupted placement instead of failing loudly.
+  if (const Status map_ok = map_.Validate(); !map_ok.ok()) {
+    std::fprintf(stderr, "ShardedCluster(%s): invalid shard map: %s\n",
+                 name_.c_str(), map_ok.ToString().c_str());
+    std::abort();
+  }
   const int num_shards = map_.num_shards();
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -146,7 +153,21 @@ void ShardedCluster::StartCrossShard(DcId dc, SliceMap slices, TxnBodyPtr body,
 void ShardedCluster::OnSliceAdmitted(int s,
                                      const core::StagedAdmitOutcome& out) {
   auto it = inflight_.find(out.id);
-  if (it == inflight_.end()) return;  // Decided, or the coordinator crashed.
+  if (it == inflight_.end()) {
+    // Decided (abort) or crashed — e.g. the slice was parked in wait-die
+    // when the decision's finalize swept through, and its retry admitted
+    // afterwards. Release the intent now: with the transaction forgotten,
+    // nobody is left to finalize it and it would block conflicting
+    // admissions on shard s forever. Safe to abort unconditionally — a
+    // commit decision consumes every participant's single admitted ack
+    // before the transaction leaves inflight_, so a stray admitted=true
+    // ack can never belong to a committed transaction.
+    if (out.admitted) {
+      node(s, out.id.origin).HandleFinalizeStaged(out.id, false,
+                                                  kMinTimestamp);
+    }
+    return;
+  }
   CrossShardTxn& x = it->second;
   if (out.admitted) {
     x.admitted[s] = out.request_ts;
@@ -160,7 +181,17 @@ void ShardedCluster::OnSliceAdmitted(int s,
 void ShardedCluster::OnSlicePrepared(int s,
                                      const core::StagedCommitOutcome& out) {
   auto it = inflight_.find(out.id);
-  if (it == inflight_.end()) return;
+  if (it == inflight_.end()) {
+    // Same reconciliation as OnSliceAdmitted: a commit decision consumes
+    // all n prepared acks before erasing the transaction, so a stray
+    // prepared=true ack can only be the leftover of an abort/crash race —
+    // release the held intent.
+    if (out.prepared) {
+      node(s, out.id.origin).HandleFinalizeStaged(out.id, false,
+                                                  kMinTimestamp);
+    }
+    return;
+  }
   CrossShardTxn& x = it->second;
   if (out.prepared) {
     x.prepared.insert(s);

@@ -11,11 +11,17 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "check/oracles.h"
 #include "check/runner.h"
+#include "core/helios_cluster.h"
 #include "harness/experiment.h"
 #include "harness/experiment_spec.h"
 #include "shard/shard_map.h"
+#include "shard/sharded_cluster.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
 
 namespace helios::shard {
 namespace {
@@ -106,6 +112,25 @@ TEST(ShardMap, JsonRoundTripIsStrict) {
   EXPECT_FALSE(
       ShardMap::FromJson(R"({"boundaries":["m"],"kind":"range","shards":3})")
           .ok());
+}
+
+TEST(ShardMap, RangeOverWorkloadKeysClampsShardsToKeys) {
+  // More shards than keys would otherwise emit duplicate boundary strings
+  // (an overlapping map); the generator clamps so every shard owns >= 1
+  // key and the result always validates.
+  const ShardMap clamped = ShardMap::RangeOverWorkloadKeys(8, 3);
+  ASSERT_TRUE(clamped.Validate().ok()) << clamped.Validate().ToString();
+  EXPECT_EQ(clamped.num_shards(), 3);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(clamped.ShardOf(WorkloadKey(i)), static_cast<int>(i));
+  }
+  // Degenerate corners collapse to the single-shard map.
+  EXPECT_EQ(ShardMap::RangeOverWorkloadKeys(4, 0).num_shards(), 1);
+  EXPECT_EQ(ShardMap::RangeOverWorkloadKeys(0, 100).num_shards(), 1);
+  // Exactly one key per shard is the tightest valid split.
+  const ShardMap tight = ShardMap::RangeOverWorkloadKeys(5, 5);
+  ASSERT_TRUE(tight.Validate().ok()) << tight.Validate().ToString();
+  EXPECT_EQ(tight.num_shards(), 5);
 }
 
 TEST(ShardMap, RejectsEmptyAndOverlappingPartitions) {
@@ -248,6 +273,173 @@ TEST(CrossShardCommit, ContendedTinyKeyspaceStillCommits) {
   ASSERT_NE(waited, nullptr);
   EXPECT_GT(waited->value, 0u);
 }
+
+// --- Wait-die parked slices vs the coordinator's finalize --------------------
+
+/// A single-datacenter Helios rig driven through the staged-slice node
+/// API directly, so the park/finalize interleavings are deterministic.
+/// txn_seq_start/stride mimic a shard plane: plain transactions mint even
+/// sequence numbers, leaving odd ones for injected "coordinator" ids.
+struct SliceRig {
+  sim::Scheduler scheduler;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<core::HeliosCluster> cluster;
+};
+
+std::unique_ptr<SliceRig> MakeSliceRig() {
+  auto rig = std::make_unique<SliceRig>();
+  core::HeliosConfig cfg;
+  cfg.num_datacenters = 1;
+  cfg.log_interval = Millis(5);
+  cfg.client_link_one_way = Micros(500);
+  cfg.txn_seq_start = 2;
+  cfg.txn_seq_stride = 2;
+  rig->network = std::make_unique<sim::Network>(&rig->scheduler, 1, 1);
+  rig->cluster = std::make_unique<core::HeliosCluster>(
+      &rig->scheduler, rig->network.get(), std::move(cfg),
+      core::LogProtocolKind::kHelios);
+  rig->cluster->Start();
+  return rig;
+}
+
+/// Regression for the parked-slice liveness wedge: a finalize-abort used
+/// to be a no-op for a slice parked in wait-die (it is in neither
+/// pending_ nor staged_holds_), so its off-queue retry would later admit
+/// into a transaction the coordinator had already forgotten — an intent
+/// nobody finalizes, aborting every conflicting admission on its keys
+/// forever. The finalize must doom the parked waiter instead.
+TEST(CrossShardSlice, FinalizeAbortCancelsParkedWaiter) {
+  auto rig = MakeSliceRig();
+  core::HeliosNode& node = rig->cluster->node(0);
+
+  const TxnId older{0, 1};     // The transaction that parks.
+  const TxnId younger{0, 101};  // Its younger conflicting blocker.
+  core::StagedAdmitOutcome older_admit;
+  bool older_admit_seen = false;
+  bool any_prepared = false;
+
+  rig->scheduler.At(Millis(10), [&] {
+    node.HandleStagedCommit(
+        younger, {}, {{"k", "1"}},
+        [](const core::StagedAdmitOutcome&) {},
+        [&](const core::StagedCommitOutcome& out) {
+          any_prepared = any_prepared || out.prepared;
+        });
+  });
+  // The older slice conflicts with the still-pending younger one and
+  // every blocker is younger, so wait-die parks it instead of aborting.
+  rig->scheduler.At(Millis(11), [&] {
+    node.HandleStagedCommit(
+        older, {}, {{"k", "2"}},
+        [&](const core::StagedAdmitOutcome& out) {
+          older_admit = out;
+          older_admit_seen = true;
+        },
+        [&](const core::StagedCommitOutcome& out) {
+          any_prepared = any_prepared || out.prepared;
+        });
+  });
+  // The coordinator gives up (a sibling shard failed admission) and
+  // finalize-aborts both slices while the older one is parked.
+  rig->scheduler.At(Millis(12), [&] {
+    EXPECT_FALSE(older_admit_seen) << "older slice should be parked";
+    EXPECT_EQ(node.staged_waiting_count(), 1u);
+    node.HandleFinalizeStaged(older, false, kMinTimestamp);
+    node.HandleFinalizeStaged(younger, false, kMinTimestamp);
+  });
+  rig->scheduler.RunUntil(Seconds(1));
+
+  // The parked slice's retry aborted on the doomed marker instead of
+  // admitting into the forgotten transaction.
+  ASSERT_TRUE(older_admit_seen);
+  EXPECT_FALSE(older_admit.admitted);
+  EXPECT_EQ(older_admit.abort_reason, "xshard:abort");
+  EXPECT_FALSE(any_prepared);
+  EXPECT_EQ(node.pt_pool_size(), 0u);
+  EXPECT_EQ(node.staged_hold_count(), 0u);
+  EXPECT_EQ(node.staged_waiting_count(), 0u);
+
+  // The keys are free again: a plain transaction on "k" commits.
+  CommitOutcome plain;
+  bool plain_done = false;
+  rig->cluster->ClientCommit(0, {}, {{"k", "3"}},
+                             [&](const CommitOutcome& o) {
+                               plain = o;
+                               plain_done = true;
+                             });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(plain_done);
+  EXPECT_TRUE(plain.committed) << plain.abort_reason;
+}
+
+/// The waiter fence must guard plain admissions too: without it, a
+/// stream of single-shard transactions on a parked slice's keys occupies
+/// the pools at every wait-die poll and starves the older waiter through
+/// its whole retry budget.
+TEST(CrossShardSlice, PlainAdmissionRespectsWaiterFence) {
+  auto rig = MakeSliceRig();
+  core::HeliosNode& node = rig->cluster->node(0);
+
+  const TxnId older{0, 1};
+  const TxnId younger{0, 101};
+  rig->scheduler.At(Millis(10), [&] {
+    node.HandleStagedCommit(younger, {}, {{"k", "1"}},
+                            [](const core::StagedAdmitOutcome&) {},
+                            [](const core::StagedCommitOutcome&) {});
+  });
+  // The older slice writes {k, j}: it parks on the k-conflict, and while
+  // parked its whole footprint — including j, which no pool entry holds —
+  // is fenced against younger admissions.
+  rig->scheduler.At(Millis(11), [&] {
+    node.HandleStagedCommit(older, {}, {{"k", "2"}, {"j", "2"}},
+                            [](const core::StagedAdmitOutcome&) {},
+                            [](const core::StagedCommitOutcome&) {});
+  });
+  CommitOutcome plain;
+  bool plain_done = false;
+  rig->scheduler.At(Millis(12), [&] {
+    rig->cluster->ClientCommit(0, {}, {{"j", "9"}},
+                               [&](const CommitOutcome& o) {
+                                 plain = o;
+                                 plain_done = true;
+                               });
+  });
+  rig->scheduler.RunUntil(Millis(30));
+  ASSERT_TRUE(plain_done);
+  EXPECT_FALSE(plain.committed) << "plain admission streamed past the fence";
+  EXPECT_EQ(plain.abort_reason, "conflict:waiting");
+
+  // Once the coordinator resolves both slices the fence lifts.
+  node.HandleFinalizeStaged(older, false, kMinTimestamp);
+  node.HandleFinalizeStaged(younger, false, kMinTimestamp);
+  CommitOutcome after;
+  bool after_done = false;
+  rig->scheduler.At(Millis(40), [&] {
+    rig->cluster->ClientCommit(0, {}, {{"j", "10"}},
+                               [&](const CommitOutcome& o) {
+                                 after = o;
+                                 after_done = true;
+                               });
+  });
+  rig->scheduler.RunUntil(Seconds(2));
+  ASSERT_TRUE(after_done);
+  EXPECT_TRUE(after.committed) << after.abort_reason;
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(ShardedClusterDeathTest, InvalidMapAbortsEvenWithoutAsserts) {
+  core::HeliosConfig cfg;
+  cfg.num_datacenters = 1;
+  EXPECT_DEATH(
+      {
+        sim::Scheduler scheduler;
+        sim::Network network(&scheduler, 1, 1);
+        ShardedCluster cluster(&scheduler, &network, cfg,
+                               ShardMap::Range({"b", "b"}));
+      },
+      "invalid shard map");
+}
+#endif
 
 // --- Coordinator crash during STAGED ----------------------------------------
 
